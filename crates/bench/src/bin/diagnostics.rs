@@ -1,0 +1,65 @@
+//! Suite-quality diagnostics: variance-inflation factors and leave-one-out
+//! cross-validation of the characterization dataset.
+//!
+//! These quantify *why* the training suite is shaped the way it is (see
+//! EXPERIMENTS.md): high VIF names macro-model variables the suite leaves
+//! nearly collinear, and LOO errors approximate held-out application
+//! accuracy far better than the in-fit residuals of Fig. 3 do.
+
+use emx_core::{Characterizer, ModelSpec, TrainingCase};
+use emx_regress::diagnostics::{leave_one_out, variance_inflation};
+use emx_regress::FitOptions;
+use emx_sim::ProcConfig;
+
+fn main() {
+    let workloads = emx_workloads::suite::full_training_suite();
+    let cases: Vec<TrainingCase<'_>> = workloads
+        .iter()
+        .map(|w| TrainingCase {
+            name: w.name(),
+            program: w.program(),
+            ext: w.ext(),
+        })
+        .collect();
+    let characterizer = Characterizer::new(ProcConfig::default()).with_spec(ModelSpec::paper());
+    let dataset = characterizer
+        .build_dataset(&cases)
+        .expect("training suite simulates");
+
+    println!("Variance-inflation factors (collinearity of each variable)\n");
+    let vif = variance_inflation(&dataset).expect("enough samples");
+    for (name, v) in dataset.names().iter().zip(&vif) {
+        let flag = if *v > 30.0 {
+            "  <-- weakly identified"
+        } else {
+            ""
+        };
+        println!("  {name:<16} VIF = {v:>8.1}{flag}");
+    }
+
+    println!("\nLeave-one-out cross-validation (held-out prediction per program)\n");
+    match leave_one_out(&dataset, FitOptions::default()) {
+        Ok(report) => {
+            for s in &report.samples {
+                println!(
+                    "  {:<16} observed {:>9.2} uJ  predicted {:>9.2} uJ  {:>+7.2}%",
+                    s.label,
+                    s.observed * 1e-6,
+                    s.predicted * 1e-6,
+                    s.percent
+                );
+            }
+            for label in &report.sole_sources {
+                println!("  {label:<16} sole signal source for some variable — not predictable");
+            }
+            println!(
+                "\n  LOO rms = {:.2}%   LOO max |err| = {:.2}%",
+                report.rms_percent, report.max_abs_percent
+            );
+            println!("  (compare: Table II application mean |err| ≈ 4%)");
+        }
+        Err(e) => println!(
+            "  leave-one-out failed: {e} (a sample is the sole source of signal for some variable)"
+        ),
+    }
+}

@@ -1,0 +1,181 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! One binary per artifact (see `src/bin/`):
+//!
+//! | binary    | paper artifact | claim reproduced |
+//! |-----------|----------------|------------------|
+//! | `table1`  | Table I        | the 21 fitted energy coefficients |
+//! | `fig3`    | Fig. 3         | per-test-program fitting error; max < 8.9 %, RMS ≈ 3.8 % |
+//! | `table2`  | Table II       | per-application estimation error; max ≈ 8.5 %, mean abs ≈ 3.3 % |
+//! | `fig4`    | Fig. 4         | relative accuracy across four RS custom-instruction choices |
+//! | `speedup` | §V text        | macro-model estimation vs RTL-level reference estimation time |
+//! | `ablation`| DESIGN.md A1–A5| value of each macro-model design choice |
+//!
+//! This library holds the shared plumbing: building the characterization
+//! once, evaluating applications through both estimators, and text-table
+//! formatting.
+
+use emx_core::{Characterization, Characterizer, EnergyMacroModel, ModelSpec, TrainingCase};
+use emx_regress::stats;
+use emx_rtlpower::{Energy, RtlEnergyEstimator};
+use emx_sim::{Interp, ProcConfig};
+use emx_workloads::{suite, Workload};
+
+/// Cycle budget for every experiment run.
+pub const MAX_CYCLES: u64 = 200_000_000;
+
+/// Runs the full characterization flow on the 25-program suite with the
+/// paper's template.
+///
+/// # Panics
+///
+/// Panics if the suite fails to simulate or the regression is singular —
+/// both indicate a broken build, not a user error.
+pub fn characterize_default() -> Characterization {
+    characterize_with_spec(ModelSpec::paper())
+}
+
+/// Characterization with an alternative template (ablations).
+///
+/// # Panics
+///
+/// See [`characterize_default`].
+pub fn characterize_with_spec(spec: ModelSpec) -> Characterization {
+    let workloads = suite::full_training_suite();
+    characterize_workloads(&workloads, spec)
+}
+
+/// Characterization over an explicit workload list.
+///
+/// # Panics
+///
+/// See [`characterize_default`].
+pub fn characterize_workloads(workloads: &[Workload], spec: ModelSpec) -> Characterization {
+    let cases: Vec<TrainingCase<'_>> = workloads
+        .iter()
+        .map(|w| TrainingCase {
+            name: w.name(),
+            program: w.program(),
+            ext: w.ext(),
+        })
+        .collect();
+    Characterizer::new(ProcConfig::default())
+        .with_spec(spec)
+        .characterize(&cases)
+        .expect("characterization suite must fit")
+}
+
+/// One evaluated application: macro-model estimate vs reference.
+#[derive(Debug, Clone)]
+pub struct AppRow {
+    /// Workload name.
+    pub name: String,
+    /// Macro-model estimate.
+    pub estimate: Energy,
+    /// RTL-level reference ("WattWatcher") measurement.
+    pub reference: Energy,
+    /// Signed percent error of the estimate.
+    pub error_percent: f64,
+    /// Cycle count (from the ISS).
+    pub cycles: u64,
+}
+
+/// Evaluates one workload through both paths, verifying its functional
+/// correctness along the way.
+///
+/// # Panics
+///
+/// Panics if the workload fails to run or produces wrong results.
+pub fn evaluate(model: &EnergyMacroModel, w: &Workload) -> AppRow {
+    let config = ProcConfig::default();
+
+    // Functional verification first: energy numbers from a broken
+    // workload would be meaningless.
+    let mut sim = Interp::new(w.program(), w.ext(), config.clone());
+    sim.run(MAX_CYCLES).expect("workload runs");
+    w.verify(sim.state()).expect("workload verifies");
+
+    let est = model
+        .estimate(w.program(), w.ext(), config.clone())
+        .expect("estimation runs");
+    let reference = RtlEnergyEstimator::new()
+        .estimate(w.program(), w.ext(), config)
+        .expect("reference estimation runs");
+
+    AppRow {
+        name: w.name().to_owned(),
+        estimate: est.energy,
+        reference: reference.total,
+        error_percent: est.energy.percent_error_vs(reference.total),
+        cycles: est.stats.total_cycles,
+    }
+}
+
+/// Evaluates the ten Table II applications.
+///
+/// # Panics
+///
+/// See [`evaluate`].
+pub fn table2_rows(model: &EnergyMacroModel) -> Vec<AppRow> {
+    emx_workloads::apps::all()
+        .iter()
+        .map(|w| evaluate(model, w))
+        .collect()
+}
+
+/// Summary statistics over a set of evaluated rows.
+#[derive(Debug, Clone, Copy)]
+pub struct ErrorSummary {
+    /// Mean of absolute per-row percent errors.
+    pub mean_abs: f64,
+    /// Largest absolute percent error.
+    pub max_abs: f64,
+    /// Root mean square percent error.
+    pub rms: f64,
+}
+
+/// Summarizes per-row errors.
+pub fn summarize(rows: &[AppRow]) -> ErrorSummary {
+    let errs: Vec<f64> = rows.iter().map(|r| r.error_percent).collect();
+    ErrorSummary {
+        mean_abs: stats::mean_abs(&errs),
+        max_abs: stats::max_abs(&errs),
+        rms: stats::rms(&errs),
+    }
+}
+
+/// Renders rows in Table II format.
+pub fn format_table2(rows: &[AppRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<18} {:>14} {:>14} {:>9}\n",
+        "Application", "Estimate (uJ)", "Reference (uJ)", "Error (%)"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<18} {:>14.2} {:>14.2} {:>+9.1}\n",
+            r.name,
+            r.estimate.as_microjoules(),
+            r.reference.as_microjoules(),
+            r.error_percent
+        ));
+    }
+    let s = summarize(rows);
+    out.push_str(&format!(
+        "\nmean |error| = {:.1}%   max |error| = {:.1}%   rms = {:.1}%\n",
+        s.mean_abs, s.max_abs, s.rms
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn characterization_is_reusable() {
+        let c = characterize_default();
+        assert_eq!(c.model.coefficients().len(), 21);
+        assert!(c.fit.r_squared() > 0.99, "R² = {}", c.fit.r_squared());
+    }
+}

@@ -1,0 +1,363 @@
+use emx_isa::Program;
+use emx_regress::{Dataset, FitMethod, FitOptions, LinearFit};
+use emx_rtlpower::RtlEnergyEstimator;
+use emx_sim::{Interp, ProcConfig};
+use emx_tie::ExtensionSet;
+
+use crate::{CoreError, EnergyMacroModel, ModelSpec};
+
+/// One test program of the characterization suite: its name, its code,
+/// and the extension set of the custom processor it runs on.
+///
+/// "While custom processors are generated during characterization, they
+/// are not needed for using the macro-model" — each training case carries
+/// its own extended configuration, and the fitted model generalizes to
+/// any other.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingCase<'a> {
+    /// Display name (appears in the fitting-error report, Fig. 3).
+    pub name: &'a str,
+    /// The assembled test program.
+    pub program: &'a Program,
+    /// The extension set it was assembled against.
+    pub ext: &'a ExtensionSet,
+}
+
+/// The output of characterization: the fitted macro-model plus the full
+/// regression diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Characterization {
+    /// The fitted macro-model (ready for [`EnergyMacroModel::estimate`]).
+    pub model: EnergyMacroModel,
+    /// Regression diagnostics: per-test-program fitting errors (the data
+    /// behind Fig. 3), RMS and maximum error, R².
+    pub fit: LinearFit,
+}
+
+/// Runs the paper's characterization flow (steps 1–8 of Fig. 2).
+///
+/// For every training case, the characterizer
+///
+/// 1. cross-"compiles" and simulates the test program on the fast ISS to
+///    gather the macro-model's independent variables (instruction-set
+///    simulation + dynamic resource-usage analysis),
+/// 2. measures the dependent variable — the program's energy on the
+///    extended processor — with the RTL-level reference estimator,
+///
+/// and finally solves the resulting linear system by least squares.
+#[derive(Debug, Clone, Default)]
+pub struct Characterizer {
+    config: ProcConfig,
+    spec: ModelSpec,
+    estimator: RtlEnergyEstimator,
+    fit_options: FitOptions,
+    max_cycles: u64,
+}
+
+impl Characterizer {
+    /// Creates a characterizer for the paper's full template on the given
+    /// base-processor configuration.
+    pub fn new(config: ProcConfig) -> Self {
+        Characterizer {
+            config,
+            spec: ModelSpec::paper(),
+            estimator: RtlEnergyEstimator::new(),
+            fit_options: FitOptions {
+                method: FitMethod::Qr,
+                ridge: 0.0,
+            },
+            max_cycles: u64::from(u32::MAX),
+        }
+    }
+
+    /// Uses a different macro-model template (ablation studies).
+    pub fn with_spec(mut self, spec: ModelSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Uses a different reference estimator (sensitivity studies).
+    pub fn with_estimator(mut self, estimator: RtlEnergyEstimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Uses the paper's pseudo-inverse (normal-equations) solver instead
+    /// of QR, optionally with ridge regularization.
+    pub fn with_fit_options(mut self, options: FitOptions) -> Self {
+        self.fit_options = options;
+        self
+    }
+
+    /// The template in use.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Characterizes the processor over the given suite.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Sim`] if a test program fails to run (on either
+    ///   simulation path),
+    /// * [`CoreError::Regress`] if the system cannot be solved — fewer
+    ///   programs than template variables, or a variable never exercised
+    ///   by the suite (the paper: the suite must "cover the instruction
+    ///   space" and "all the custom hardware library components").
+    pub fn characterize(&self, cases: &[TrainingCase<'_>]) -> Result<Characterization, CoreError> {
+        let dataset = self.build_dataset(cases)?;
+        let fit = dataset.fit(self.fit_options)?;
+        let model = EnergyMacroModel::new(self.spec, fit.coefficients().to_vec());
+        Ok(Characterization { model, fit })
+    }
+
+    /// Runs steps 1–7 only: simulates every training case and assembles
+    /// the regression dataset (variables + measured energies) without
+    /// fitting it. Exposed so suite-quality diagnostics
+    /// ([`emx_regress::diagnostics`]) can inspect the design matrix.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Sim`] if a test program fails to run on either
+    /// simulation path.
+    pub fn build_dataset(&self, cases: &[TrainingCase<'_>]) -> Result<Dataset, CoreError> {
+        let mut dataset = Dataset::new(self.spec.variable_names());
+        for case in cases {
+            // Independent variables: fast ISS + resource-usage analysis.
+            let mut iss = Interp::new(case.program, case.ext, self.config.clone());
+            let run = iss.run(self.max_cycles).map_err(|source| CoreError::Sim {
+                program: case.name.to_owned(),
+                source,
+            })?;
+            let x = self.spec.variables(&run.stats);
+
+            // Dependent variable: RTL-level energy of the extended
+            // processor (the "synthesize + ModelSim + WattWatcher" path).
+            let report = self
+                .estimator
+                .estimate_bounded(case.program, case.ext, self.config.clone(), self.max_cycles)
+                .map_err(|source| CoreError::Sim {
+                    program: case.name.to_owned(),
+                    source,
+                })?;
+
+            dataset.push_sample(case.name, &x, report.total.as_picojoules())?;
+        }
+        Ok(dataset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_isa::asm::Assembler;
+
+    /// A small synthetic suite of base-ISA-only programs, diverse enough
+    /// to identify the instruction-level coefficients. With no custom
+    /// instructions in any program the structural variables are all-zero
+    /// columns, so the tests use the instruction-level-only spec.
+    fn base_suite() -> Vec<(String, Program)> {
+        let srcs: Vec<(&str, String)> = vec![
+            (
+                "arith",
+                "movi a2, 200\nl: addi a2, a2, -1\nbnez a2, l\nhalt".into(),
+            ),
+            (
+                "mixed",
+                "movi a2, 100\nmovi a3, 0\nl: add a3, a3, a2\nxor a4, a3, a2\n\
+                 slli a5, a4, 2\naddi a2, a2, -1\nbnez a2, l\nhalt"
+                    .into(),
+            ),
+            (
+                "loads",
+                ".data\nbuf: .space 256\n.text\nmovi a2, buf\nmovi a3, 64\n\
+                 l: l32i a4, 0(a2)\naddi a2, a2, 4\naddi a3, a3, -1\nbnez a3, l\nhalt"
+                    .into(),
+            ),
+            (
+                "stores",
+                ".data\nbuf: .space 256\n.text\nmovi a2, buf\nmovi a3, 64\nmovi a4, 7\n\
+                 l: s32i a4, 0(a2)\naddi a2, a2, 4\naddi a3, a3, -1\nbnez a3, l\nhalt"
+                    .into(),
+            ),
+            (
+                "calls",
+                "movi a2, 40\nl: call f\naddi a2, a2, -1\nbnez a2, l\nhalt\nf: ret".into(),
+            ),
+            (
+                "branches",
+                "movi a2, 100\nmovi a3, 0\nl: andi a4, a2, 1\nbeqz a4, even\naddi a3, a3, 1\n\
+                 even: addi a2, a2, -1\nbnez a2, l\nhalt"
+                    .into(),
+            ),
+            (
+                "interlocks",
+                ".data\nv: .word 3\n.text\nmovi a2, v\nmovi a3, 50\n\
+                 l: l32i a4, 0(a2)\nadd a5, a4, a4\nmul a6, a5, a4\nadd a7, a6, a5\n\
+                 addi a3, a3, -1\nbnez a3, l\nhalt"
+                    .into(),
+            ),
+            (
+                "strided",
+                "movi a2, 0x40000\nmovi a3, 200\nl: l32i a4, 0(a2)\naddi a2, a2, 64\n\
+                 addi a3, a3, -1\nbnez a3, l\nhalt"
+                    .into(),
+            ),
+            (
+                "uncached",
+                ".uncached\nmovi a2, 60\nl: addi a2, a2, -1\nbnez a2, l\nhalt".into(),
+            ),
+            (
+                "shifts",
+                "movi a2, 150\nmovi a3, 0x1234\nl: slli a4, a3, 3\nsrli a5, a3, 2\n\
+                 ror a6, a3, a2\naddi a2, a2, -1\nbnez a2, l\nhalt"
+                    .into(),
+            ),
+            (
+                "muls",
+                "movi a2, 120\nmovi a3, 77\nl: mul a4, a3, a2\nmulh a5, a4, a3\n\
+                 addi a2, a2, -1\nbnez a2, l\nhalt"
+                    .into(),
+            ),
+            (
+                "jumps",
+                "movi a2, 80\nl: j step\nstep: addi a2, a2, -1\nbnez a2, l\nhalt".into(),
+            ),
+        ];
+        let mut suite: Vec<(String, Program)> = srcs
+            .into_iter()
+            .map(|(name, src)| (name.to_owned(), Assembler::new().assemble(&src).unwrap()))
+            .collect();
+        // I-cache-capacity programs: loop bodies larger than the 16 KB
+        // cache so `n_icm` has real variance across the suite.
+        for (name, body, iters) in [("icache_a", 5000, 8), ("icache_b", 7000, 4)] {
+            let mut src = String::from("movi a2, ");
+            src.push_str(&format!("{iters}\nl:\n"));
+            for i in 0..body {
+                src.push_str(["add a3, a3, a2\n", "xor a4, a4, a2\n", "addi a5, a5, 3\n"][i % 3]);
+            }
+            src.push_str("addi a2, a2, -1\nbnez a2, l\nhalt\n");
+            suite.push((name.to_owned(), Assembler::new().assemble(&src).unwrap()));
+        }
+        suite
+    }
+
+    #[test]
+    fn characterizes_base_processor_accurately() {
+        let suite = base_suite();
+        let ext = ExtensionSet::empty();
+        let cases: Vec<TrainingCase<'_>> = suite
+            .iter()
+            .map(|(name, p)| TrainingCase {
+                name,
+                program: p,
+                ext: &ext,
+            })
+            .collect();
+        let result = Characterizer::new(ProcConfig::default())
+            .with_spec(ModelSpec::instruction_level_only())
+            .characterize(&cases)
+            .unwrap();
+
+        // The reference model is approximately linear in the template
+        // variables, so the fit should be tight (paper: RMS 3.8%).
+        assert!(
+            result.fit.rms_percent_error() < 10.0,
+            "rms = {}",
+            result.fit.rms_percent_error()
+        );
+        assert!(result.fit.r_squared() > 0.99);
+
+        // Coefficients should be positive energies with sane ordering:
+        // a cache miss costs far more than one arithmetic cycle.
+        let a = result.model.coefficient("alpha_A").unwrap();
+        let icm = result.model.coefficient("beta_icm").unwrap();
+        assert!(a > 0.0, "alpha_A = {a}");
+        assert!(icm > a, "beta_icm = {icm} vs alpha_A = {a}");
+    }
+
+    #[test]
+    fn estimation_tracks_reference_on_held_out_program(// Held-out: not in the training suite.
+    ) {
+        let suite = base_suite();
+        let ext = ExtensionSet::empty();
+        let cases: Vec<TrainingCase<'_>> = suite
+            .iter()
+            .map(|(name, p)| TrainingCase {
+                name,
+                program: p,
+                ext: &ext,
+            })
+            .collect();
+        let result = Characterizer::new(ProcConfig::default())
+            .with_spec(ModelSpec::instruction_level_only())
+            .characterize(&cases)
+            .unwrap();
+
+        let held_out = Assembler::new()
+            .assemble(
+                ".data\nbuf: .space 400\n.text\nmovi a2, buf\nmovi a3, 100\nmovi a5, 0\n\
+                 l: l32i a4, 0(a2)\nadd a5, a5, a4\ns32i a5, 0(a2)\naddi a2, a2, 4\n\
+                 addi a3, a3, -1\nbnez a3, l\nhalt",
+            )
+            .unwrap();
+        let est = result
+            .model
+            .estimate(&held_out, &ext, ProcConfig::default())
+            .unwrap();
+        let truth = RtlEnergyEstimator::new()
+            .estimate(&held_out, &ext, ProcConfig::default())
+            .unwrap();
+        let err = est.energy.percent_error_vs(truth.total).abs();
+        assert!(err < 15.0, "held-out error {err}%");
+    }
+
+    #[test]
+    fn too_few_programs_is_a_regression_error() {
+        let suite = base_suite();
+        let ext = ExtensionSet::empty();
+        let cases: Vec<TrainingCase<'_>> = suite
+            .iter()
+            .take(3)
+            .map(|(name, p)| TrainingCase {
+                name,
+                program: p,
+                ext: &ext,
+            })
+            .collect();
+        let result = Characterizer::new(ProcConfig::default())
+            .with_spec(ModelSpec::instruction_level_only())
+            .characterize(&cases);
+        assert!(matches!(result, Err(CoreError::Regress(_))));
+    }
+
+    #[test]
+    fn pseudo_inverse_matches_qr() {
+        let suite = base_suite();
+        let ext = ExtensionSet::empty();
+        let cases: Vec<TrainingCase<'_>> = suite
+            .iter()
+            .map(|(name, p)| TrainingCase {
+                name,
+                program: p,
+                ext: &ext,
+            })
+            .collect();
+        let spec = ModelSpec::instruction_level_only();
+        let qr = Characterizer::new(ProcConfig::default())
+            .with_spec(spec)
+            .characterize(&cases)
+            .unwrap();
+        let ne = Characterizer::new(ProcConfig::default())
+            .with_spec(spec)
+            .with_fit_options(FitOptions {
+                method: FitMethod::NormalEquations,
+                ridge: 0.0,
+            })
+            .characterize(&cases)
+            .unwrap();
+        for (a, b) in qr.model.coefficients().iter().zip(ne.model.coefficients()) {
+            assert!((a - b).abs() < 1e-3 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+}

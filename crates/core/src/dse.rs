@@ -1,0 +1,170 @@
+//! Design-space exploration on top of the macro-model.
+//!
+//! The paper's motivation is "evaluating energy-performance trade-offs
+//! among different candidate custom instructions" inside an ASIP design
+//! cycle — possible only because macro-model estimation needs no synthesis
+//! per candidate. This module packages that loop: evaluate a set of
+//! candidate (program, extension) design points through the fast path,
+//! then extract the energy/performance Pareto front or an
+//! energy-delay-product ranking.
+//!
+//! # Example
+//!
+//! ```no_run
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let model: emx_core::EnergyMacroModel = unimplemented!();
+//! use emx_core::dse::{self, Candidate};
+//! use emx_sim::ProcConfig;
+//!
+//! # let (p0, e0): (emx_isa::Program, emx_tie::ExtensionSet) = unimplemented!();
+//! let candidates = [Candidate { name: "baseline", program: &p0, ext: &e0 }];
+//! let points = dse::evaluate(&model, &candidates, ProcConfig::default())?;
+//! for &i in &dse::pareto_front(&points) {
+//!     println!("{}: {} in {} cycles", points[i].name, points[i].energy, points[i].cycles);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use emx_isa::Program;
+use emx_rtlpower::Energy;
+use emx_sim::{ProcConfig, SimError};
+use emx_tie::ExtensionSet;
+
+use crate::EnergyMacroModel;
+
+/// One candidate configuration: the application compiled against one
+/// custom-instruction choice.
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate<'a> {
+    /// Display name of the design point.
+    pub name: &'a str,
+    /// The application built for this extension set.
+    pub program: &'a Program,
+    /// The candidate extension set.
+    pub ext: &'a ExtensionSet,
+}
+
+/// An evaluated design point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    /// Display name.
+    pub name: String,
+    /// Macro-model energy estimate.
+    pub energy: Energy,
+    /// Execution cycles (from the ISS).
+    pub cycles: u64,
+}
+
+impl DesignPoint {
+    /// Energy–delay product in pJ·cycles (lower is better).
+    pub fn edp(&self) -> f64 {
+        self.energy.as_picojoules() * self.cycles as f64
+    }
+}
+
+/// Evaluates every candidate through the fast estimation path (one ISS run
+/// plus a dot product each — no synthesis, no reference power run).
+///
+/// # Errors
+///
+/// Propagates the first simulation failure, tagged by nothing more than
+/// order — candidates are expected to be pre-verified workloads.
+pub fn evaluate(
+    model: &EnergyMacroModel,
+    candidates: &[Candidate<'_>],
+    config: ProcConfig,
+) -> Result<Vec<DesignPoint>, SimError> {
+    candidates
+        .iter()
+        .map(|c| {
+            let est = model.estimate(c.program, c.ext, config.clone())?;
+            Ok(DesignPoint {
+                name: c.name.to_owned(),
+                energy: est.energy,
+                cycles: est.stats.total_cycles,
+            })
+        })
+        .collect()
+}
+
+/// Indices of the energy/performance Pareto-optimal points, sorted by
+/// ascending cycle count.
+///
+/// A point is Pareto-optimal if no other point is at least as good in both
+/// dimensions and strictly better in one.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| {
+        points[a].cycles.cmp(&points[b].cycles).then(
+            points[a]
+                .energy
+                .as_picojoules()
+                .total_cmp(&points[b].energy.as_picojoules()),
+        )
+    });
+    let mut front = Vec::new();
+    let mut best_energy = f64::INFINITY;
+    for &i in &order {
+        let e = points[i].energy.as_picojoules();
+        if e < best_energy {
+            front.push(i);
+            best_energy = e;
+        }
+    }
+    front
+}
+
+/// Indices sorted by ascending energy–delay product.
+pub fn rank_by_edp(points: &[DesignPoint]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_by(|&a, &b| points[a].edp().total_cmp(&points[b].edp()));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(name: &str, pj: f64, cycles: u64) -> DesignPoint {
+        DesignPoint {
+            name: name.to_owned(),
+            energy: Energy::from_picojoules(pj),
+            cycles,
+        }
+    }
+
+    #[test]
+    fn pareto_front_filters_dominated_points() {
+        let points = vec![
+            point("slow_cheap", 10.0, 100),
+            point("fast_costly", 30.0, 20),
+            point("dominated", 40.0, 120), // worse than slow_cheap in both
+            point("balanced", 15.0, 50),
+        ];
+        let front = pareto_front(&points);
+        let names: Vec<&str> = front.iter().map(|&i| points[i].name.as_str()).collect();
+        assert_eq!(names, vec!["fast_costly", "balanced", "slow_cheap"]);
+    }
+
+    #[test]
+    fn pareto_front_handles_ties_and_empty() {
+        assert!(pareto_front(&[]).is_empty());
+        let points = vec![point("a", 10.0, 50), point("b", 10.0, 50)];
+        // Equal points: exactly one survives.
+        assert_eq!(pareto_front(&points).len(), 1);
+    }
+
+    #[test]
+    fn edp_ranking() {
+        let points = vec![
+            point("a", 10.0, 100), // edp 1000
+            point("b", 30.0, 20),  // edp 600
+            point("c", 5.0, 300),  // edp 1500
+        ];
+        let ranked = rank_by_edp(&points);
+        let names: Vec<&str> = ranked.iter().map(|&i| points[i].name.as_str()).collect();
+        assert_eq!(names, vec!["b", "a", "c"]);
+        assert_eq!(points[0].edp(), 1000.0);
+    }
+}

@@ -1,0 +1,48 @@
+use std::error::Error;
+use std::fmt;
+
+use emx_regress::RegressError;
+use emx_sim::SimError;
+
+/// Errors from the characterization / estimation flows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A test program failed to simulate (named for diagnosis).
+    Sim {
+        /// The test program that failed.
+        program: String,
+        /// The underlying simulator error.
+        source: SimError,
+    },
+    /// The regression could not be solved (usually: too few test programs
+    /// for the template, or a macro-model variable never exercised by the
+    /// suite).
+    Regress(RegressError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sim { program, source } => {
+                write!(f, "simulation of `{program}` failed: {source}")
+            }
+            CoreError::Regress(e) => write!(f, "regression failed: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sim { source, .. } => Some(source),
+            CoreError::Regress(e) => Some(e),
+        }
+    }
+}
+
+impl From<RegressError> for CoreError {
+    fn from(e: RegressError) -> Self {
+        CoreError::Regress(e)
+    }
+}

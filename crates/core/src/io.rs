@@ -1,0 +1,228 @@
+//! Plain-text persistence for characterized macro-models.
+//!
+//! Characterization is the expensive, once-per-base-processor step; the
+//! resulting model is 21 numbers. This module gives it a stable,
+//! human-auditable text format so a model characterized by one tool run
+//! (e.g. `emx-characterize`) can be loaded instantly by another
+//! (e.g. `emx-run --model`):
+//!
+//! ```text
+//! # emx energy macro-model v1
+//! spec structural=true ci=true width=true arith=clustered
+//! alpha_A 442.638917
+//! alpha_L 607.254110
+//! …
+//! ```
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{ArithGranularity, EnergyMacroModel, ModelSpec};
+
+/// Error returned by [`EnergyMacroModel::from_text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseModelError {
+    /// The version header is missing or unsupported.
+    BadHeader,
+    /// The `spec …` line is missing or malformed.
+    BadSpec(String),
+    /// A coefficient line failed to parse.
+    BadCoefficient(String),
+    /// A coefficient required by the spec is missing, or an unknown name
+    /// appeared.
+    NameMismatch(String),
+}
+
+impl fmt::Display for ParseModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseModelError::BadHeader => write!(f, "missing or unsupported model header"),
+            ParseModelError::BadSpec(line) => write!(f, "bad spec line `{line}`"),
+            ParseModelError::BadCoefficient(line) => write!(f, "bad coefficient line `{line}`"),
+            ParseModelError::NameMismatch(name) => {
+                write!(f, "coefficient set does not match the spec (at `{name}`)")
+            }
+        }
+    }
+}
+
+impl Error for ParseModelError {}
+
+const HEADER: &str = "# emx energy macro-model v1";
+
+impl EnergyMacroModel {
+    /// Serializes the model to the stable text format.
+    pub fn to_text(&self) -> String {
+        let spec = self.spec();
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!(
+            "spec structural={} ci={} width={} arith={}\n",
+            spec.structural,
+            spec.ci_side_effect,
+            spec.width_complexity,
+            match spec.arith {
+                ArithGranularity::Clustered => "clustered",
+                ArithGranularity::PerUnit => "per_unit",
+            }
+        ));
+        for (name, value) in self.coefficient_table() {
+            out.push_str(&format!("{name} {value:.9}\n"));
+        }
+        out
+    }
+
+    /// Parses a model previously written by [`EnergyMacroModel::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseModelError`] describing the first malformed line,
+    /// or a mismatch between the declared spec and the coefficient names.
+    pub fn from_text(text: &str) -> Result<Self, ParseModelError> {
+        let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty());
+        if lines.next() != Some(HEADER) {
+            return Err(ParseModelError::BadHeader);
+        }
+        let spec_line = lines.next().ok_or(ParseModelError::BadHeader)?;
+        let spec = parse_spec(spec_line)?;
+
+        let expected = spec.variable_names();
+        let mut coefficients = Vec::with_capacity(expected.len());
+        // Not `zip`: when the expected side runs out first, `Zip` has
+        // already consumed (and would discard) one extra source line,
+        // which the trailing-garbage check below needs to see.
+        for want in &expected {
+            let Some(line) = lines.next() else { break };
+            let (name, value) = line
+                .split_once(' ')
+                .ok_or_else(|| ParseModelError::BadCoefficient(line.to_owned()))?;
+            if name != want {
+                return Err(ParseModelError::NameMismatch(name.to_owned()));
+            }
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseModelError::BadCoefficient(line.to_owned()))?;
+            coefficients.push(value);
+        }
+        if coefficients.len() != expected.len() {
+            return Err(ParseModelError::NameMismatch(format!(
+                "expected {} coefficients, found {}",
+                expected.len(),
+                coefficients.len()
+            )));
+        }
+        if let Some(extra) = lines.next() {
+            return Err(ParseModelError::NameMismatch(extra.to_owned()));
+        }
+        Ok(EnergyMacroModel::new(spec, coefficients))
+    }
+}
+
+fn parse_spec(line: &str) -> Result<ModelSpec, ParseModelError> {
+    let err = || ParseModelError::BadSpec(line.to_owned());
+    let rest = line.strip_prefix("spec ").ok_or_else(err)?;
+    let mut spec = ModelSpec::paper();
+    for field in rest.split_whitespace() {
+        let (key, value) = field.split_once('=').ok_or_else(err)?;
+        match key {
+            "structural" => spec.structural = value.parse().map_err(|_| err())?,
+            "ci" => spec.ci_side_effect = value.parse().map_err(|_| err())?,
+            "width" => spec.width_complexity = value.parse().map_err(|_| err())?,
+            "arith" => {
+                spec.arith = match value {
+                    "clustered" => ArithGranularity::Clustered,
+                    "per_unit" => ArithGranularity::PerUnit,
+                    _ => return Err(err()),
+                }
+            }
+            _ => return Err(err()),
+        }
+    }
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_model(spec: ModelSpec) -> EnergyMacroModel {
+        let coefficients: Vec<f64> = (0..spec.len()).map(|i| 100.5 + i as f64 * 3.25).collect();
+        EnergyMacroModel::new(spec, coefficients)
+    }
+
+    #[test]
+    fn round_trips_the_paper_template() {
+        let model = sample_model(ModelSpec::paper());
+        let text = model.to_text();
+        let back = EnergyMacroModel::from_text(&text).unwrap();
+        assert_eq!(back, model);
+    }
+
+    #[test]
+    fn round_trips_every_spec_variant() {
+        for structural in [true, false] {
+            for ci in [true, false] {
+                for width in [true, false] {
+                    for arith in [ArithGranularity::Clustered, ArithGranularity::PerUnit] {
+                        let spec = ModelSpec {
+                            structural,
+                            ci_side_effect: ci,
+                            width_complexity: width,
+                            arith,
+                        };
+                        let model = sample_model(spec);
+                        let back = EnergyMacroModel::from_text(&model.to_text()).unwrap();
+                        assert_eq!(back, model);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        assert_eq!(
+            EnergyMacroModel::from_text("nonsense"),
+            Err(ParseModelError::BadHeader)
+        );
+        let model = sample_model(ModelSpec::paper());
+        let text = model.to_text();
+
+        let truncated: String = text.lines().take(5).collect::<Vec<_>>().join("\n");
+        assert!(matches!(
+            EnergyMacroModel::from_text(&truncated),
+            Err(ParseModelError::NameMismatch(_))
+        ));
+
+        let corrupted = text.replace("alpha_L", "alpha_Q");
+        assert!(matches!(
+            EnergyMacroModel::from_text(&corrupted),
+            Err(ParseModelError::NameMismatch(_))
+        ));
+
+        let bad_value = text.replace("alpha_A 100.500000000", "alpha_A not_a_number");
+        assert!(matches!(
+            EnergyMacroModel::from_text(&bad_value),
+            Err(ParseModelError::BadCoefficient(_))
+        ));
+
+        let extra = format!("{text}bogus 1.0\n");
+        assert!(matches!(
+            EnergyMacroModel::from_text(&extra),
+            Err(ParseModelError::NameMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn text_is_stable_and_auditable() {
+        let model = sample_model(ModelSpec::paper());
+        let text = model.to_text();
+        assert!(text.starts_with("# emx energy macro-model v1\n"));
+        assert!(text.contains("spec structural=true ci=true width=true arith=clustered"));
+        assert!(text.contains("alpha_A 100.5"));
+        assert_eq!(text.lines().count(), 2 + 21);
+    }
+}

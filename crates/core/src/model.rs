@@ -1,0 +1,190 @@
+use emx_isa::Program;
+use emx_rtlpower::Energy;
+use emx_sim::{ExecStats, Interp, ProcConfig, SimError};
+use emx_tie::ExtensionSet;
+
+use crate::ModelSpec;
+
+/// Result of estimating an application's energy with the macro-model
+/// (steps 9–11 of the paper's flow).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyEstimate {
+    /// The estimated energy.
+    pub energy: Energy,
+    /// The instruction-set-simulation statistics the estimate was derived
+    /// from (exposed so callers can report cycles, CPI, …, without a
+    /// second simulation — C-INTERMEDIATE).
+    pub stats: ExecStats,
+}
+
+/// A characterized energy macro-model for an extensible processor.
+///
+/// Holds the fitted energy-coefficient vector for a [`ModelSpec`]
+/// template. Once built (see [`crate::Characterizer`]), estimating the
+/// energy of an application with **any** custom-instruction extensions
+/// requires only instruction-set simulation — the extended processor is
+/// never synthesized or power-simulated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyMacroModel {
+    spec: ModelSpec,
+    names: Vec<String>,
+    coefficients: Vec<f64>,
+}
+
+impl EnergyMacroModel {
+    /// Creates a model from a fitted coefficient vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coefficients.len() != spec.len()`.
+    pub fn new(spec: ModelSpec, coefficients: Vec<f64>) -> Self {
+        assert_eq!(
+            coefficients.len(),
+            spec.len(),
+            "coefficient count does not match the template"
+        );
+        EnergyMacroModel {
+            names: spec.variable_names(),
+            spec,
+            coefficients,
+        }
+    }
+
+    /// The template this model was fitted for.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// The fitted energy coefficients, in template order (the content of
+    /// the paper's Table I).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Variable names, in the same order as [`Self::coefficients`].
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Looks a coefficient up by variable name (e.g. `"alpha_A"`,
+    /// `"delta_shift"`).
+    pub fn coefficient(&self, name: &str) -> Option<f64> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.coefficients[i])
+    }
+
+    /// `(name, value)` rows of the coefficient table, in Table I order.
+    pub fn coefficient_table(&self) -> Vec<(&str, f64)> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.coefficients.iter().copied())
+            .collect()
+    }
+
+    /// Applies the macro-model to already-gathered execution statistics
+    /// (step 11: one dot product).
+    pub fn energy_of_stats(&self, stats: &ExecStats) -> Energy {
+        let x = self.spec.variables(stats);
+        let pj: f64 = x.iter().zip(&self.coefficients).map(|(v, c)| v * c).sum();
+        Energy::from_picojoules(pj)
+    }
+
+    /// Estimates the energy of `program` running on the processor extended
+    /// with `ext` — fast instruction-set simulation (step 9), dynamic
+    /// resource-usage analysis (step 10) and the macro-model evaluation
+    /// (step 11). No synthesis, no RTL power simulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; uses a 2³²-cycle budget.
+    pub fn estimate(
+        &self,
+        program: &Program,
+        ext: &ExtensionSet,
+        config: ProcConfig,
+    ) -> Result<EnergyEstimate, SimError> {
+        let mut sim = Interp::new(program, ext, config);
+        let run = sim.run(u64::from(u32::MAX))?;
+        Ok(EnergyEstimate {
+            energy: self.energy_of_stats(&run.stats),
+            stats: run.stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_isa::asm::Assembler;
+
+    fn toy_model() -> EnergyMacroModel {
+        // Simple known coefficients: 100 pJ per arithmetic cycle, 50 per
+        // load cycle, everything else zero.
+        let spec = ModelSpec::paper();
+        let mut c = vec![0.0; spec.len()];
+        c[0] = 100.0;
+        c[1] = 50.0;
+        EnergyMacroModel::new(spec, c)
+    }
+
+    #[test]
+    fn energy_of_stats_is_a_dot_product() {
+        let mut stats = ExecStats::new(0);
+        stats.class_cycles[0] = 10; // arithmetic
+        stats.class_cycles[1] = 4; // load
+        let e = toy_model().energy_of_stats(&stats);
+        assert_eq!(e.as_picojoules(), 10.0 * 100.0 + 4.0 * 50.0);
+    }
+
+    #[test]
+    fn estimate_runs_the_iss() {
+        let program = Assembler::new()
+            .assemble("movi a2, 3\naddi a2, a2, 1\nhalt")
+            .unwrap();
+        let ext = ExtensionSet::empty();
+        let est = toy_model()
+            .estimate(&program, &ext, ProcConfig::default())
+            .unwrap();
+        // 2 arithmetic cycles + 1 halt (jump class, coefficient 0):
+        assert_eq!(est.energy.as_picojoules(), 200.0);
+        assert_eq!(est.stats.inst_count, 3);
+    }
+
+    #[test]
+    fn coefficient_lookup() {
+        let m = toy_model();
+        assert_eq!(m.coefficient("alpha_A"), Some(100.0));
+        assert_eq!(m.coefficient("alpha_L"), Some(50.0));
+        assert_eq!(m.coefficient("nope"), None);
+        assert_eq!(m.coefficient_table().len(), 21);
+        assert_eq!(m.coefficient_table()[0], ("alpha_A", 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "coefficient count")]
+    fn wrong_coefficient_count_panics() {
+        let _ = EnergyMacroModel::new(ModelSpec::paper(), vec![1.0; 3]);
+    }
+
+    #[test]
+    fn linearity_in_stats() {
+        // E(a+b) = E(a) + E(b): the macro-model is linear by construction.
+        let m = toy_model();
+        let mut a = ExecStats::new(0);
+        a.class_cycles[0] = 7;
+        a.icache_misses = 2;
+        let mut b = ExecStats::new(0);
+        b.class_cycles[1] = 3;
+        b.interlocks = 5;
+        let mut ab = ExecStats::new(0);
+        ab.class_cycles[0] = 7;
+        ab.class_cycles[1] = 3;
+        ab.icache_misses = 2;
+        ab.interlocks = 5;
+        let sum = m.energy_of_stats(&a) + m.energy_of_stats(&b);
+        assert!((m.energy_of_stats(&ab).as_picojoules() - sum.as_picojoules()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,249 @@
+use emx_hwlib::Category;
+use emx_isa::op::ExecUnit;
+use emx_isa::{DynClass, Opcode};
+use emx_sim::ExecStats;
+
+/// Granularity at which class-A (arithmetic) instructions enter the
+/// model.
+///
+/// The paper clusters all arithmetic instructions into a single variable,
+/// noting that "such a clustering is convenient (and later seen to be
+/// accurate)". The per-unit alternative quantifies that claim in the A3
+/// ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ArithGranularity {
+    /// One variable for all arithmetic instructions (the paper's choice).
+    #[default]
+    Clustered,
+    /// One variable per EX-stage functional unit (adder / logic / shifter
+    /// / multiplier / move).
+    PerUnit,
+}
+
+/// Which terms the macro-model template includes.
+///
+/// The default is the paper's full 21-variable hybrid template; the other
+/// combinations exist for the ablation studies of DESIGN.md (A1–A4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModelSpec {
+    /// Include the ten structural (custom-hardware) variables. Dropping
+    /// them yields a conventional instruction-level-only model (A1).
+    pub structural: bool,
+    /// Include the custom→base side-effect variable `n_CI` (A2).
+    pub ci_side_effect: bool,
+    /// Weight structural activations by the bit-width complexity `f(C)`;
+    /// `false` uses raw activation counts (A4).
+    pub width_complexity: bool,
+    /// Arithmetic-class granularity (A3).
+    pub arith: ArithGranularity,
+}
+
+impl Default for ModelSpec {
+    fn default() -> Self {
+        ModelSpec {
+            structural: true,
+            ci_side_effect: true,
+            width_complexity: true,
+            arith: ArithGranularity::Clustered,
+        }
+    }
+}
+
+impl ModelSpec {
+    /// The paper's full hybrid template (same as `Default`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Conventional instruction-level-only model (ablation A1): no
+    /// structural variables, no side-effect variable.
+    pub fn instruction_level_only() -> Self {
+        ModelSpec {
+            structural: false,
+            ci_side_effect: false,
+            ..Self::default()
+        }
+    }
+
+    /// Variable names, in template (coefficient-vector) order.
+    ///
+    /// For the paper's template these are the 21 rows of Table I:
+    /// `alpha_A, alpha_L, alpha_S, alpha_J, alpha_Bt, alpha_Bu,
+    /// beta_icm, beta_dcm, beta_ucf, beta_ilk, gamma_CI,
+    /// delta_mult, …, delta_table`.
+    pub fn variable_names(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        match self.arith {
+            ArithGranularity::Clustered => names.push("alpha_A".to_owned()),
+            ArithGranularity::PerUnit => {
+                for unit in ["adder", "logic", "shifter", "mult", "move"] {
+                    names.push(format!("alpha_A_{unit}"));
+                }
+            }
+        }
+        for class in &DynClass::ALL[1..] {
+            names.push(format!("alpha_{}", class.short_name()));
+        }
+        for event in ["icm", "dcm", "ucf", "ilk"] {
+            names.push(format!("beta_{event}"));
+        }
+        if self.ci_side_effect {
+            names.push("gamma_CI".to_owned());
+        }
+        if self.structural {
+            for cat in Category::ALL {
+                names.push(format!("delta_{}", cat.var_name()));
+            }
+        }
+        names
+    }
+
+    /// Number of model variables.
+    pub fn len(&self) -> usize {
+        let arith = match self.arith {
+            ArithGranularity::Clustered => 1,
+            ArithGranularity::PerUnit => 5,
+        };
+        arith + 5 + 4 + usize::from(self.ci_side_effect) + if self.structural { 10 } else { 0 }
+    }
+
+    /// Always at least 10 variables; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Extracts the model's independent-variable vector from execution
+    /// statistics (the paper's steps 6–7 during characterization, 9–10
+    /// during estimation).
+    pub fn variables(&self, stats: &ExecStats) -> Vec<f64> {
+        let mut x = Vec::with_capacity(self.len());
+        match self.arith {
+            ArithGranularity::Clustered => {
+                x.push(stats.cycles_of(DynClass::Arithmetic) as f64);
+            }
+            ArithGranularity::PerUnit => {
+                let mut unit_cycles = [0u64; 5];
+                for &op in Opcode::ALL {
+                    if op.base_class() == emx_isa::BaseClass::Arithmetic {
+                        let slot = match op.exec_unit() {
+                            ExecUnit::Adder => 0,
+                            ExecUnit::Logic => 1,
+                            ExecUnit::Shifter => 2,
+                            ExecUnit::Multiplier => 3,
+                            ExecUnit::Move | ExecUnit::None => 4,
+                        };
+                        unit_cycles[slot] += stats.opcode_cycles[op.index()];
+                    }
+                }
+                x.extend(unit_cycles.iter().map(|&c| c as f64));
+            }
+        }
+        for class in &DynClass::ALL[1..] {
+            x.push(stats.cycles_of(*class) as f64);
+        }
+        x.push(stats.icache_misses as f64);
+        x.push(stats.dcache_misses as f64);
+        x.push(stats.uncached_fetches as f64);
+        x.push(stats.interlocks as f64);
+        if self.ci_side_effect {
+            x.push(stats.ci_gpr_cycles as f64);
+        }
+        if self.structural {
+            let activity = if self.width_complexity {
+                &stats.struct_activity
+            } else {
+                &stats.struct_activations
+            };
+            x.extend_from_slice(activity);
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_template_has_21_variables() {
+        let spec = ModelSpec::paper();
+        assert_eq!(spec.len(), 21);
+        assert_eq!(spec.variable_names().len(), 21);
+    }
+
+    #[test]
+    fn variable_names_match_table_one_order() {
+        let names = ModelSpec::paper().variable_names();
+        assert_eq!(names[0], "alpha_A");
+        assert_eq!(names[4], "alpha_Bt");
+        assert_eq!(names[6], "beta_icm");
+        assert_eq!(names[10], "gamma_CI");
+        assert_eq!(names[11], "delta_mult");
+        assert_eq!(names[20], "delta_table");
+    }
+
+    #[test]
+    fn ablation_sizes() {
+        assert_eq!(ModelSpec::instruction_level_only().len(), 10);
+        let per_unit = ModelSpec {
+            arith: ArithGranularity::PerUnit,
+            ..ModelSpec::paper()
+        };
+        assert_eq!(per_unit.len(), 25);
+        let no_ci = ModelSpec {
+            ci_side_effect: false,
+            ..ModelSpec::paper()
+        };
+        assert_eq!(no_ci.len(), 20);
+    }
+
+    #[test]
+    fn variables_extract_stats() {
+        let mut stats = ExecStats::new(0);
+        stats.class_cycles[DynClass::Arithmetic.index()] = 100;
+        stats.class_cycles[DynClass::Load.index()] = 40;
+        stats.icache_misses = 3;
+        stats.interlocks = 7;
+        stats.ci_gpr_cycles = 11;
+        stats.struct_activity[Category::Shifter.index()] = 2.5;
+        let x = ModelSpec::paper().variables(&stats);
+        assert_eq!(x.len(), 21);
+        assert_eq!(x[0], 100.0);
+        assert_eq!(x[1], 40.0);
+        assert_eq!(x[6], 3.0);
+        assert_eq!(x[9], 7.0);
+        assert_eq!(x[10], 11.0);
+        assert_eq!(x[11 + Category::Shifter.index()], 2.5);
+    }
+
+    #[test]
+    fn per_unit_variables_split_arithmetic() {
+        let mut stats = ExecStats::new(0);
+        stats.opcode_cycles[Opcode::Add.index()] = 10;
+        stats.opcode_cycles[Opcode::And.index()] = 5;
+        stats.opcode_cycles[Opcode::Slli.index()] = 2;
+        stats.opcode_cycles[Opcode::Mul.index()] = 1;
+        stats.opcode_cycles[Opcode::Movi.index()] = 9;
+        let spec = ModelSpec {
+            arith: ArithGranularity::PerUnit,
+            ..ModelSpec::paper()
+        };
+        let x = spec.variables(&stats);
+        assert_eq!(&x[0..5], &[10.0, 5.0, 2.0, 1.0, 9.0]);
+    }
+
+    #[test]
+    fn unweighted_structural_option() {
+        let mut stats = ExecStats::new(0);
+        stats.struct_activity[0] = 0.25;
+        stats.struct_activations[0] = 1.0;
+        let weighted = ModelSpec::paper().variables(&stats);
+        let raw = ModelSpec {
+            width_complexity: false,
+            ..ModelSpec::paper()
+        }
+        .variables(&stats);
+        assert_eq!(weighted[11], 0.25);
+        assert_eq!(raw[11], 1.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the macro-model: linearity, homogeneity and
+//! template consistency — the algebraic guarantees that make regression
+//! characterization sound.
+
+use proptest::prelude::*;
+
+use emx_core::{ArithGranularity, EnergyMacroModel, ModelSpec};
+use emx_sim::ExecStats;
+
+fn spec_strategy() -> impl Strategy<Value = ModelSpec> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(structural, ci, width, per_unit)| ModelSpec {
+            structural,
+            ci_side_effect: ci,
+            width_complexity: width,
+            arith: if per_unit {
+                ArithGranularity::PerUnit
+            } else {
+                ArithGranularity::Clustered
+            },
+        },
+    )
+}
+
+fn stats_strategy() -> impl Strategy<Value = ExecStats> {
+    (
+        proptest::collection::vec(0u64..10_000, 6),
+        proptest::collection::vec(0u64..500, 5),
+        proptest::collection::vec(0.0f64..100.0, 10),
+    )
+        .prop_map(|(classes, events, structural)| {
+            let mut s = ExecStats::new(0);
+            s.class_cycles.copy_from_slice(&classes);
+            s.icache_misses = events[0];
+            s.dcache_misses = events[1];
+            s.uncached_fetches = events[2];
+            s.interlocks = events[3];
+            s.ci_gpr_cycles = events[4];
+            s.struct_activity.copy_from_slice(&structural);
+            s.struct_activations.copy_from_slice(&structural);
+            // Spread the class-A cycles over a few opcodes so PerUnit
+            // extraction has consistent totals.
+            s.opcode_cycles[emx_isa::Opcode::Add.index()] = classes[0];
+            s
+        })
+}
+
+fn scale(s: &ExecStats, k: u64) -> ExecStats {
+    let mut out = s.clone();
+    for v in &mut out.class_cycles {
+        *v *= k;
+    }
+    out.icache_misses *= k;
+    out.dcache_misses *= k;
+    out.uncached_fetches *= k;
+    out.interlocks *= k;
+    out.ci_gpr_cycles *= k;
+    for v in &mut out.struct_activity {
+        *v *= k as f64;
+    }
+    for v in &mut out.struct_activations {
+        *v *= k as f64;
+    }
+    for v in &mut out.opcode_cycles {
+        *v *= k;
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn names_and_variables_stay_consistent(spec in spec_strategy(), stats in stats_strategy()) {
+        prop_assert_eq!(spec.variable_names().len(), spec.len());
+        prop_assert_eq!(spec.variables(&stats).len(), spec.len());
+    }
+
+    #[test]
+    fn model_is_homogeneous(spec in spec_strategy(), stats in stats_strategy(), k in 1u64..10) {
+        // E(k·stats) = k·E(stats): doubling a program doubles its energy.
+        let coefficients: Vec<f64> = (0..spec.len()).map(|i| 10.0 + i as f64).collect();
+        let model = EnergyMacroModel::new(spec, coefficients);
+        let e1 = model.energy_of_stats(&stats).as_picojoules();
+        let ek = model.energy_of_stats(&scale(&stats, k)).as_picojoules();
+        prop_assert!((ek - k as f64 * e1).abs() < 1e-6 * ek.abs().max(1.0), "{ek} vs {}", k as f64 * e1);
+    }
+
+    #[test]
+    fn model_is_additive(spec in spec_strategy(), a in stats_strategy(), b in stats_strategy()) {
+        let coefficients: Vec<f64> = (0..spec.len()).map(|i| 5.0 + 2.0 * i as f64).collect();
+        let model = EnergyMacroModel::new(spec, coefficients);
+        let mut ab = a.clone();
+        for (x, y) in ab.class_cycles.iter_mut().zip(b.class_cycles) {
+            *x += y;
+        }
+        ab.icache_misses += b.icache_misses;
+        ab.dcache_misses += b.dcache_misses;
+        ab.uncached_fetches += b.uncached_fetches;
+        ab.interlocks += b.interlocks;
+        ab.ci_gpr_cycles += b.ci_gpr_cycles;
+        for (x, y) in ab.struct_activity.iter_mut().zip(b.struct_activity) {
+            *x += y;
+        }
+        for (x, y) in ab.struct_activations.iter_mut().zip(b.struct_activations) {
+            *x += y;
+        }
+        for (x, y) in ab.opcode_cycles.iter_mut().zip(&b.opcode_cycles) {
+            *x += y;
+        }
+        let sum = model.energy_of_stats(&a) + model.energy_of_stats(&b);
+        let whole = model.energy_of_stats(&ab);
+        prop_assert!((whole.as_picojoules() - sum.as_picojoules()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_stats_cost_zero(spec in spec_strategy()) {
+        let coefficients: Vec<f64> = (0..spec.len()).map(|i| 100.0 + i as f64).collect();
+        let model = EnergyMacroModel::new(spec, coefficients);
+        prop_assert_eq!(model.energy_of_stats(&ExecStats::new(0)).as_picojoules(), 0.0);
+    }
+
+    #[test]
+    fn coefficient_lookup_matches_order(spec in spec_strategy()) {
+        let coefficients: Vec<f64> = (0..spec.len()).map(|i| i as f64).collect();
+        let model = EnergyMacroModel::new(spec, coefficients);
+        for (i, name) in model.names().to_vec().iter().enumerate() {
+            prop_assert_eq!(model.coefficient(name), Some(i as f64));
+        }
+    }
+}

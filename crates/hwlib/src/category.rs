@@ -1,0 +1,191 @@
+use std::fmt;
+
+/// The ten component categories of the custom hardware library.
+///
+/// These are the structural macro-model dimensions of the paper
+/// (Section IV-B.1): each category `i` contributes a term
+/// `δ_i · Σ_j f_i(C_ij) · n_act(i,j)` to the custom-hardware energy, where
+/// `f_i` captures the energy dependence on the component's bit-width (or
+/// table size) and `n_act` counts the cycles in which instance `j` is
+/// active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// General multiplier assembled from library gates (quadratic
+    /// bit-width dependence).
+    Multiplier,
+    /// Adders, subtractors and comparators.
+    AdderCmp,
+    /// Bit-wise logic, reduction logic and multiplexers.
+    LogicMux,
+    /// Barrel shifters.
+    Shifter,
+    /// Custom (extension-defined) registers and register files.
+    CustomReg,
+    /// The specialized `TIE_mult` module.
+    TieMult,
+    /// The specialized `TIE_mac` (multiply-accumulate) module.
+    TieMac,
+    /// The specialized `TIE_add` (three-operand add) module.
+    TieAdd,
+    /// The specialized `TIE_csa` (carry-save adder) module.
+    TieCsa,
+    /// Lookup tables (`table` construct).
+    Table,
+}
+
+impl Category {
+    /// All categories, in the row order of Table I of the paper.
+    pub const ALL: [Category; 10] = [
+        Category::Multiplier,
+        Category::AdderCmp,
+        Category::LogicMux,
+        Category::Shifter,
+        Category::CustomReg,
+        Category::TieMult,
+        Category::TieMac,
+        Category::TieAdd,
+        Category::TieCsa,
+        Category::Table,
+    ];
+
+    /// Index of the category inside [`Category::ALL`] (and hence inside the
+    /// structural part of the macro-model coefficient vector).
+    pub fn index(self) -> usize {
+        match self {
+            Category::Multiplier => 0,
+            Category::AdderCmp => 1,
+            Category::LogicMux => 2,
+            Category::Shifter => 3,
+            Category::CustomReg => 4,
+            Category::TieMult => 5,
+            Category::TieMac => 6,
+            Category::TieAdd => 7,
+            Category::TieCsa => 8,
+            Category::Table => 9,
+        }
+    }
+
+    /// Bit-width complexity function `f(C)` of the category, normalized so
+    /// that a 32-bit instance (or a 16-entry × 32-bit table) has
+    /// `f(C) = 1`.
+    ///
+    /// The paper: "The dependence on bit-width is linear in the case of
+    /// hardware components such as adders, multiplexers, etc., while the
+    /// dependence is quadratic in the case of a multiplier"; for a table it
+    /// depends on "the number of entries and bit-width of each entry".
+    ///
+    /// `entries` is ignored except for [`Category::Table`].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use emx_hwlib::Category;
+    ///
+    /// assert_eq!(Category::AdderCmp.complexity(32, 0), 1.0);
+    /// assert_eq!(Category::AdderCmp.complexity(16, 0), 0.5);
+    /// assert_eq!(Category::Multiplier.complexity(16, 0), 0.25);
+    /// assert_eq!(Category::Table.complexity(32, 16), 1.0);
+    /// ```
+    pub fn complexity(self, width: u8, entries: usize) -> f64 {
+        let w = f64::from(width);
+        match self {
+            Category::Multiplier | Category::TieMult | Category::TieMac => (w / 32.0) * (w / 32.0),
+            Category::Table => (entries as f64 * w) / (16.0 * 32.0),
+            _ => w / 32.0,
+        }
+    }
+
+    /// Name of the category as written in Table I of the paper.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Category::Multiplier => "*",
+            Category::AdderCmp => "+/-/comp",
+            Category::LogicMux => "log/red/mux",
+            Category::Shifter => "shifter",
+            Category::CustomReg => "custom register",
+            Category::TieMult => "TIE mult",
+            Category::TieMac => "TIE mac",
+            Category::TieAdd => "TIE add",
+            Category::TieCsa => "TIE csa",
+            Category::Table => "table",
+        }
+    }
+
+    /// Identifier-style name, used for macro-model variable names.
+    pub fn var_name(self) -> &'static str {
+        match self {
+            Category::Multiplier => "mult",
+            Category::AdderCmp => "addcmp",
+            Category::LogicMux => "logmux",
+            Category::Shifter => "shift",
+            Category::CustomReg => "creg",
+            Category::TieMult => "tie_mult",
+            Category::TieMac => "tie_mac",
+            Category::TieAdd => "tie_add",
+            Category::TieCsa => "tie_csa",
+            Category::Table => "table",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_categories_with_dense_indices() {
+        assert_eq!(Category::ALL.len(), 10);
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn complexity_is_quadratic_for_multipliers() {
+        for cat in [Category::Multiplier, Category::TieMult, Category::TieMac] {
+            assert_eq!(cat.complexity(32, 0), 1.0);
+            assert_eq!(cat.complexity(64, 0), 4.0);
+            assert_eq!(cat.complexity(8, 0), 1.0 / 16.0);
+        }
+    }
+
+    #[test]
+    fn complexity_is_linear_for_simple_components() {
+        for cat in [
+            Category::AdderCmp,
+            Category::LogicMux,
+            Category::Shifter,
+            Category::CustomReg,
+            Category::TieAdd,
+            Category::TieCsa,
+        ] {
+            assert_eq!(cat.complexity(32, 0), 1.0);
+            assert_eq!(cat.complexity(8, 0), 0.25);
+        }
+    }
+
+    #[test]
+    fn table_complexity_scales_with_entries_and_width() {
+        assert_eq!(Category::Table.complexity(32, 16), 1.0);
+        assert_eq!(Category::Table.complexity(32, 32), 2.0);
+        assert_eq!(Category::Table.complexity(8, 16), 0.25);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut paper: Vec<_> = Category::ALL.iter().map(|c| c.paper_name()).collect();
+        paper.sort_unstable();
+        paper.dedup();
+        assert_eq!(paper.len(), 10);
+        let mut vars: Vec<_> = Category::ALL.iter().map(|c| c.var_name()).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        assert_eq!(vars.len(), 10);
+    }
+}

@@ -1,0 +1,132 @@
+//! Graphviz export of dataflow graphs.
+//!
+//! [`DfGraph::to_dot`] renders the custom datapath as a `dot` digraph —
+//! inputs as ellipses, constants as plain text, combinational primitives
+//! as boxes colored by hardware-library category, outputs double-circled —
+//! so a designer can *see* the hardware a TIE description elaborates to.
+
+use std::fmt::Write as _;
+
+use crate::{Category, DfGraph, PrimOp};
+
+/// Fill color per hardware-library category (pastel Graphviz X11 names).
+fn category_color(category: Category) -> &'static str {
+    match category {
+        Category::Multiplier => "lightsalmon",
+        Category::AdderCmp => "lightblue",
+        Category::LogicMux => "lightgrey",
+        Category::Shifter => "khaki",
+        Category::CustomReg => "plum",
+        Category::TieMult => "salmon",
+        Category::TieMac => "coral",
+        Category::TieAdd => "skyblue",
+        Category::TieCsa => "powderblue",
+        Category::Table => "palegreen",
+    }
+}
+
+impl DfGraph {
+    /// Renders the graph in Graphviz `dot` syntax.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use emx_hwlib::{DfGraph, PrimOp};
+    ///
+    /// let mut g = DfGraph::new();
+    /// let a = g.input("a", 8);
+    /// let b = g.input("b", 8);
+    /// let s = g.node(PrimOp::Add, 8, &[a, b]).unwrap();
+    /// g.output(s);
+    /// let dot = g.to_dot("adder");
+    /// assert!(dot.starts_with("digraph adder"));
+    /// assert!(dot.contains("Add"));
+    /// ```
+    pub fn to_dot(&self, name: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph {name} {{");
+        let _ = writeln!(out, "  rankdir=LR;");
+        let _ = writeln!(out, "  node [fontname=\"monospace\", fontsize=10];");
+
+        // Inputs.
+        for (&id, (label, width)) in self.input_ids().iter().zip(self.input_signature()) {
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{label}\\n[{width}b]\", shape=ellipse, style=filled, fillcolor=white];",
+                id.index()
+            );
+        }
+        // Operation nodes.
+        for info in self.op_nodes() {
+            let op_label = match info.op {
+                PrimOp::TableLookup { .. } => format!("table[{}]", info.entries),
+                PrimOp::Slice { lsb } => format!("slice[{lsb}..]"),
+                PrimOp::Pack { lsb } => format!("pack@{lsb}"),
+                other => format!("{other:?}"),
+            };
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{op_label}\\n[{}b]\", shape=box, style=filled, fillcolor={}];",
+                info.id.index(),
+                info.width,
+                category_color(info.category)
+            );
+            for input in &info.inputs {
+                let _ = writeln!(out, "  n{} -> n{};", input.index(), info.id.index());
+            }
+        }
+        // Constants appear only as edge sources; give them plain nodes.
+        for idx in 0..self.node_count() {
+            let is_input = self.input_ids().iter().any(|i| i.index() == idx);
+            let is_op = self.op_nodes().iter().any(|o| o.id.index() == idx);
+            if !is_input && !is_op {
+                let _ = writeln!(
+                    out,
+                    "  n{idx} [label=\"const\\n[{}b]\", shape=plaintext];",
+                    self.width(crate::NodeId::from_index_for_dot(idx))
+                );
+            }
+        }
+        // Outputs.
+        for (k, id) in self.output_ids().iter().enumerate() {
+            let _ = writeln!(out, "  out{k} [label=\"out{k}\", shape=doublecircle];");
+            let _ = writeln!(out, "  n{} -> out{k};", id.index());
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LookupTable;
+
+    #[test]
+    fn dot_contains_every_node_kind() {
+        let mut g = DfGraph::new();
+        let a = g.input("a", 8);
+        let t = g.add_table(LookupTable::new(vec![1, 2, 3, 4], 4).unwrap());
+        let k = g.constant(3, 8).unwrap();
+        let x = g.node(PrimOp::Xor, 8, &[a, k]).unwrap();
+        let lk = g
+            .node(PrimOp::TableLookup { table_index: t }, 4, &[x])
+            .unwrap();
+        g.output(lk);
+        let dot = g.to_dot("demo");
+        assert!(dot.contains("shape=ellipse"));
+        assert!(dot.contains("const"));
+        assert!(dot.contains("Xor"));
+        assert!(dot.contains("table[4]"));
+        assert!(dot.contains("doublecircle"));
+        // Every edge references declared nodes.
+        assert!(dot.matches(" -> ").count() >= 3);
+    }
+
+    #[test]
+    fn categories_get_distinct_colors() {
+        use std::collections::BTreeSet;
+        let colors: BTreeSet<_> = Category::ALL.iter().map(|&c| category_color(c)).collect();
+        assert_eq!(colors.len(), 10);
+    }
+}

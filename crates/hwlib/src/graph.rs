@@ -1,0 +1,573 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::prim::mask;
+use crate::{Category, LookupTable, PrimOp};
+
+/// Handle to a node inside a [`DfGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Position of the node in the graph's topological order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Internal reconstruction from an index (DOT rendering only; not part
+    /// of the public construction API).
+    pub(crate) fn from_index_for_dot(index: usize) -> NodeId {
+        NodeId(index)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum NodeKind {
+    Input { name: String },
+    Const { value: u64 },
+    Op { op: PrimOp, inputs: Vec<NodeId> },
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    kind: NodeKind,
+    width: u8,
+}
+
+/// Error produced while building or evaluating a [`DfGraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An operation was given the wrong number of inputs.
+    Arity {
+        /// The operation.
+        op: PrimOp,
+        /// Inputs it requires.
+        expected: usize,
+        /// Inputs it was given.
+        got: usize,
+    },
+    /// A referenced node id does not exist (yet) in this graph.
+    ///
+    /// Nodes may only reference earlier nodes, which guarantees the graph
+    /// is acyclic by construction.
+    UnknownNode(usize),
+    /// A [`PrimOp::TableLookup`] referenced a table index that has not been
+    /// added with [`DfGraph::add_table`].
+    UnknownTable(usize),
+    /// A node width outside `1..=64`.
+    BadWidth(u8),
+    /// A constant value does not fit in its declared width.
+    ConstTooWide,
+    /// [`DfGraph::eval`] was called with the wrong number of input values.
+    InputCount {
+        /// Inputs declared by the graph.
+        expected: usize,
+        /// Values supplied.
+        got: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Arity { op, expected, got } => {
+                write!(f, "{op} takes {expected} inputs, got {got}")
+            }
+            GraphError::UnknownNode(i) => write!(f, "unknown node id {i}"),
+            GraphError::UnknownTable(i) => write!(f, "unknown table index {i}"),
+            GraphError::BadWidth(w) => write!(f, "node width {w} outside 1..=64"),
+            GraphError::ConstTooWide => write!(f, "constant does not fit its width"),
+            GraphError::InputCount { expected, got } => {
+                write!(f, "graph has {expected} inputs, eval got {got}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// Result of evaluating a [`DfGraph`] on one input vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalResult {
+    outputs: Vec<u64>,
+    node_values: Vec<u64>,
+}
+
+impl EvalResult {
+    /// Values of the designated output nodes, in [`DfGraph::output`] order.
+    pub fn outputs(&self) -> &[u64] {
+        &self.outputs
+    }
+
+    /// Value of every node, indexed by [`NodeId::index`].
+    ///
+    /// The structural energy model uses these to compute per-component
+    /// switching activity between consecutive activations.
+    pub fn node_values(&self) -> &[u64] {
+        &self.node_values
+    }
+}
+
+/// Description of one combinational component instance in a graph, as seen
+/// by the resource-usage analysis and the structural energy model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpNodeInfo {
+    /// The node.
+    pub id: NodeId,
+    /// Its operation.
+    pub op: PrimOp,
+    /// Hardware-library category.
+    pub category: Category,
+    /// Result width in bits.
+    pub width: u8,
+    /// Effective component width for complexity purposes (operand width
+    /// for multiplier-like components, entry width for tables).
+    pub component_width: u8,
+    /// Number of table entries (0 for non-table components).
+    pub entries: usize,
+    /// Input node ids.
+    pub inputs: Vec<NodeId>,
+}
+
+impl OpNodeInfo {
+    /// The component's bit-width complexity `f(C)` (see
+    /// [`Category::complexity`]).
+    pub fn complexity(&self) -> f64 {
+        self.category.complexity(self.component_width, self.entries)
+    }
+}
+
+/// An acyclic dataflow graph over hardware primitives.
+///
+/// This is the intermediate representation in which custom instructions
+/// are described: named inputs (operand buses, custom-register reads,
+/// immediates), combinational [`PrimOp`] nodes, constants, lookup tables,
+/// and designated output nodes (GPR/custom-register writebacks).
+///
+/// Acyclicity is guaranteed *by construction*: a node can only reference
+/// node ids that already exist.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DfGraph {
+    nodes: Vec<Node>,
+    inputs: Vec<NodeId>,
+    outputs: Vec<NodeId>,
+    tables: Vec<LookupTable>,
+}
+
+impl DfGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named graph input of the given width and returns its node.
+    ///
+    /// Input values are supplied to [`DfGraph::eval`] in creation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is outside `1..=64`.
+    pub fn input(&mut self, name: &str, width: u8) -> NodeId {
+        assert!(
+            (1..=64).contains(&width),
+            "input width {width} outside 1..=64"
+        );
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind: NodeKind::Input {
+                name: name.to_owned(),
+            },
+            width,
+        });
+        self.inputs.push(id);
+        id
+    }
+
+    /// Adds a constant node.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::BadWidth`] or [`GraphError::ConstTooWide`].
+    pub fn constant(&mut self, value: u64, width: u8) -> Result<NodeId, GraphError> {
+        if !(1..=64).contains(&width) {
+            return Err(GraphError::BadWidth(width));
+        }
+        if value > mask(u64::MAX, width) {
+            return Err(GraphError::ConstTooWide);
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind: NodeKind::Const { value },
+            width,
+        });
+        Ok(id)
+    }
+
+    /// Adds a lookup table and returns its index for use in
+    /// [`PrimOp::TableLookup`].
+    pub fn add_table(&mut self, table: LookupTable) -> usize {
+        self.tables.push(table);
+        self.tables.len() - 1
+    }
+
+    /// Adds a combinational node computing `op` over `inputs` with the
+    /// given result width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Arity`] on the wrong input count,
+    /// [`GraphError::UnknownNode`] if an input id does not exist yet (this
+    /// is what enforces acyclicity), [`GraphError::UnknownTable`] for a
+    /// dangling table reference, and [`GraphError::BadWidth`] for an
+    /// invalid width.
+    pub fn node(&mut self, op: PrimOp, width: u8, inputs: &[NodeId]) -> Result<NodeId, GraphError> {
+        if !(1..=64).contains(&width) {
+            return Err(GraphError::BadWidth(width));
+        }
+        if inputs.len() != op.arity() {
+            return Err(GraphError::Arity {
+                op,
+                expected: op.arity(),
+                got: inputs.len(),
+            });
+        }
+        for &i in inputs {
+            if i.0 >= self.nodes.len() {
+                return Err(GraphError::UnknownNode(i.0));
+            }
+        }
+        if let PrimOp::TableLookup { table_index } = op {
+            if table_index >= self.tables.len() {
+                return Err(GraphError::UnknownTable(table_index));
+            }
+        }
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind: NodeKind::Op {
+                op,
+                inputs: inputs.to_vec(),
+            },
+            width,
+        });
+        Ok(id)
+    }
+
+    /// Designates `id` as a graph output (in call order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn output(&mut self, id: NodeId) {
+        assert!(id.0 < self.nodes.len(), "output id out of range");
+        self.outputs.push(id);
+    }
+
+    /// Number of declared inputs.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of declared outputs.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Total number of nodes (inputs + constants + operations).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Width of a node's result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn width(&self, id: NodeId) -> u8 {
+        self.nodes[id.0].width
+    }
+
+    /// Names and widths of the declared inputs, in order.
+    pub fn input_signature(&self) -> Vec<(String, u8)> {
+        self.inputs
+            .iter()
+            .map(|&id| match &self.nodes[id.0].kind {
+                NodeKind::Input { name } => (name.clone(), self.nodes[id.0].width),
+                _ => unreachable!("inputs list only holds input nodes"),
+            })
+            .collect()
+    }
+
+    /// The lookup tables owned by this graph.
+    pub fn tables(&self) -> &[LookupTable] {
+        &self.tables
+    }
+
+    /// Describes every combinational component instance in the graph.
+    ///
+    /// This is the basis for the paper's *dynamic resource usage analysis*:
+    /// each executed custom instruction activates each of these instances
+    /// once per activation cycle, contributing
+    /// `f(C) · active-cycles` to its category's structural variable.
+    pub fn op_nodes(&self) -> Vec<OpNodeInfo> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| match &n.kind {
+                NodeKind::Op { op, inputs } => {
+                    let category = op.category();
+                    // Multiplier-like components scale with operand width;
+                    // everything else with result width; tables with entry
+                    // width and count.
+                    let (component_width, entries) = match op {
+                        PrimOp::TableLookup { table_index } => {
+                            let t = &self.tables[*table_index];
+                            (t.width(), t.len())
+                        }
+                        PrimOp::Mul | PrimOp::MulS | PrimOp::TieMult | PrimOp::TieMac => {
+                            let w = inputs
+                                .iter()
+                                .take(2)
+                                .map(|&i| self.nodes[i.0].width)
+                                .max()
+                                .unwrap_or(n.width);
+                            (w, 0)
+                        }
+                        _ => (n.width, 0),
+                    };
+                    Some(OpNodeInfo {
+                        id: NodeId(i),
+                        op: *op,
+                        category,
+                        width: n.width,
+                        component_width,
+                        entries,
+                        inputs: inputs.clone(),
+                    })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Evaluates the graph on one input vector (values are masked to their
+    /// declared input widths).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InputCount`] if `input_values` does not match
+    /// the declared inputs.
+    pub fn eval(&self, input_values: &[u64]) -> Result<EvalResult, GraphError> {
+        let mut values = Vec::new();
+        self.eval_into(input_values, &mut values)?;
+        let outputs = self.outputs.iter().map(|&o| values[o.0]).collect();
+        Ok(EvalResult {
+            outputs,
+            node_values: values,
+        })
+    }
+
+    /// Like [`DfGraph::eval`], but writes all node values into a reusable
+    /// buffer (resized to [`DfGraph::node_count`]) instead of allocating.
+    ///
+    /// Output values can be read back through [`DfGraph::output_ids`]
+    /// (`values[graph.output_ids()[k].index()]`). This is the hot path of
+    /// the instruction-set simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::InputCount`] if `input_values` does not match
+    /// the declared inputs.
+    pub fn eval_into(&self, input_values: &[u64], values: &mut Vec<u64>) -> Result<(), GraphError> {
+        if input_values.len() != self.inputs.len() {
+            return Err(GraphError::InputCount {
+                expected: self.inputs.len(),
+                got: input_values.len(),
+            });
+        }
+        values.clear();
+        values.resize(self.nodes.len(), 0);
+        let mut next_input = 0;
+        let mut in_vals = [0u64; 3];
+        let mut in_widths = [0u8; 3];
+        for i in 0..self.nodes.len() {
+            let node = &self.nodes[i];
+            values[i] = match &node.kind {
+                NodeKind::Input { .. } => {
+                    let v = mask(input_values[next_input], node.width);
+                    next_input += 1;
+                    v
+                }
+                NodeKind::Const { value } => *value,
+                NodeKind::Op { op, inputs } => {
+                    for (k, &x) in inputs.iter().enumerate() {
+                        in_vals[k] = values[x.0];
+                        in_widths[k] = self.nodes[x.0].width;
+                    }
+                    let n = inputs.len();
+                    op.eval(&in_vals[..n], &in_widths[..n], node.width, &self.tables)
+                }
+            };
+        }
+        Ok(())
+    }
+
+    /// The input nodes, in declaration order.
+    pub fn input_ids(&self) -> &[NodeId] {
+        &self.inputs
+    }
+
+    /// The designated output nodes, in [`DfGraph::output`] order.
+    ///
+    /// Together with [`DfGraph::eval_into`] this lets hot paths read
+    /// outputs straight out of the node-value buffer without allocating:
+    /// `values[graph.output_ids()[k].index()]`.
+    pub fn output_ids(&self) -> &[NodeId] {
+        &self.outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_graph_evaluates() {
+        let mut g = DfGraph::new();
+        let a = g.input("a", 16);
+        let b = g.input("b", 16);
+        let acc = g.input("acc", 40);
+        let mac = g.node(PrimOp::TieMac, 40, &[a, b, acc]).unwrap();
+        g.output(mac);
+        let r = g.eval(&[100, 200, 1000]).unwrap();
+        assert_eq!(r.outputs(), &[21000]);
+    }
+
+    #[test]
+    fn inputs_are_masked_to_width() {
+        let mut g = DfGraph::new();
+        let a = g.input("a", 8);
+        g.output(a);
+        let r = g.eval(&[0x1ff]).unwrap();
+        assert_eq!(r.outputs(), &[0xff]);
+    }
+
+    #[test]
+    fn constants_participate() {
+        let mut g = DfGraph::new();
+        let a = g.input("a", 8);
+        let k = g.constant(0x0f, 8).unwrap();
+        let and = g.node(PrimOp::And, 8, &[a, k]).unwrap();
+        g.output(and);
+        assert_eq!(g.eval(&[0xab]).unwrap().outputs(), &[0x0b]);
+    }
+
+    #[test]
+    fn construction_is_validated() {
+        let mut g = DfGraph::new();
+        let a = g.input("a", 8);
+        assert_eq!(
+            g.node(PrimOp::Add, 8, &[a]),
+            Err(GraphError::Arity {
+                op: PrimOp::Add,
+                expected: 2,
+                got: 1
+            })
+        );
+        assert_eq!(
+            g.node(PrimOp::Not, 8, &[NodeId(99)]),
+            Err(GraphError::UnknownNode(99))
+        );
+        assert_eq!(
+            g.node(PrimOp::TableLookup { table_index: 0 }, 8, &[a]),
+            Err(GraphError::UnknownTable(0))
+        );
+        assert_eq!(g.node(PrimOp::Not, 0, &[a]), Err(GraphError::BadWidth(0)));
+        assert_eq!(g.constant(256, 8), Err(GraphError::ConstTooWide));
+    }
+
+    #[test]
+    fn eval_checks_input_count() {
+        let mut g = DfGraph::new();
+        g.input("a", 8);
+        g.input("b", 8);
+        assert_eq!(
+            g.eval(&[1]),
+            Err(GraphError::InputCount {
+                expected: 2,
+                got: 1
+            })
+        );
+    }
+
+    #[test]
+    fn op_nodes_report_components() {
+        let mut g = DfGraph::new();
+        let a = g.input("a", 16);
+        let b = g.input("b", 16);
+        let t = g.add_table(LookupTable::new(vec![1, 2, 3, 4], 8).unwrap());
+        let m = g.node(PrimOp::Mul, 32, &[a, b]).unwrap();
+        let lk = g
+            .node(PrimOp::TableLookup { table_index: t }, 8, &[a])
+            .unwrap();
+        let s = g.node(PrimOp::Add, 32, &[m, m]).unwrap();
+        g.output(s);
+        g.output(lk);
+
+        let infos = g.op_nodes();
+        assert_eq!(infos.len(), 3);
+        let mul = infos
+            .iter()
+            .find(|i| i.category == Category::Multiplier)
+            .unwrap();
+        // Multiplier complexity uses operand width (16), not result width (32).
+        assert_eq!(mul.component_width, 16);
+        assert_eq!(mul.complexity(), 0.25);
+        let table = infos
+            .iter()
+            .find(|i| i.category == Category::Table)
+            .unwrap();
+        assert_eq!(table.entries, 4);
+        let add = infos
+            .iter()
+            .find(|i| i.category == Category::AdderCmp)
+            .unwrap();
+        assert_eq!(add.complexity(), 1.0);
+    }
+
+    #[test]
+    fn node_values_expose_internal_activity() {
+        let mut g = DfGraph::new();
+        let a = g.input("a", 8);
+        let n = g.node(PrimOp::Not, 8, &[a]).unwrap();
+        g.output(n);
+        let r = g.eval(&[0x0f]).unwrap();
+        assert_eq!(r.node_values()[a.index()], 0x0f);
+        assert_eq!(r.node_values()[n.index()], 0xf0);
+    }
+
+    #[test]
+    fn input_signature_reports_names() {
+        let mut g = DfGraph::new();
+        g.input("x", 4);
+        g.input("y", 12);
+        assert_eq!(
+            g.input_signature(),
+            vec![("x".to_owned(), 4), ("y".to_owned(), 12)]
+        );
+    }
+
+    #[test]
+    fn multi_output_graph() {
+        let mut g = DfGraph::new();
+        let a = g.input("a", 8);
+        let b = g.input("b", 8);
+        let s = g.node(PrimOp::TieCsaSum, 8, &[a, b, a]).unwrap();
+        let c = g.node(PrimOp::TieCsaCarry, 16, &[a, b, a]).unwrap();
+        g.output(s);
+        g.output(c);
+        let r = g.eval(&[3, 5]).unwrap();
+        assert_eq!(r.outputs().len(), 2);
+        assert_eq!(r.outputs()[0] + r.outputs()[1], 3 + 5 + 3);
+    }
+}

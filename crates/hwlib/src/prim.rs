@@ -1,0 +1,352 @@
+use std::fmt;
+
+use crate::Category;
+
+/// Masks `v` to the low `width` bits (`width` ∈ 1..=64).
+pub(crate) fn mask(v: u64, width: u8) -> u64 {
+    debug_assert!((1..=64).contains(&width));
+    if width == 64 {
+        v
+    } else {
+        v & ((1u64 << width) - 1)
+    }
+}
+
+/// Sign-extends the `width`-bit value `v` to `i64`.
+pub(crate) fn sext(v: u64, width: u8) -> i64 {
+    debug_assert!((1..=64).contains(&width));
+    let shift = 64 - u32::from(width);
+    ((v << shift) as i64) >> shift
+}
+
+/// A primitive operation a datapath node can perform.
+///
+/// Each operation belongs to one of the paper's ten [`Category`]s; the
+/// mapping follows the paper's classification of "the basic primitives"
+/// plus the "specialized modules available for TIE instructions".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum PrimOp {
+    // --- category 1: multiplier -------------------------------------------
+    /// Unsigned multiply (low `width` bits of the product).
+    Mul,
+    /// Signed multiply (low `width` bits of the product).
+    MulS,
+    // --- category 2: adder / subtractor / comparator -----------------------
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Unsigned less-than comparison (1-bit result).
+    CmpLtu,
+    /// Signed less-than comparison (1-bit result).
+    CmpLts,
+    /// Equality comparison (1-bit result).
+    CmpEq,
+    /// Unsigned maximum.
+    MaxU,
+    /// Unsigned minimum.
+    MinU,
+    // --- category 3: bit-wise logic / reduction / mux ----------------------
+    /// Bit-wise AND.
+    And,
+    /// Bit-wise OR.
+    Or,
+    /// Bit-wise XOR.
+    Xor,
+    /// Bit-wise NOT (one input).
+    Not,
+    /// 2:1 multiplexer `mux(sel, a, b)`: `a` if the LSB of `sel` is 1,
+    /// else `b`.
+    Mux,
+    /// AND-reduction of all input bits (1-bit result).
+    RedAnd,
+    /// OR-reduction of all input bits (1-bit result).
+    RedOr,
+    /// XOR-reduction (parity) of all input bits (1-bit result).
+    RedXor,
+    /// Bit-field extraction by a *constant* offset: `(in >> lsb)` masked
+    /// to the node width. Constant extraction is wiring in hardware, so
+    /// this belongs to the cheap logic category, unlike the variable
+    /// [`PrimOp::Shr`].
+    Slice {
+        /// Least-significant source bit of the extracted field.
+        lsb: u8,
+    },
+    /// Bit-field merge by a *constant* offset: `a | (b << lsb)` (wiring
+    /// plus an OR).
+    Pack {
+        /// Position at which `b` is inserted.
+        lsb: u8,
+    },
+    // --- category 4: shifter ------------------------------------------------
+    /// Logical left shift by the second operand (mod 64).
+    Shl,
+    /// Logical right shift by the second operand (mod 64).
+    Shr,
+    /// Arithmetic right shift by the second operand (mod 64), with respect
+    /// to the node width.
+    Sar,
+    // --- category 6..9: specialized TIE modules -----------------------------
+    /// `TIE_mult`: fused multiplier module (unsigned, low bits).
+    TieMult,
+    /// `TIE_mac`: fused multiply–accumulate `a*b + c`.
+    TieMac,
+    /// `TIE_add`: three-operand addition `a + b + c`.
+    TieAdd,
+    /// `TIE_csa` sum output: `a ⊕ b ⊕ c`.
+    TieCsaSum,
+    /// `TIE_csa` carry output: `majority(a,b,c) << 1`.
+    TieCsaCarry,
+    // --- category 10: table --------------------------------------------------
+    /// Lookup into the graph's table `table_index`, addressed by the single
+    /// input (modulo the table length).
+    TableLookup {
+        /// Index of the table in the owning graph.
+        table_index: usize,
+    },
+}
+
+impl PrimOp {
+    /// The hardware-library category the operation's component belongs to.
+    ///
+    /// Custom registers ([`Category::CustomReg`]) are state elements rather
+    /// than combinational primitives, so no `PrimOp` maps to them; their
+    /// activity is accounted by the extension framework when a custom
+    /// instruction reads or writes custom state.
+    pub fn category(self) -> Category {
+        match self {
+            PrimOp::Mul | PrimOp::MulS => Category::Multiplier,
+            PrimOp::Add
+            | PrimOp::Sub
+            | PrimOp::CmpLtu
+            | PrimOp::CmpLts
+            | PrimOp::CmpEq
+            | PrimOp::MaxU
+            | PrimOp::MinU => Category::AdderCmp,
+            PrimOp::And
+            | PrimOp::Or
+            | PrimOp::Xor
+            | PrimOp::Not
+            | PrimOp::Mux
+            | PrimOp::RedAnd
+            | PrimOp::RedOr
+            | PrimOp::RedXor
+            | PrimOp::Slice { .. }
+            | PrimOp::Pack { .. } => Category::LogicMux,
+            PrimOp::Shl | PrimOp::Shr | PrimOp::Sar => Category::Shifter,
+            PrimOp::TieMult => Category::TieMult,
+            PrimOp::TieMac => Category::TieMac,
+            PrimOp::TieAdd => Category::TieAdd,
+            PrimOp::TieCsaSum | PrimOp::TieCsaCarry => Category::TieCsa,
+            PrimOp::TableLookup { .. } => Category::Table,
+        }
+    }
+
+    /// Number of inputs the operation takes.
+    pub fn arity(self) -> usize {
+        match self {
+            PrimOp::Not
+            | PrimOp::RedAnd
+            | PrimOp::RedOr
+            | PrimOp::RedXor
+            | PrimOp::Slice { .. }
+            | PrimOp::TableLookup { .. } => 1,
+            PrimOp::Mul
+            | PrimOp::MulS
+            | PrimOp::Add
+            | PrimOp::Sub
+            | PrimOp::CmpLtu
+            | PrimOp::CmpLts
+            | PrimOp::CmpEq
+            | PrimOp::MaxU
+            | PrimOp::MinU
+            | PrimOp::And
+            | PrimOp::Or
+            | PrimOp::Xor
+            | PrimOp::Shl
+            | PrimOp::Shr
+            | PrimOp::Sar
+            | PrimOp::Pack { .. }
+            | PrimOp::TieMult => 2,
+            PrimOp::Mux
+            | PrimOp::TieMac
+            | PrimOp::TieAdd
+            | PrimOp::TieCsaSum
+            | PrimOp::TieCsaCarry => 3,
+        }
+    }
+
+    /// Evaluates the operation on `inputs`, producing a `width`-bit result.
+    ///
+    /// `tables` supplies lookup-table contents for
+    /// [`PrimOp::TableLookup`]; the input widths are the widths of the
+    /// producing nodes (needed for signed interpretation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.arity()` — the graph validates arity
+    /// at construction, so this indicates a bug in the caller.
+    pub(crate) fn eval(
+        self,
+        inputs: &[u64],
+        input_widths: &[u8],
+        width: u8,
+        tables: &[crate::LookupTable],
+    ) -> u64 {
+        assert_eq!(inputs.len(), self.arity(), "arity mismatch for {self}");
+        let v = |i: usize| inputs[i];
+        let s = |i: usize| sext(inputs[i], input_widths[i]);
+        let result: u64 = match self {
+            PrimOp::Mul | PrimOp::TieMult => v(0).wrapping_mul(v(1)),
+            PrimOp::MulS => (s(0).wrapping_mul(s(1))) as u64,
+            PrimOp::Add => v(0).wrapping_add(v(1)),
+            PrimOp::Sub => v(0).wrapping_sub(v(1)),
+            PrimOp::CmpLtu => u64::from(v(0) < v(1)),
+            PrimOp::CmpLts => u64::from(s(0) < s(1)),
+            PrimOp::CmpEq => u64::from(v(0) == v(1)),
+            PrimOp::MaxU => v(0).max(v(1)),
+            PrimOp::MinU => v(0).min(v(1)),
+            PrimOp::And => v(0) & v(1),
+            PrimOp::Or => v(0) | v(1),
+            PrimOp::Xor => v(0) ^ v(1),
+            PrimOp::Not => !v(0),
+            PrimOp::Mux => {
+                if v(0) & 1 == 1 {
+                    v(1)
+                } else {
+                    v(2)
+                }
+            }
+            PrimOp::RedAnd => u64::from(v(0) == mask(u64::MAX, input_widths[0])),
+            PrimOp::RedOr => u64::from(v(0) != 0),
+            PrimOp::RedXor => u64::from(v(0).count_ones() % 2 == 1),
+            PrimOp::Shl => v(0).wrapping_shl(v(1) as u32 & 63),
+            PrimOp::Shr => v(0).wrapping_shr(v(1) as u32 & 63),
+            PrimOp::Sar => {
+                let shift = v(1) as u32 & 63;
+                (sext(v(0), input_widths[0]) >> shift.min(63)) as u64
+            }
+            PrimOp::TieMac => v(0).wrapping_mul(v(1)).wrapping_add(v(2)),
+            PrimOp::TieAdd => v(0).wrapping_add(v(1)).wrapping_add(v(2)),
+            PrimOp::Slice { lsb } => v(0) >> lsb.min(63),
+            PrimOp::Pack { lsb } => v(0) | (v(1) << lsb.min(63)),
+            PrimOp::TieCsaSum => v(0) ^ v(1) ^ v(2),
+            PrimOp::TieCsaCarry => ((v(0) & v(1)) | (v(1) & v(2)) | (v(0) & v(2))) << 1,
+            PrimOp::TableLookup { table_index } => tables[table_index].lookup(v(0)),
+        };
+        mask(result, width)
+    }
+}
+
+impl fmt::Display for PrimOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrimOp::TableLookup { table_index } => write!(f, "table[{table_index}]"),
+            PrimOp::Slice { lsb } => write!(f, "slice[{lsb}..]"),
+            PrimOp::Pack { lsb } => write!(f, "pack[{lsb}]"),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(op: PrimOp, inputs: &[u64], widths: &[u8], out: u8) -> u64 {
+        op.eval(inputs, widths, out, &[])
+    }
+
+    #[test]
+    fn masking_and_sign_extension() {
+        assert_eq!(mask(0x1ff, 8), 0xff);
+        assert_eq!(mask(u64::MAX, 64), u64::MAX);
+        assert_eq!(sext(0x80, 8), -128);
+        assert_eq!(sext(0x7f, 8), 127);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        assert_eq!(ev(PrimOp::Add, &[200, 100], &[8, 8], 8), 44); // wraps at 8 bits
+        assert_eq!(ev(PrimOp::Sub, &[5, 7], &[8, 8], 8), 254);
+        assert_eq!(ev(PrimOp::Mul, &[7, 6], &[8, 8], 8), 42);
+        assert_eq!(
+            ev(PrimOp::MulS, &[0xff, 3], &[8, 8], 16),
+            mask((-3i64) as u64, 16)
+        );
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(ev(PrimOp::CmpLtu, &[3, 5], &[8, 8], 1), 1);
+        assert_eq!(ev(PrimOp::CmpLts, &[0xff, 0], &[8, 8], 1), 1); // -1 < 0
+        assert_eq!(ev(PrimOp::CmpEq, &[9, 9], &[8, 8], 1), 1);
+        assert_eq!(ev(PrimOp::MaxU, &[3, 5], &[8, 8], 8), 5);
+        assert_eq!(ev(PrimOp::MinU, &[3, 5], &[8, 8], 8), 3);
+    }
+
+    #[test]
+    fn logic_and_reductions() {
+        assert_eq!(ev(PrimOp::And, &[0b1100, 0b1010], &[4, 4], 4), 0b1000);
+        assert_eq!(ev(PrimOp::Or, &[0b1100, 0b1010], &[4, 4], 4), 0b1110);
+        assert_eq!(ev(PrimOp::Xor, &[0b1100, 0b1010], &[4, 4], 4), 0b0110);
+        assert_eq!(ev(PrimOp::Not, &[0b1100], &[4], 4), 0b0011);
+        assert_eq!(ev(PrimOp::RedAnd, &[0b1111], &[4], 1), 1);
+        assert_eq!(ev(PrimOp::RedAnd, &[0b1101], &[4], 1), 0);
+        assert_eq!(ev(PrimOp::RedOr, &[0], &[4], 1), 0);
+        assert_eq!(ev(PrimOp::RedXor, &[0b0111], &[4], 1), 1);
+    }
+
+    #[test]
+    fn mux_selects() {
+        assert_eq!(ev(PrimOp::Mux, &[1, 0xaa, 0x55], &[1, 8, 8], 8), 0xaa);
+        assert_eq!(ev(PrimOp::Mux, &[0, 0xaa, 0x55], &[1, 8, 8], 8), 0x55);
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(ev(PrimOp::Shl, &[1, 4], &[8, 8], 8), 16);
+        assert_eq!(ev(PrimOp::Shr, &[0x80, 7], &[8, 8], 8), 1);
+        assert_eq!(ev(PrimOp::Sar, &[0x80, 7], &[8, 8], 8), 0xff); // sign bit smears
+    }
+
+    #[test]
+    fn tie_modules() {
+        assert_eq!(ev(PrimOp::TieMult, &[4, 5], &[8, 8], 16), 20);
+        assert_eq!(ev(PrimOp::TieMac, &[4, 5, 2], &[8, 8, 16], 16), 22);
+        assert_eq!(ev(PrimOp::TieAdd, &[1, 2, 3], &[8, 8, 8], 8), 6);
+        // CSA invariant: sum + carry == a + b + c.
+        let (a, b, c) = (13u64, 29u64, 7u64);
+        let s = ev(PrimOp::TieCsaSum, &[a, b, c], &[8, 8, 8], 16);
+        let k = ev(PrimOp::TieCsaCarry, &[a, b, c], &[8, 8, 8], 16);
+        assert_eq!(s + k, a + b + c);
+    }
+
+    #[test]
+    fn table_lookup_uses_graph_tables() {
+        let t = crate::LookupTable::new(vec![10, 20, 30, 40], 8).unwrap();
+        let v = PrimOp::TableLookup { table_index: 0 }.eval(&[2], &[8], 8, &[t]);
+        assert_eq!(v, 30);
+    }
+
+    #[test]
+    fn categories_cover_nine_combinational_kinds() {
+        // Every category except CustomReg is reachable from some PrimOp.
+        use std::collections::BTreeSet;
+        let ops = [
+            PrimOp::Mul,
+            PrimOp::Add,
+            PrimOp::And,
+            PrimOp::Shl,
+            PrimOp::TieMult,
+            PrimOp::TieMac,
+            PrimOp::TieAdd,
+            PrimOp::TieCsaSum,
+            PrimOp::TableLookup { table_index: 0 },
+        ];
+        let cats: BTreeSet<_> = ops.iter().map(|o| o.category()).collect();
+        assert_eq!(cats.len(), 9);
+        assert!(!cats.contains(&Category::CustomReg));
+    }
+}

@@ -1,0 +1,140 @@
+use std::error::Error;
+use std::fmt;
+
+/// A hardware lookup table (the paper's `table` construct, category 10).
+///
+/// Tables map a small index to a constant `width`-bit value — the classic
+/// use in the paper's domain is Galois-field log/antilog tables for
+/// Reed–Solomon codecs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LookupTable {
+    entries: Vec<u64>,
+    width: u8,
+}
+
+/// Error returned by [`LookupTable::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TableError {
+    /// The table had no entries.
+    Empty,
+    /// `width` was outside `1..=64`.
+    BadWidth(u8),
+    /// An entry value did not fit in `width` bits.
+    EntryTooWide {
+        /// Index of the offending entry.
+        index: usize,
+        /// The value that did not fit.
+        value: u64,
+    },
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::Empty => write!(f, "lookup table has no entries"),
+            TableError::BadWidth(w) => write!(f, "table width {w} outside 1..=64"),
+            TableError::EntryTooWide { index, value } => {
+                write!(
+                    f,
+                    "table entry {index} (value {value}) wider than the table width"
+                )
+            }
+        }
+    }
+}
+
+impl Error for TableError {}
+
+impl LookupTable {
+    /// Creates a table from its entry values.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TableError`] if the table is empty, the width is not in
+    /// `1..=64`, or an entry does not fit in `width` bits.
+    pub fn new(entries: Vec<u64>, width: u8) -> Result<Self, TableError> {
+        if entries.is_empty() {
+            return Err(TableError::Empty);
+        }
+        if !(1..=64).contains(&width) {
+            return Err(TableError::BadWidth(width));
+        }
+        let limit = crate::prim::mask(u64::MAX, width);
+        for (index, &value) in entries.iter().enumerate() {
+            if value > limit {
+                return Err(TableError::EntryTooWide { index, value });
+            }
+        }
+        Ok(LookupTable { entries, width })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Tables are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Bit-width of each entry.
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Looks up `index` (taken modulo the table length, matching a
+    /// hardware address decoder that ignores high bits).
+    pub fn lookup(&self, index: u64) -> u64 {
+        self.entries[(index % self.entries.len() as u64) as usize]
+    }
+
+    /// The raw entries.
+    pub fn entries(&self) -> &[u64] {
+        &self.entries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(LookupTable::new(vec![], 8), Err(TableError::Empty));
+        assert_eq!(LookupTable::new(vec![1], 0), Err(TableError::BadWidth(0)));
+        assert_eq!(LookupTable::new(vec![1], 65), Err(TableError::BadWidth(65)));
+        assert_eq!(
+            LookupTable::new(vec![0, 256], 8),
+            Err(TableError::EntryTooWide {
+                index: 1,
+                value: 256
+            })
+        );
+    }
+
+    #[test]
+    fn lookup_wraps_index() {
+        let t = LookupTable::new(vec![5, 6, 7], 8).unwrap();
+        assert_eq!(t.lookup(0), 5);
+        assert_eq!(t.lookup(2), 7);
+        assert_eq!(t.lookup(3), 5);
+        assert_eq!(t.lookup(100), t.lookup(100 % 3));
+    }
+
+    #[test]
+    fn accessors() {
+        let t = LookupTable::new(vec![1, 2], 4).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.width(), 4);
+        assert!(!t.is_empty());
+        assert_eq!(t.entries(), &[1, 2]);
+    }
+
+    #[test]
+    fn full_width_entries_allowed() {
+        let t = LookupTable::new(vec![u64::MAX], 64).unwrap();
+        assert_eq!(t.lookup(0), u64::MAX);
+    }
+}

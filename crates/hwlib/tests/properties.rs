@@ -1,0 +1,131 @@
+//! Property-based tests for the hardware primitive library.
+
+use proptest::prelude::*;
+
+use emx_hwlib::{DfGraph, LookupTable, PrimOp};
+
+fn mask(v: u64, w: u8) -> u64 {
+    if w == 64 {
+        v
+    } else {
+        v & ((1u64 << w) - 1)
+    }
+}
+
+/// Builds a one-op graph `op(a, b[, c])` with the given widths.
+fn unit_graph(op: PrimOp, in_w: u8, out_w: u8) -> DfGraph {
+    let mut g = DfGraph::new();
+    let mut inputs = Vec::new();
+    for i in 0..op.arity() {
+        inputs.push(g.input(&format!("i{i}"), in_w));
+    }
+    let n = g.node(op, out_w, &inputs).expect("valid unit graph");
+    g.output(n);
+    g
+}
+
+proptest! {
+    #[test]
+    fn results_always_fit_their_width(a in any::<u64>(), b in any::<u64>(),
+                                      in_w in 1u8..=32, out_w in 1u8..=32) {
+        for op in [PrimOp::Add, PrimOp::Sub, PrimOp::Mul, PrimOp::And, PrimOp::Or,
+                   PrimOp::Xor, PrimOp::Shl, PrimOp::Shr, PrimOp::MaxU, PrimOp::MinU] {
+            let g = unit_graph(op, in_w, out_w);
+            let out = g.eval(&[a, b]).expect("arity matches")
+                .outputs()[0];
+            prop_assert_eq!(out, mask(out, out_w), "{:?} leaked bits", op);
+        }
+    }
+
+    #[test]
+    fn csa_invariant(a in any::<u64>(), b in any::<u64>(), c in any::<u64>(), w in 2u8..=32) {
+        // sum ⊕-part plus carry part equals the arithmetic sum (mod 2^(w+2)).
+        let mut g = DfGraph::new();
+        let ia = g.input("a", w);
+        let ib = g.input("b", w);
+        let ic = g.input("c", w);
+        let s = g.node(PrimOp::TieCsaSum, w + 2, &[ia, ib, ic]).expect("graph");
+        let k = g.node(PrimOp::TieCsaCarry, w + 2, &[ia, ib, ic]).expect("graph");
+        g.output(s);
+        g.output(k);
+        let r = g.eval(&[a, b, c]).expect("inputs match");
+        let total = mask(a, w) + mask(b, w) + mask(c, w);
+        prop_assert_eq!(mask(r.outputs()[0] + r.outputs()[1], w + 2), mask(total, w + 2));
+    }
+
+    #[test]
+    fn tie_add_is_three_way_add(a in any::<u64>(), b in any::<u64>(), c in any::<u64>(), w in 1u8..=32) {
+        let g = unit_graph(PrimOp::TieAdd, w, w);
+        let out = g.eval(&[a, b, c]).expect("inputs match").outputs()[0];
+        prop_assert_eq!(out, mask(mask(a, w).wrapping_add(mask(b, w)).wrapping_add(mask(c, w)), w));
+    }
+
+    #[test]
+    fn mux_selects_exactly_one(sel in any::<u64>(), a in any::<u64>(), b in any::<u64>()) {
+        let mut g = DfGraph::new();
+        let s = g.input("s", 1);
+        let ia = g.input("a", 16);
+        let ib = g.input("b", 16);
+        let m = g.node(PrimOp::Mux, 16, &[s, ia, ib]).expect("graph");
+        g.output(m);
+        let out = g.eval(&[sel, a, b]).expect("inputs match").outputs()[0];
+        let expected = if sel & 1 == 1 { mask(a, 16) } else { mask(b, 16) };
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn slice_then_pack_is_identity(v in any::<u64>(), lsb in 0u8..24) {
+        // Splitting a 32-bit word at `lsb+8` and re-packing restores it.
+        let cut = lsb + 8;
+        let mut g = DfGraph::new();
+        let a = g.input("a", 32);
+        let lo = g.node(PrimOp::Slice { lsb: 0 }, cut, &[a]).expect("graph");
+        let hi = g.node(PrimOp::Slice { lsb: cut }, 32 - cut, &[a]).expect("graph");
+        let back = g.node(PrimOp::Pack { lsb: cut }, 32, &[lo, hi]).expect("graph");
+        g.output(back);
+        let out = g.eval(&[v]).expect("inputs match").outputs()[0];
+        prop_assert_eq!(out, mask(v, 32));
+    }
+
+    #[test]
+    fn eval_is_deterministic_and_matches_eval_into(a in any::<u64>(), b in any::<u64>()) {
+        let mut g = DfGraph::new();
+        let ia = g.input("a", 16);
+        let ib = g.input("b", 16);
+        let t = g.add_table(LookupTable::new((0..32).map(|i| i * 3 % 17).collect(), 8).expect("table"));
+        let m = g.node(PrimOp::Mul, 32, &[ia, ib]).expect("graph");
+        let lk = g.node(PrimOp::TableLookup { table_index: t }, 8, &[ia]).expect("graph");
+        let s = g.node(PrimOp::Add, 32, &[m, lk]).expect("graph");
+        g.output(s);
+
+        let r1 = g.eval(&[a, b]).expect("inputs match");
+        let r2 = g.eval(&[a, b]).expect("inputs match");
+        prop_assert_eq!(&r1, &r2);
+
+        let mut buf = Vec::new();
+        g.eval_into(&[a, b], &mut buf).expect("inputs match");
+        prop_assert_eq!(r1.node_values(), &buf[..]);
+        let outs: Vec<u64> = g.output_ids().iter().map(|o| buf[o.index()]).collect();
+        prop_assert_eq!(r1.outputs(), &outs[..]);
+    }
+
+    #[test]
+    fn reductions_produce_single_bits(v in any::<u64>(), w in 1u8..=64) {
+        for op in [PrimOp::RedAnd, PrimOp::RedOr, PrimOp::RedXor] {
+            let mut g = DfGraph::new();
+            let a = g.input("a", w);
+            let r = g.node(op, 1, &[a]).expect("graph");
+            g.output(r);
+            let out = g.eval(&[v]).expect("inputs match").outputs()[0];
+            prop_assert!(out <= 1);
+        }
+    }
+
+    #[test]
+    fn complexity_is_monotonic_in_width(w1 in 1u8..=63, extra in 1u8..=1) {
+        let w2 = w1 + extra;
+        for cat in emx_hwlib::Category::ALL {
+            prop_assert!(cat.complexity(w2, 16) >= cat.complexity(w1, 16));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while assembling a source text.
+///
+/// Carries the 1-based source line number and a specific [`AsmErrorKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number in the source text.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+impl AsmError {
+    pub(crate) fn new(line: usize, kind: AsmErrorKind) -> Self {
+        AsmError { line, kind }
+    }
+}
+
+/// The specific failure behind an [`AsmError`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// The mnemonic is neither a base opcode nor a registered custom
+    /// instruction.
+    UnknownMnemonic(String),
+    /// An unrecognized `.directive`.
+    UnknownDirective(String),
+    /// Wrong number of operands for the instruction's format.
+    OperandCount {
+        /// Operands expected by the format.
+        expected: usize,
+        /// Operands found on the line.
+        got: usize,
+    },
+    /// An operand failed to parse (register, number or memory operand).
+    BadOperand(String),
+    /// A numeric literal failed to parse or was out of range.
+    BadNumber(String),
+    /// A shift amount or bit-field length was out of range.
+    OutOfRange(String),
+    /// A label was defined more than once.
+    DuplicateLabel(String),
+    /// A referenced label was never defined.
+    UnknownLabel(String),
+    /// A label name is not a valid identifier.
+    BadLabel(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::UnknownDirective(d) => write!(f, "unknown directive `{d}`"),
+            AsmErrorKind::OperandCount { expected, got } => {
+                write!(f, "expected {expected} operands, found {got}")
+            }
+            AsmErrorKind::BadOperand(o) => write!(f, "bad operand `{o}`"),
+            AsmErrorKind::BadNumber(n) => write!(f, "bad number `{n}`"),
+            AsmErrorKind::OutOfRange(what) => write!(f, "{what} out of range"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmErrorKind::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
+            AsmErrorKind::BadLabel(l) => write!(f, "bad label `{l}`"),
+        }
+    }
+}
+
+impl Error for AsmError {}

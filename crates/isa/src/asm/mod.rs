@@ -1,0 +1,752 @@
+//! Two-pass assembler for the emx base ISA, with extension-mnemonic
+//! support.
+//!
+//! The paper's flow cross-compiles C benchmarks with TIE intrinsics; our
+//! workloads are written directly in assembly, so the assembler doubles as
+//! the "software development environment generated alongside the enhanced
+//! processor": registering an extension set's mnemonics (see
+//! [`Assembler::register_custom`]) makes the new instructions first-class
+//! in source text.
+//!
+//! # Syntax
+//!
+//! * one instruction or directive per line; `#`, `;` or `//` start comments,
+//! * labels are `name:` at the start of a line (the rest of the line may
+//!   hold an instruction),
+//! * directives: `.text`, `.data`, `.word v, …`, `.byte v, …`, `.space n`,
+//!   `.align n`,
+//! * loads/stores use `offset(base)` memory operands,
+//! * `movi rd, label` materializes a label's address,
+//! * numbers are decimal or `0x…` hexadecimal, with optional `-`.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use emx_isa::asm::Assembler;
+//!
+//! let p = Assembler::new().assemble(
+//!     r#"
+//!     .data
+//!     xs: .word 3, 1, 2
+//!     .text
+//!         movi a2, xs       # address of the array
+//!         l32i a3, 4(a2)    # xs[1]
+//!         halt
+//!     "#,
+//! )?;
+//! assert_eq!(p.symbol("xs"), Some(p.data_base()));
+//! # Ok(())
+//! # }
+//! ```
+
+mod error;
+
+pub use error::{AsmError, AsmErrorKind};
+
+use std::collections::HashMap;
+
+use crate::builder::BuildProgramError;
+use crate::{BaseInst, CustomId, CustomSlot, Format, Opcode, Program, ProgramBuilder, Reg};
+
+/// Operand signature of a custom instruction, as seen by the assembler.
+///
+/// Operand order in source text is: destination GPR (if `writes_gpr`),
+/// then `gpr_reads` source GPRs, then an immediate (if `has_imm`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CustomSignature {
+    /// Number of GPR source operands (0, 1 or 2).
+    pub gpr_reads: u8,
+    /// Whether the instruction writes a GPR destination.
+    pub writes_gpr: bool,
+    /// Whether the instruction takes an immediate operand.
+    pub has_imm: bool,
+}
+
+impl CustomSignature {
+    fn operand_count(self) -> usize {
+        usize::from(self.writes_gpr) + usize::from(self.gpr_reads) + usize::from(self.has_imm)
+    }
+}
+
+/// The assembler. Construct one, optionally register custom mnemonics,
+/// then call [`Assembler::assemble`].
+#[derive(Debug, Clone, Default)]
+pub struct Assembler {
+    custom: HashMap<String, (CustomId, CustomSignature)>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Section {
+    Text,
+    Data,
+}
+
+impl Assembler {
+    /// Creates an assembler that knows only the base ISA.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a custom-instruction mnemonic.
+    ///
+    /// Re-registering a name replaces the previous binding; base-ISA
+    /// mnemonics always take precedence during lookup.
+    pub fn register_custom(
+        &mut self,
+        name: impl Into<String>,
+        id: CustomId,
+        signature: CustomSignature,
+    ) -> &mut Self {
+        self.custom.insert(name.into(), (id, signature));
+        self
+    }
+
+    /// Assembles `source` into a [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] pinpointing the offending line for syntax
+    /// errors, unknown mnemonics/labels, duplicate labels and out-of-range
+    /// operands.
+    pub fn assemble(&self, source: &str) -> Result<Program, AsmError> {
+        // `.uncached` places the text segment in the uncached region; it
+        // must appear before any label or instruction, so scan for it
+        // up front.
+        let mut builder = if source
+            .lines()
+            .map(|l| strip_comment(l).trim())
+            .find(|l| !l.is_empty())
+            == Some(".uncached")
+        {
+            ProgramBuilder::with_text_base(crate::program::layout::UNCACHED_BASE)
+        } else {
+            ProgramBuilder::new()
+        };
+        let mut section = Section::Text;
+        let mut last_line = 0;
+
+        for (line_index, raw_line) in source.lines().enumerate() {
+            let line_no = line_index + 1;
+            last_line = line_no;
+            let mut line = strip_comment(raw_line).trim();
+
+            // Peel leading labels (several are allowed: `a: b: inst`).
+            while let Some(colon) = find_label_colon(line) {
+                let (label, rest) = line.split_at(colon);
+                let label = label.trim();
+                if !is_identifier(label) {
+                    return Err(AsmError::new(line_no, AsmErrorKind::BadLabel(label.into())));
+                }
+                let defined = match section {
+                    Section::Text => builder.label(label),
+                    Section::Data => builder.data_label(label),
+                };
+                if let Err(BuildProgramError::DuplicateLabel(l)) = defined {
+                    return Err(AsmError::new(line_no, AsmErrorKind::DuplicateLabel(l)));
+                }
+                line = rest[1..].trim();
+            }
+            if line.is_empty() {
+                continue;
+            }
+
+            if let Some(directive) = line.strip_prefix('.') {
+                section = self.handle_directive(&mut builder, section, directive, line_no)?;
+                continue;
+            }
+
+            self.handle_instruction(&mut builder, line, line_no)?;
+        }
+
+        builder.build().map_err(|e| match e {
+            BuildProgramError::UnknownLabel(l) => {
+                AsmError::new(last_line, AsmErrorKind::UnknownLabel(l))
+            }
+            BuildProgramError::DuplicateLabel(l) => {
+                AsmError::new(last_line, AsmErrorKind::DuplicateLabel(l))
+            }
+        })
+    }
+
+    fn handle_directive(
+        &self,
+        builder: &mut ProgramBuilder,
+        section: Section,
+        directive: &str,
+        line_no: usize,
+    ) -> Result<Section, AsmError> {
+        let (name, rest) = match directive.find(char::is_whitespace) {
+            Some(i) => (&directive[..i], directive[i..].trim()),
+            None => (directive, ""),
+        };
+        match name {
+            "text" => Ok(Section::Text),
+            "data" => Ok(Section::Data),
+            // Handled during the pre-scan in `assemble`; accepted here so
+            // the directive is not reported as unknown.
+            "uncached" => Ok(section),
+            "word" => {
+                for item in split_operands(rest) {
+                    let v = parse_number(&item).ok_or_else(|| {
+                        AsmError::new(line_no, AsmErrorKind::BadNumber(item.clone()))
+                    })?;
+                    builder.word(v as u32);
+                }
+                Ok(section)
+            }
+            "byte" => {
+                for item in split_operands(rest) {
+                    let v = parse_number(&item).ok_or_else(|| {
+                        AsmError::new(line_no, AsmErrorKind::BadNumber(item.clone()))
+                    })?;
+                    if !(-128..=255).contains(&v) {
+                        return Err(AsmError::new(
+                            line_no,
+                            AsmErrorKind::OutOfRange("byte".into()),
+                        ));
+                    }
+                    builder.bytes(&[v as u8]);
+                }
+                Ok(section)
+            }
+            "space" => {
+                let v = parse_number(rest)
+                    .filter(|&v| v >= 0)
+                    .ok_or_else(|| AsmError::new(line_no, AsmErrorKind::BadNumber(rest.into())))?;
+                builder.space(v as usize);
+                Ok(section)
+            }
+            "align" => {
+                let v = parse_number(rest)
+                    .filter(|&v| v > 0 && (v as u64).is_power_of_two())
+                    .ok_or_else(|| AsmError::new(line_no, AsmErrorKind::BadNumber(rest.into())))?;
+                builder.align(v as usize);
+                Ok(section)
+            }
+            other => Err(AsmError::new(
+                line_no,
+                AsmErrorKind::UnknownDirective(other.into()),
+            )),
+        }
+    }
+
+    fn handle_instruction(
+        &self,
+        builder: &mut ProgramBuilder,
+        line: &str,
+        line_no: usize,
+    ) -> Result<(), AsmError> {
+        let (mnemonic, rest) = match line.find(char::is_whitespace) {
+            Some(i) => (&line[..i], line[i..].trim()),
+            None => (line, ""),
+        };
+        let operands = split_operands(rest);
+
+        if let Some(op) = Opcode::from_mnemonic(mnemonic) {
+            return self.base_instruction(builder, op, &operands, line_no);
+        }
+        if let Some(&(id, signature)) = self.custom.get(mnemonic) {
+            return self.custom_instruction(builder, id, signature, &operands, line_no);
+        }
+        Err(AsmError::new(
+            line_no,
+            AsmErrorKind::UnknownMnemonic(mnemonic.into()),
+        ))
+    }
+
+    fn base_instruction(
+        &self,
+        builder: &mut ProgramBuilder,
+        op: Opcode,
+        operands: &[String],
+        line_no: usize,
+    ) -> Result<(), AsmError> {
+        let want = |n: usize| -> Result<(), AsmError> {
+            if operands.len() != n {
+                Err(AsmError::new(
+                    line_no,
+                    AsmErrorKind::OperandCount {
+                        expected: n,
+                        got: operands.len(),
+                    },
+                ))
+            } else {
+                Ok(())
+            }
+        };
+        let reg = |s: &str| -> Result<Reg, AsmError> {
+            s.parse()
+                .map_err(|_| AsmError::new(line_no, AsmErrorKind::BadOperand(s.into())))
+        };
+        let num = |s: &str| -> Result<i32, AsmError> {
+            parse_number(s)
+                .and_then(|v| i32::try_from(v).ok())
+                .ok_or_else(|| AsmError::new(line_no, AsmErrorKind::BadNumber(s.into())))
+        };
+
+        match op.format() {
+            Format::Rrr => {
+                want(3)?;
+                builder.inst(BaseInst::rrr(
+                    op,
+                    reg(&operands[0])?,
+                    reg(&operands[1])?,
+                    reg(&operands[2])?,
+                ));
+            }
+            Format::Rri => {
+                want(3)?;
+                builder.inst(BaseInst::rri(
+                    op,
+                    reg(&operands[0])?,
+                    reg(&operands[1])?,
+                    num(&operands[2])?,
+                ));
+            }
+            Format::RriShift => {
+                want(3)?;
+                let sa = num(&operands[2])?;
+                if !(0..32).contains(&sa) {
+                    return Err(AsmError::new(
+                        line_no,
+                        AsmErrorKind::OutOfRange("shift amount".into()),
+                    ));
+                }
+                builder.inst(BaseInst::rri(
+                    op,
+                    reg(&operands[0])?,
+                    reg(&operands[1])?,
+                    sa,
+                ));
+            }
+            Format::ExtractField => {
+                want(4)?;
+                let sa = num(&operands[2])?;
+                let len = num(&operands[3])?;
+                if !(0..32).contains(&sa) || !(1..=32).contains(&len) {
+                    return Err(AsmError::new(
+                        line_no,
+                        AsmErrorKind::OutOfRange("extract field".into()),
+                    ));
+                }
+                builder.inst(BaseInst::extui(
+                    reg(&operands[0])?,
+                    reg(&operands[1])?,
+                    sa as u8,
+                    len as u8,
+                ));
+            }
+            Format::Rr => {
+                want(2)?;
+                builder.inst(BaseInst::rr(op, reg(&operands[0])?, reg(&operands[1])?));
+            }
+            Format::Ri => {
+                want(2)?;
+                let rd = reg(&operands[0])?;
+                // `movi rd, label` materializes the label's address.
+                if let Some(v) = parse_number(&operands[1]) {
+                    let imm = i64::from(i32::MIN)..=i64::from(u32::MAX);
+                    if !imm.contains(&v) {
+                        return Err(AsmError::new(
+                            line_no,
+                            AsmErrorKind::OutOfRange("immediate".into()),
+                        ));
+                    }
+                    builder.inst(BaseInst::movi(rd, v as u32 as i32));
+                } else if is_identifier(&operands[1]) {
+                    builder.load_address(rd, &operands[1]);
+                } else {
+                    return Err(AsmError::new(
+                        line_no,
+                        AsmErrorKind::BadOperand(operands[1].clone()),
+                    ));
+                }
+            }
+            Format::Load => {
+                want(2)?;
+                let (offset, base) = parse_mem(&operands[1]).ok_or_else(|| {
+                    AsmError::new(line_no, AsmErrorKind::BadOperand(operands[1].clone()))
+                })?;
+                builder.inst(BaseInst::load(op, reg(&operands[0])?, offset, reg(&base)?));
+            }
+            Format::LoadLit => {
+                want(2)?;
+                if !is_identifier(&operands[1]) {
+                    return Err(AsmError::new(
+                        line_no,
+                        AsmErrorKind::BadOperand(operands[1].clone()),
+                    ));
+                }
+                builder.l32r_label(reg(&operands[0])?, &operands[1]);
+            }
+            Format::Store => {
+                want(2)?;
+                let (offset, base) = parse_mem(&operands[1]).ok_or_else(|| {
+                    AsmError::new(line_no, AsmErrorKind::BadOperand(operands[1].clone()))
+                })?;
+                builder.inst(BaseInst::store(op, reg(&operands[0])?, offset, reg(&base)?));
+            }
+            Format::Target => {
+                want(1)?;
+                if let Some(v) = parse_number(&operands[0]) {
+                    builder.inst(BaseInst::jump(op, v as u32));
+                } else if is_identifier(&operands[0]) {
+                    builder.jump_to(op, &operands[0]);
+                } else {
+                    return Err(AsmError::new(
+                        line_no,
+                        AsmErrorKind::BadOperand(operands[0].clone()),
+                    ));
+                }
+            }
+            Format::TargetReg => {
+                want(1)?;
+                builder.inst(BaseInst::jump_reg(op, reg(&operands[0])?));
+            }
+            Format::BranchRr => {
+                want(3)?;
+                builder.branch_rr_to(
+                    op,
+                    reg(&operands[0])?,
+                    reg(&operands[1])?,
+                    &label_operand(&operands[2], line_no)?,
+                );
+            }
+            Format::BranchRz => {
+                want(2)?;
+                builder.branch_rz_to(
+                    op,
+                    reg(&operands[0])?,
+                    &label_operand(&operands[1], line_no)?,
+                );
+            }
+            Format::BranchRi => {
+                want(3)?;
+                builder.branch_ri_to(
+                    op,
+                    reg(&operands[0])?,
+                    num(&operands[1])?,
+                    &label_operand(&operands[2], line_no)?,
+                );
+            }
+            Format::Bare => {
+                want(0)?;
+                builder.inst(BaseInst::bare(op));
+            }
+        }
+        Ok(())
+    }
+
+    fn custom_instruction(
+        &self,
+        builder: &mut ProgramBuilder,
+        id: CustomId,
+        signature: CustomSignature,
+        operands: &[String],
+        line_no: usize,
+    ) -> Result<(), AsmError> {
+        if operands.len() != signature.operand_count() {
+            return Err(AsmError::new(
+                line_no,
+                AsmErrorKind::OperandCount {
+                    expected: signature.operand_count(),
+                    got: operands.len(),
+                },
+            ));
+        }
+        let reg = |s: &str| -> Result<Reg, AsmError> {
+            s.parse()
+                .map_err(|_| AsmError::new(line_no, AsmErrorKind::BadOperand(s.into())))
+        };
+        let mut it = operands.iter();
+        let rd = if signature.writes_gpr {
+            reg(it.next().expect("count checked"))?
+        } else {
+            Reg::default()
+        };
+        let rs = if signature.gpr_reads >= 1 {
+            reg(it.next().expect("count checked"))?
+        } else {
+            Reg::default()
+        };
+        let rt = if signature.gpr_reads >= 2 {
+            reg(it.next().expect("count checked"))?
+        } else {
+            Reg::default()
+        };
+        let imm = if signature.has_imm {
+            let s = it.next().expect("count checked");
+            parse_number(s)
+                .and_then(|v| i32::try_from(v).ok())
+                .ok_or_else(|| AsmError::new(line_no, AsmErrorKind::BadNumber(s.clone())))?
+        } else {
+            0
+        };
+        builder.inst(CustomSlot {
+            id,
+            rd,
+            rs,
+            rt,
+            imm,
+        });
+        Ok(())
+    }
+}
+
+fn label_operand(s: &str, line_no: usize) -> Result<String, AsmError> {
+    if is_identifier(s) {
+        Ok(s.to_owned())
+    } else {
+        Err(AsmError::new(line_no, AsmErrorKind::BadOperand(s.into())))
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut end = line.len();
+    for (i, _) in line.match_indices(['#', ';']) {
+        end = end.min(i);
+    }
+    if let Some(i) = line.find("//") {
+        end = end.min(i);
+    }
+    &line[..end]
+}
+
+fn find_label_colon(line: &str) -> Option<usize> {
+    // A label colon must come before any whitespace-delimited operand
+    // content; `beq a1, a2, x` contains no colon so this is unambiguous.
+    let colon = line.find(':')?;
+    let head = &line[..colon];
+    if !head.is_empty()
+        && head
+            .chars()
+            .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+    {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+}
+
+fn split_operands(s: &str) -> Vec<String> {
+    if s.trim().is_empty() {
+        return Vec::new();
+    }
+    s.split(',').map(|p| p.trim().to_owned()).collect()
+}
+
+fn parse_number(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (negative, s) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let value = if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else if let Some(bin) = s.strip_prefix("0b").or_else(|| s.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).ok()?
+    } else if s.chars().all(|c| c.is_ascii_digit()) && !s.is_empty() {
+        s.parse().ok()?
+    } else {
+        return None;
+    };
+    Some(if negative { -value } else { value })
+}
+
+/// Parses a memory operand `offset(base)`, e.g. `8(a1)` or `-4(a2)`.
+fn parse_mem(s: &str) -> Option<(i32, String)> {
+    let open = s.find('(')?;
+    let close = s.strip_suffix(')')?;
+    let offset_text = s[..open].trim();
+    let offset = if offset_text.is_empty() {
+        0
+    } else {
+        i32::try_from(parse_number(offset_text)?).ok()?
+    };
+    let base = close[open + 1..].trim().to_owned();
+    Some((offset, base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Inst;
+
+    fn assemble(src: &str) -> Program {
+        Assembler::new().assemble(src).unwrap()
+    }
+
+    #[test]
+    fn simple_program() {
+        let p = assemble("movi a2, 5\naddi a2, a2, 1\nhalt\n");
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.text()[2], Inst::Base(BaseInst::bare(Opcode::Halt)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = assemble("# full comment\n\nmovi a2, 1 ; trailing\nhalt // other style\n");
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let p = assemble("movi a2, 3\nloop: addi a2, a2, -1\nbnez a2, loop\nhalt\n");
+        match &p.text()[2] {
+            Inst::Base(b) => {
+                assert_eq!(b.op, Opcode::Bnez);
+                assert_eq!(b.target, 4);
+            }
+            _ => panic!(),
+        }
+        assert_eq!(p.symbol("loop"), Some(4));
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = assemble("l32i a3, 8(a1)\ns16i a3, -2(a4)\nl8ui a5, (a6)\nhalt\n");
+        match &p.text()[0] {
+            Inst::Base(b) => assert_eq!((b.imm, b.rs.index()), (8, 1)),
+            _ => panic!(),
+        }
+        match &p.text()[1] {
+            Inst::Base(b) => assert_eq!((b.imm, b.rt.index(), b.rs.index()), (-2, 3, 4)),
+            _ => panic!(),
+        }
+        match &p.text()[2] {
+            Inst::Base(b) => assert_eq!(b.imm, 0),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn data_directives_and_l32r() {
+        let p = assemble(
+            ".data\nk: .word 0x12345678\nbuf: .space 8\nb: .byte 1, 2, 255\n.align 4\n.text\nl32r a2, k\nmovi a3, buf\nhalt\n",
+        );
+        assert_eq!(p.symbol("k"), Some(p.data_base()));
+        assert_eq!(p.symbol("buf"), Some(p.data_base() + 4));
+        assert_eq!(&p.data()[0..4], &0x12345678u32.to_le_bytes());
+        assert_eq!(p.data()[12], 1);
+        match &p.text()[0] {
+            Inst::Base(b) => assert_eq!(b.target, p.data_base()),
+            _ => panic!(),
+        }
+        match &p.text()[1] {
+            Inst::Base(b) => assert_eq!(b.imm as u32, p.data_base() + 4),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn custom_mnemonics() {
+        let mut asm = Assembler::new();
+        asm.register_custom(
+            "gfmul",
+            CustomId(0),
+            CustomSignature {
+                gpr_reads: 2,
+                writes_gpr: true,
+                has_imm: false,
+            },
+        );
+        let p = asm.assemble("gfmul a2, a3, a4\nhalt\n").unwrap();
+        match &p.text()[0] {
+            Inst::Custom(c) => {
+                assert_eq!(c.id, CustomId(0));
+                assert_eq!((c.rd.index(), c.rs.index(), c.rt.index()), (2, 3, 4));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn error_reporting() {
+        let err = Assembler::new()
+            .assemble("movi a2, 1\nbogus a1\n")
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(matches!(err.kind, AsmErrorKind::UnknownMnemonic(_)));
+
+        let err = Assembler::new().assemble("add a1, a2\n").unwrap_err();
+        assert!(matches!(
+            err.kind,
+            AsmErrorKind::OperandCount {
+                expected: 3,
+                got: 2
+            }
+        ));
+
+        let err = Assembler::new().assemble("movi a99, 1\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadOperand(_)));
+
+        let err = Assembler::new().assemble("j nowhere\nhalt\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UnknownLabel(_)));
+
+        let err = Assembler::new().assemble("x: nop\nx: halt\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
+
+        let err = Assembler::new().assemble(".bogus 3\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UnknownDirective(_)));
+
+        let err = Assembler::new().assemble("slli a2, a3, 32\n").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::OutOfRange(_)));
+    }
+
+    #[test]
+    fn number_forms() {
+        assert_eq!(parse_number("42"), Some(42));
+        assert_eq!(parse_number("-7"), Some(-7));
+        assert_eq!(parse_number("0x10"), Some(16));
+        assert_eq!(parse_number("0b101"), Some(5));
+        assert_eq!(parse_number("-0b10"), Some(-2));
+        assert_eq!(parse_number("-0x10"), Some(-16));
+        assert_eq!(parse_number("a1"), None);
+        assert_eq!(parse_number(""), None);
+        assert_eq!(parse_number("12x"), None);
+    }
+
+    #[test]
+    fn multiple_labels_one_line() {
+        let p = assemble("a: b: nop\nhalt\n");
+        assert_eq!(p.symbol("a"), Some(0));
+        assert_eq!(p.symbol("b"), Some(0));
+    }
+
+    #[test]
+    fn jump_to_numeric_address() {
+        let p = assemble("j 0x8\nnop\nhalt\n");
+        match &p.text()[0] {
+            Inst::Base(b) => assert_eq!(b.target, 8),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn uncached_directive_moves_text() {
+        use crate::program::layout;
+        let p = assemble(".uncached\nstart: nop\nhalt\n");
+        assert_eq!(p.text_base(), layout::UNCACHED_BASE);
+        assert_eq!(p.symbol("start"), Some(layout::UNCACHED_BASE));
+        assert_eq!(p.entry(), layout::UNCACHED_BASE);
+    }
+
+    #[test]
+    fn extui_parses() {
+        let p = assemble("extui a2, a3, 4, 8\nhalt\n");
+        match &p.text()[0] {
+            Inst::Base(b) => assert_eq!((b.imm, b.len), (4, 8)),
+            _ => panic!(),
+        }
+    }
+}

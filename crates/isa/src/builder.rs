@@ -1,0 +1,431 @@
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::program::layout;
+use crate::{BaseInst, Format, Inst, Opcode, Program, Reg};
+
+/// Error returned by [`ProgramBuilder::build`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildProgramError {
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// A referenced label was never defined.
+    UnknownLabel(String),
+}
+
+impl fmt::Display for BuildProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildProgramError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            BuildProgramError::UnknownLabel(l) => write!(f, "unknown label `{l}`"),
+        }
+    }
+}
+
+impl Error for BuildProgramError {}
+
+#[derive(Debug, Clone)]
+struct Fixup {
+    inst_index: usize,
+    label: String,
+}
+
+/// Programmatic construction of [`Program`]s with label fix-ups.
+///
+/// Useful for tests and generated workloads; hand-written workloads use the
+/// textual [assembler](crate::asm) instead.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use emx_isa::{BaseInst, Opcode, ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// let (a2, a3) = (Reg::new(2), Reg::new(3));
+/// b.inst(BaseInst::movi(a2, 5));
+/// b.inst(BaseInst::movi(a3, 0));
+/// b.label("loop")?;
+/// b.inst(BaseInst::rrr(Opcode::Add, a3, a3, a2));
+/// b.inst(BaseInst::rri(Opcode::Addi, a2, a2, -1));
+/// b.branch_rz_to(Opcode::Bnez, a2, "loop");
+/// b.inst(BaseInst::bare(Opcode::Halt));
+/// let program = b.build()?;
+/// assert_eq!(program.len(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProgramBuilder {
+    text: Vec<Inst>,
+    text_base: u32,
+    data: Vec<u8>,
+    symbols: BTreeMap<String, u32>,
+    fixups: Vec<Fixup>,
+    duplicate: Option<String>,
+}
+
+impl Default for ProgramBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder with text at [`layout::TEXT_BASE`].
+    pub fn new() -> Self {
+        ProgramBuilder {
+            text: Vec::new(),
+            text_base: layout::TEXT_BASE,
+            data: Vec::new(),
+            symbols: BTreeMap::new(),
+            fixups: Vec::new(),
+            duplicate: None,
+        }
+    }
+
+    /// Creates a builder whose text segment lives at `text_base` — e.g.
+    /// [`layout::UNCACHED_BASE`] for programs that exercise uncached
+    /// instruction fetches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `text_base` is not 4-byte aligned.
+    pub fn with_text_base(text_base: u32) -> Self {
+        assert_eq!(
+            text_base % layout::INST_BYTES,
+            0,
+            "text base must be aligned"
+        );
+        ProgramBuilder {
+            text_base,
+            ..Self::new()
+        }
+    }
+
+    /// Appends an instruction; returns its index in the text stream.
+    pub fn inst(&mut self, inst: impl Into<Inst>) -> usize {
+        self.text.push(inst.into());
+        self.text.len() - 1
+    }
+
+    /// Defines a code label at the current text position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildProgramError::DuplicateLabel`] if the label already
+    /// exists (either as a code or a data label).
+    pub fn label(&mut self, name: &str) -> Result<(), BuildProgramError> {
+        let addr = self.text_base + (self.text.len() as u32) * layout::INST_BYTES;
+        self.define(name, addr)
+    }
+
+    /// Defines a data label at the current data position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildProgramError::DuplicateLabel`] if the label already
+    /// exists.
+    pub fn data_label(&mut self, name: &str) -> Result<(), BuildProgramError> {
+        let addr = layout::DATA_BASE + self.data.len() as u32;
+        self.define(name, addr)
+    }
+
+    fn define(&mut self, name: &str, addr: u32) -> Result<(), BuildProgramError> {
+        if self.symbols.insert(name.to_owned(), addr).is_some() {
+            self.duplicate = Some(name.to_owned());
+            return Err(BuildProgramError::DuplicateLabel(name.to_owned()));
+        }
+        Ok(())
+    }
+
+    /// Appends a little-endian 32-bit word to the data segment; returns its
+    /// address.
+    pub fn word(&mut self, value: u32) -> u32 {
+        let addr = layout::DATA_BASE + self.data.len() as u32;
+        self.data.extend_from_slice(&value.to_le_bytes());
+        addr
+    }
+
+    /// Appends words to the data segment; returns the address of the first.
+    pub fn words(&mut self, values: &[u32]) -> u32 {
+        let addr = layout::DATA_BASE + self.data.len() as u32;
+        for &v in values {
+            self.word(v);
+        }
+        addr
+    }
+
+    /// Appends raw bytes to the data segment; returns the address of the
+    /// first.
+    pub fn bytes(&mut self, bytes: &[u8]) -> u32 {
+        let addr = layout::DATA_BASE + self.data.len() as u32;
+        self.data.extend_from_slice(bytes);
+        addr
+    }
+
+    /// Reserves `n` zero bytes in the data segment; returns their address.
+    pub fn space(&mut self, n: usize) -> u32 {
+        let addr = layout::DATA_BASE + self.data.len() as u32;
+        self.data.resize(self.data.len() + n, 0);
+        addr
+    }
+
+    /// Pads the data segment to an `n`-byte boundary.
+    pub fn align(&mut self, n: usize) {
+        debug_assert!(n.is_power_of_two(), "alignment must be a power of two");
+        while !self.data.len().is_multiple_of(n) {
+            self.data.push(0);
+        }
+    }
+
+    /// Appends a jump/call to a label (`j`, `call`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not a [`Format::Target`] opcode.
+    pub fn jump_to(&mut self, op: Opcode, label: &str) -> usize {
+        debug_assert_eq!(op.format(), Format::Target);
+        let idx = self.inst(BaseInst {
+            op,
+            ..Default::default()
+        });
+        self.fixups.push(Fixup {
+            inst_index: idx,
+            label: label.to_owned(),
+        });
+        idx
+    }
+
+    /// Appends a two-register branch to a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not a [`Format::BranchRr`] opcode.
+    pub fn branch_rr_to(&mut self, op: Opcode, rs: Reg, rt: Reg, label: &str) -> usize {
+        debug_assert_eq!(op.format(), Format::BranchRr);
+        let idx = self.inst(BaseInst {
+            op,
+            rs,
+            rt,
+            ..Default::default()
+        });
+        self.fixups.push(Fixup {
+            inst_index: idx,
+            label: label.to_owned(),
+        });
+        idx
+    }
+
+    /// Appends a compare-with-zero branch to a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not a [`Format::BranchRz`] opcode.
+    pub fn branch_rz_to(&mut self, op: Opcode, rs: Reg, label: &str) -> usize {
+        debug_assert_eq!(op.format(), Format::BranchRz);
+        let idx = self.inst(BaseInst {
+            op,
+            rs,
+            ..Default::default()
+        });
+        self.fixups.push(Fixup {
+            inst_index: idx,
+            label: label.to_owned(),
+        });
+        idx
+    }
+
+    /// Appends a compare-with-immediate branch to a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not a [`Format::BranchRi`] opcode.
+    pub fn branch_ri_to(&mut self, op: Opcode, rs: Reg, imm: i32, label: &str) -> usize {
+        debug_assert_eq!(op.format(), Format::BranchRi);
+        let idx = self.inst(BaseInst {
+            op,
+            rs,
+            imm,
+            ..Default::default()
+        });
+        self.fixups.push(Fixup {
+            inst_index: idx,
+            label: label.to_owned(),
+        });
+        idx
+    }
+
+    /// Appends an `l32r` that loads the 32-bit word at a data label.
+    pub fn l32r_label(&mut self, rd: Reg, label: &str) -> usize {
+        let idx = self.inst(BaseInst {
+            op: Opcode::L32r,
+            rd,
+            ..Default::default()
+        });
+        self.fixups.push(Fixup {
+            inst_index: idx,
+            label: label.to_owned(),
+        });
+        idx
+    }
+
+    /// Loads the *address* of a label into `rd` (expands to `movi`-style
+    /// materialization via `movi` + `addmi` when the address is large).
+    ///
+    /// Addresses in this platform fit in 31 bits, and `movi` carries a full
+    /// 32-bit immediate in the decoded form, so a single `movi` suffices;
+    /// this helper exists so call sites stay intention-revealing.
+    pub fn load_address(&mut self, rd: Reg, label: &str) -> usize {
+        let idx = self.inst(BaseInst::movi(rd, 0));
+        self.fixups.push(Fixup {
+            inst_index: idx,
+            label: label.to_owned(),
+        });
+        idx
+    }
+
+    /// Resolves all fix-ups and produces the program.
+    ///
+    /// The entry point is the start of the text segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildProgramError::UnknownLabel`] if any referenced label
+    /// was never defined, or [`BuildProgramError::DuplicateLabel`] if a
+    /// duplicate definition occurred earlier.
+    pub fn build(mut self) -> Result<Program, BuildProgramError> {
+        if let Some(dup) = self.duplicate.take() {
+            return Err(BuildProgramError::DuplicateLabel(dup));
+        }
+        for fixup in &self.fixups {
+            let &addr = self
+                .symbols
+                .get(&fixup.label)
+                .ok_or_else(|| BuildProgramError::UnknownLabel(fixup.label.clone()))?;
+            match &mut self.text[fixup.inst_index] {
+                Inst::Base(b) => {
+                    if b.op == Opcode::Movi {
+                        b.imm = addr as i32;
+                    } else {
+                        b.target = addr;
+                    }
+                }
+                Inst::Custom(_) => unreachable!("fix-ups only attach to base instructions"),
+            }
+        }
+        Ok(Program::new(
+            self.text,
+            self.text_base,
+            self.data,
+            layout::DATA_BASE,
+            self.text_base,
+            self.symbols,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn builds_loop_with_backward_branch() {
+        let mut b = ProgramBuilder::new();
+        b.inst(BaseInst::movi(r(2), 3));
+        b.label("top").unwrap();
+        b.inst(BaseInst::rri(Opcode::Addi, r(2), r(2), -1));
+        b.branch_rz_to(Opcode::Bnez, r(2), "top");
+        b.inst(BaseInst::bare(Opcode::Halt));
+        let p = b.build().unwrap();
+        match &p.text()[2] {
+            Inst::Base(bi) => assert_eq!(bi.target, 4),
+            _ => panic!("expected base inst"),
+        }
+    }
+
+    #[test]
+    fn forward_reference_resolves() {
+        let mut b = ProgramBuilder::new();
+        b.jump_to(Opcode::J, "end");
+        b.inst(BaseInst::bare(Opcode::Nop));
+        b.label("end").unwrap();
+        b.inst(BaseInst::bare(Opcode::Halt));
+        let p = b.build().unwrap();
+        match &p.text()[0] {
+            Inst::Base(bi) => assert_eq!(bi.target, 8),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn unknown_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.jump_to(Opcode::J, "nowhere");
+        b.inst(BaseInst::bare(Opcode::Halt));
+        assert_eq!(
+            b.build(),
+            Err(BuildProgramError::UnknownLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.label("x").unwrap();
+        b.inst(BaseInst::bare(Opcode::Nop));
+        assert!(b.label("x").is_err());
+        b.inst(BaseInst::bare(Opcode::Halt));
+        assert!(matches!(
+            b.build(),
+            Err(BuildProgramError::DuplicateLabel(_))
+        ));
+    }
+
+    #[test]
+    fn data_segment_and_l32r() {
+        let mut b = ProgramBuilder::new();
+        b.data_label("k").unwrap();
+        let addr = b.word(0xdead_beef);
+        b.l32r_label(r(2), "k");
+        b.inst(BaseInst::bare(Opcode::Halt));
+        let p = b.build().unwrap();
+        assert_eq!(p.symbol("k"), Some(addr));
+        match &p.text()[0] {
+            Inst::Base(bi) => assert_eq!(bi.target, addr),
+            _ => panic!(),
+        }
+        assert_eq!(&p.data()[0..4], &0xdead_beef_u32.to_le_bytes());
+    }
+
+    #[test]
+    fn load_address_materializes_symbol() {
+        let mut b = ProgramBuilder::new();
+        b.data_label("buf").unwrap();
+        b.space(16);
+        b.load_address(r(5), "buf");
+        b.inst(BaseInst::bare(Opcode::Halt));
+        let p = b.build().unwrap();
+        match &p.text()[0] {
+            Inst::Base(bi) => {
+                assert_eq!(bi.op, Opcode::Movi);
+                assert_eq!(bi.imm as u32, layout::DATA_BASE);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn align_pads_data() {
+        let mut b = ProgramBuilder::new();
+        b.bytes(&[1, 2, 3]);
+        b.align(4);
+        assert_eq!(b.word(7) % 4, 0);
+    }
+}

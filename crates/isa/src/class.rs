@@ -1,0 +1,181 @@
+use std::fmt;
+
+/// Static instruction class of a base-ISA opcode.
+///
+/// The paper clusters the base ISA into six *dynamic* classes (arithmetic,
+/// load, store, jump, branch-taken, branch-untaken) following Tiwari et
+/// al.'s observation that per-class energy characterization is accurate.
+/// Statically, taken and untaken branches are the same instructions, so the
+/// static classification has five entries; the simulator refines `Branch`
+/// into [`DynClass::BranchTaken`] / [`DynClass::BranchUntaken`] per dynamic
+/// instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum BaseClass {
+    /// Arithmetic, logic, shift, move, compare and multiply instructions.
+    Arithmetic,
+    /// Memory loads.
+    Load,
+    /// Memory stores.
+    Store,
+    /// Unconditional jumps, calls and returns.
+    Jump,
+    /// Conditional branches (dynamically taken or untaken).
+    Branch,
+}
+
+impl BaseClass {
+    /// All static classes, in canonical order.
+    pub const ALL: [BaseClass; 5] = [
+        BaseClass::Arithmetic,
+        BaseClass::Load,
+        BaseClass::Store,
+        BaseClass::Jump,
+        BaseClass::Branch,
+    ];
+}
+
+impl fmt::Display for BaseClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BaseClass::Arithmetic => "arithmetic",
+            BaseClass::Load => "load",
+            BaseClass::Store => "store",
+            BaseClass::Jump => "jump",
+            BaseClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Dynamic instruction class — the paper's six base-ISA clusters.
+///
+/// These are the subscripts of the instruction-level macro-model variables
+/// `n_A, n_L, n_S, n_J, n_Bt, n_Bu` in Eq. (3) of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DynClass {
+    /// Arithmetic / logic / shift / move / compare / multiply.
+    Arithmetic,
+    /// Load.
+    Load,
+    /// Store.
+    Store,
+    /// Jump / call / return.
+    Jump,
+    /// Conditional branch that was taken.
+    BranchTaken,
+    /// Conditional branch that fell through.
+    BranchUntaken,
+}
+
+impl DynClass {
+    /// All dynamic classes, in the order used by the macro-model template.
+    pub const ALL: [DynClass; 6] = [
+        DynClass::Arithmetic,
+        DynClass::Load,
+        DynClass::Store,
+        DynClass::Jump,
+        DynClass::BranchTaken,
+        DynClass::BranchUntaken,
+    ];
+
+    /// Index of the class inside [`DynClass::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            DynClass::Arithmetic => 0,
+            DynClass::Load => 1,
+            DynClass::Store => 2,
+            DynClass::Jump => 3,
+            DynClass::BranchTaken => 4,
+            DynClass::BranchUntaken => 5,
+        }
+    }
+
+    /// Refines a static class with a dynamic branch outcome.
+    ///
+    /// `taken` is ignored for non-branch classes.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use emx_isa::{BaseClass, DynClass};
+    ///
+    /// assert_eq!(DynClass::from_base(BaseClass::Branch, true), DynClass::BranchTaken);
+    /// assert_eq!(DynClass::from_base(BaseClass::Load, true), DynClass::Load);
+    /// ```
+    pub fn from_base(class: BaseClass, taken: bool) -> DynClass {
+        match class {
+            BaseClass::Arithmetic => DynClass::Arithmetic,
+            BaseClass::Load => DynClass::Load,
+            BaseClass::Store => DynClass::Store,
+            BaseClass::Jump => DynClass::Jump,
+            BaseClass::Branch => {
+                if taken {
+                    DynClass::BranchTaken
+                } else {
+                    DynClass::BranchUntaken
+                }
+            }
+        }
+    }
+
+    /// Short name used as a macro-model variable suffix (`A`, `L`, `S`,
+    /// `J`, `Bt`, `Bu`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            DynClass::Arithmetic => "A",
+            DynClass::Load => "L",
+            DynClass::Store => "S",
+            DynClass::Jump => "J",
+            DynClass::BranchTaken => "Bt",
+            DynClass::BranchUntaken => "Bu",
+        }
+    }
+}
+
+impl fmt::Display for DynClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DynClass::Arithmetic => "arithmetic",
+            DynClass::Load => "load",
+            DynClass::Store => "store",
+            DynClass::Jump => "jump",
+            DynClass::BranchTaken => "branch-taken",
+            DynClass::BranchUntaken => "branch-untaken",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dyn_class_indices_are_canonical() {
+        for (i, c) in DynClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn from_base_covers_all() {
+        assert_eq!(
+            DynClass::from_base(BaseClass::Arithmetic, false),
+            DynClass::Arithmetic
+        );
+        assert_eq!(DynClass::from_base(BaseClass::Jump, false), DynClass::Jump);
+        assert_eq!(
+            DynClass::from_base(BaseClass::Branch, false),
+            DynClass::BranchUntaken
+        );
+        assert_eq!(DynClass::from_base(BaseClass::Store, true), DynClass::Store);
+    }
+
+    #[test]
+    fn short_names_unique() {
+        let mut names: Vec<_> = DynClass::ALL.iter().map(|c| c.short_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+}

@@ -1,0 +1,119 @@
+//! Binary encoding of instructions.
+//!
+//! The simulator and the structural energy model need a concrete bit
+//! pattern per instruction: instruction-fetch and decode energy depends on
+//! the Hamming distance between consecutively fetched words (the paper's
+//! finer-grained related work — e.g. Lee et al. — models exactly this
+//! effect, and our RTL-level reference estimator includes it so that the
+//! macro-model has realistic, not-perfectly-linear ground truth to fit).
+//!
+//! The encoding is a simple fixed 32-bit layout:
+//!
+//! ```text
+//!  31       24 23    20 19    16 15    12 11            0
+//! +-----------+--------+--------+--------+---------------+
+//! |  opcode   |   rd   |   rs   |   rt   |   imm[11:0]   |  base
+//! +-----------+--------+--------+--------+---------------+
+//! | 0xC0 | id |   rd   |   rs   |   rt   |   imm[11:0]   |  custom
+//! +-----------+--------+--------+--------+---------------+
+//! ```
+//!
+//! Branch/jump targets participate via their low 12 bits, which is enough
+//! for switching-activity purposes.
+
+use crate::Inst;
+#[cfg(test)]
+use crate::Opcode;
+
+/// Opcode-byte offset at which custom instructions are encoded.
+pub const CUSTOM_OPCODE_BASE: u32 = 0xC0;
+
+/// Encodes an instruction into its 32-bit binary form.
+///
+/// # Example
+///
+/// ```
+/// use emx_isa::{encode, BaseInst, Opcode, Reg};
+///
+/// let add = BaseInst::rrr(Opcode::Add, Reg::new(2), Reg::new(3), Reg::new(4));
+/// let word = encode(&add.into());
+/// assert_eq!(word >> 24, Opcode::Add.index() as u32);
+/// ```
+pub fn encode(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Base(b) => {
+            let op = (b.op.index() as u32) << 24;
+            let rd = (b.rd.index() as u32) << 20;
+            let rs = (b.rs.index() as u32) << 16;
+            let rt = (b.rt.index() as u32) << 12;
+            // Fold the field length (extui) and target into the immediate
+            // bits so that they contribute to switching activity.
+            let imm_bits = (b.imm as u32 ^ (u32::from(b.len) << 6) ^ (b.target >> 2)) & 0x0fff;
+            op | rd | rs | rt | imm_bits
+        }
+        Inst::Custom(c) => {
+            let op = (CUSTOM_OPCODE_BASE + u32::from(c.id.0)).min(0xff) << 24;
+            let rd = (c.rd.index() as u32) << 20;
+            let rs = (c.rs.index() as u32) << 16;
+            let rt = (c.rt.index() as u32) << 12;
+            op | rd | rs | rt | (c.imm as u32 & 0x0fff)
+        }
+    }
+}
+
+/// Hamming distance between two 32-bit words (number of differing bits).
+pub fn hamming(a: u32, b: u32) -> u32 {
+    (a ^ b).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaseInst, CustomId, CustomSlot, Reg};
+
+    #[test]
+    fn base_encoding_packs_fields() {
+        let i = BaseInst::rrr(Opcode::Sub, Reg::new(1), Reg::new(2), Reg::new(3));
+        let w = encode(&i.into());
+        assert_eq!(w >> 24, Opcode::Sub.index() as u32);
+        assert_eq!((w >> 20) & 0xf, 1);
+        assert_eq!((w >> 16) & 0xf, 2);
+        assert_eq!((w >> 12) & 0xf, 3);
+    }
+
+    #[test]
+    fn distinct_opcodes_have_distinct_encodings() {
+        let a = encode(&BaseInst::bare(Opcode::Nop).into());
+        let b = encode(&BaseInst::bare(Opcode::Halt).into());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn custom_encoding_uses_high_opcode_space() {
+        let c = CustomSlot {
+            id: CustomId(2),
+            rd: Reg::new(4),
+            rs: Reg::new(5),
+            rt: Reg::new(6),
+            imm: 7,
+        };
+        let w = encode(&c.into());
+        assert_eq!(w >> 24, CUSTOM_OPCODE_BASE + 2);
+        // Custom opcode space does not collide with base opcodes.
+        assert!(w >> 24 >= Opcode::ALL.len() as u32);
+    }
+
+    #[test]
+    fn hamming_basics() {
+        assert_eq!(hamming(0, 0), 0);
+        assert_eq!(hamming(0, u32::MAX), 32);
+        assert_eq!(hamming(0b1010, 0b0110), 2);
+    }
+
+    #[test]
+    fn immediate_contributes_to_bits() {
+        let a = encode(&BaseInst::movi(Reg::new(2), 1).into());
+        let b = encode(&BaseInst::movi(Reg::new(2), 2).into());
+        assert_ne!(a, b);
+    }
+}

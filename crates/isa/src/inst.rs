@@ -1,0 +1,508 @@
+use std::fmt;
+
+use crate::{Format, Opcode, Reg};
+
+/// Identifier of a custom (TIE-like) instruction within an extension set.
+///
+/// The base ISA crate carries custom instructions opaquely; their dataflow
+/// semantics, latency and hardware resources are defined by the `emx-tie`
+/// crate, which owns the mapping from `CustomId` to a specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CustomId(pub u16);
+
+impl fmt::Display for CustomId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tie#{}", self.0)
+    }
+}
+
+/// A decoded base-ISA instruction.
+///
+/// All operand fields are always present; which ones are meaningful is
+/// determined by `op.format()`. Unused fields are left at their `Default`
+/// values by the constructors below, which keeps the decoder and the
+/// executors simple and branch-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BaseInst {
+    /// The opcode.
+    pub op: Opcode,
+    /// Destination register (also the loaded register for loads).
+    pub rd: Reg,
+    /// First source register (base address for loads/stores).
+    pub rs: Reg,
+    /// Second source register (store-value source for stores).
+    pub rt: Reg,
+    /// Immediate operand: arithmetic immediate, shift amount, load/store
+    /// offset, or branch comparison immediate, depending on the format.
+    pub imm: i32,
+    /// Field length for `extui` (1..=32); 0 otherwise.
+    pub len: u8,
+    /// Resolved absolute target address for jumps, calls, branches and
+    /// `l32r` literals; 0 otherwise.
+    pub target: u32,
+}
+
+// Not derivable: `Nop` is mid-table (encoding order is frozen), and
+// `#[default]` cannot be attached inside the opcode macro expansion.
+#[allow(clippy::derivable_impls)]
+impl Default for Opcode {
+    fn default() -> Self {
+        Opcode::Nop
+    }
+}
+
+impl BaseInst {
+    /// `op rd, rs, rt` (three-register format).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not [`Format::Rrr`].
+    pub fn rrr(op: Opcode, rd: Reg, rs: Reg, rt: Reg) -> Self {
+        debug_assert_eq!(op.format(), Format::Rrr, "{op} is not an rrr opcode");
+        BaseInst {
+            op,
+            rd,
+            rs,
+            rt,
+            ..Default::default()
+        }
+    }
+
+    /// `op rd, rs, imm` (register-immediate, including shift-immediate).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not [`Format::Rri`] or
+    /// [`Format::RriShift`].
+    pub fn rri(op: Opcode, rd: Reg, rs: Reg, imm: i32) -> Self {
+        debug_assert!(
+            matches!(op.format(), Format::Rri | Format::RriShift),
+            "{op} is not an rri opcode"
+        );
+        BaseInst {
+            op,
+            rd,
+            rs,
+            imm,
+            ..Default::default()
+        }
+    }
+
+    /// `extui rd, rs, sa, len`.
+    pub fn extui(rd: Reg, rs: Reg, sa: u8, len: u8) -> Self {
+        BaseInst {
+            op: Opcode::Extui,
+            rd,
+            rs,
+            imm: i32::from(sa),
+            len,
+            ..Default::default()
+        }
+    }
+
+    /// `op rd, rs` (two-register format).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not [`Format::Rr`].
+    pub fn rr(op: Opcode, rd: Reg, rs: Reg) -> Self {
+        debug_assert_eq!(op.format(), Format::Rr, "{op} is not an rr opcode");
+        BaseInst {
+            op,
+            rd,
+            rs,
+            ..Default::default()
+        }
+    }
+
+    /// `movi rd, imm`.
+    pub fn movi(rd: Reg, imm: i32) -> Self {
+        BaseInst {
+            op: Opcode::Movi,
+            rd,
+            imm,
+            ..Default::default()
+        }
+    }
+
+    /// `op rd, imm(rs)` — load.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not [`Format::Load`].
+    pub fn load(op: Opcode, rd: Reg, offset: i32, rs: Reg) -> Self {
+        debug_assert_eq!(op.format(), Format::Load, "{op} is not a load opcode");
+        BaseInst {
+            op,
+            rd,
+            rs,
+            imm: offset,
+            ..Default::default()
+        }
+    }
+
+    /// `l32r rd, <literal at absolute address>`.
+    pub fn l32r(rd: Reg, address: u32) -> Self {
+        BaseInst {
+            op: Opcode::L32r,
+            rd,
+            target: address,
+            ..Default::default()
+        }
+    }
+
+    /// `op rt, imm(rs)` — store.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not [`Format::Store`].
+    pub fn store(op: Opcode, rt: Reg, offset: i32, rs: Reg) -> Self {
+        debug_assert_eq!(op.format(), Format::Store, "{op} is not a store opcode");
+        BaseInst {
+            op,
+            rs,
+            rt,
+            imm: offset,
+            ..Default::default()
+        }
+    }
+
+    /// `j <address>` or `call <address>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not [`Format::Target`].
+    pub fn jump(op: Opcode, target: u32) -> Self {
+        debug_assert_eq!(op.format(), Format::Target, "{op} is not a target opcode");
+        BaseInst {
+            op,
+            target,
+            ..Default::default()
+        }
+    }
+
+    /// `jx rs` or `callx rs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not [`Format::TargetReg`].
+    pub fn jump_reg(op: Opcode, rs: Reg) -> Self {
+        debug_assert_eq!(
+            op.format(),
+            Format::TargetReg,
+            "{op} is not a register-target opcode"
+        );
+        BaseInst {
+            op,
+            rs,
+            ..Default::default()
+        }
+    }
+
+    /// Two-register branch `op rs, rt, <address>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not [`Format::BranchRr`].
+    pub fn branch_rr(op: Opcode, rs: Reg, rt: Reg, target: u32) -> Self {
+        debug_assert_eq!(op.format(), Format::BranchRr, "{op} is not an rr-branch");
+        BaseInst {
+            op,
+            rs,
+            rt,
+            target,
+            ..Default::default()
+        }
+    }
+
+    /// Compare-with-zero branch `op rs, <address>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not [`Format::BranchRz`].
+    pub fn branch_rz(op: Opcode, rs: Reg, target: u32) -> Self {
+        debug_assert_eq!(op.format(), Format::BranchRz, "{op} is not a z-branch");
+        BaseInst {
+            op,
+            rs,
+            target,
+            ..Default::default()
+        }
+    }
+
+    /// Compare-with-immediate branch `op rs, imm, <address>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not [`Format::BranchRi`].
+    pub fn branch_ri(op: Opcode, rs: Reg, imm: i32, target: u32) -> Self {
+        debug_assert_eq!(op.format(), Format::BranchRi, "{op} is not an imm-branch");
+        BaseInst {
+            op,
+            rs,
+            imm,
+            target,
+            ..Default::default()
+        }
+    }
+
+    /// A bare instruction (`nop`, `ret`, `halt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `op` is not [`Format::Bare`].
+    pub fn bare(op: Opcode) -> Self {
+        debug_assert_eq!(op.format(), Format::Bare, "{op} takes operands");
+        BaseInst {
+            op,
+            ..Default::default()
+        }
+    }
+
+    /// Registers read by this instruction, without allocating (the
+    /// simulator's hazard-detection hot path).
+    pub fn read_regs(&self) -> (Option<Reg>, Option<Reg>) {
+        match self.op.format() {
+            Format::Rrr | Format::Store | Format::BranchRr => (Some(self.rs), Some(self.rt)),
+            Format::Rri
+            | Format::RriShift
+            | Format::ExtractField
+            | Format::Rr
+            | Format::Load
+            | Format::TargetReg
+            | Format::BranchRz
+            | Format::BranchRi => (Some(self.rs), None),
+            Format::Bare if self.op == Opcode::Ret => (Some(Reg::LINK), None),
+            Format::Ri | Format::LoadLit | Format::Target | Format::Bare => (None, None),
+        }
+    }
+
+    /// Registers read by this instruction, in operand order.
+    pub fn reads(&self) -> Vec<Reg> {
+        match self.op.format() {
+            Format::Rrr => vec![self.rs, self.rt],
+            Format::Rri | Format::RriShift | Format::ExtractField | Format::Rr => vec![self.rs],
+            Format::Ri | Format::LoadLit | Format::Target | Format::Bare => vec![],
+            Format::Load => vec![self.rs],
+            Format::Store => vec![self.rs, self.rt],
+            Format::TargetReg => vec![self.rs],
+            Format::BranchRr => vec![self.rs, self.rt],
+            Format::BranchRz | Format::BranchRi => vec![self.rs],
+        }
+    }
+
+    /// Register written by this instruction, if any.
+    pub fn writes(&self) -> Option<Reg> {
+        match self.op.format() {
+            Format::Rrr
+            | Format::Rri
+            | Format::RriShift
+            | Format::ExtractField
+            | Format::Rr
+            | Format::Ri
+            | Format::Load
+            | Format::LoadLit => Some(self.rd),
+            // Calls write the link register.
+            Format::Target | Format::TargetReg
+                if matches!(self.op, Opcode::Call | Opcode::Callx) =>
+            {
+                Some(Reg::LINK)
+            }
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for BaseInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        match self.op.format() {
+            Format::Rrr => write!(f, "{m} {}, {}, {}", self.rd, self.rs, self.rt),
+            Format::Rri | Format::RriShift => {
+                write!(f, "{m} {}, {}, {}", self.rd, self.rs, self.imm)
+            }
+            Format::ExtractField => {
+                write!(
+                    f,
+                    "{m} {}, {}, {}, {}",
+                    self.rd, self.rs, self.imm, self.len
+                )
+            }
+            Format::Rr => write!(f, "{m} {}, {}", self.rd, self.rs),
+            Format::Ri => write!(f, "{m} {}, {}", self.rd, self.imm),
+            Format::Load => write!(f, "{m} {}, {}({})", self.rd, self.imm, self.rs),
+            Format::LoadLit => write!(f, "{m} {}, 0x{:x}", self.rd, self.target),
+            Format::Store => write!(f, "{m} {}, {}({})", self.rt, self.imm, self.rs),
+            Format::Target => write!(f, "{m} 0x{:x}", self.target),
+            Format::TargetReg => write!(f, "{m} {}", self.rs),
+            Format::BranchRr => {
+                write!(f, "{m} {}, {}, 0x{:x}", self.rs, self.rt, self.target)
+            }
+            Format::BranchRz => write!(f, "{m} {}, 0x{:x}", self.rs, self.target),
+            Format::BranchRi => {
+                write!(f, "{m} {}, {}, 0x{:x}", self.rs, self.imm, self.target)
+            }
+            Format::Bare => f.write_str(m),
+        }
+    }
+}
+
+/// An instance of a custom instruction in a program.
+///
+/// The slot carries only the encoding-level operands; the `emx-tie` crate
+/// resolves `id` into a full specification (dataflow graph, latency,
+/// custom-register operands, hardware resources).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CustomSlot {
+    /// Which custom instruction this is.
+    pub id: CustomId,
+    /// GPR destination (meaningful if the spec writes a GPR).
+    pub rd: Reg,
+    /// First GPR source (meaningful if the spec reads ≥ 1 GPR).
+    pub rs: Reg,
+    /// Second GPR source (meaningful if the spec reads 2 GPRs).
+    pub rt: Reg,
+    /// Immediate operand (meaningful if the spec takes one).
+    pub imm: i32,
+}
+
+impl fmt::Display for CustomSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}, {}, {}, {}",
+            self.id, self.rd, self.rs, self.rt, self.imm
+        )
+    }
+}
+
+/// A decoded instruction: either a base-ISA instruction or a custom
+/// (TIE-like) extension instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// Base-ISA instruction.
+    Base(BaseInst),
+    /// Custom-extension instruction.
+    Custom(CustomSlot),
+}
+
+impl Inst {
+    /// `true` for `halt`.
+    pub fn is_halt(&self) -> bool {
+        matches!(self, Inst::Base(b) if b.op == Opcode::Halt)
+    }
+}
+
+impl From<BaseInst> for Inst {
+    fn from(b: BaseInst) -> Self {
+        Inst::Base(b)
+    }
+}
+
+impl From<CustomSlot> for Inst {
+    fn from(c: CustomSlot) -> Self {
+        Inst::Custom(c)
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Base(b) => b.fmt(f),
+            Inst::Custom(c) => c.fmt(f),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::new(i)
+    }
+
+    #[test]
+    fn constructors_fill_expected_fields() {
+        let i = BaseInst::rrr(Opcode::Add, r(2), r(3), r(4));
+        assert_eq!((i.rd, i.rs, i.rt), (r(2), r(3), r(4)));
+        let i = BaseInst::load(Opcode::L32i, r(5), 8, r(1));
+        assert_eq!((i.rd, i.rs, i.imm), (r(5), r(1), 8));
+        let i = BaseInst::store(Opcode::S32i, r(5), -4, r(1));
+        assert_eq!((i.rt, i.rs, i.imm), (r(5), r(1), -4));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not an rrr opcode")]
+    fn rrr_rejects_wrong_format() {
+        let _ = BaseInst::rrr(Opcode::Addi, r(1), r(2), r(3));
+    }
+
+    #[test]
+    fn reads_and_writes() {
+        let add = BaseInst::rrr(Opcode::Add, r(2), r(3), r(4));
+        assert_eq!(add.reads(), vec![r(3), r(4)]);
+        assert_eq!(add.writes(), Some(r(2)));
+
+        let st = BaseInst::store(Opcode::S32i, r(5), 0, r(1));
+        assert_eq!(st.reads(), vec![r(1), r(5)]);
+        assert_eq!(st.writes(), None);
+
+        let call = BaseInst::jump(Opcode::Call, 0x40);
+        assert_eq!(call.writes(), Some(Reg::LINK));
+        let j = BaseInst::jump(Opcode::J, 0x40);
+        assert_eq!(j.writes(), None);
+
+        let bz = BaseInst::branch_rz(Opcode::Beqz, r(6), 0x10);
+        assert_eq!(bz.reads(), vec![r(6)]);
+        assert_eq!(bz.writes(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            BaseInst::rrr(Opcode::Add, r(2), r(3), r(4)).to_string(),
+            "add a2, a3, a4"
+        );
+        assert_eq!(
+            BaseInst::load(Opcode::L32i, r(5), 8, r(1)).to_string(),
+            "l32i a5, 8(a1)"
+        );
+        assert_eq!(
+            BaseInst::branch_rr(Opcode::Beq, r(2), r(3), 0x20).to_string(),
+            "beq a2, a3, 0x20"
+        );
+        assert_eq!(BaseInst::bare(Opcode::Halt).to_string(), "halt");
+        assert_eq!(
+            BaseInst::extui(r(2), r(3), 4, 8).to_string(),
+            "extui a2, a3, 4, 8"
+        );
+    }
+
+    #[test]
+    fn halt_detection() {
+        assert!(Inst::from(BaseInst::bare(Opcode::Halt)).is_halt());
+        assert!(!Inst::from(BaseInst::bare(Opcode::Nop)).is_halt());
+        let c = CustomSlot {
+            id: CustomId(1),
+            rd: r(0),
+            rs: r(0),
+            rt: r(0),
+            imm: 0,
+        };
+        assert!(!Inst::from(c).is_halt());
+    }
+
+    #[test]
+    fn custom_slot_display() {
+        let c = CustomSlot {
+            id: CustomId(3),
+            rd: r(2),
+            rs: r(3),
+            rt: r(4),
+            imm: 5,
+        };
+        assert_eq!(c.to_string(), "tie#3 a2, a3, a4, 5");
+    }
+}

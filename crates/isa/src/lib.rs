@@ -1,0 +1,68 @@
+//! Base instruction set of the `emx` extensible processor.
+//!
+//! The reproduced paper characterizes Tensilica's Xtensa core, whose base
+//! ISA "defines approximately 80 instructions" around "a traditional
+//! five-stage RISC pipeline with a 32-bit address space". This crate defines
+//! an original 32-bit RISC ISA of comparable size and shape, playing the
+//! role of the fixed base processor:
+//!
+//! * [`Reg`] — the 16 architectural general-purpose registers `a0..a15`
+//!   (the characterized configuration maps them onto a 64-entry physical
+//!   register file, as in the paper's Xtensa configuration),
+//! * [`Opcode`] — the ~80 base instructions, each tagged with its static
+//!   [`BaseClass`] (arithmetic, load, store, jump, branch — branches are
+//!   split into taken/untaken *dynamically* by the simulator),
+//! * [`Inst`] / [`BaseInst`] / [`CustomSlot`] — decoded instructions; custom
+//!   (TIE-like) instructions are carried opaquely by [`CustomId`] and given
+//!   meaning by the `emx-tie` crate,
+//! * [`Program`] — an assembled program: text, data, symbols, entry point,
+//! * [`asm`] — a two-pass assembler with labels, data directives and
+//!   support for registering custom-instruction mnemonics,
+//! * [`ProgramBuilder`] — programmatic program construction for tests and
+//!   generated workloads.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use emx_isa::asm::Assembler;
+//!
+//! let program = Assembler::new().assemble(
+//!     r#"
+//!     .text
+//!     start:
+//!         movi    a2, 10
+//!         movi    a3, 0
+//!     loop:
+//!         add     a3, a3, a2
+//!         addi    a2, a2, -1
+//!         bnez    a2, loop
+//!         halt
+//!     "#,
+//! )?;
+//! assert_eq!(program.text().len(), 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+mod builder;
+mod class;
+mod encode;
+mod inst;
+/// Opcode tables: mnemonics, formats, classes and functional units.
+pub mod op;
+/// Program representation and the platform memory layout.
+pub mod program;
+mod reg;
+
+pub use builder::{BuildProgramError, ProgramBuilder};
+pub use class::{BaseClass, DynClass};
+pub use encode::{encode, hamming};
+pub use inst::{BaseInst, CustomId, CustomSlot, Inst};
+pub use op::{Format, Opcode};
+pub use program::{layout, Program};
+pub use reg::{ParseRegError, Reg};

@@ -1,0 +1,287 @@
+use std::fmt;
+
+use crate::BaseClass;
+
+/// Operand format of a base instruction, as written in assembly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// `op rd, rs, rt`
+    Rrr,
+    /// `op rd, rs, imm`
+    Rri,
+    /// `op rd, rs, sa` — shift by immediate amount `0..32`.
+    RriShift,
+    /// `op rd, rs, sa, len` — extract unsigned field (`extui`).
+    ExtractField,
+    /// `op rd, rs`
+    Rr,
+    /// `op rd, imm`
+    Ri,
+    /// `op rd, imm(rs)` — load.
+    Load,
+    /// `op rd, label` — PC-relative literal load (`l32r`).
+    LoadLit,
+    /// `op rt, imm(rs)` — store (`rt` is the value source).
+    Store,
+    /// `op label` — jump or call to a label.
+    Target,
+    /// `op rs` — jump or call through a register.
+    TargetReg,
+    /// `op rs, rt, label` — two-register branch.
+    BranchRr,
+    /// `op rs, label` — compare-with-zero branch.
+    BranchRz,
+    /// `op rs, imm, label` — compare-with-immediate branch.
+    BranchRi,
+    /// no operands (`nop`, `ret`, `halt`).
+    Bare,
+}
+
+/// Functional unit of the base datapath an instruction's EX stage occupies.
+///
+/// Used by the structural (RTL-level) energy model to assign op-dependent
+/// switching energy; the macro-model deliberately does *not* distinguish
+/// these within class A — that residual is one source of its fitting error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecUnit {
+    /// Main adder (add/sub/compare/address generation).
+    Adder,
+    /// Bitwise logic unit.
+    Logic,
+    /// Barrel shifter.
+    Shifter,
+    /// 32-bit multiplier (2-cycle result latency).
+    Multiplier,
+    /// Register move / select network only.
+    Move,
+    /// No EX-stage datapath activity (control flow, `nop`).
+    None,
+}
+
+macro_rules! opcodes {
+    ($($variant:ident => ($mnem:literal, $fmt:ident, $class:ident, $unit:ident)),* $(,)?) => {
+        /// A base-ISA opcode.
+        ///
+        /// The full list mirrors the size (~80 instructions) and flavour of
+        /// the Xtensa base ISA: ALU/shift/multiply operations, sub-word
+        /// loads/stores, jumps/calls, and a rich set of conditional
+        /// branches including bit-mask forms.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[allow(missing_docs)] // the mnemonic table below documents each
+        pub enum Opcode {
+            $($variant),*
+        }
+
+        impl Opcode {
+            /// Every base opcode, in canonical (encoding) order.
+            pub const ALL: &'static [Opcode] = &[$(Opcode::$variant),*];
+
+            /// Assembly mnemonic.
+            pub fn mnemonic(self) -> &'static str {
+                match self { $(Opcode::$variant => $mnem),* }
+            }
+
+            /// Operand format.
+            pub fn format(self) -> Format {
+                match self { $(Opcode::$variant => Format::$fmt),* }
+            }
+
+            /// Static instruction class (paper's clustering).
+            pub fn base_class(self) -> BaseClass {
+                match self { $(Opcode::$variant => BaseClass::$class),* }
+            }
+
+            /// EX-stage functional unit.
+            pub fn exec_unit(self) -> ExecUnit {
+                match self { $(Opcode::$variant => ExecUnit::$unit),* }
+            }
+
+            /// Looks an opcode up by its assembly mnemonic.
+            pub fn from_mnemonic(mnemonic: &str) -> Option<Opcode> {
+                match mnemonic { $($mnem => Some(Opcode::$variant),)* _ => None }
+            }
+        }
+    };
+}
+
+opcodes! {
+    // ---- arithmetic / logic (class A) ------------------------------------
+    Add    => ("add",    Rrr,      Arithmetic, Adder),
+    Sub    => ("sub",    Rrr,      Arithmetic, Adder),
+    And    => ("and",    Rrr,      Arithmetic, Logic),
+    Or     => ("or",     Rrr,      Arithmetic, Logic),
+    Xor    => ("xor",    Rrr,      Arithmetic, Logic),
+    Sll    => ("sll",    Rrr,      Arithmetic, Shifter),
+    Srl    => ("srl",    Rrr,      Arithmetic, Shifter),
+    Sra    => ("sra",    Rrr,      Arithmetic, Shifter),
+    Ror    => ("ror",    Rrr,      Arithmetic, Shifter),
+    Slt    => ("slt",    Rrr,      Arithmetic, Adder),
+    Sltu   => ("sltu",   Rrr,      Arithmetic, Adder),
+    Min    => ("min",    Rrr,      Arithmetic, Adder),
+    Max    => ("max",    Rrr,      Arithmetic, Adder),
+    Minu   => ("minu",   Rrr,      Arithmetic, Adder),
+    Maxu   => ("maxu",   Rrr,      Arithmetic, Adder),
+    Moveqz => ("moveqz", Rrr,      Arithmetic, Move),
+    Movnez => ("movnez", Rrr,      Arithmetic, Move),
+    Movltz => ("movltz", Rrr,      Arithmetic, Move),
+    Movgez => ("movgez", Rrr,      Arithmetic, Move),
+    Mul    => ("mul",    Rrr,      Arithmetic, Multiplier),
+    Mulh   => ("mulh",   Rrr,      Arithmetic, Multiplier),
+    Muluh  => ("muluh",  Rrr,      Arithmetic, Multiplier),
+    Mul16s => ("mul16s", Rrr,      Arithmetic, Multiplier),
+    Mul16u => ("mul16u", Rrr,      Arithmetic, Multiplier),
+    Addi   => ("addi",   Rri,      Arithmetic, Adder),
+    Addmi  => ("addmi",  Rri,      Arithmetic, Adder),
+    Andi   => ("andi",   Rri,      Arithmetic, Logic),
+    Ori    => ("ori",    Rri,      Arithmetic, Logic),
+    Xori   => ("xori",   Rri,      Arithmetic, Logic),
+    Slti   => ("slti",   Rri,      Arithmetic, Adder),
+    Sltiu  => ("sltiu",  Rri,      Arithmetic, Adder),
+    Slli   => ("slli",   RriShift, Arithmetic, Shifter),
+    Srli   => ("srli",   RriShift, Arithmetic, Shifter),
+    Srai   => ("srai",   RriShift, Arithmetic, Shifter),
+    Rori   => ("rori",   RriShift, Arithmetic, Shifter),
+    Extui  => ("extui",  ExtractField, Arithmetic, Shifter),
+    Neg    => ("neg",    Rr,       Arithmetic, Adder),
+    Abs    => ("abs",    Rr,       Arithmetic, Adder),
+    Not    => ("not",    Rr,       Arithmetic, Logic),
+    Mov    => ("mov",    Rr,       Arithmetic, Move),
+    Sext8  => ("sext8",  Rr,       Arithmetic, Shifter),
+    Sext16 => ("sext16", Rr,       Arithmetic, Shifter),
+    Clz    => ("clz",    Rr,       Arithmetic, Logic),
+    Movi   => ("movi",   Ri,       Arithmetic, Move),
+    Nop    => ("nop",    Bare,     Arithmetic, None),
+    // ---- loads (class L) --------------------------------------------------
+    L8ui   => ("l8ui",   Load,     Load, Adder),
+    L8si   => ("l8si",   Load,     Load, Adder),
+    L16ui  => ("l16ui",  Load,     Load, Adder),
+    L16si  => ("l16si",  Load,     Load, Adder),
+    L32i   => ("l32i",   Load,     Load, Adder),
+    L32r   => ("l32r",   LoadLit,  Load, Adder),
+    // ---- stores (class S) -------------------------------------------------
+    S8i    => ("s8i",    Store,    Store, Adder),
+    S16i   => ("s16i",   Store,    Store, Adder),
+    S32i   => ("s32i",   Store,    Store, Adder),
+    // ---- jumps / calls (class J) -------------------------------------------
+    J      => ("j",      Target,    Jump, None),
+    Jx     => ("jx",     TargetReg, Jump, None),
+    Call   => ("call",   Target,    Jump, Adder),
+    Callx  => ("callx",  TargetReg, Jump, Adder),
+    Ret    => ("ret",    Bare,      Jump, None),
+    // ---- conditional branches (class B, split dynamically) -----------------
+    Beq    => ("beq",    BranchRr, Branch, Adder),
+    Bne    => ("bne",    BranchRr, Branch, Adder),
+    Blt    => ("blt",    BranchRr, Branch, Adder),
+    Bge    => ("bge",    BranchRr, Branch, Adder),
+    Bltu   => ("bltu",   BranchRr, Branch, Adder),
+    Bgeu   => ("bgeu",   BranchRr, Branch, Adder),
+    Ball   => ("ball",   BranchRr, Branch, Logic),
+    Bnall  => ("bnall",  BranchRr, Branch, Logic),
+    Bany   => ("bany",   BranchRr, Branch, Logic),
+    Bnone  => ("bnone",  BranchRr, Branch, Logic),
+    Beqz   => ("beqz",   BranchRz, Branch, Adder),
+    Bnez   => ("bnez",   BranchRz, Branch, Adder),
+    Bltz   => ("bltz",   BranchRz, Branch, Adder),
+    Bgez   => ("bgez",   BranchRz, Branch, Adder),
+    Beqi   => ("beqi",   BranchRi, Branch, Adder),
+    Bnei   => ("bnei",   BranchRi, Branch, Adder),
+    Blti   => ("blti",   BranchRi, Branch, Adder),
+    Bgei   => ("bgei",   BranchRi, Branch, Adder),
+    Bltui  => ("bltui",  BranchRi, Branch, Adder),
+    Bgeui  => ("bgeui",  BranchRi, Branch, Adder),
+    // ---- system -------------------------------------------------------------
+    Halt   => ("halt",   Bare,     Jump, None),
+}
+
+impl Opcode {
+    /// Encoding index of the opcode (stable, `0..Opcode::ALL.len()`).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// `true` if this opcode is a conditional branch.
+    pub fn is_branch(self) -> bool {
+        self.base_class() == BaseClass::Branch
+    }
+
+    /// `true` if the EX stage uses the 2-cycle multiplier (result interlock
+    /// applies to a dependent successor).
+    pub fn is_multiply(self) -> bool {
+        self.exec_unit() == ExecUnit::Multiplier
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn about_eighty_instructions() {
+        // The paper: "The base ISA defines approximately 80 instructions."
+        assert_eq!(Opcode::ALL.len(), 80);
+    }
+
+    #[test]
+    fn mnemonics_are_unique_and_round_trip() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
+        }
+        let mut names: Vec<_> = Opcode::ALL.iter().map(|o| o.mnemonic()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Opcode::ALL.len());
+    }
+
+    #[test]
+    fn every_class_is_populated() {
+        for class in BaseClass::ALL {
+            assert!(
+                Opcode::ALL.iter().any(|o| o.base_class() == class),
+                "no opcode in class {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn class_counts_are_plausible() {
+        let count = |c: BaseClass| Opcode::ALL.iter().filter(|o| o.base_class() == c).count();
+        assert!(count(BaseClass::Arithmetic) >= 40);
+        assert_eq!(count(BaseClass::Load), 6);
+        assert_eq!(count(BaseClass::Store), 3);
+        assert_eq!(count(BaseClass::Branch), 20);
+    }
+
+    #[test]
+    fn multiply_detection() {
+        assert!(Opcode::Mul.is_multiply());
+        assert!(Opcode::Mul16u.is_multiply());
+        assert!(!Opcode::Add.is_multiply());
+    }
+
+    #[test]
+    fn branch_detection() {
+        assert!(Opcode::Beq.is_branch());
+        assert!(Opcode::Bnall.is_branch());
+        assert!(!Opcode::J.is_branch());
+    }
+
+    #[test]
+    fn indices_are_stable_and_dense() {
+        for (i, &op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+    }
+
+    #[test]
+    fn from_mnemonic_rejects_unknown() {
+        assert_eq!(Opcode::from_mnemonic("frobnicate"), None);
+        assert_eq!(Opcode::from_mnemonic(""), None);
+        assert_eq!(Opcode::from_mnemonic("ADD"), None); // case-sensitive
+    }
+}

@@ -1,0 +1,217 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::Inst;
+
+/// Address-space layout constants of the emx platform.
+///
+/// The characterized configuration mirrors the paper's Xtensa setup: a
+/// cached main-memory region served through 4-way 16 KB instruction and
+/// data caches, plus an *uncached* region whose instruction fetches are
+/// counted by the macro-model variable `n_ucf`.
+pub mod layout {
+    /// Base address of the text (code) segment.
+    pub const TEXT_BASE: u32 = 0x0000_0000;
+    /// Base address of the data segment.
+    pub const DATA_BASE: u32 = 0x0004_0000;
+    /// Initial stack pointer (stack grows downward).
+    pub const STACK_TOP: u32 = 0x000f_fff0;
+    /// Start of the uncached region. Fetches and data accesses at or above
+    /// this address bypass the caches.
+    pub const UNCACHED_BASE: u32 = 0x8000_0000;
+    /// Size in bytes of one instruction.
+    pub const INST_BYTES: u32 = 4;
+
+    /// Returns `true` if `addr` falls in the uncached region.
+    pub fn is_uncached(addr: u32) -> bool {
+        addr >= UNCACHED_BASE
+    }
+}
+
+/// An assembled program: instructions, initialized data, symbols and entry
+/// point.
+///
+/// Instructions are held decoded (`Vec<Inst>`); addresses are byte
+/// addresses with a fixed 4-byte instruction size, so the instruction at
+/// text address `a` has index `(a − text_base) / 4`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    text: Vec<Inst>,
+    text_base: u32,
+    data: Vec<u8>,
+    data_base: u32,
+    entry: u32,
+    symbols: BTreeMap<String, u32>,
+}
+
+impl Program {
+    /// Creates a program from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` is not 4-byte aligned or lies outside the text
+    /// segment.
+    pub fn new(
+        text: Vec<Inst>,
+        text_base: u32,
+        data: Vec<u8>,
+        data_base: u32,
+        entry: u32,
+        symbols: BTreeMap<String, u32>,
+    ) -> Self {
+        assert_eq!(entry % layout::INST_BYTES, 0, "entry must be aligned");
+        let end = text_base + (text.len() as u32) * layout::INST_BYTES;
+        assert!(
+            entry >= text_base && entry < end.max(text_base + 4),
+            "entry 0x{entry:x} outside text segment"
+        );
+        Program {
+            text,
+            text_base,
+            data,
+            data_base,
+            entry,
+            symbols,
+        }
+    }
+
+    /// The decoded instruction stream.
+    pub fn text(&self) -> &[Inst] {
+        &self.text
+    }
+
+    /// Base address of the text segment.
+    pub fn text_base(&self) -> u32 {
+        self.text_base
+    }
+
+    /// Initialized data bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Base address of the data segment.
+    pub fn data_base(&self) -> u32 {
+        self.data_base
+    }
+
+    /// Entry-point address.
+    pub fn entry(&self) -> u32 {
+        self.entry
+    }
+
+    /// Symbol table (label → address).
+    pub fn symbols(&self) -> &BTreeMap<String, u32> {
+        &self.symbols
+    }
+
+    /// Looks up a symbol's address.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Fetches the instruction at byte address `addr`, if it lies within
+    /// the text segment.
+    pub fn fetch(&self, addr: u32) -> Option<&Inst> {
+        if addr < self.text_base || !addr.is_multiple_of(layout::INST_BYTES) {
+            return None;
+        }
+        let index = ((addr - self.text_base) / layout::INST_BYTES) as usize;
+        self.text.get(index)
+    }
+
+    /// Address of the instruction at `index` in the text stream.
+    pub fn address_of(&self, index: usize) -> u32 {
+        self.text_base + (index as u32) * layout::INST_BYTES
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Returns `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Invert the symbol table for label annotation.
+        let mut by_addr: BTreeMap<u32, Vec<&str>> = BTreeMap::new();
+        for (name, &addr) in &self.symbols {
+            by_addr.entry(addr).or_default().push(name);
+        }
+        for (i, inst) in self.text.iter().enumerate() {
+            let addr = self.address_of(i);
+            if let Some(labels) = by_addr.get(&addr) {
+                for l in labels {
+                    writeln!(f, "{l}:")?;
+                }
+            }
+            writeln!(f, "  0x{addr:06x}:  {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BaseInst, Opcode};
+
+    fn tiny_program() -> Program {
+        let text = vec![
+            Inst::Base(BaseInst::movi(crate::Reg::new(2), 1)),
+            Inst::Base(BaseInst::bare(Opcode::Halt)),
+        ];
+        Program::new(
+            text,
+            layout::TEXT_BASE,
+            vec![1, 2, 3],
+            layout::DATA_BASE,
+            0,
+            BTreeMap::new(),
+        )
+    }
+
+    #[test]
+    fn fetch_by_address() {
+        let p = tiny_program();
+        assert!(p.fetch(0).is_some());
+        assert!(p.fetch(4).unwrap().is_halt());
+        assert_eq!(p.fetch(8), None);
+        assert_eq!(p.fetch(2), None); // unaligned
+    }
+
+    #[test]
+    fn address_of_round_trips() {
+        let p = tiny_program();
+        for i in 0..p.len() {
+            let addr = p.address_of(i);
+            assert_eq!(p.fetch(addr), Some(&p.text()[i]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "aligned")]
+    fn misaligned_entry_rejected() {
+        let _ = Program::new(vec![], 0, vec![], 0, 2, BTreeMap::new());
+    }
+
+    #[test]
+    fn uncached_predicate() {
+        assert!(!layout::is_uncached(0x1000));
+        assert!(layout::is_uncached(layout::UNCACHED_BASE));
+        assert!(layout::is_uncached(0xffff_fffc));
+    }
+
+    #[test]
+    fn display_lists_instructions() {
+        let p = tiny_program();
+        let s = p.to_string();
+        assert!(s.contains("movi a2, 1"));
+        assert!(s.contains("halt"));
+    }
+}

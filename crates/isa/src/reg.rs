@@ -1,0 +1,140 @@
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+/// Number of architectural general-purpose registers.
+pub const NUM_REGS: usize = 16;
+
+/// An architectural general-purpose register, `a0` through `a15`.
+///
+/// Conventions used by the assembler-level ABI of this project:
+///
+/// * `a0` — link register (written by `call`/`callx`),
+/// * `a1` — stack pointer,
+/// * `a2..a7` — argument / result / caller-saved registers,
+/// * `a8..a15` — temporaries.
+///
+/// # Example
+///
+/// ```
+/// use emx_isa::Reg;
+///
+/// let r: Reg = "a7".parse().unwrap();
+/// assert_eq!(r.index(), 7);
+/// assert_eq!(r.to_string(), "a7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The link register `a0`.
+    pub const LINK: Reg = Reg(0);
+    /// The stack pointer `a1`.
+    pub const SP: Reg = Reg(1);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 16`. Use [`Reg::try_new`] for fallible
+    /// construction.
+    pub fn new(index: u8) -> Self {
+        Reg::try_new(index).expect("register index out of range")
+    }
+
+    /// Creates a register from its index, returning `None` if out of range.
+    pub fn try_new(index: u8) -> Option<Self> {
+        if (index as usize) < NUM_REGS {
+            Some(Reg(index))
+        } else {
+            None
+        }
+    }
+
+    /// The register index, `0..16`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterates over all architectural registers in order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_REGS as u8).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    text: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid register name `{}`", self.text)
+    }
+}
+
+impl Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseRegError { text: s.to_owned() };
+        let num = s.strip_prefix('a').ok_or_else(err)?;
+        // Reject forms like "a01" that would alias other names.
+        if num.len() > 1 && num.starts_with('0') {
+            return Err(err());
+        }
+        let index: u8 = num.parse().map_err(|_| err())?;
+        Reg::try_new(index).ok_or_else(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_and_index() {
+        assert_eq!(Reg::new(0).index(), 0);
+        assert_eq!(Reg::new(15).index(), 15);
+        assert_eq!(Reg::try_new(16), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(16);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        for r in Reg::all() {
+            let parsed: Reg = r.to_string().parse().unwrap();
+            assert_eq!(parsed, r);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_bad_names() {
+        assert!("b1".parse::<Reg>().is_err());
+        assert!("a16".parse::<Reg>().is_err());
+        assert!("a".parse::<Reg>().is_err());
+        assert!("a01".parse::<Reg>().is_err());
+        assert!("a-1".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn conventions() {
+        assert_eq!(Reg::LINK.index(), 0);
+        assert_eq!(Reg::SP.index(), 1);
+        assert_eq!(Reg::all().count(), NUM_REGS);
+    }
+}

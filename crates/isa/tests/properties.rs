@@ -1,0 +1,117 @@
+//! Property-based tests for the ISA crate: registers, encodings and the
+//! assembler.
+
+use proptest::prelude::*;
+
+use emx_isa::asm::Assembler;
+use emx_isa::{encode, BaseInst, Inst, Opcode, Reg};
+
+fn reg_strategy() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(Reg::new)
+}
+
+proptest! {
+    #[test]
+    fn register_names_round_trip(r in reg_strategy()) {
+        let parsed: Reg = r.to_string().parse().expect("own display parses");
+        prop_assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn rrr_instructions_encode_operands(op_idx in 0usize..24, rd in reg_strategy(),
+                                        rs in reg_strategy(), rt in reg_strategy()) {
+        // The first 24 opcodes are the Rrr arithmetic group.
+        let op = Opcode::ALL[op_idx];
+        prop_assume!(op.format() == emx_isa::Format::Rrr);
+        let inst: Inst = BaseInst::rrr(op, rd, rs, rt).into();
+        let w = encode(&inst);
+        prop_assert_eq!((w >> 24) as usize, op.index());
+        prop_assert_eq!(((w >> 20) & 0xf) as usize, rd.index());
+        prop_assert_eq!(((w >> 16) & 0xf) as usize, rs.index());
+        prop_assert_eq!(((w >> 12) & 0xf) as usize, rt.index());
+    }
+
+    #[test]
+    fn encoding_is_injective_over_operands(rd1 in reg_strategy(), rd2 in reg_strategy(),
+                                           rs in reg_strategy(), rt in reg_strategy()) {
+        prop_assume!(rd1 != rd2);
+        let a = encode(&BaseInst::rrr(Opcode::Add, rd1, rs, rt).into());
+        let b = encode(&BaseInst::rrr(Opcode::Add, rd2, rs, rt).into());
+        prop_assert_ne!(a, b);
+    }
+
+    #[test]
+    fn assembled_rrr_lines_round_trip(op_idx in 0usize..80, rd in 0u8..16,
+                                      rs in 0u8..16, rt in 0u8..16) {
+        // For every three-register opcode: emit source text, assemble it,
+        // and check the decoded instruction carries the same operands.
+        let op = Opcode::ALL[op_idx];
+        prop_assume!(op.format() == emx_isa::Format::Rrr);
+        let src = format!("{} a{rd}, a{rs}, a{rt}\nhalt", op.mnemonic());
+        let p = Assembler::new().assemble(&src).expect("assembles");
+        match &p.text()[0] {
+            Inst::Base(b) => {
+                prop_assert_eq!(b.op, op);
+                prop_assert_eq!(b.rd.index(), rd as usize);
+                prop_assert_eq!(b.rs.index(), rs as usize);
+                prop_assert_eq!(b.rt.index(), rt as usize);
+            }
+            Inst::Custom(_) => prop_assert!(false, "decoded as custom"),
+        }
+    }
+
+    #[test]
+    fn immediates_survive_assembly(imm in -2048i32..2048) {
+        let src = format!("addi a2, a3, {imm}\nmovi a4, {imm}\nhalt");
+        let p = Assembler::new().assemble(&src).expect("assembles");
+        match (&p.text()[0], &p.text()[1]) {
+            (Inst::Base(a), Inst::Base(m)) => {
+                prop_assert_eq!(a.imm, imm);
+                prop_assert_eq!(m.imm, imm);
+            }
+            _ => prop_assert!(false),
+        }
+    }
+
+    #[test]
+    fn memory_operands_survive_assembly(offset in -1024i32..1024, base in 0u8..16) {
+        let off4 = offset * 4;
+        let src = format!("l32i a2, {off4}(a{base})\ns32i a2, {off4}(a{base})\nhalt");
+        let p = Assembler::new().assemble(&src).expect("assembles");
+        match (&p.text()[0], &p.text()[1]) {
+            (Inst::Base(l), Inst::Base(s)) => {
+                prop_assert_eq!(l.imm, off4);
+                prop_assert_eq!(l.rs.index(), base as usize);
+                prop_assert_eq!(s.imm, off4);
+            }
+            _ => prop_assert!(false),
+        }
+    }
+
+    #[test]
+    fn labels_resolve_to_instruction_boundaries(pad in 0usize..20) {
+        let mut src = String::new();
+        for _ in 0..pad {
+            src.push_str("nop\n");
+        }
+        src.push_str("target:\naddi a2, a2, 1\nj target\nhalt\n");
+        let p = Assembler::new().assemble(&src).expect("assembles");
+        let addr = p.symbol("target").expect("label defined");
+        prop_assert_eq!(addr, 4 * pad as u32);
+        match &p.text()[pad + 1] {
+            Inst::Base(b) => prop_assert_eq!(b.target, addr),
+            Inst::Custom(_) => prop_assert!(false),
+        }
+    }
+
+    #[test]
+    fn comments_never_change_meaning(n in 1u32..50) {
+        let plain = format!("movi a2, {n}\naddi a2, a2, 1\nhalt");
+        let commented = format!(
+            "# header\nmovi a2, {n} # set\n  ; blank-ish\naddi a2, a2, 1 // bump\nhalt\n"
+        );
+        let a = Assembler::new().assemble(&plain).expect("assembles");
+        let b = Assembler::new().assemble(&commented).expect("assembles");
+        prop_assert_eq!(a.text(), b.text());
+    }
+}

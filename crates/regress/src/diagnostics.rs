@@ -1,0 +1,256 @@
+//! Regression diagnostics: collinearity and generalization checks for
+//! characterization datasets.
+//!
+//! The paper's methodology stands or falls with the quality of the test
+//! suite: a suite that exercises the macro-model variables in locked
+//! ratios produces a regression that *interpolates* its training programs
+//! yet assigns meaningless coefficients (and extrapolates badly to new
+//! applications). These diagnostics make that failure mode visible before
+//! any application is estimated:
+//!
+//! * [`variance_inflation`] — the classic VIF per variable: how well each
+//!   design-matrix column is predicted by the others (∞ ⇒ the coefficient
+//!   is not identifiable),
+//! * [`leave_one_out`] — per-program generalization: refit without each
+//!   program and predict it, which approximates held-out application
+//!   error far better than the in-fit residuals of Fig. 3.
+
+use crate::{Dataset, FitOptions, Matrix, RegressError};
+
+/// Variance-inflation factors of a dataset's variables.
+///
+/// `vif[j] = 1 / (1 − R²_j)` where `R²_j` is the coefficient of
+/// determination of column `j` regressed on all other columns. A value of
+/// 1 means the column is orthogonal to the rest; values above ~10 signal
+/// serious collinearity; `f64::INFINITY` means the column is an exact
+/// linear combination of the others.
+///
+/// # Errors
+///
+/// Returns the underlying solver error if the auxiliary regressions are
+/// themselves underdetermined (fewer samples than variables).
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), emx_regress::RegressError> {
+/// use emx_regress::{diagnostics::variance_inflation, Dataset};
+///
+/// let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+/// d.push_sample("s1", &[1.0, 10.0], 1.0)?;
+/// d.push_sample("s2", &[2.0, -3.0], 2.0)?;
+/// d.push_sample("s3", &[3.0, 4.0], 3.0)?;
+/// d.push_sample("s4", &[4.0, 1.0], 4.0)?;
+/// let vif = variance_inflation(&d)?;
+/// assert!(vif.iter().all(|&v| v < 10.0));
+/// # Ok(())
+/// # }
+/// ```
+pub fn variance_inflation(data: &Dataset) -> Result<Vec<f64>, RegressError> {
+    let x = data.design_matrix();
+    let n = x.cols();
+    if x.rows() <= n {
+        return Err(RegressError::Underdetermined {
+            samples: x.rows(),
+            variables: n,
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for j in 0..n {
+        let y = x.col(j);
+        let rest = Matrix::from_fn(x.rows(), n - 1, |i, k| {
+            let kk = if k < j { k } else { k + 1 };
+            x[(i, kk)]
+        });
+        let r2 = match crate::solve::qr_lstsq(&rest, &y) {
+            Ok(c) => {
+                let fitted = rest.mul_vec(&c)?;
+                let mean = y.iter().sum::<f64>() / y.len() as f64;
+                let ss_tot: f64 = y.iter().map(|v| (v - mean).powi(2)).sum();
+                let ss_res: f64 = y.iter().zip(&fitted).map(|(a, b)| (a - b).powi(2)).sum();
+                if ss_tot > 0.0 {
+                    (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+                } else {
+                    1.0
+                }
+            }
+            // A singular auxiliary regression means some *other* columns
+            // are dependent; this column itself may still be fine — treat
+            // as perfectly predicted to flag the group.
+            Err(RegressError::Singular) => 1.0,
+            Err(e) => return Err(e),
+        };
+        out.push(if r2 >= 1.0 {
+            f64::INFINITY
+        } else {
+            1.0 / (1.0 - r2)
+        });
+    }
+    Ok(out)
+}
+
+/// One sample's leave-one-out prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LooSample {
+    /// Sample label.
+    pub label: String,
+    /// Observed dependent value.
+    pub observed: f64,
+    /// Prediction from the model fitted *without* this sample.
+    pub predicted: f64,
+    /// Signed relative error in percent.
+    pub percent: f64,
+}
+
+/// Leave-one-out cross-validation summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LooReport {
+    /// Per-sample held-out predictions.
+    pub samples: Vec<LooSample>,
+    /// Samples whose removal made the reduced fit singular: each is the
+    /// *sole* source of signal for some variable (e.g. the only program
+    /// exercising uncached fetches). A valuable suite-design diagnostic
+    /// in its own right.
+    pub sole_sources: Vec<String>,
+    /// Root mean square of the per-sample percent errors (over predicted
+    /// samples).
+    pub rms_percent: f64,
+    /// Largest absolute percent error (over predicted samples).
+    pub max_abs_percent: f64,
+}
+
+/// Leave-one-out cross-validation: refits the model `n` times, each time
+/// predicting the held-out sample. Samples whose removal leaves the
+/// reduced system singular are recorded in
+/// [`LooReport::sole_sources`] rather than predicted.
+///
+/// # Errors
+///
+/// Returns solver errors other than singularity (e.g. an underdetermined
+/// dataset).
+pub fn leave_one_out(data: &Dataset, options: FitOptions) -> Result<LooReport, RegressError> {
+    let x = data.design_matrix();
+    let y = data.dependent();
+    let labels = data.labels();
+    let n = data.len();
+    let mut samples = Vec::with_capacity(n);
+    let mut sole_sources = Vec::new();
+    let mut sq = 0.0;
+    let mut max_abs = 0.0f64;
+    for held in 0..n {
+        let mut reduced = Dataset::new(data.names().to_vec());
+        for i in 0..n {
+            if i != held {
+                reduced.push_sample(labels[i].clone(), x.row(i), y[i])?;
+            }
+        }
+        let fit = match reduced.fit(options) {
+            Ok(fit) => fit,
+            Err(RegressError::Singular) => {
+                sole_sources.push(labels[held].clone());
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let predicted = fit.predict(x.row(held))?;
+        let observed = y[held];
+        let percent = if observed != 0.0 {
+            (predicted - observed) / observed * 100.0
+        } else {
+            0.0
+        };
+        sq += percent * percent;
+        max_abs = max_abs.max(percent.abs());
+        samples.push(LooSample {
+            label: labels[held].clone(),
+            observed,
+            predicted,
+            percent,
+        });
+    }
+    let predicted = samples.len().max(1);
+    Ok(LooReport {
+        samples,
+        sole_sources,
+        rms_percent: (sq / predicted as f64).sqrt(),
+        max_abs_percent: max_abs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn well_posed() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        let rows: [([f64; 2], f64); 6] = [
+            ([1.0, 9.0], 21.0),
+            ([2.0, 1.0], 7.1),
+            ([3.0, 4.0], 14.0),
+            ([4.0, 2.0], 11.9),
+            ([5.0, 7.0], 24.1),
+            ([6.0, 3.0], 18.0),
+        ];
+        for (i, (x, y)) in rows.iter().enumerate() {
+            d.push_sample(format!("s{i}"), x, *y).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn vif_is_low_for_orthogonal_designs() {
+        let vif = variance_inflation(&well_posed()).unwrap();
+        assert_eq!(vif.len(), 2);
+        for v in vif {
+            assert!(v < 5.0, "vif = {v}");
+        }
+    }
+
+    #[test]
+    fn vif_detects_collinear_columns() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "sum".into()]);
+        for i in 0..6 {
+            let a = i as f64;
+            let b = (i * i % 5) as f64;
+            d.push_sample(format!("s{i}"), &[a, b, a + b], a * 2.0 + b)
+                .unwrap();
+        }
+        let vif = variance_inflation(&d).unwrap();
+        assert!(vif.iter().any(|v| v.is_infinite()), "{vif:?}");
+    }
+
+    #[test]
+    fn vif_requires_enough_samples() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        d.push_sample("only", &[1.0, 2.0], 3.0).unwrap();
+        assert!(matches!(
+            variance_inflation(&d),
+            Err(RegressError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn loo_predicts_well_posed_data() {
+        let report = leave_one_out(&well_posed(), FitOptions::default()).unwrap();
+        assert_eq!(report.samples.len(), 6);
+        // y ≈ 2a + 2b+ε: held-out errors exceed in-fit residuals but stay
+        // bounded for this well-posed design.
+        assert!(report.rms_percent < 15.0, "rms = {}", report.rms_percent);
+        assert!(report.max_abs_percent >= report.rms_percent);
+    }
+
+    #[test]
+    fn loo_flags_single_source_variables() {
+        // Variable `b` is nonzero in exactly one sample: removing that
+        // sample makes the reduced fit singular, so it is reported as a
+        // sole signal source instead of predicted.
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        d.push_sample("s0", &[1.0, 0.0], 2.0).unwrap();
+        d.push_sample("s1", &[2.0, 0.0], 4.0).unwrap();
+        d.push_sample("s2", &[3.0, 0.0], 6.0).unwrap();
+        d.push_sample("special", &[1.0, 5.0], 12.0).unwrap();
+        let report = leave_one_out(&d, FitOptions::default()).unwrap();
+        assert_eq!(report.sole_sources, vec!["special".to_owned()]);
+        assert_eq!(report.samples.len(), 3);
+    }
+}

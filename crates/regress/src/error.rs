@@ -1,0 +1,67 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the regression engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RegressError {
+    /// Two matrices (or a matrix and a vector) had incompatible shapes.
+    ///
+    /// Carries a human-readable description of the operation and the two
+    /// offending shapes as `(rows, cols)` pairs.
+    ShapeMismatch {
+        /// The operation that was attempted (e.g. `"mul"`).
+        op: &'static str,
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// The system is singular or numerically rank-deficient and cannot be
+    /// solved with the requested method.
+    Singular,
+    /// A dataset operation referenced an unknown variable name.
+    UnknownVariable(String),
+    /// The dataset has fewer samples than model variables, so the
+    /// least-squares problem is under-determined.
+    Underdetermined {
+        /// Number of observations available.
+        samples: usize,
+        /// Number of model variables to fit.
+        variables: usize,
+    },
+    /// A sample row had the wrong number of entries for the dataset.
+    SampleWidth {
+        /// Number of values supplied.
+        got: usize,
+        /// Number of variables in the dataset.
+        expected: usize,
+    },
+    /// A non-finite value (NaN or infinity) was encountered in the inputs.
+    NonFinite,
+}
+
+impl fmt::Display for RegressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressError::ShapeMismatch { op, left, right } => write!(
+                f,
+                "shape mismatch in {op}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            RegressError::Singular => write!(f, "matrix is singular or rank-deficient"),
+            RegressError::UnknownVariable(name) => write!(f, "unknown variable `{name}`"),
+            RegressError::Underdetermined { samples, variables } => write!(
+                f,
+                "underdetermined system: {samples} samples for {variables} variables"
+            ),
+            RegressError::SampleWidth { got, expected } => write!(
+                f,
+                "sample has {got} values but the dataset has {expected} variables"
+            ),
+            RegressError::NonFinite => write!(f, "non-finite value in regression input"),
+        }
+    }
+}
+
+impl Error for RegressError {}

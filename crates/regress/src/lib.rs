@@ -1,0 +1,56 @@
+//! Dense matrix kernel and linear-regression engine for energy macro-modeling.
+//!
+//! The paper ("Energy Estimation for Extensible Processors", DATE 2003)
+//! determines the energy coefficients of its macro-model template by solving
+//! the linear matrix equation `E = X · C` in the least-squares sense using
+//! the pseudo-inverse method (Eq. 5):
+//!
+//! ```text
+//! Ĉ = (Xᵀ X)⁻¹ Xᵀ E
+//! ```
+//!
+//! This crate provides everything that flow needs, from scratch:
+//!
+//! * [`Matrix`] — a small dense row-major `f64` matrix with the usual
+//!   operations (product, transpose, norms),
+//! * [`solve`] — Cholesky factorization for the normal equations and
+//!   Householder QR for a numerically robust alternative,
+//! * [`lstsq`] / [`Dataset`] / [`LinearFit`] — high-level regression with
+//!   per-sample fitting errors, RMS error and R², exactly the statistics the
+//!   paper reports in Fig. 3,
+//! * [`stats`] — small statistical helpers (RMS, mean absolute error,
+//!   Spearman rank correlation for relative-accuracy studies like Fig. 4).
+//!
+//! # Example
+//!
+//! Fit `y = 2·x₀ + 3·x₁` from four noise-free observations:
+//!
+//! ```
+//! # fn main() -> Result<(), emx_regress::RegressError> {
+//! use emx_regress::Dataset;
+//!
+//! let mut data = Dataset::new(vec!["x0".into(), "x1".into()]);
+//! data.push_sample("s1", &[1.0, 0.0], 2.0)?;
+//! data.push_sample("s2", &[0.0, 1.0], 3.0)?;
+//! data.push_sample("s3", &[1.0, 1.0], 5.0)?;
+//! data.push_sample("s4", &[2.0, 1.0], 7.0)?;
+//! let fit = data.fit(Default::default())?;
+//! assert!((fit.coefficient("x0").unwrap() - 2.0).abs() < 1e-9);
+//! assert!((fit.coefficient("x1").unwrap() - 3.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diagnostics;
+mod error;
+mod matrix;
+mod model;
+pub mod solve;
+pub mod stats;
+
+pub use error::RegressError;
+pub use matrix::Matrix;
+pub use model::{lstsq, Dataset, FitMethod, FitOptions, LinearFit, SampleError};

@@ -1,0 +1,404 @@
+use crate::solve::{normal_equations_lstsq, qr_lstsq};
+use crate::{Matrix, RegressError};
+
+/// Which numerical method to use for the least-squares solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FitMethod {
+    /// Householder QR on the design matrix (numerically preferred).
+    #[default]
+    Qr,
+    /// The paper's pseudo-inverse method: Cholesky on the normal equations
+    /// `XᵀX · c = Xᵀy` (Eq. 5 of the paper).
+    NormalEquations,
+}
+
+/// Options controlling a fit.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FitOptions {
+    /// Numerical method.
+    pub method: FitMethod,
+    /// Ridge (Tikhonov) regularization strength added to the normal
+    /// equations; `0.0` disables it. Only honoured by
+    /// [`FitMethod::NormalEquations`].
+    pub ridge: f64,
+}
+
+/// Fitting error of one sample, as reported in Fig. 3 of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleError {
+    /// Label of the sample (e.g. the test-program name).
+    pub label: String,
+    /// Observed value of the dependent variable.
+    pub observed: f64,
+    /// Fitted (predicted) value.
+    pub fitted: f64,
+    /// Signed relative error in percent: `(fitted − observed)/observed × 100`.
+    pub percent: f64,
+}
+
+/// Result of a linear least-squares fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearFit {
+    names: Vec<String>,
+    coefficients: Vec<f64>,
+    samples: Vec<SampleError>,
+    r_squared: f64,
+    rms_percent: f64,
+    max_abs_percent: f64,
+}
+
+impl LinearFit {
+    /// The fitted coefficient vector, in dataset variable order.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// Variable names, in the same order as [`Self::coefficients`].
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Looks up a coefficient by variable name.
+    pub fn coefficient(&self, name: &str) -> Option<f64> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.coefficients[i])
+    }
+
+    /// Per-sample fitting errors (the data behind Fig. 3).
+    pub fn sample_errors(&self) -> &[SampleError] {
+        &self.samples
+    }
+
+    /// Coefficient of determination R².
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Root-mean-square of the per-sample percent errors.
+    pub fn rms_percent_error(&self) -> f64 {
+        self.rms_percent
+    }
+
+    /// Largest absolute per-sample percent error.
+    pub fn max_abs_percent_error(&self) -> f64 {
+        self.max_abs_percent
+    }
+
+    /// Predicts the dependent variable for a new sample row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressError::SampleWidth`] if `row` does not have one value
+    /// per variable.
+    pub fn predict(&self, row: &[f64]) -> Result<f64, RegressError> {
+        if row.len() != self.coefficients.len() {
+            return Err(RegressError::SampleWidth {
+                got: row.len(),
+                expected: self.coefficients.len(),
+            });
+        }
+        Ok(row.iter().zip(&self.coefficients).map(|(x, c)| x * c).sum())
+    }
+}
+
+/// A named-variable regression dataset: one row per observation.
+///
+/// In the characterization flow, each row is one test program; the columns
+/// are the macro-model variables measured by instruction-set simulation and
+/// resource-usage analysis; the dependent value is the energy reported by
+/// the RTL-level estimator.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), emx_regress::RegressError> {
+/// use emx_regress::Dataset;
+///
+/// let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+/// d.push_sample("p0", &[1.0, 2.0], 8.0)?;
+/// d.push_sample("p1", &[2.0, 1.0], 7.0)?;
+/// d.push_sample("p2", &[1.0, 1.0], 5.0)?;
+/// let fit = d.fit(Default::default())?;
+/// assert!((fit.coefficient("a").unwrap() - 2.0).abs() < 1e-9);
+/// assert!((fit.coefficient("b").unwrap() - 3.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    names: Vec<String>,
+    labels: Vec<String>,
+    rows: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given variable names.
+    pub fn new(names: Vec<String>) -> Self {
+        Dataset {
+            names,
+            labels: Vec::new(),
+            rows: Vec::new(),
+            y: Vec::new(),
+        }
+    }
+
+    /// Variable names (column order).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// Returns `true` if the dataset has no observations.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Appends one observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressError::SampleWidth`] if `row` does not have one value
+    /// per variable, or [`RegressError::NonFinite`] if any value is NaN or
+    /// infinite.
+    pub fn push_sample(
+        &mut self,
+        label: impl Into<String>,
+        row: &[f64],
+        y: f64,
+    ) -> Result<(), RegressError> {
+        if row.len() != self.names.len() {
+            return Err(RegressError::SampleWidth {
+                got: row.len(),
+                expected: self.names.len(),
+            });
+        }
+        if !y.is_finite() || row.iter().any(|v| !v.is_finite()) {
+            return Err(RegressError::NonFinite);
+        }
+        self.labels.push(label.into());
+        self.rows.extend_from_slice(row);
+        self.y.push(y);
+        Ok(())
+    }
+
+    /// The design matrix `X` (observations × variables).
+    pub fn design_matrix(&self) -> Matrix {
+        let n = self.names.len();
+        Matrix::from_fn(self.y.len(), n, |i, j| self.rows[i * n + j])
+    }
+
+    /// The dependent-variable vector.
+    pub fn dependent(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Observation labels.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Fits the linear model `y ≈ X · c` and computes fit statistics.
+    ///
+    /// # Errors
+    ///
+    /// * [`RegressError::Underdetermined`] — fewer observations than
+    ///   variables,
+    /// * [`RegressError::Singular`] — linearly dependent columns (e.g. a
+    ///   macro-model variable that is never exercised by the test suite),
+    /// * shape errors propagated from the solver.
+    pub fn fit(&self, options: FitOptions) -> Result<LinearFit, RegressError> {
+        let x = self.design_matrix();
+        let coefficients = match options.method {
+            FitMethod::Qr => qr_lstsq(&x, &self.y)?,
+            FitMethod::NormalEquations => normal_equations_lstsq(&x, &self.y, options.ridge)?,
+        };
+        let fitted = x.mul_vec(&coefficients)?;
+        let mean_y = self.y.iter().sum::<f64>() / self.y.len().max(1) as f64;
+        let ss_tot: f64 = self.y.iter().map(|v| (v - mean_y).powi(2)).sum();
+        let ss_res: f64 = self
+            .y
+            .iter()
+            .zip(&fitted)
+            .map(|(o, f)| (o - f).powi(2))
+            .sum();
+        let r_squared = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
+
+        let mut samples = Vec::with_capacity(self.y.len());
+        let mut sq_sum = 0.0;
+        let mut max_abs = 0.0_f64;
+        for (i, &observed) in self.y.iter().enumerate() {
+            let f = fitted[i];
+            let percent = if observed != 0.0 {
+                (f - observed) / observed * 100.0
+            } else {
+                0.0
+            };
+            sq_sum += percent * percent;
+            max_abs = max_abs.max(percent.abs());
+            samples.push(SampleError {
+                label: self.labels[i].clone(),
+                observed,
+                fitted: f,
+                percent,
+            });
+        }
+        let rms_percent = (sq_sum / self.y.len().max(1) as f64).sqrt();
+
+        Ok(LinearFit {
+            names: self.names.clone(),
+            coefficients,
+            samples,
+            r_squared,
+            rms_percent,
+            max_abs_percent: max_abs,
+        })
+    }
+}
+
+/// Convenience one-shot least squares over raw arrays.
+///
+/// Equivalent to building a [`Dataset`] with anonymous variable names and
+/// calling [`Dataset::fit`] with default options; returns only the
+/// coefficient vector.
+///
+/// # Errors
+///
+/// Same conditions as [`Dataset::fit`].
+///
+/// # Example
+///
+/// ```
+/// use emx_regress::{lstsq, Matrix};
+///
+/// let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+/// let c = lstsq(&x, &[1.0, 2.0, 3.0]).unwrap();
+/// assert!((c[0] - 1.0).abs() < 1e-10 && (c[1] - 2.0).abs() < 1e-10);
+/// ```
+pub fn lstsq(x: &Matrix, y: &[f64]) -> Result<Vec<f64>, RegressError> {
+    qr_lstsq(x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> Dataset {
+        let mut d = Dataset::new(vec!["u".into(), "v".into(), "w".into()]);
+        // y = 10u + 5v + 1w, with tiny perturbations.
+        let rows: [(&str, [f64; 3], f64); 6] = [
+            ("p0", [1.0, 0.0, 0.0], 10.0),
+            ("p1", [0.0, 1.0, 0.0], 5.05),
+            ("p2", [0.0, 0.0, 1.0], 0.99),
+            ("p3", [1.0, 1.0, 1.0], 16.02),
+            ("p4", [2.0, 1.0, 0.0], 24.9),
+            ("p5", [1.0, 2.0, 3.0], 23.1),
+        ];
+        for (l, r, y) in rows {
+            d.push_sample(l, &r, y).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn fit_recovers_approximate_coefficients() {
+        let fit = toy_dataset().fit(FitOptions::default()).unwrap();
+        assert!((fit.coefficient("u").unwrap() - 10.0).abs() < 0.2);
+        assert!((fit.coefficient("v").unwrap() - 5.0).abs() < 0.2);
+        assert!((fit.coefficient("w").unwrap() - 1.0).abs() < 0.2);
+        assert!(fit.r_squared() > 0.999);
+        assert!(fit.rms_percent_error() < 3.0);
+    }
+
+    #[test]
+    fn both_methods_agree() {
+        let d = toy_dataset();
+        let qr = d
+            .fit(FitOptions {
+                method: FitMethod::Qr,
+                ridge: 0.0,
+            })
+            .unwrap();
+        let ne = d
+            .fit(FitOptions {
+                method: FitMethod::NormalEquations,
+                ridge: 0.0,
+            })
+            .unwrap();
+        for (a, b) in qr.coefficients().iter().zip(ne.coefficients()) {
+            assert!((a - b).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn predict_uses_coefficients() {
+        let fit = toy_dataset().fit(FitOptions::default()).unwrap();
+        let p = fit.predict(&[1.0, 1.0, 1.0]).unwrap();
+        assert!((p - 16.0).abs() < 0.3);
+        assert!(matches!(
+            fit.predict(&[1.0]),
+            Err(RegressError::SampleWidth {
+                got: 1,
+                expected: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn sample_errors_are_reported_per_program() {
+        let fit = toy_dataset().fit(FitOptions::default()).unwrap();
+        assert_eq!(fit.sample_errors().len(), 6);
+        assert_eq!(fit.sample_errors()[0].label, "p0");
+        assert!(fit.max_abs_percent_error() >= fit.sample_errors()[0].percent.abs());
+    }
+
+    #[test]
+    fn push_sample_validates() {
+        let mut d = Dataset::new(vec!["a".into()]);
+        assert!(matches!(
+            d.push_sample("x", &[1.0, 2.0], 1.0),
+            Err(RegressError::SampleWidth { .. })
+        ));
+        assert_eq!(
+            d.push_sample("x", &[f64::NAN], 1.0),
+            Err(RegressError::NonFinite)
+        );
+        assert_eq!(
+            d.push_sample("x", &[1.0], f64::INFINITY),
+            Err(RegressError::NonFinite)
+        );
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn underdetermined_dataset_errors() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        d.push_sample("only", &[1.0, 2.0], 3.0).unwrap();
+        assert!(matches!(
+            d.fit(FitOptions::default()),
+            Err(RegressError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn exact_fit_has_zero_error() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        d.push_sample("p0", &[1.0, 0.0], 4.0).unwrap();
+        d.push_sample("p1", &[0.0, 1.0], 7.0).unwrap();
+        d.push_sample("p2", &[2.0, 3.0], 29.0).unwrap();
+        let fit = d.fit(FitOptions::default()).unwrap();
+        assert!(fit.rms_percent_error() < 1e-9);
+        assert!(fit.max_abs_percent_error() < 1e-9);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,350 @@
+//! Direct solvers used by the regression engine.
+//!
+//! Two factorizations are provided:
+//!
+//! * [`cholesky_solve`] — solves symmetric positive-definite systems; used on
+//!   the normal equations `XᵀX · c = XᵀE`, which is the paper's
+//!   pseudo-inverse method (Eq. 5),
+//! * [`qr_lstsq`] — Householder QR applied directly to the design matrix,
+//!   which avoids squaring the condition number and is the default.
+
+use crate::{Matrix, RegressError};
+
+/// Solves `A·x = b` for a symmetric positive-definite `A` via Cholesky
+/// factorization `A = L·Lᵀ`.
+///
+/// # Errors
+///
+/// Returns [`RegressError::ShapeMismatch`] if `A` is not square or `b` has
+/// the wrong length, and [`RegressError::Singular`] if a non-positive pivot
+/// is encountered (the matrix is not positive definite to working
+/// precision).
+///
+/// # Example
+///
+/// ```
+/// use emx_regress::{Matrix, solve::cholesky_solve};
+///
+/// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+/// let x = cholesky_solve(&a, &[8.0, 7.0]).unwrap();
+/// assert!((x[0] - 1.25).abs() < 1e-12);
+/// assert!((x[1] - 1.5).abs() < 1e-12);
+/// ```
+pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, RegressError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(RegressError::ShapeMismatch {
+            op: "cholesky",
+            left: a.shape(),
+            right: a.shape(),
+        });
+    }
+    if b.len() != n {
+        return Err(RegressError::ShapeMismatch {
+            op: "cholesky_solve",
+            left: a.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    let l = cholesky_factor(a)?;
+    // Forward substitution: L·y = b.
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= l[(i, j)] * y[j];
+        }
+        y[i] = s / l[(i, i)];
+    }
+    // Back substitution: Lᵀ·x = y.
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = y[i];
+        for j in (i + 1)..n {
+            s -= l[(j, i)] * x[j];
+        }
+        x[i] = s / l[(i, i)];
+    }
+    Ok(x)
+}
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+///
+/// # Errors
+///
+/// Returns [`RegressError::Singular`] if `A` is not positive definite to
+/// working precision, and [`RegressError::ShapeMismatch`] if `A` is not
+/// square.
+pub fn cholesky_factor(a: &Matrix) -> Result<Matrix, RegressError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(RegressError::ShapeMismatch {
+            op: "cholesky_factor",
+            left: a.shape(),
+            right: a.shape(),
+        });
+    }
+    let mut l = Matrix::zeros(n, n);
+    // Tolerance relative to the largest diagonal entry.
+    let scale = (0..n).fold(0.0_f64, |m, i| m.max(a[(i, i)].abs()));
+    let tol = scale.max(1.0) * 1e-13;
+    for i in 0..n {
+        for j in 0..=i {
+            let mut s = a[(i, j)];
+            for k in 0..j {
+                s -= l[(i, k)] * l[(j, k)];
+            }
+            if i == j {
+                if s <= tol {
+                    return Err(RegressError::Singular);
+                }
+                l[(i, j)] = s.sqrt();
+            } else {
+                l[(i, j)] = s / l[(j, j)];
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves the least-squares problem `min ‖X·c − y‖₂` via Householder QR.
+///
+/// Returns the coefficient vector `c` of length `X.cols()`.
+///
+/// # Errors
+///
+/// * [`RegressError::ShapeMismatch`] if `y.len() != X.rows()`,
+/// * [`RegressError::Underdetermined`] if there are fewer rows than columns,
+/// * [`RegressError::Singular`] if a diagonal entry of `R` is (numerically)
+///   zero, i.e. the columns of `X` are linearly dependent.
+pub fn qr_lstsq(x: &Matrix, y: &[f64]) -> Result<Vec<f64>, RegressError> {
+    let m = x.rows();
+    let n = x.cols();
+    if y.len() != m {
+        return Err(RegressError::ShapeMismatch {
+            op: "qr_lstsq",
+            left: x.shape(),
+            right: (y.len(), 1),
+        });
+    }
+    if m < n {
+        return Err(RegressError::Underdetermined {
+            samples: m,
+            variables: n,
+        });
+    }
+    // Work on copies; apply each Householder reflector to `r` and `rhs`.
+    let mut r = x.clone();
+    let mut rhs = y.to_vec();
+    let scale = x.max_abs().max(1.0);
+    let tol = scale * 1e-12;
+
+    for k in 0..n {
+        // Householder vector for column k, rows k..m.
+        let mut norm = 0.0;
+        for i in k..m {
+            norm += r[(i, k)] * r[(i, k)];
+        }
+        let norm = norm.sqrt();
+        if norm <= tol {
+            return Err(RegressError::Singular);
+        }
+        let alpha = if r[(k, k)] >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; m - k];
+        v[0] = r[(k, k)] - alpha;
+        for i in (k + 1)..m {
+            v[i - k] = r[(i, k)];
+        }
+        let vtv: f64 = v.iter().map(|a| a * a).sum();
+        if vtv <= tol * tol {
+            // Column already triangularized; just record alpha.
+            r[(k, k)] = alpha;
+            continue;
+        }
+        // Apply H = I − 2·v·vᵀ/(vᵀv) to the trailing block of r.
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i - k] * r[(i, j)];
+            }
+            let f = 2.0 * dot / vtv;
+            for i in k..m {
+                r[(i, j)] -= f * v[i - k];
+            }
+        }
+        // Apply to rhs.
+        let mut dot = 0.0;
+        for i in k..m {
+            dot += v[i - k] * rhs[i];
+        }
+        let f = 2.0 * dot / vtv;
+        for i in k..m {
+            rhs[i] -= f * v[i - k];
+        }
+    }
+
+    // Back substitution on the top n×n triangle.
+    let mut c = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut s = rhs[i];
+        for j in (i + 1)..n {
+            s -= r[(i, j)] * c[j];
+        }
+        let d = r[(i, i)];
+        if d.abs() <= tol {
+            return Err(RegressError::Singular);
+        }
+        c[i] = s / d;
+    }
+    Ok(c)
+}
+
+/// Solves the least-squares problem by the paper's pseudo-inverse method:
+/// forms the normal equations `XᵀX · c = Xᵀy` and solves them by Cholesky.
+///
+/// An optional ridge term `λ` adds `λ·I` to `XᵀX`, which regularizes
+/// near-collinear designs (used by the ablation studies).
+///
+/// # Errors
+///
+/// Propagates shape and singularity errors from [`cholesky_solve`], plus
+/// [`RegressError::Underdetermined`] when there are fewer samples than
+/// variables and no ridge term.
+pub fn normal_equations_lstsq(x: &Matrix, y: &[f64], ridge: f64) -> Result<Vec<f64>, RegressError> {
+    if x.rows() < x.cols() && ridge == 0.0 {
+        return Err(RegressError::Underdetermined {
+            samples: x.rows(),
+            variables: x.cols(),
+        });
+    }
+    let mut gram = x.gram();
+    if ridge > 0.0 {
+        for i in 0..gram.rows() {
+            gram[(i, i)] += ridge;
+        }
+    }
+    let xty = x.transpose_mul_vec(y)?;
+    cholesky_solve(&gram, &xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]]);
+        let x_true = [1.0, -2.0, 3.0];
+        let b = a.mul_vec(&x_true).unwrap();
+        let x = cholesky_solve(&a, &b).unwrap();
+        assert_close(&x, &x_true, 1e-10);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert_eq!(cholesky_solve(&a, &[1.0, 1.0]), Err(RegressError::Singular));
+    }
+
+    #[test]
+    fn cholesky_factor_reconstructs() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ]);
+        let l = cholesky_factor(&a).unwrap();
+        let llt = l.mul(&l.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((llt[(i, j)] - a[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_recovers_exact_coefficients() {
+        // y = 3·x0 − 2·x1 + 0.5·x2 over a tall random-ish design.
+        let x = Matrix::from_rows(&[
+            &[1.0, 0.0, 0.0],
+            &[0.0, 1.0, 0.0],
+            &[0.0, 0.0, 1.0],
+            &[1.0, 1.0, 1.0],
+            &[2.0, -1.0, 0.5],
+            &[0.3, 0.7, -1.2],
+        ]);
+        let c_true = [3.0, -2.0, 0.5];
+        let y = x.mul_vec(&c_true).unwrap();
+        let c = qr_lstsq(&x, &y).unwrap();
+        assert_close(&c, &c_true, 1e-10);
+    }
+
+    #[test]
+    fn qr_and_normal_equations_agree() {
+        let x = Matrix::from_rows(&[
+            &[1.0, 2.0],
+            &[2.0, 1.0],
+            &[3.0, 4.0],
+            &[1.0, -1.0],
+            &[0.5, 0.25],
+        ]);
+        // Inconsistent system: least-squares answer, not exact.
+        let y = [1.0, 2.0, 3.0, 0.0, 0.7];
+        let c1 = qr_lstsq(&x, &y).unwrap();
+        let c2 = normal_equations_lstsq(&x, &y, 0.0).unwrap();
+        assert_close(&c1, &c2, 1e-9);
+    }
+
+    #[test]
+    fn qr_detects_collinearity() {
+        let x = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        assert_eq!(qr_lstsq(&x, &[1.0, 2.0, 3.0]), Err(RegressError::Singular));
+    }
+
+    #[test]
+    fn qr_rejects_underdetermined() {
+        let x = Matrix::zeros(2, 3);
+        assert!(matches!(
+            qr_lstsq(&x, &[0.0, 0.0]),
+            Err(RegressError::Underdetermined {
+                samples: 2,
+                variables: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn ridge_regularizes_collinear_design() {
+        let x = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let y = [2.0, 4.0, 6.0];
+        // Without ridge: singular. With ridge: the minimum-norm-ish answer
+        // splits the weight across the collinear columns.
+        assert_eq!(
+            normal_equations_lstsq(&x, &y, 0.0),
+            Err(RegressError::Singular)
+        );
+        let c = normal_equations_lstsq(&x, &y, 1e-6).unwrap();
+        assert!((c[0] + c[1] - 2.0).abs() < 1e-3, "{c:?}");
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns() {
+        // Least-squares optimality: Xᵀ(y − X·c) = 0.
+        let x = Matrix::from_rows(&[&[1.0, 0.3], &[1.0, -0.7], &[1.0, 1.9], &[1.0, 0.2]]);
+        let y = [1.0, 0.0, 3.5, 1.2];
+        let c = qr_lstsq(&x, &y).unwrap();
+        let fitted = x.mul_vec(&c).unwrap();
+        let resid: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
+        let xtres = x.transpose_mul_vec(&resid).unwrap();
+        for v in xtres {
+            assert!(v.abs() < 1e-10, "{v}");
+        }
+    }
+}

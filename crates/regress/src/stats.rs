@@ -1,0 +1,162 @@
+//! Small statistical helpers used by the evaluation harness.
+//!
+//! These back the summary numbers the paper reports: mean absolute error
+//! and maximum error (Table II), RMS fitting error (Fig. 3), and rank
+//! agreement between two energy profiles (the relative-accuracy study of
+//! Fig. 4).
+
+/// Arithmetic mean; `0.0` for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(emx_regress::stats::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// Root mean square; `0.0` for an empty slice.
+pub fn rms(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    (values.iter().map(|v| v * v).sum::<f64>() / values.len() as f64).sqrt()
+}
+
+/// Mean of absolute values; `0.0` for an empty slice.
+pub fn mean_abs(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().map(|v| v.abs()).sum::<f64>() / values.len() as f64
+}
+
+/// Maximum absolute value; `0.0` for an empty slice.
+pub fn max_abs(values: &[f64]) -> f64 {
+    values.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
+}
+
+/// Fractional ranks of the values (average rank for ties), 1-based.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Average rank across the tie group (1-based).
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation coefficient of two equal-length samples.
+///
+/// Returns `0.0` when either sample has zero variance or the slices are
+/// empty.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson requires equal lengths");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = mean(a);
+    let mb = mean(b);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Spearman rank correlation of two equal-length samples.
+///
+/// This is the statistic behind the "good relative accuracy" claim: two
+/// energy profiles that *track* each other across design points have a rank
+/// correlation near 1 even when their absolute values differ.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// # Example
+///
+/// ```
+/// use emx_regress::stats::spearman;
+///
+/// // Perfectly monotone relation → ρ = 1.
+/// assert!((spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 35.0]) - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "spearman requires equal lengths");
+    pearson(&ranks(a), &ranks(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_rms_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((rms(&[3.0, 4.0]) - (12.5_f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rms(&[]), 0.0);
+    }
+
+    #[test]
+    fn abs_summaries() {
+        assert_eq!(mean_abs(&[-1.0, 3.0]), 2.0);
+        assert_eq!(max_abs(&[-5.0, 3.0]), 5.0);
+        assert_eq!(max_abs(&[]), 0.0);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_is_rank_based() {
+        // Monotone but non-linear: pearson < 1, spearman = 1.
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [1.0, 10.0, 100.0, 1000.0];
+        assert!(pearson(&a, &b) < 1.0);
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_reversal() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [9.0, 5.0, 1.0];
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 10.0]), vec![1.5, 3.0, 1.5]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the regression kernel.
+
+use proptest::prelude::*;
+
+use emx_regress::solve::{cholesky_solve, normal_equations_lstsq, qr_lstsq};
+use emx_regress::Matrix;
+
+/// Strategy: a well-conditioned tall design matrix plus true coefficients.
+fn tall_system() -> impl Strategy<Value = (Matrix, Vec<f64>)> {
+    (3usize..8, 1usize..4).prop_flat_map(|(rows, cols)| {
+        let cols = cols.min(rows - 1).max(1);
+        (
+            proptest::collection::vec(-100.0f64..100.0, rows * cols),
+            Just((rows, cols)),
+        )
+            .prop_map(|(data, (rows, cols))| {
+                // Add a strong diagonal so columns are independent with
+                // probability ~1.
+
+                Matrix::from_fn(rows, cols, |i, j| {
+                    let v = data[i * cols + j];
+                    if i == j {
+                        v + 500.0
+                    } else {
+                        v
+                    }
+                })
+            })
+            .prop_flat_map(|m| {
+                let cols = m.cols();
+                (Just(m), proptest::collection::vec(-10.0f64..10.0, cols))
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn qr_recovers_consistent_systems((x, c_true) in tall_system()) {
+        let y = x.mul_vec(&c_true).expect("shapes match");
+        let c = qr_lstsq(&x, &y).expect("well-conditioned");
+        for (a, b) in c.iter().zip(&c_true) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn residual_is_orthogonal_to_columns((x, c_true) in tall_system(),
+                                         noise in proptest::collection::vec(-1.0f64..1.0, 8)) {
+        let mut y = x.mul_vec(&c_true).expect("shapes match");
+        for (v, n) in y.iter_mut().zip(&noise) {
+            *v += n;
+        }
+        let c = qr_lstsq(&x, &y).expect("well-conditioned");
+        let fitted = x.mul_vec(&c).expect("shapes match");
+        let resid: Vec<f64> = y.iter().zip(&fitted).map(|(a, b)| a - b).collect();
+        let xtres = x.transpose_mul_vec(&resid).expect("shapes match");
+        for v in xtres {
+            prop_assert!(v.abs() < 1e-6, "normal equations violated: {v}");
+        }
+    }
+
+    #[test]
+    fn qr_matches_pseudo_inverse((x, c_true) in tall_system(),
+                                 noise in proptest::collection::vec(-1.0f64..1.0, 8)) {
+        let mut y = x.mul_vec(&c_true).expect("shapes match");
+        for (v, n) in y.iter_mut().zip(&noise) {
+            *v += n;
+        }
+        let a = qr_lstsq(&x, &y).expect("solves");
+        let b = normal_equations_lstsq(&x, &y, 0.0).expect("solves");
+        for (p, q) in a.iter().zip(&b) {
+            prop_assert!((p - q).abs() < 1e-5, "{p} vs {q}");
+        }
+    }
+
+    #[test]
+    fn cholesky_solves_spd(vals in proptest::collection::vec(-10.0f64..10.0, 9),
+                           rhs in proptest::collection::vec(-10.0f64..10.0, 3)) {
+        // Build SPD as AᵀA + I.
+        let a = Matrix::from_fn(3, 3, |i, j| vals[i * 3 + j]);
+        let mut spd = a.gram();
+        for i in 0..3 {
+            spd[(i, i)] += 1.0;
+        }
+        let x = cholesky_solve(&spd, &rhs).expect("SPD by construction");
+        let back = spd.mul_vec(&x).expect("shapes match");
+        for (b, r) in back.iter().zip(&rhs) {
+            prop_assert!((b - r).abs() < 1e-7, "{b} vs {r}");
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution(vals in proptest::collection::vec(-100.0f64..100.0, 12)) {
+        let m = Matrix::from_fn(3, 4, |i, j| vals[i * 4 + j]);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn product_transpose_identity(a_vals in proptest::collection::vec(-10.0f64..10.0, 6),
+                                  b_vals in proptest::collection::vec(-10.0f64..10.0, 6)) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let a = Matrix::from_fn(2, 3, |i, j| a_vals[i * 3 + j]);
+        let b = Matrix::from_fn(3, 2, |i, j| b_vals[i * 2 + j]);
+        let lhs = a.mul(&b).expect("shapes").transpose();
+        let rhs = b.transpose().mul(&a.transpose()).expect("shapes");
+        for i in 0..2 {
+            for j in 0..2 {
+                prop_assert!((lhs[(i, j)] - rhs[(i, j)]).abs() < 1e-9);
+            }
+        }
+    }
+}

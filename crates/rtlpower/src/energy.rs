@@ -1,0 +1,248 @@
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// An amount of energy, stored in picojoules.
+///
+/// Newtype so that joule-scale quantities cannot be confused with cycle
+/// counts or coefficients. Applications in the paper's Table II are
+/// reported in microjoules; use [`Energy::as_microjoules`] for display.
+///
+/// # Example
+///
+/// ```
+/// use emx_rtlpower::Energy;
+///
+/// let e = Energy::from_picojoules(2_500_000.0);
+/// assert!((e.as_microjoules() - 2.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Energy(f64);
+
+impl Energy {
+    /// Zero energy.
+    pub const ZERO: Energy = Energy(0.0);
+
+    /// Creates an energy from picojoules.
+    pub fn from_picojoules(pj: f64) -> Self {
+        Energy(pj)
+    }
+
+    /// Creates an energy from microjoules.
+    pub fn from_microjoules(uj: f64) -> Self {
+        Energy(uj * 1.0e6)
+    }
+
+    /// The value in picojoules.
+    pub fn as_picojoules(self) -> f64 {
+        self.0
+    }
+
+    /// The value in microjoules.
+    pub fn as_microjoules(self) -> f64 {
+        self.0 * 1.0e-6
+    }
+
+    /// Average power in milliwatts given a cycle count and clock frequency.
+    ///
+    /// Returns 0 for a zero-cycle run.
+    pub fn average_power_mw(self, cycles: u64, clock_mhz: f64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        // pJ / (cycles / f) → pJ·MHz/cycles = µW·1e-... : 1 pJ × 1 MHz = 1 µW.
+        let microwatts = self.0 * clock_mhz / cycles as f64;
+        microwatts / 1000.0
+    }
+
+    /// Signed relative difference versus a reference, in percent.
+    pub fn percent_error_vs(self, reference: Energy) -> f64 {
+        if reference.0 == 0.0 {
+            return 0.0;
+        }
+        (self.0 - reference.0) / reference.0 * 100.0
+    }
+}
+
+impl Add for Energy {
+    type Output = Energy;
+    fn add(self, rhs: Energy) -> Energy {
+        Energy(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Energy {
+    fn add_assign(&mut self, rhs: Energy) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Energy {
+    type Output = Energy;
+    fn sub(self, rhs: Energy) -> Energy {
+        Energy(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Energy {
+    type Output = Energy;
+    fn mul(self, rhs: f64) -> Energy {
+        Energy(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Energy {
+    type Output = Energy;
+    fn div(self, rhs: f64) -> Energy {
+        Energy(self.0 / rhs)
+    }
+}
+
+impl Sum for Energy {
+    fn sum<I: Iterator<Item = Energy>>(iter: I) -> Energy {
+        Energy(iter.map(|e| e.0).sum())
+    }
+}
+
+impl fmt::Display for Energy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.abs() >= 1.0e6 {
+            write!(f, "{:.2} µJ", self.as_microjoules())
+        } else if self.0.abs() >= 1.0e3 {
+            write!(f, "{:.2} nJ", self.0 * 1e-3)
+        } else {
+            write!(f, "{:.2} pJ", self.0)
+        }
+    }
+}
+
+/// Per-block decomposition of a processor's energy, as an RTL power tool
+/// would report it.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Clock tree and pipeline registers.
+    pub clock: Energy,
+    /// Instruction fetch, I-cache arrays, miss fills, uncached fetches.
+    pub fetch: Energy,
+    /// Instruction decoder.
+    pub decode: Energy,
+    /// Register-file read/write ports.
+    pub regfile: Energy,
+    /// Operand and result bus switching.
+    pub buses: Energy,
+    /// EX-stage functional units (adder, logic, shifter, multiplier).
+    pub execute: Energy,
+    /// D-cache accesses, misses, write-backs, uncached data.
+    pub dmem: Energy,
+    /// Stall and flush cycles (pipeline-hold overhead beyond the clock).
+    pub stall: Energy,
+    /// Custom-hardware datapath activity (all ten library categories).
+    pub custom: Energy,
+    /// Auto-generated TIE decoder/bypass/interlock control logic.
+    pub control: Energy,
+    /// Leakage of instantiated custom hardware.
+    pub leakage: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Sum of all components.
+    pub fn total(&self) -> Energy {
+        self.clock
+            + self.fetch
+            + self.decode
+            + self.regfile
+            + self.buses
+            + self.execute
+            + self.dmem
+            + self.stall
+            + self.custom
+            + self.control
+            + self.leakage
+    }
+
+    /// Energy attributable to the custom extension (datapath + control +
+    /// leakage).
+    pub fn custom_total(&self) -> Energy {
+        self.custom + self.control + self.leakage
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "clock:    {}", self.clock)?;
+        writeln!(f, "fetch:    {}", self.fetch)?;
+        writeln!(f, "decode:   {}", self.decode)?;
+        writeln!(f, "regfile:  {}", self.regfile)?;
+        writeln!(f, "buses:    {}", self.buses)?;
+        writeln!(f, "execute:  {}", self.execute)?;
+        writeln!(f, "dmem:     {}", self.dmem)?;
+        writeln!(f, "stall:    {}", self.stall)?;
+        writeln!(f, "custom:   {}", self.custom)?;
+        writeln!(f, "control:  {}", self.control)?;
+        writeln!(f, "leakage:  {}", self.leakage)?;
+        write!(f, "total:    {}", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_conversions() {
+        let e = Energy::from_microjoules(1.5);
+        assert_eq!(e.as_picojoules(), 1.5e6);
+        assert_eq!(Energy::from_picojoules(250.0).as_picojoules(), 250.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Energy::from_picojoules(100.0);
+        let b = Energy::from_picojoules(50.0);
+        assert_eq!((a + b).as_picojoules(), 150.0);
+        assert_eq!((a - b).as_picojoules(), 50.0);
+        assert_eq!((a * 2.0).as_picojoules(), 200.0);
+        assert_eq!((a / 2.0).as_picojoules(), 50.0);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_picojoules(), 150.0);
+        let s: Energy = [a, b].into_iter().sum();
+        assert_eq!(s.as_picojoules(), 150.0);
+    }
+
+    #[test]
+    fn power_conversion() {
+        // 1 pJ per cycle at 187 MHz = 0.187 mW.
+        let e = Energy::from_picojoules(1000.0);
+        let mw = e.average_power_mw(1000, 187.0);
+        assert!((mw - 0.187).abs() < 1e-12);
+        assert_eq!(Energy::ZERO.average_power_mw(0, 187.0), 0.0);
+    }
+
+    #[test]
+    fn percent_error() {
+        let est = Energy::from_picojoules(103.0);
+        let truth = Energy::from_picojoules(100.0);
+        assert!((est.percent_error_vs(truth) - 3.0).abs() < 1e-12);
+        assert_eq!(est.percent_error_vs(Energy::ZERO), 0.0);
+    }
+
+    #[test]
+    fn breakdown_total_sums_components() {
+        let b = EnergyBreakdown {
+            clock: Energy::from_picojoules(1.0),
+            custom: Energy::from_picojoules(2.0),
+            leakage: Energy::from_picojoules(3.0),
+            ..Default::default()
+        };
+        assert_eq!(b.total().as_picojoules(), 6.0);
+        assert_eq!(b.custom_total().as_picojoules(), 5.0);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert!(Energy::from_picojoules(12.0).to_string().contains("pJ"));
+        assert!(Energy::from_picojoules(1.2e4).to_string().contains("nJ"));
+        assert!(Energy::from_picojoules(2.5e6).to_string().contains("µJ"));
+    }
+}

@@ -1,0 +1,137 @@
+use emx_isa::op::ExecUnit;
+
+/// Ground-truth energy parameters of the fixed base-processor blocks.
+///
+/// Like [`emx_hwlib::HwEnergyParams`], these stand in for the gate-level
+/// characterization a commercial RTL power tool applies internally; the
+/// macro-model never sees them. Defaults give a total of roughly
+/// 0.4–0.6 nJ per cycle — ~75–110 mW at 187 MHz — which is the right
+/// ballpark for a 0.25 µm synthesizable RISC core like the paper's
+/// Xtensa T1040.
+///
+/// All values are picojoules; `*_toggle` values are per toggled bit.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // field names are self-describing; see struct docs
+pub struct BaseEnergyParams {
+    /// Clock tree + pipeline registers, charged every cycle (including
+    /// stall, flush and miss cycles).
+    pub clock_per_cycle: f64,
+    /// I-cache array read per fetch.
+    pub fetch_access: f64,
+    /// Fetch/decode path switching per toggled encoding bit.
+    pub fetch_toggle: f64,
+    /// Instruction decoder per instruction.
+    pub decode: f64,
+    /// Register-file energy per read port access.
+    pub regfile_read: f64,
+    /// Register-file energy per write.
+    pub regfile_write: f64,
+    /// Operand/result bus switching per toggled bit.
+    pub bus_toggle: f64,
+    /// EX-stage base energy per op, by functional unit.
+    pub alu_adder: f64,
+    pub alu_logic: f64,
+    pub alu_shifter: f64,
+    pub alu_multiplier: f64,
+    pub alu_move: f64,
+    /// EX-stage switching per toggled *internal net* of the structural
+    /// unit models in [`crate::gates`] (all units churn on every operand
+    /// change; see `ExStageNets`).
+    pub ex_net_toggle: f64,
+    /// D-cache array read / write per access.
+    pub dcache_read: f64,
+    pub dcache_write: f64,
+    /// Line fill on a D-cache miss (32-byte burst + bus interface).
+    pub dcache_miss: f64,
+    /// Dirty-line write-back burst.
+    pub dcache_writeback: f64,
+    /// Line fill on an I-cache miss.
+    pub icache_miss: f64,
+    /// One uncached (cache-bypassing) access over the system bus.
+    pub uncached_access: f64,
+    /// Extra energy per stall/flush cycle beyond the clock tree.
+    pub stall_per_cycle: f64,
+    /// TIE decoder / bypass / interlock control logic, per custom
+    /// instruction execution and unit of control complexity.
+    pub tie_control: f64,
+}
+
+impl Default for BaseEnergyParams {
+    fn default() -> Self {
+        BaseEnergyParams {
+            clock_per_cycle: 96.0,
+            fetch_access: 158.0,
+            fetch_toggle: 0.9,
+            decode: 37.0,
+            regfile_read: 26.0,
+            regfile_write: 34.0,
+            bus_toggle: 1.0,
+            alu_adder: 54.0,
+            alu_logic: 21.0,
+            alu_shifter: 86.0,
+            alu_multiplier: 298.0,
+            alu_move: 9.0,
+            ex_net_toggle: 0.025,
+            dcache_read: 188.0,
+            dcache_write: 226.0,
+            dcache_miss: 2150.0,
+            dcache_writeback: 880.0,
+            icache_miss: 2450.0,
+            uncached_access: 1400.0,
+            stall_per_cycle: 17.0,
+            tie_control: 6.0,
+        }
+    }
+}
+
+impl BaseEnergyParams {
+    /// EX-stage base energy for one functional unit.
+    pub fn alu_energy(&self, unit: ExecUnit) -> f64 {
+        match unit {
+            ExecUnit::Adder => self.alu_adder,
+            ExecUnit::Logic => self.alu_logic,
+            ExecUnit::Shifter => self.alu_shifter,
+            ExecUnit::Multiplier => self.alu_multiplier,
+            ExecUnit::Move => self.alu_move,
+            ExecUnit::None => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_cycle_total_is_plausible() {
+        // A typical ALU instruction with moderate switching should land
+        // between 0.3 and 0.8 nJ (≈55–150 mW at 187 MHz).
+        let p = BaseEnergyParams::default();
+        let typical = p.clock_per_cycle
+            + p.fetch_access
+            + p.fetch_toggle * 8.0
+            + p.decode
+            + 2.0 * p.regfile_read
+            + p.bus_toggle * 16.0
+            + p.alu_adder
+            + p.ex_net_toggle * 400.0
+            + p.regfile_write;
+        assert!((300.0..800.0).contains(&typical), "typical = {typical}");
+    }
+
+    #[test]
+    fn unit_energies_ordered() {
+        let p = BaseEnergyParams::default();
+        assert!(p.alu_energy(ExecUnit::Multiplier) > p.alu_energy(ExecUnit::Shifter));
+        assert!(p.alu_energy(ExecUnit::Shifter) > p.alu_energy(ExecUnit::Adder));
+        assert!(p.alu_energy(ExecUnit::Adder) > p.alu_energy(ExecUnit::Logic));
+        assert_eq!(p.alu_energy(ExecUnit::None), 0.0);
+    }
+
+    #[test]
+    fn miss_events_dominate_hits() {
+        let p = BaseEnergyParams::default();
+        assert!(p.dcache_miss > 5.0 * p.dcache_read);
+        assert!(p.icache_miss > 5.0 * p.fetch_access);
+    }
+}

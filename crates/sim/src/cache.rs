@@ -1,0 +1,253 @@
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Number of sets (power of two).
+    pub sets: u32,
+    /// Associativity.
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// The paper's configuration: 16 KB, 4-way, 32-byte lines → 128 sets.
+    pub fn paper_default() -> Self {
+        CacheConfig {
+            sets: 128,
+            ways: 4,
+            line_bytes: 32,
+        }
+    }
+
+    /// Total capacity in bytes.
+    pub fn total_bytes(&self) -> u32 {
+        self.sets * self.ways * self.line_bytes
+    }
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Outcome of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// `true` if the line was already present.
+    pub hit: bool,
+    /// `true` if a dirty line had to be written back to fill this one.
+    pub writeback: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u32,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// A set-associative, write-back/write-allocate cache model with true LRU
+/// replacement.
+///
+/// Only the tag state is modeled — data contents live in [`crate::Memory`]
+/// — which is exactly what hit/miss statistics and energy accounting need.
+///
+/// # Example
+///
+/// ```
+/// use emx_sim::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::paper_default());
+/// assert!(!c.access(0x1000, false).hit); // cold miss
+/// assert!(c.access(0x1000, false).hit);  // now resident
+/// assert!(c.access(0x1004, false).hit);  // same 32-byte line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `line_bytes` is not a power of two, or any
+    /// geometry field is zero.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(config.ways > 0, "ways must be nonzero");
+        Cache {
+            config,
+            lines: vec![Line::default(); (config.sets * config.ways) as usize],
+            tick: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn set_of(&self, addr: u32) -> u32 {
+        (addr / self.config.line_bytes) & (self.config.sets - 1)
+    }
+
+    fn tag_of(&self, addr: u32) -> u32 {
+        addr / self.config.line_bytes / self.config.sets
+    }
+
+    /// Performs one access; on a miss the line is filled (allocated),
+    /// evicting the LRU way.
+    ///
+    /// `write` marks the line dirty (write-back policy: a later eviction of
+    /// a dirty line reports `writeback`).
+    pub fn access(&mut self, addr: u32, write: bool) -> CacheAccess {
+        self.tick += 1;
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = (set * self.config.ways) as usize;
+        let ways = self.config.ways as usize;
+        let set_lines = &mut self.lines[base..base + ways];
+
+        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.tick;
+            line.dirty |= write;
+            return CacheAccess {
+                hit: true,
+                writeback: false,
+            };
+        }
+
+        // Miss: pick an invalid way, else the LRU way.
+        let victim = set_lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
+            .expect("ways > 0");
+        let writeback = victim.valid && victim.dirty;
+        *victim = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            lru: self.tick,
+        };
+        CacheAccess {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Returns `true` if the address is currently resident (without
+    /// touching LRU state).
+    pub fn probe(&self, addr: u32) -> bool {
+        let set = self.set_of(addr);
+        let tag = self.tag_of(addr);
+        let base = (set * self.config.ways) as usize;
+        self.lines[base..base + self.config.ways as usize]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates all lines (dirty contents are discarded; this is a
+    /// simulation reset, not a flush).
+    pub fn clear(&mut self) {
+        self.lines.fill(Line::default());
+        self.tick = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 16-byte lines.
+        Cache::new(CacheConfig {
+            sets: 2,
+            ways: 2,
+            line_bytes: 16,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x00, false).hit);
+        assert!(c.access(0x00, false).hit);
+        assert!(c.access(0x0f, false).hit); // same line
+        assert!(!c.access(0x10, false).hit); // next line, other set
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Set 0 holds lines with addr bits [4]=0: 0x00, 0x20, 0x40 map to set 0.
+        c.access(0x00, false);
+        c.access(0x20, false);
+        c.access(0x00, false); // touch 0x00 → 0x20 becomes LRU
+        c.access(0x40, false); // evicts 0x20
+        assert!(c.probe(0x00));
+        assert!(!c.probe(0x20));
+        assert!(c.probe(0x40));
+    }
+
+    #[test]
+    fn writeback_on_dirty_eviction() {
+        let mut c = tiny();
+        assert!(!c.access(0x00, true).hit); // dirty fill
+        c.access(0x20, false);
+        let out = c.access(0x40, false); // evicts dirty 0x00
+        assert!(!out.hit);
+        assert!(out.writeback);
+        // Refill 0x00 clean, evicting clean 0x20 → no writeback.
+        let out = c.access(0x00, false);
+        assert!(!out.writeback);
+    }
+
+    #[test]
+    fn occupancy_bounded_by_associativity() {
+        let mut c = tiny();
+        // Four lines mapping to set 0; only 2 can be resident.
+        for addr in [0x00u32, 0x20, 0x40, 0x60] {
+            c.access(addr, false);
+        }
+        let resident = [0x00u32, 0x20, 0x40, 0x60]
+            .iter()
+            .filter(|&&a| c.probe(a))
+            .count();
+        assert_eq!(resident, 2);
+    }
+
+    #[test]
+    fn paper_geometry() {
+        let c = Cache::new(CacheConfig::paper_default());
+        assert_eq!(c.config().total_bytes(), 16 * 1024);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c = tiny();
+        c.access(0x00, true);
+        c.clear();
+        assert!(!c.probe(0x00));
+        assert!(!c.access(0x00, false).hit);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two_sets() {
+        let _ = Cache::new(CacheConfig {
+            sets: 3,
+            ways: 1,
+            line_bytes: 16,
+        });
+    }
+}

@@ -1,0 +1,80 @@
+use crate::cache::CacheConfig;
+
+/// Configuration of the (fixed) base processor.
+///
+/// The default mirrors the paper's characterized Xtensa T1040
+/// configuration: 187 MHz, a 32-bit multiplication instruction, 4-way
+/// 16 KB instruction and data caches, a 32-bit system bus and a 64-entry
+/// 32-bit physical register file.
+///
+/// Timing parameters are exposed so ablation studies can vary the
+/// micro-architecture; the macro-model methodology itself never reads
+/// them — it observes their effects through simulation statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcConfig {
+    /// Instruction-cache geometry.
+    pub icache: CacheConfig,
+    /// Data-cache geometry.
+    pub dcache: CacheConfig,
+    /// Stall cycles charged per instruction-cache miss.
+    pub icache_miss_penalty: u32,
+    /// Stall cycles charged per data-cache miss.
+    pub dcache_miss_penalty: u32,
+    /// Stall cycles charged per uncached instruction fetch.
+    pub uncached_fetch_penalty: u32,
+    /// Pipeline cycles occupied by a taken branch (issue + flushed
+    /// bubbles; branches resolve in EX).
+    pub branch_taken_cycles: u32,
+    /// Pipeline cycles occupied by an unconditional jump/call/return
+    /// (jumps resolve in ID, so one bubble).
+    pub jump_cycles: u32,
+    /// Number of physical registers backing the architectural window
+    /// (affects register-file energy in the reference model only).
+    pub physical_regs: u32,
+    /// Core clock in MHz (used only to convert energy to power in
+    /// reports).
+    pub clock_mhz: f64,
+}
+
+impl Default for ProcConfig {
+    fn default() -> Self {
+        ProcConfig {
+            icache: CacheConfig::paper_default(),
+            dcache: CacheConfig::paper_default(),
+            icache_miss_penalty: 14,
+            dcache_miss_penalty: 14,
+            uncached_fetch_penalty: 10,
+            branch_taken_cycles: 3,
+            jump_cycles: 2,
+            physical_regs: 64,
+            clock_mhz: 187.0,
+        }
+    }
+}
+
+impl ProcConfig {
+    /// The paper's characterized configuration (same as `Default`).
+    pub fn t1040() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_configuration() {
+        let c = ProcConfig::default();
+        assert_eq!(c.icache.total_bytes(), 16 * 1024);
+        assert_eq!(c.icache.ways, 4);
+        assert_eq!(c.dcache.total_bytes(), 16 * 1024);
+        assert_eq!(c.physical_regs, 64);
+        assert_eq!(c.clock_mhz, 187.0);
+    }
+
+    #[test]
+    fn t1040_is_default() {
+        assert_eq!(ProcConfig::t1040(), ProcConfig::default());
+    }
+}

@@ -1,0 +1,58 @@
+use std::error::Error;
+use std::fmt;
+
+use emx_hwlib::GraphError;
+use emx_isa::CustomId;
+
+/// Errors raised during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The program counter left the text segment (fell off the end, or a
+    /// computed jump went wild).
+    InvalidPc(u32),
+    /// A custom instruction was fetched whose id is not in the active
+    /// extension set (program assembled against a different extension).
+    UnknownCustom(CustomId),
+    /// A load or store address violated its natural alignment.
+    Unaligned {
+        /// The faulting address.
+        addr: u32,
+        /// Access size in bytes.
+        size: u32,
+    },
+    /// The run exceeded the caller's cycle budget without halting.
+    CycleLimit(u64),
+    /// A custom-instruction dataflow graph failed to evaluate (indicates
+    /// an extension-set bug).
+    Graph(GraphError),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidPc(pc) => write!(f, "invalid program counter 0x{pc:08x}"),
+            SimError::UnknownCustom(id) => write!(f, "unknown custom instruction {id}"),
+            SimError::Unaligned { addr, size } => {
+                write!(f, "unaligned {size}-byte access at 0x{addr:08x}")
+            }
+            SimError::CycleLimit(n) => write!(f, "cycle limit of {n} exceeded without halt"),
+            SimError::Graph(e) => write!(f, "custom datapath evaluation failed: {e}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for SimError {
+    fn from(e: GraphError) -> Self {
+        SimError::Graph(e)
+    }
+}

@@ -1,0 +1,402 @@
+use emx_isa::program::layout;
+use emx_isa::{encode, DynClass, Inst, Opcode, Program, Reg};
+use emx_tie::ExtensionSet;
+
+use crate::record::{ActivitySink, CustomActivity, InstKind, InstRecord, MemAccess, NullSink};
+use crate::{Cache, CoreState, ExecStats, ProcConfig, SimError};
+
+/// What kind of delayed-result hazard the previous instruction left
+/// behind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HazKind {
+    Load,
+    Mul,
+    Custom,
+}
+
+/// Result of a completed simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The gathered execution statistics.
+    pub stats: ExecStats,
+    /// `true` if the program reached `halt` (always true on `Ok`; kept for
+    /// symmetry with partial-run extensions).
+    pub halted: bool,
+}
+
+/// The functional instruction-set simulator (the paper's "instruction set
+/// simulation" step).
+///
+/// Executes a program on a base-plus-extension processor configuration,
+/// modeling exactly the micro-architectural effects the macro-model
+/// variables observe: per-class cycles, I/D-cache misses, uncached
+/// fetches, pipeline interlocks, custom-instruction latencies and GPR
+/// coupling, and the dynamic resource usage of the custom hardware.
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone)]
+pub struct Interp<'a> {
+    program: &'a Program,
+    ext: &'a ExtensionSet,
+    config: ProcConfig,
+    state: CoreState,
+    icache: Cache,
+    dcache: Cache,
+    stats: ExecStats,
+    hazard: Option<(Reg, HazKind)>,
+}
+
+impl<'a> Interp<'a> {
+    /// Creates a simulator at the program's entry point.
+    pub fn new(program: &'a Program, ext: &'a ExtensionSet, config: ProcConfig) -> Self {
+        Interp {
+            program,
+            ext,
+            state: CoreState::new(program, ext),
+            icache: Cache::new(config.icache),
+            dcache: Cache::new(config.dcache),
+            stats: ExecStats::new(ext.len()),
+            config,
+            hazard: None,
+        }
+    }
+
+    /// The architectural state (registers, memory, custom state).
+    pub fn state(&self) -> &CoreState {
+        &self.state
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+
+    /// The processor configuration in use.
+    pub fn config(&self) -> &ProcConfig {
+        &self.config
+    }
+
+    /// Runs until `halt`, or until `max_cycles` simulated cycles have
+    /// elapsed.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CycleLimit`] if the budget is exhausted, plus any
+    /// executor error ([`SimError::InvalidPc`], [`SimError::Unaligned`],
+    /// …).
+    pub fn run(&mut self, max_cycles: u64) -> Result<RunResult, SimError> {
+        self.run_with_sink(&mut NullSink, max_cycles)
+    }
+
+    /// Runs like [`Interp::run`] while streaming per-instruction activity
+    /// records into `sink`. This is the slow, detailed path used by the
+    /// RTL-level energy estimator.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Interp::run`].
+    pub fn run_with_sink<S: ActivitySink>(
+        &mut self,
+        sink: &mut S,
+        max_cycles: u64,
+    ) -> Result<RunResult, SimError> {
+        loop {
+            if self.stats.total_cycles >= max_cycles {
+                return Err(SimError::CycleLimit(max_cycles));
+            }
+            if self.step_counted(sink)? {
+                return Ok(RunResult {
+                    stats: self.stats.clone(),
+                    halted: true,
+                });
+            }
+        }
+    }
+
+    /// Executes one instruction with full cycle accounting; returns `true`
+    /// on `halt`.
+    fn step_counted<S: ActivitySink>(&mut self, sink: &mut S) -> Result<bool, SimError> {
+        let pc = self.state.pc();
+
+        // ---- instruction fetch ------------------------------------------------
+        let fetch_uncached = layout::is_uncached(pc);
+        let mut penalty_cycles: u32 = 0;
+        let mut fetch_hit = true;
+        if fetch_uncached {
+            self.stats.uncached_fetches += 1;
+            penalty_cycles += self.config.uncached_fetch_penalty;
+            fetch_hit = false;
+        } else if !self.icache.access(pc, false).hit {
+            self.stats.icache_misses += 1;
+            penalty_cycles += self.config.icache_miss_penalty;
+            fetch_hit = false;
+        }
+
+        // ---- execute -----------------------------------------------------------
+        let out = crate::exec::step(&mut self.state, self.program, self.ext)?;
+
+        // ---- interlock detection ------------------------------------------------
+        let (read_a, read_b) = match &out.inst {
+            Inst::Base(b) => b.read_regs(),
+            Inst::Custom(c) => {
+                let spec = self.ext.get(c.id).expect("validated by exec::step");
+                let sig = spec.signature();
+                (
+                    (sig.gpr_reads >= 1).then_some(c.rs),
+                    (sig.gpr_reads >= 2).then_some(c.rt),
+                )
+            }
+        };
+        let mut stall_cycles = 0u32;
+        if let Some((hreg, _)) = self.hazard {
+            if read_a == Some(hreg) || read_b == Some(hreg) {
+                stall_cycles = 1;
+                self.stats.interlocks += 1;
+            }
+        }
+
+        // ---- per-kind cycle accounting -------------------------------------------
+        let (kind, base_cycles, flush_cycles) = match &out.inst {
+            Inst::Base(b) => {
+                let class = DynClass::from_base(b.op.base_class(), out.taken);
+                let cost = match class {
+                    DynClass::BranchTaken => self.config.branch_taken_cycles,
+                    DynClass::Jump if b.op != Opcode::Halt => self.config.jump_cycles,
+                    _ => 1,
+                };
+                self.stats.class_cycles[class.index()] += u64::from(cost);
+                self.stats.class_counts[class.index()] += 1;
+                self.stats.opcode_cycles[b.op.index()] += u64::from(cost);
+                (InstKind::Base(class, b.op.exec_unit()), cost, cost - 1)
+            }
+            Inst::Custom(c) => {
+                let spec = self.ext.get(c.id).expect("validated by exec::step");
+                let cost = u32::from(spec.latency());
+                self.stats.custom_cycles += u64::from(cost);
+                if spec.uses_gpr() {
+                    self.stats.ci_gpr_cycles += u64::from(cost);
+                }
+                self.stats.custom_counts[c.id.0 as usize] += 1;
+                for (acc, add) in self
+                    .stats
+                    .struct_activity
+                    .iter_mut()
+                    .zip(spec.resource_vector())
+                {
+                    *acc += add;
+                }
+                for (acc, add) in self
+                    .stats
+                    .struct_activations
+                    .iter_mut()
+                    .zip(spec.resource_counts())
+                {
+                    *acc += add;
+                }
+                (InstKind::Custom(c.id), cost, 0)
+            }
+        };
+
+        // ---- data memory ------------------------------------------------------------
+        let mem = out.mem.map(|d| {
+            let uncached = layout::is_uncached(d.addr);
+            let (hit, writeback) = if uncached {
+                self.stats.dcache_misses += 1;
+                penalty_cycles += self.config.uncached_fetch_penalty;
+                (false, false)
+            } else {
+                let acc = self.dcache.access(d.addr, d.write);
+                if !acc.hit {
+                    self.stats.dcache_misses += 1;
+                    penalty_cycles += self.config.dcache_miss_penalty;
+                }
+                (acc.hit, acc.writeback)
+            };
+            MemAccess {
+                addr: d.addr,
+                size: d.size,
+                write: d.write,
+                value: d.value,
+                hit,
+                writeback,
+                uncached,
+            }
+        });
+
+        // ---- hazard bookkeeping for the next instruction ----------------------------
+        self.hazard = match &out.inst {
+            Inst::Base(b) if b.op.base_class() == emx_isa::BaseClass::Load => {
+                out.result.map(|(r, _)| (r, HazKind::Load))
+            }
+            Inst::Base(b) if b.op.is_multiply() => out.result.map(|(r, _)| (r, HazKind::Mul)),
+            Inst::Custom(_) => out.result.map(|(r, _)| (r, HazKind::Custom)),
+            _ => None,
+        };
+
+        // ---- totals --------------------------------------------------------------------
+        let cycles = base_cycles + stall_cycles + penalty_cycles;
+        self.stats.total_cycles += u64::from(cycles);
+        self.stats.inst_count += 1;
+
+        // ---- activity record (skipped entirely on the fast path) -------------------------
+        if S::ACTIVE {
+            let custom = match (&out.inst, out.custom) {
+                (Inst::Custom(_), Some(id)) => {
+                    let spec = self.ext.get(id).expect("validated by exec::step");
+                    Some(CustomActivity {
+                        id,
+                        latency: spec.latency(),
+                        uses_gpr: spec.uses_gpr(),
+                        node_values: self.state.last_custom_nodes(),
+                    })
+                }
+                _ => None,
+            };
+            let record = InstRecord {
+                pc,
+                word: encode(&out.inst),
+                inst: out.inst,
+                kind,
+                operand_a: out.operand_a,
+                operand_b: out.operand_b,
+                result: out.result,
+                cycles,
+                stall_cycles,
+                flush_cycles,
+                fetch_hit,
+                fetch_uncached,
+                mem,
+                custom,
+            };
+            sink.record(&record);
+        }
+
+        Ok(out.halted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_isa::asm::Assembler;
+
+    fn sim(src: &str) -> (ExecStats, u32) {
+        let program = Assembler::new().assemble(src).unwrap();
+        let ext = ExtensionSet::empty();
+        let mut interp = Interp::new(&program, &ext, ProcConfig::default());
+        let run = interp.run(10_000_000).unwrap();
+        let a2 = interp.state().reg(Reg::new(2));
+        (run.stats, a2)
+    }
+
+    #[test]
+    fn counts_classes() {
+        let (stats, _) =
+            sim("movi a2, 3\nmovi a3, 0\nl: addi a3, a3, 1\naddi a2, a2, -1\nbnez a2, l\nhalt");
+        // movi×2 + (addi,addi)×3 = 8 arithmetic instructions.
+        assert_eq!(stats.count_of(DynClass::Arithmetic), 8);
+        assert_eq!(stats.count_of(DynClass::BranchTaken), 2);
+        assert_eq!(stats.count_of(DynClass::BranchUntaken), 1);
+        // halt counts as one jump-class instruction at 1 cycle.
+        assert_eq!(stats.count_of(DynClass::Jump), 1);
+        assert_eq!(stats.cycles_of(DynClass::Jump), 1);
+        // Taken branches occupy 3 cycles each by default.
+        assert_eq!(stats.cycles_of(DynClass::BranchTaken), 6);
+    }
+
+    #[test]
+    fn load_use_interlock_detected() {
+        let (with, _) =
+            sim(".data\nv: .word 5\n.text\nmovi a2, v\nl32i a3, 0(a2)\nadd a4, a3, a3\nhalt");
+        let (without, _) =
+            sim(".data\nv: .word 5\n.text\nmovi a2, v\nl32i a3, 0(a2)\nnop\nadd a4, a3, a3\nhalt");
+        assert_eq!(with.interlocks, 1);
+        assert_eq!(without.interlocks, 0);
+    }
+
+    #[test]
+    fn mul_result_interlock() {
+        let (stats, _) = sim("movi a2, 3\nmovi a3, 4\nmul a4, a2, a3\nadd a5, a4, a4\nhalt");
+        assert_eq!(stats.interlocks, 1);
+        let (stats2, _) = sim("movi a2, 3\nmovi a3, 4\nmul a4, a2, a3\nadd a5, a2, a3\nhalt");
+        assert_eq!(stats2.interlocks, 0);
+    }
+
+    #[test]
+    fn icache_misses_counted() {
+        // 6 instructions fit in a single 32-byte line starting at 0.
+        let (stats, _) = sim("nop\nnop\nnop\nnop\nnop\nhalt");
+        assert_eq!(stats.icache_misses, 1);
+        assert_eq!(stats.uncached_fetches, 0);
+    }
+
+    #[test]
+    fn uncached_fetch_counted() {
+        let (stats, _) = sim(".uncached\nnop\nnop\nhalt");
+        assert_eq!(stats.uncached_fetches, 3);
+        assert_eq!(stats.icache_misses, 0);
+        // Each uncached fetch costs its penalty on top of the base cycle.
+        let cfg = ProcConfig::default();
+        assert_eq!(
+            stats.total_cycles,
+            3 + 3 * u64::from(cfg.uncached_fetch_penalty)
+        );
+    }
+
+    #[test]
+    fn dcache_misses_counted() {
+        // Two loads from the same line: one miss, one hit.
+        let (stats, _) =
+            sim(".data\nv: .word 1, 2\n.text\nmovi a2, v\nl32i a3, 0(a2)\nl32i a4, 4(a2)\nhalt");
+        assert_eq!(stats.dcache_misses, 1);
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let program = Assembler::new().assemble("l: j l\n").unwrap();
+        let ext = ExtensionSet::empty();
+        let mut interp = Interp::new(&program, &ext, ProcConfig::default());
+        assert_eq!(interp.run(100), Err(SimError::CycleLimit(100)));
+    }
+
+    #[test]
+    fn total_cycles_decompose() {
+        let (stats, _) = sim("movi a2, 2\nl: addi a2, a2, -1\nbnez a2, l\nhalt");
+        let cfg = ProcConfig::default();
+        let expected = stats.base_class_cycles()
+            + stats.icache_misses * u64::from(cfg.icache_miss_penalty)
+            + stats.dcache_misses * u64::from(cfg.dcache_miss_penalty)
+            + stats.uncached_fetches * u64::from(cfg.uncached_fetch_penalty)
+            + stats.interlocks
+            + stats.custom_cycles;
+        assert_eq!(stats.total_cycles, expected);
+    }
+
+    #[test]
+    fn sink_sees_every_instruction() {
+        let program = Assembler::new()
+            .assemble("movi a2, 1\nadd a3, a2, a2\nhalt")
+            .unwrap();
+        let ext = ExtensionSet::empty();
+        let mut interp = Interp::new(&program, &ext, ProcConfig::default());
+        let mut seen = Vec::new();
+        let mut sink = |r: &InstRecord<'_>| seen.push((r.pc, r.cycles));
+        interp.run_with_sink(&mut sink, 1_000).unwrap();
+        assert_eq!(seen.len(), 3);
+        assert_eq!(seen[0].0, 0);
+        assert_eq!(seen[1].0, 4);
+    }
+
+    #[test]
+    fn stats_match_between_fast_and_sinked_runs() {
+        let src = "movi a2, 50\nmovi a3, 0\nl: add a3, a3, a2\naddi a2, a2, -1\nbnez a2, l\nhalt";
+        let program = Assembler::new().assemble(src).unwrap();
+        let ext = ExtensionSet::empty();
+        let mut fast = Interp::new(&program, &ext, ProcConfig::default());
+        let fast_stats = fast.run(1_000_000).unwrap().stats;
+        let mut slow = Interp::new(&program, &ext, ProcConfig::default());
+        let mut sink = |_: &InstRecord<'_>| {};
+        let slow_stats = slow.run_with_sink(&mut sink, 1_000_000).unwrap().stats;
+        assert_eq!(fast_stats, slow_stats);
+    }
+}

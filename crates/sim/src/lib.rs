@@ -1,0 +1,68 @@
+//! Simulators for the emx extensible processor.
+//!
+//! Two simulation paths mirror the two sides of the paper's methodology:
+//!
+//! * [`Interp`] — a fast **functional instruction-set simulator** (the
+//!   stand-in for the Xtensa ISS). It executes programs, models the caches
+//!   and the hazard scoreboard just enough to count the macro-model's
+//!   instruction-level variables (per-class cycles, cache misses, uncached
+//!   fetches, interlocks, custom-instruction side-effect cycles) and to
+//!   perform the dynamic resource-usage analysis for the structural
+//!   variables. This is the *only* simulation the macro-model needs
+//!   (steps 9–10 of the paper's flow).
+//! * [`PipelineSim`] — a **cycle-accounted micro-architectural simulator**
+//!   that additionally reconstructs, for every retired instruction, the
+//!   full stage-level activity of the five-stage pipeline (fetched
+//!   encoding bits, operand/result bus values, functional-unit operands,
+//!   cache array accesses, custom-datapath node values, stall/flush
+//!   cycles). Its activity stream feeds the RTL-level reference energy
+//!   estimator in `emx-rtlpower`, playing the role of the paper's
+//!   ModelSim trace generation for WattWatcher.
+//!
+//! Both paths share one executor ([`exec`]) and one timing rule set, so
+//! their cycle accounting agrees exactly; the pipeline path is slower
+//! because it materializes per-instruction activity.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use emx_isa::asm::Assembler;
+//! use emx_sim::{Interp, ProcConfig};
+//! use emx_tie::ExtensionSet;
+//!
+//! let program = Assembler::new().assemble(
+//!     "movi a2, 10\nmovi a3, 0\nloop: add a3, a3, a2\naddi a2, a2, -1\nbnez a2, loop\nhalt",
+//! )?;
+//! let ext = ExtensionSet::empty();
+//! let mut sim = Interp::new(&program, &ext, ProcConfig::default());
+//! let run = sim.run(1_000_000)?;
+//! assert_eq!(sim.state().reg(emx_isa::Reg::new(3)), 55);
+//! assert!(run.stats.total_cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod error;
+pub mod exec;
+mod iss;
+mod mem;
+mod pipeline;
+mod record;
+mod stats;
+pub mod trace;
+
+pub use cache::{Cache, CacheAccess, CacheConfig};
+pub use config::ProcConfig;
+pub use error::SimError;
+pub use exec::CoreState;
+pub use iss::{Interp, RunResult};
+pub use mem::Memory;
+pub use pipeline::PipelineSim;
+pub use record::{ActivitySink, CustomActivity, InstKind, InstRecord, MemAccess};
+pub use stats::ExecStats;

@@ -1,0 +1,119 @@
+use emx_isa::Program;
+use emx_tie::ExtensionSet;
+
+use crate::record::ActivitySink;
+use crate::{ExecStats, Interp, ProcConfig, RunResult, SimError};
+
+/// The detailed micro-architectural simulation path.
+///
+/// `PipelineSim` runs the same executor and timing rules as the functional
+/// ISS, but materializes a full per-instruction activity record — fetched
+/// encoding bits, operand/result bus values, cache array behaviour,
+/// custom-datapath node values, stall and flush cycles — and streams it to
+/// an [`ActivitySink`]. This is the trace the RTL-level reference energy
+/// estimator integrates, playing the role of the paper's
+/// "RTL description … simulated with the memory images of the test
+/// programs using ModelSim to generate the simulation traces needed by the
+/// RTL power estimator".
+///
+/// Because both paths share one engine, the statistics it produces are
+/// bit-identical to [`Interp`]'s — the difference is the activity stream
+/// and its cost.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use emx_isa::asm::Assembler;
+/// use emx_sim::{InstRecord, PipelineSim, ProcConfig};
+/// use emx_tie::ExtensionSet;
+///
+/// let program = Assembler::new().assemble("movi a2, 3\nhalt")?;
+/// let ext = ExtensionSet::empty();
+/// let mut cycles = 0u64;
+/// let mut sink = |r: &InstRecord<'_>| cycles += u64::from(r.cycles);
+/// let mut sim = PipelineSim::new(&program, &ext, ProcConfig::default());
+/// let run = sim.run(&mut sink, 1_000)?;
+/// assert_eq!(cycles, run.stats.total_cycles);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PipelineSim<'a> {
+    inner: Interp<'a>,
+}
+
+impl<'a> PipelineSim<'a> {
+    /// Creates a pipeline simulator at the program's entry point.
+    pub fn new(program: &'a Program, ext: &'a ExtensionSet, config: ProcConfig) -> Self {
+        PipelineSim {
+            inner: Interp::new(program, ext, config),
+        }
+    }
+
+    /// Runs to `halt`, streaming activity records into `sink`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Interp::run`].
+    pub fn run<S: ActivitySink>(
+        &mut self,
+        sink: &mut S,
+        max_cycles: u64,
+    ) -> Result<RunResult, SimError> {
+        self.inner.run_with_sink(sink, max_cycles)
+    }
+
+    /// The architectural state.
+    pub fn state(&self) -> &crate::CoreState {
+        self.inner.state()
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &ExecStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::InstRecord;
+    use emx_isa::asm::Assembler;
+
+    #[test]
+    fn record_cycles_sum_to_total() {
+        let program = Assembler::new()
+            .assemble(
+                ".data\nv: .word 1,2,3,4\n.text\nmovi a2, v\nmovi a3, 4\nmovi a5, 0\n\
+                 l: l32i a4, 0(a2)\nadd a5, a5, a4\naddi a2, a2, 4\naddi a3, a3, -1\n\
+                 bnez a3, l\nhalt",
+            )
+            .unwrap();
+        let ext = ExtensionSet::empty();
+        let mut sum = 0u64;
+        let mut stalls = 0u64;
+        let mut sink = |r: &InstRecord<'_>| {
+            sum += u64::from(r.cycles);
+            stalls += u64::from(r.stall_cycles);
+        };
+        let mut sim = PipelineSim::new(&program, &ext, ProcConfig::default());
+        let run = sim.run(&mut sink, 100_000).unwrap();
+        assert_eq!(sum, run.stats.total_cycles);
+        assert_eq!(stalls, run.stats.interlocks);
+        assert_eq!(sim.state().reg(emx_isa::Reg::new(5)), 10);
+    }
+
+    #[test]
+    fn fetch_flags_in_records() {
+        let program = Assembler::new().assemble("nop\nnop\nhalt").unwrap();
+        let ext = ExtensionSet::empty();
+        let mut hits = Vec::new();
+        let mut sink = |r: &InstRecord<'_>| hits.push(r.fetch_hit);
+        PipelineSim::new(&program, &ext, ProcConfig::default())
+            .run(&mut sink, 1_000)
+            .unwrap();
+        // First fetch misses the cold cache, the rest of the line hits.
+        assert_eq!(hits, vec![false, true, true]);
+    }
+}

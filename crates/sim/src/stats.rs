@@ -1,0 +1,138 @@
+use std::fmt;
+
+use emx_isa::DynClass;
+
+/// Execution statistics gathered by instruction-set simulation — the raw
+/// material of the macro-model's independent variables (steps 6/7 and 9/10
+/// of the paper's flow).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExecStats {
+    /// Cycles spent by each dynamic base-instruction class
+    /// (`n_A, n_L, n_S, n_J, n_Bt, n_Bu`), indexed by
+    /// [`DynClass::index`]. Includes the pipeline cycles architecturally
+    /// attributed to the class (e.g. taken-branch flush bubbles) but not
+    /// stall/miss penalties, which have their own variables.
+    pub class_cycles: [u64; 6],
+    /// Dynamic instruction count per class.
+    pub class_counts: [u64; 6],
+    /// Instruction-cache misses (`n_icm`).
+    pub icache_misses: u64,
+    /// Data-cache misses (`n_dcm`), including uncached data accesses.
+    pub dcache_misses: u64,
+    /// Uncached instruction fetches (`n_ucf`).
+    pub uncached_fetches: u64,
+    /// Pipeline interlocks (`n_ilk`): load-use, multiplier-use and
+    /// custom-result hazards, one stall cycle each.
+    pub interlocks: u64,
+    /// Cycles spent by custom instructions that access the general-purpose
+    /// register file (`n_CI`, the base-processor side-effect variable).
+    pub ci_gpr_cycles: u64,
+    /// Total cycles spent by custom instructions (whether or not they
+    /// touch the GPR file).
+    pub custom_cycles: u64,
+    /// Executions of each custom instruction, indexed by
+    /// [`emx_isa::CustomId`] value.
+    pub custom_counts: Vec<u64>,
+    /// Structural activity per hardware-library category: the accumulated
+    /// `Σ_j f(C_ij) · activations(i,j)` of Eq. (4), indexed by
+    /// [`emx_hwlib::Category::index`]. This is the output of the dynamic
+    /// resource-usage analysis.
+    pub struct_activity: [f64; 10],
+    /// Raw (complexity-unweighted) component activations per category —
+    /// kept alongside [`ExecStats::struct_activity`] so ablation studies
+    /// can quantify the value of the `f(C)` bit-width weighting.
+    pub struct_activations: [f64; 10],
+    /// Cycles attributed to each base opcode, indexed by
+    /// [`emx_isa::Opcode::index`] — enables finer-than-class model
+    /// granularity in ablation studies.
+    pub opcode_cycles: Vec<u64>,
+    /// Total cycles, including all penalties.
+    pub total_cycles: u64,
+    /// Total retired instructions.
+    pub inst_count: u64,
+}
+
+impl ExecStats {
+    /// Creates zeroed statistics sized for an extension set with
+    /// `num_custom` instructions.
+    pub fn new(num_custom: usize) -> Self {
+        ExecStats {
+            custom_counts: vec![0; num_custom],
+            opcode_cycles: vec![0; emx_isa::Opcode::ALL.len()],
+            ..Default::default()
+        }
+    }
+
+    /// Cycles attributed to one dynamic class.
+    pub fn cycles_of(&self, class: DynClass) -> u64 {
+        self.class_cycles[class.index()]
+    }
+
+    /// Dynamic count of one class.
+    pub fn count_of(&self, class: DynClass) -> u64 {
+        self.class_counts[class.index()]
+    }
+
+    /// Sum of all per-class cycles (base instructions only).
+    pub fn base_class_cycles(&self) -> u64 {
+        self.class_cycles.iter().sum()
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instructions: {}", self.inst_count)?;
+        writeln!(f, "cycles:       {}", self.total_cycles)?;
+        for class in DynClass::ALL {
+            writeln!(
+                f,
+                "  {:<16} {:>10} insts {:>10} cycles",
+                class.to_string(),
+                self.count_of(class),
+                self.cycles_of(class)
+            )?;
+        }
+        writeln!(f, "  icache misses   {:>10}", self.icache_misses)?;
+        writeln!(f, "  dcache misses   {:>10}", self.dcache_misses)?;
+        writeln!(f, "  uncached fetch  {:>10}", self.uncached_fetches)?;
+        writeln!(f, "  interlocks      {:>10}", self.interlocks)?;
+        writeln!(
+            f,
+            "  custom cycles   {:>10} (GPR-coupled: {})",
+            self.custom_cycles, self.ci_gpr_cycles
+        )?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_construction() {
+        let s = ExecStats::new(3);
+        assert_eq!(s.custom_counts, vec![0, 0, 0]);
+        assert_eq!(s.total_cycles, 0);
+        assert_eq!(s.base_class_cycles(), 0);
+    }
+
+    #[test]
+    fn class_accessors() {
+        let mut s = ExecStats::new(0);
+        s.class_cycles[DynClass::Load.index()] = 7;
+        s.class_counts[DynClass::Load.index()] = 5;
+        assert_eq!(s.cycles_of(DynClass::Load), 7);
+        assert_eq!(s.count_of(DynClass::Load), 5);
+        assert_eq!(s.base_class_cycles(), 7);
+    }
+
+    #[test]
+    fn display_mentions_all_classes() {
+        let s = ExecStats::new(0);
+        let text = s.to_string();
+        for class in DynClass::ALL {
+            assert!(text.contains(&class.to_string()));
+        }
+    }
+}

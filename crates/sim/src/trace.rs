@@ -1,0 +1,181 @@
+//! Human-readable execution tracing.
+//!
+//! [`Tracer`] is an [`ActivitySink`] that renders each retired instruction
+//! as one formatted line — disassembly, operand values, writeback, cache
+//! and stall annotations — the classic ISS debugging view:
+//!
+//! ```text
+//!       4 │ 0x000004  movi a3, 0             → a3=0x00000000
+//!       5 │ 0x000008  add a3, a3, a2         a=0x0,b=0xa → a3=0x0000000a
+//!      23 │ 0x000010  l32i a4, 0(a2)         [0x40000 miss] → a4=0x00000003
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::record::{ActivitySink, InstRecord};
+
+/// Collects a formatted execution trace, optionally bounded.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use emx_isa::asm::Assembler;
+/// use emx_sim::{trace::Tracer, Interp, ProcConfig};
+/// use emx_tie::ExtensionSet;
+///
+/// let program = Assembler::new().assemble("movi a2, 7\naddi a2, a2, 1\nhalt")?;
+/// let ext = ExtensionSet::empty();
+/// let mut tracer = Tracer::new();
+/// let mut sim = Interp::new(&program, &ext, ProcConfig::default());
+/// sim.run_with_sink(&mut tracer, 1_000)?;
+/// assert_eq!(tracer.lines().len(), 3);
+/// assert!(tracer.lines()[0].contains("movi a2, 7"));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    lines: Vec<String>,
+    limit: usize,
+    cycle: u64,
+    truncated: bool,
+}
+
+impl Tracer {
+    /// A tracer with the default line limit (65 536).
+    pub fn new() -> Self {
+        Self::with_limit(65_536)
+    }
+
+    /// A tracer that keeps at most `limit` lines (and records whether it
+    /// truncated).
+    pub fn with_limit(limit: usize) -> Self {
+        Tracer {
+            lines: Vec::new(),
+            limit,
+            cycle: 0,
+            truncated: false,
+        }
+    }
+
+    /// The collected trace lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// `true` if the line limit was reached and later instructions were
+    /// dropped.
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// The full trace as one newline-joined string.
+    pub fn to_text(&self) -> String {
+        let mut out = self.lines.join("\n");
+        if self.truncated {
+            out.push_str("\n… trace truncated …");
+        }
+        out
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ActivitySink for Tracer {
+    fn record(&mut self, r: &InstRecord<'_>) {
+        self.cycle += u64::from(r.cycles);
+        if self.lines.len() >= self.limit {
+            self.truncated = true;
+            return;
+        }
+        let mut line = format!(
+            "{:>8} │ 0x{:06x}  {:<28}",
+            self.cycle,
+            r.pc,
+            r.inst.to_string()
+        );
+        if let Some(m) = r.mem {
+            let _ = write!(
+                line,
+                " [0x{:x} {}{}]",
+                m.addr,
+                if m.write { "write" } else { "read" },
+                if m.uncached {
+                    " uncached"
+                } else if m.hit {
+                    ""
+                } else {
+                    " miss"
+                },
+            );
+        }
+        if let Some((reg, value)) = r.result {
+            let _ = write!(line, " → {reg}=0x{value:08x}");
+        }
+        if r.stall_cycles > 0 {
+            let _ = write!(line, " (+{} stall)", r.stall_cycles);
+        }
+        if !r.fetch_hit && !r.fetch_uncached {
+            line.push_str(" (icache miss)");
+        }
+        if let Some(c) = r.custom {
+            let _ = write!(line, " [custom {} lat {}]", c.id, c.latency);
+        }
+        self.lines.push(line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Interp, ProcConfig};
+    use emx_isa::asm::Assembler;
+    use emx_tie::ExtensionSet;
+
+    fn trace_of(src: &str) -> Tracer {
+        let program = Assembler::new().assemble(src).unwrap();
+        let ext = ExtensionSet::empty();
+        let mut tracer = Tracer::new();
+        let mut sim = Interp::new(&program, &ext, ProcConfig::default());
+        sim.run_with_sink(&mut tracer, 100_000).unwrap();
+        tracer
+    }
+
+    #[test]
+    fn traces_every_instruction() {
+        let t = trace_of("movi a2, 1\nadd a3, a2, a2\nhalt");
+        assert_eq!(t.lines().len(), 3);
+        assert!(t.lines()[1].contains("add a3, a2, a2"));
+        assert!(t.lines()[1].contains("a3=0x00000002"));
+        assert!(!t.is_truncated());
+    }
+
+    #[test]
+    fn annotates_memory_and_stalls() {
+        let t =
+            trace_of(".data\nv: .word 42\n.text\nmovi a2, v\nl32i a3, 0(a2)\nadd a4, a3, a3\nhalt");
+        let load = &t.lines()[1];
+        assert!(load.contains("read miss"), "{load}");
+        let dependent = &t.lines()[2];
+        assert!(dependent.contains("stall"), "{dependent}");
+    }
+
+    #[test]
+    fn respects_the_line_limit() {
+        let program = Assembler::new()
+            .assemble("movi a2, 100\nl:\naddi a2, a2, -1\nbnez a2, l\nhalt")
+            .unwrap();
+        let ext = ExtensionSet::empty();
+        let mut tracer = Tracer::with_limit(10);
+        let mut sim = Interp::new(&program, &ext, ProcConfig::default());
+        sim.run_with_sink(&mut tracer, 100_000).unwrap();
+        assert_eq!(tracer.lines().len(), 10);
+        assert!(tracer.is_truncated());
+        assert!(tracer.to_text().contains("truncated"));
+    }
+}

@@ -1,0 +1,127 @@
+use std::error::Error;
+use std::fmt;
+
+use emx_hwlib::GraphError;
+
+/// Errors produced by the extension (TIE) compiler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TieError {
+    /// More input bindings were supplied than the graph has inputs, or
+    /// `build` found unbound inputs.
+    InputBindingCount {
+        /// Instruction name.
+        inst: String,
+        /// Graph inputs.
+        expected: usize,
+        /// Bindings supplied.
+        got: usize,
+    },
+    /// Output-binding count does not match the graph's outputs.
+    OutputBindingCount {
+        /// Instruction name.
+        inst: String,
+        /// Graph outputs.
+        expected: usize,
+        /// Bindings supplied.
+        got: usize,
+    },
+    /// An operand binding was repeated (two inputs bound to `GprS`, two
+    /// outputs bound to `Gpr`, …).
+    DuplicateBinding {
+        /// Instruction name.
+        inst: String,
+        /// Human-readable description of the duplicated binding.
+        binding: &'static str,
+    },
+    /// A GPR-bound graph port is wider than the 32-bit operand bus.
+    PortTooWide {
+        /// Instruction name.
+        inst: String,
+        /// The port's width in bits.
+        width: u8,
+    },
+    /// A binding referenced a state register not declared in the extension.
+    UnknownState {
+        /// Instruction name.
+        inst: String,
+        /// The dangling state index.
+        index: usize,
+    },
+    /// A state binding's width does not match the state register's width.
+    StateWidthMismatch {
+        /// Instruction name.
+        inst: String,
+        /// The state register's name.
+        state: String,
+        /// The state register's declared width.
+        state_width: u8,
+        /// The graph port's width.
+        port_width: u8,
+    },
+    /// Two instructions in the same extension share a name.
+    DuplicateInstName(String),
+    /// Two state registers in the same extension share a name.
+    DuplicateStateName(String),
+    /// An explicit latency override of zero cycles.
+    ZeroLatency {
+        /// Instruction name.
+        inst: String,
+    },
+    /// An instruction name that is not a valid assembly identifier or
+    /// collides with a base-ISA mnemonic.
+    BadInstName(String),
+    /// The underlying dataflow graph was invalid.
+    Graph(GraphError),
+}
+
+impl fmt::Display for TieError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TieError::InputBindingCount { inst, expected, got } => write!(
+                f,
+                "instruction `{inst}`: graph has {expected} inputs but {got} bindings"
+            ),
+            TieError::OutputBindingCount { inst, expected, got } => write!(
+                f,
+                "instruction `{inst}`: graph has {expected} outputs but {got} bindings"
+            ),
+            TieError::DuplicateBinding { inst, binding } => {
+                write!(f, "instruction `{inst}`: duplicate {binding} binding")
+            }
+            TieError::PortTooWide { inst, width } => write!(
+                f,
+                "instruction `{inst}`: GPR-bound port of {width} bits exceeds the 32-bit operand bus"
+            ),
+            TieError::UnknownState { inst, index } => {
+                write!(f, "instruction `{inst}`: unknown state register #{index}")
+            }
+            TieError::StateWidthMismatch { inst, state, state_width, port_width } => write!(
+                f,
+                "instruction `{inst}`: state `{state}` is {state_width} bits but the port is {port_width}"
+            ),
+            TieError::DuplicateInstName(n) => write!(f, "duplicate instruction name `{n}`"),
+            TieError::DuplicateStateName(n) => write!(f, "duplicate state name `{n}`"),
+            TieError::ZeroLatency { inst } => {
+                write!(f, "instruction `{inst}`: latency must be at least one cycle")
+            }
+            TieError::BadInstName(n) => write!(f, "bad instruction name `{n}`"),
+            TieError::Graph(e) => write!(f, "dataflow graph error: {e}"),
+        }
+    }
+}
+
+impl Error for TieError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            TieError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for TieError {
+    fn from(e: GraphError) -> Self {
+        TieError::Graph(e)
+    }
+}

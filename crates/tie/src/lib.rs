@@ -1,0 +1,60 @@
+//! Custom-instruction extension framework for the emx processor — the
+//! reproduction's stand-in for Tensilica's TIE language and TIE compiler.
+//!
+//! In the paper, "extensibility is achieved by specifying
+//! application-specific functionality through custom instructions (TIE)",
+//! whose behaviour is described in a Verilog subset; "the TIE compiler
+//! processes the custom instruction specification and facilitates seamless
+//! integration of the added custom hardware with the base processor",
+//! automatically generating decoder, bypass and interlock logic.
+//!
+//! Here the designer describes each custom instruction as a
+//! [`emx_hwlib::DfGraph`] over the hardware primitive library, binds the
+//! graph's inputs and outputs to GPR operands, immediates and custom
+//! state registers, and hands the set to the [`ExtensionBuilder`], which:
+//!
+//! * validates bindings and widths,
+//! * derives the instruction's **latency** from the critical path of the
+//!   graph (multi-cycle custom instructions, as in the paper's Fig. 1),
+//! * derives **decoder/control overhead** from the size of the extension,
+//! * precomputes the per-execution **resource-usage vector** over the ten
+//!   hardware-library categories — the inputs to the structural
+//!   macro-model variables,
+//! * produces an [`ExtensionSet`] that the simulator executes directly and
+//!   the assembler can register mnemonics from.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use emx_hwlib::{DfGraph, PrimOp};
+//! use emx_tie::{ExtensionBuilder, InputBind, OutputBind};
+//!
+//! let mut g = DfGraph::new();
+//! let a = g.input("a", 8);
+//! let b = g.input("b", 8);
+//! let sum = g.node(PrimOp::Add, 8, &[a, b])?;
+//! g.output(sum);
+//!
+//! let mut ext = ExtensionBuilder::new("demo");
+//! ext.instruction("add8", g)?
+//!     .bind_input(InputBind::GprS)?
+//!     .bind_input(InputBind::GprT)?
+//!     .bind_output(OutputBind::Gpr)?;
+//! let set = ext.build()?;
+//! assert_eq!(set.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compile;
+mod error;
+pub mod lang;
+mod spec;
+
+pub use compile::{CompiledInst, CustomExecOutcome, ExtensionBuilder, ExtensionSet, InstBuilder};
+pub use error::TieError;
+pub use spec::{InputBind, OutputBind, StateId, StateReg};

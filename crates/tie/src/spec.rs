@@ -1,0 +1,100 @@
+use std::fmt;
+
+/// Identifier of a custom state register within an extension set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub(crate) usize);
+
+impl StateId {
+    /// Position of the state register in the extension's state vector.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "state#{}", self.0)
+    }
+}
+
+/// A custom state register declared by an extension.
+///
+/// The paper: "Custom instructions can access the general-purpose register
+/// file of the base processor or additional custom registers/register
+/// files for their computations." State registers are the paper's category
+/// 5 ("custom registers") hardware; each read or write activates that
+/// category for one cycle.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StateReg {
+    pub(crate) name: String,
+    pub(crate) width: u8,
+}
+
+impl StateReg {
+    /// The register's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The register's width in bits (1..=64).
+    pub fn width(&self) -> u8 {
+        self.width
+    }
+}
+
+/// Where a graph input gets its value when the instruction executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InputBind {
+    /// The first GPR source operand (`rs`), driven by operand bus A.
+    GprS,
+    /// The second GPR source operand (`rt`), driven by operand bus B.
+    GprT,
+    /// The instruction's immediate field.
+    Imm,
+    /// A custom state register read.
+    State(StateId),
+}
+
+impl InputBind {
+    /// `true` if this binding reads the base processor's register file.
+    pub fn reads_gpr(self) -> bool {
+        matches!(self, InputBind::GprS | InputBind::GprT)
+    }
+}
+
+/// Where a graph output goes when the instruction completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutputBind {
+    /// The GPR destination operand (`rd`), driven onto the result bus.
+    Gpr,
+    /// A custom state register write.
+    State(StateId),
+}
+
+impl OutputBind {
+    /// `true` if this binding writes the base processor's register file.
+    pub fn writes_gpr(self) -> bool {
+        matches!(self, OutputBind::Gpr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpr_predicates() {
+        assert!(InputBind::GprS.reads_gpr());
+        assert!(InputBind::GprT.reads_gpr());
+        assert!(!InputBind::Imm.reads_gpr());
+        assert!(!InputBind::State(StateId(0)).reads_gpr());
+        assert!(OutputBind::Gpr.writes_gpr());
+        assert!(!OutputBind::State(StateId(0)).writes_gpr());
+    }
+
+    #[test]
+    fn state_id_display() {
+        assert_eq!(StateId(3).to_string(), "state#3");
+        assert_eq!(StateId(3).index(), 3);
+    }
+}

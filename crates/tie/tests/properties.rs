@@ -1,0 +1,129 @@
+//! Property-based tests for the extension framework.
+
+use proptest::prelude::*;
+
+use emx_hwlib::{DfGraph, PrimOp};
+use emx_tie::{ExtensionBuilder, ExtensionSet, InputBind, OutputBind};
+
+/// Builds a small single-instruction extension `f(a, b) = op(a, b)`.
+fn unit_ext(op: PrimOp, w: u8) -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("unit");
+    let mut g = DfGraph::new();
+    let a = g.input("a", w);
+    let b = g.input("b", w);
+    let n = g.node(op, w, &[a, b]).expect("binary op");
+    g.output(n);
+    ext.instruction("f", g)
+        .expect("valid name")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+    ext.build().expect("compiles")
+}
+
+proptest! {
+    #[test]
+    fn execute_and_execute_into_agree(a in any::<u32>(), b in any::<u32>(), w in 1u8..=32) {
+        for op in [PrimOp::Add, PrimOp::Xor, PrimOp::Mul, PrimOp::MinU] {
+            let ext = unit_ext(op, w);
+            let inst = ext.by_name("f").expect("exists");
+            let mut s1 = ext.initial_state();
+            let slow = inst.execute(a, b, 0, &mut s1).expect("executes");
+            let mut s2 = ext.initial_state();
+            let mut buf = Vec::new();
+            let fast = inst
+                .execute_into(a, b, 0, &mut s2, &mut buf)
+                .expect("executes");
+            prop_assert_eq!(slow.gpr, fast);
+            prop_assert_eq!(&slow.node_values, &buf);
+            prop_assert_eq!(s1, s2);
+        }
+    }
+
+    #[test]
+    fn latency_is_at_least_one_and_bounded(w in 1u8..=32, depth in 1usize..8) {
+        // A chain of `depth` adders: latency grows with depth but is
+        // always ≥ 1 and ≤ depth (one level per adder, two levels per
+        // cycle).
+        let mut ext = ExtensionBuilder::new("chain");
+        let mut g = DfGraph::new();
+        let a = g.input("a", w);
+        let b = g.input("b", w);
+        let mut cur = g.node(PrimOp::Add, w, &[a, b]).expect("graph");
+        for _ in 1..depth {
+            cur = g.node(PrimOp::Add, w, &[cur, b]).expect("graph");
+        }
+        g.output(cur);
+        ext.instruction("chain", g)
+            .expect("inst")
+            .bind_input(InputBind::GprS)
+            .expect("bind")
+            .bind_input(InputBind::GprT)
+            .expect("bind")
+            .bind_output(OutputBind::Gpr)
+            .expect("bind");
+        let set = ext.build().expect("compiles");
+        let lat = usize::from(set.by_name("chain").expect("exists").latency());
+        prop_assert!(lat >= 1);
+        prop_assert!(lat <= depth, "latency {lat} for depth {depth}");
+    }
+
+    #[test]
+    fn resource_vector_scales_with_instance_count(copies in 1usize..6, w in 1u8..=32) {
+        // N parallel adders → N × the single-adder resource entry.
+        let build = |n: usize| {
+            let mut ext = ExtensionBuilder::new("par");
+            let mut g = DfGraph::new();
+            let a = g.input("a", w);
+            let b = g.input("b", w);
+            let mut last = a;
+            for _ in 0..n {
+                last = g.node(PrimOp::Add, w, &[a, b]).expect("graph");
+            }
+            g.output(last);
+            ext.instruction("p", g)
+                .expect("inst")
+                .bind_input(InputBind::GprS)
+                .expect("bind")
+                .bind_input(InputBind::GprT)
+                .expect("bind")
+                .bind_output(OutputBind::Gpr)
+                .expect("bind");
+            ext.build().expect("compiles")
+        };
+        let one = build(1);
+        let many = build(copies);
+        let idx = emx_hwlib::Category::AdderCmp.index();
+        let single = one.by_name("p").expect("exists").resource_vector()[idx];
+        let multi = many.by_name("p").expect("exists").resource_vector()[idx];
+        prop_assert!((multi - copies as f64 * single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn state_width_masks_writes(v in any::<u64>(), w in 1u8..=32) {
+        // Writing a wide value into a narrow state register keeps only
+        // the register's bits.
+        let mut ext = ExtensionBuilder::new("st");
+        let s = ext.state("s", w).expect("state");
+        let mut g = DfGraph::new();
+        let a = g.input("a", 32.min(w));
+        g.output(a);
+        ext.instruction("wr", g)
+            .expect("inst")
+            .bind_input(InputBind::GprS)
+            .expect("bind")
+            .bind_output(OutputBind::State(s))
+            .expect("bind");
+        let set = ext.build().expect("compiles");
+        let mut state = set.initial_state();
+        set.by_name("wr")
+            .expect("exists")
+            .execute(v as u32, 0, 0, &mut state)
+            .expect("executes");
+        let mask = if w >= 64 { u64::MAX } else { (1u64 << w) - 1 };
+        prop_assert_eq!(state[0], u64::from(v as u32) & mask & 0xffff_ffff);
+    }
+}

@@ -1,0 +1,87 @@
+//! `alphablend`: per-pixel alpha compositing on the `blend8` unit.
+
+use emx_isa::program::layout::DATA_BASE;
+
+use crate::workload::lcg_stream;
+use crate::{exts, MemCheck, Workload};
+
+const PIXELS: usize = 256;
+const BLOCK: usize = 64;
+
+fn blend_ref(a: u8, b: u8, alpha: u8) -> u8 {
+    let v = u32::from(a) * u32::from(alpha) + u32::from(b) * (255 - u32::from(alpha));
+    (v >> 8) as u8
+}
+
+fn bytes_directive(bytes: &[u8]) -> String {
+    let mut out = String::new();
+    for chunk in bytes.chunks(16) {
+        out.push_str(".byte ");
+        let items: Vec<String> = chunk.iter().map(|v| v.to_string()).collect();
+        out.push_str(&items.join(", "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Blends two 256-pixel greyscale rows, with the alpha value changing
+/// every 64-pixel block (`setalpha` once per block, `blend` per pixel).
+pub fn alphablend() -> Workload {
+    let fg: Vec<u8> = lcg_stream(301, PIXELS).iter().map(|v| *v as u8).collect();
+    let bg: Vec<u8> = lcg_stream(302, PIXELS).iter().map(|v| *v as u8).collect();
+    let alphas: [u8; 4] = [32, 128, 200, 255];
+
+    let mut expected = vec![0u8; PIXELS];
+    for (i, e) in expected.iter_mut().enumerate() {
+        *e = blend_ref(fg[i], bg[i], alphas[i / BLOCK]);
+    }
+    // Pack expected bytes into word checks (PIXELS is word-aligned).
+    let checks: Vec<MemCheck> = expected
+        .chunks(4)
+        .enumerate()
+        .map(|(i, c)| MemCheck {
+            addr: DATA_BASE + 4 * i as u32,
+            expected: u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+        })
+        .collect();
+
+    let source = format!(
+        ".data\nout: .space {PIXELS}\nfg: {}\nbg: {}\nalphas: .byte {}\n.text\n\
+         movi a2, 4            # blocks\n\
+         movi a3, fg\nmovi a4, bg\nmovi a5, out\nmovi a6, alphas\n\
+         block:\nl8ui a7, 0(a6)\nsetalpha a7\nmovi a8, {BLOCK}\n\
+         pixel:\nl8ui a9, 0(a3)\nl8ui a12, 0(a4)\nblend a13, a9, a12\ns8i a13, 0(a5)\n\
+         addi a3, a3, 1\naddi a4, a4, 1\naddi a5, a5, 1\naddi a8, a8, -1\nbnez a8, pixel\n\
+         addi a6, a6, 1\naddi a2, a2, -1\nbnez a2, block\nhalt",
+        bytes_directive(&fg),
+        bytes_directive(&bg),
+        alphas.map(|a| a.to_string()).join(", "),
+    );
+    Workload::assemble(
+        "alphablend",
+        "256-pixel alpha compositing on an 8-bit blender unit",
+        exts::blend8(),
+        &source,
+        checks,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_sim::{Interp, ProcConfig};
+
+    #[test]
+    fn blend_reference_endpoints() {
+        assert_eq!(blend_ref(200, 10, 255), ((200 * 255) >> 8) as u8);
+        assert_eq!(blend_ref(200, 10, 0), ((10 * 255) >> 8) as u8);
+    }
+
+    #[test]
+    fn alphablend_verifies() {
+        let w = alphablend();
+        let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+        sim.run(10_000_000).unwrap();
+        w.verify(sim.state()).unwrap();
+    }
+}

@@ -1,0 +1,81 @@
+//! `gcd`: greatest common divisors by the subtractive method on the
+//! `absdiff` custom unit.
+
+use emx_isa::program::layout::DATA_BASE;
+
+use crate::workload::{lcg_stream, words_directive};
+use crate::{exts, MemCheck, Workload};
+
+fn gcd_ref(mut a: u32, mut b: u32) -> u32 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Computes `gcd` for 32 pairs of 16-bit numbers.
+///
+/// The subtractive iteration `(a, b) ← (|a−b|, min(a, b))` preserves the
+/// gcd and terminates when the difference reaches zero; the absolute
+/// difference is one `absdiff` custom instruction.
+pub fn gcd() -> Workload {
+    let xs: Vec<u32> = lcg_stream(201, 32)
+        .iter()
+        .map(|v| (v & 0xffff) | 1)
+        .collect();
+    let ys: Vec<u32> = lcg_stream(202, 32)
+        .iter()
+        .map(|v| (v & 0xffff) | 1)
+        .collect();
+    let checks: Vec<MemCheck> = xs
+        .iter()
+        .zip(&ys)
+        .enumerate()
+        .map(|(i, (&a, &b))| MemCheck {
+            addr: DATA_BASE + 4 * i as u32,
+            expected: gcd_ref(a, b),
+        })
+        .collect();
+    let source = format!(
+        ".data\nout: .space 128\nxs: {}\nys: {}\n.text\n\
+         movi a2, 32\nmovi a3, xs\nmovi a4, ys\nmovi a5, out\n\
+         pair:\nl32i a6, 0(a3)\nl32i a7, 0(a4)\n\
+         step:\nabsdiff a8, a6, a7\nminu a9, a6, a7\n\
+         mov a6, a8\nmov a7, a9\nbnez a8, step\n\
+         s32i a9, 0(a5)\n\
+         addi a3, a3, 4\naddi a4, a4, 4\naddi a5, a5, 4\n\
+         addi a2, a2, -1\nbnez a2, pair\nhalt",
+        words_directive(&xs),
+        words_directive(&ys)
+    );
+    Workload::assemble(
+        "gcd",
+        "subtractive gcd of 32 pairs on the absdiff unit",
+        exts::absdiff_ext(),
+        &source,
+        checks,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_sim::{Interp, ProcConfig};
+
+    #[test]
+    fn gcd_reference_is_correct() {
+        assert_eq!(gcd_ref(12, 18), 6);
+        assert_eq!(gcd_ref(7, 13), 1);
+        assert_eq!(gcd_ref(100, 100), 100);
+    }
+
+    #[test]
+    fn gcd_app_verifies() {
+        let w = gcd();
+        let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+        sim.run(50_000_000).unwrap();
+        w.verify(sim.state()).unwrap();
+    }
+}

@@ -1,0 +1,125 @@
+//! `drawline`: Bresenham line rasterization into a byte framebuffer,
+//! with the octant setup running on the `line` custom unit.
+
+use emx_isa::program::layout::DATA_BASE;
+
+use crate::{exts, MemCheck, Workload};
+
+const W: i32 = 32;
+const H: i32 = 32;
+
+/// `(x0, y0, x1, y1, color)` for each rasterized line.
+const LINES: [(i32, i32, i32, i32, u32); 6] = [
+    (0, 0, 31, 31, 1),
+    (31, 0, 0, 31, 2),
+    (0, 16, 31, 16, 3),
+    (16, 0, 16, 31, 4),
+    (2, 5, 29, 11, 5),
+    (28, 30, 3, 7, 6),
+];
+
+/// All-octant integer Bresenham, kept in exact lock-step with the
+/// assembly implementation below.
+fn draw_ref(fb: &mut [u8], mut x0: i32, mut y0: i32, x1: i32, y1: i32, color: u8) {
+    let dx = (x1 - x0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let dy = -(y1 - y0).abs();
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    loop {
+        fb[(y0 * W + x0) as usize] = color;
+        if x0 == x1 && y0 == y1 {
+            return;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+/// Rasterizes six lines into a 32×32 framebuffer.
+///
+/// The custom `absdiff` computes |Δx|, |Δy| and `sgnsel` the step
+/// directions; the error-update loop uses the base ISA.
+pub fn drawline() -> Workload {
+    let mut fb = vec![0u8; (W * H) as usize];
+    for &(x0, y0, x1, y1, c) in &LINES {
+        draw_ref(&mut fb, x0, y0, x1, y1, c as u8);
+    }
+    let checks: Vec<MemCheck> = fb
+        .chunks(4)
+        .enumerate()
+        .map(|(i, c)| MemCheck {
+            addr: DATA_BASE + 4 * i as u32,
+            expected: u32::from_le_bytes([c[0], c[1], c[2], c[3]]),
+        })
+        .collect();
+
+    let mut lines_words = String::from(".word ");
+    let flat: Vec<String> = LINES
+        .iter()
+        .flat_map(|&(a, b, c, d, e)| {
+            [a as u32, b as u32, c as u32, d as u32, e].map(|v| format!("0x{v:x}"))
+        })
+        .collect();
+    lines_words.push_str(&flat.join(", "));
+
+    let source = format!(
+        ".data\nout: .space {}\nlines: {lines_words}\n.text\n\
+         movi a3, out\nmovi a10, lines\nmovi a11, {}\n\
+         nextline:\n\
+         l32i a4, 0(a10)\nl32i a5, 4(a10)\nl32i a6, 8(a10)\nl32i a7, 12(a10)\nl32i a8, 16(a10)\n\
+         absdiff a9, a4, a6\nsgnsel a12, a4, a6\n\
+         absdiff a13, a5, a7\nneg a13, a13\nsgnsel a14, a5, a7\n\
+         add a15, a9, a13\n\
+         plot:\n\
+         slli a2, a5, 5\nadd a2, a2, a4\nadd a2, a2, a3\ns8i a8, 0(a2)\n\
+         bne a4, a6, cont\nbeq a5, a7, lend\n\
+         cont:\n\
+         slli a2, a15, 1\n\
+         blt a2, a13, skipx\nadd a15, a15, a13\nadd a4, a4, a12\n\
+         skipx:\n\
+         blt a9, a2, skipy\nadd a15, a15, a9\nadd a5, a5, a14\n\
+         skipy:\nj plot\n\
+         lend:\naddi a10, a10, 20\naddi a11, a11, -1\nbnez a11, nextline\nhalt",
+        W * H,
+        LINES.len(),
+    );
+    Workload::assemble(
+        "drawline",
+        "Bresenham rasterization of six lines with custom octant setup",
+        exts::line_ext(),
+        &source,
+        checks,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_sim::{Interp, ProcConfig};
+
+    #[test]
+    fn reference_plots_endpoints() {
+        let mut fb = vec![0u8; (W * H) as usize];
+        draw_ref(&mut fb, 0, 0, 31, 31, 9);
+        assert_eq!(fb[0], 9);
+        assert_eq!(fb[(31 * W + 31) as usize], 9);
+        // A perfect diagonal has exactly 32 pixels.
+        assert_eq!(fb.iter().filter(|&&p| p == 9).count(), 32);
+    }
+
+    #[test]
+    fn drawline_verifies() {
+        let w = drawline();
+        let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+        sim.run(10_000_000).unwrap();
+        w.verify(sim.state()).unwrap();
+    }
+}

@@ -1,0 +1,91 @@
+//! The ten application benchmarks of Table II.
+//!
+//! Each application incorporates custom instructions (a different
+//! extension per application family), is *held out* of the
+//! characterization suite, and is self-checking: its expected memory
+//! image is computed by a Rust reference implementation at construction
+//! time, so a workload whose energy we report is also a workload whose
+//! output is verified.
+//!
+//! | paper name        | constructor          | custom instructions |
+//! |-------------------|----------------------|---------------------|
+//! | Ins sort          | [`ins_sort`]         | `cmpx`, `rdmin` |
+//! | Gcd               | [`gcd`]              | `absdiff` |
+//! | Alphablend        | [`alphablend`]       | `setalpha`, `blend` |
+//! | Add4              | [`add4`]             | `add4x8` |
+//! | Bubsort           | [`bubsort`]          | `cmpx`, `rdmin` |
+//! | DES               | [`des`]              | `dsbox` |
+//! | Accumulate        | [`accumulate`]       | `mac`, `rdacc`, `clracc` |
+//! | Drawline          | [`drawline`]         | `absdiff`, `sgnsel` |
+//! | Multi accumulate  | [`multi_accumulate`] | `mac2`, `rdacc0/1`, `clracc2` |
+//! | Seq mult          | [`seq_mult`]         | `mstep`, `mres`, `mclr` |
+
+mod blend;
+mod des_app;
+mod gcd_app;
+mod line;
+mod mac;
+mod mult;
+mod simd;
+mod sort;
+
+pub use blend::alphablend;
+pub use des_app::des;
+pub use gcd_app::gcd;
+pub use line::drawline;
+pub use mac::{accumulate, multi_accumulate};
+pub use mult::seq_mult;
+pub use simd::add4;
+pub use sort::{bubsort, ins_sort};
+
+use crate::Workload;
+
+/// All ten Table II applications, in the table's row order.
+pub fn all() -> Vec<Workload> {
+    vec![
+        ins_sort(),
+        gcd(),
+        alphablend(),
+        add4(),
+        bubsort(),
+        des(),
+        accumulate(),
+        drawline(),
+        multi_accumulate(),
+        seq_mult(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_sim::{Interp, ProcConfig};
+
+    #[test]
+    fn all_ten_apps_run_and_verify() {
+        let apps = all();
+        assert_eq!(apps.len(), 10);
+        for w in apps {
+            let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+            let run = sim
+                .run(50_000_000)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name()));
+            assert!(run.halted);
+            assert!(!w.checks().is_empty(), "{} has no checks", w.name());
+            w.verify(sim.state()).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn every_app_uses_custom_instructions() {
+        for w in all() {
+            let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+            let stats = sim.run(50_000_000).unwrap().stats;
+            assert!(
+                stats.custom_counts.iter().sum::<u64>() > 0,
+                "{} never executed a custom instruction",
+                w.name()
+            );
+        }
+    }
+}

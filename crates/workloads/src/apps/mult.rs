@@ -1,0 +1,60 @@
+//! `seq_mult`: software sequential (shift-add) multiplication whose inner
+//! step runs on the carry-save `csamult` unit.
+
+use emx_isa::program::layout::DATA_BASE;
+
+use crate::workload::{lcg_stream, words_directive};
+use crate::{exts, MemCheck, Workload};
+
+const PAIRS: usize = 16;
+
+/// Multiplies 16 pairs of 16-bit operands, one CSA step per multiplier
+/// bit: the partial-product accumulation never resolves carries until the
+/// final `mres` (`TIE_csa` + `TIE_add`).
+pub fn seq_mult() -> Workload {
+    let xs: Vec<u32> = lcg_stream(701, PAIRS).iter().map(|v| v & 0xffff).collect();
+    let ys: Vec<u32> = lcg_stream(702, PAIRS).iter().map(|v| v & 0xffff).collect();
+    let checks: Vec<MemCheck> = xs
+        .iter()
+        .zip(&ys)
+        .enumerate()
+        .map(|(i, (&x, &y))| MemCheck {
+            addr: DATA_BASE + 4 * i as u32,
+            expected: x.wrapping_mul(y),
+        })
+        .collect();
+    let source = format!(
+        ".data\nout: .space {}\nxs: {}\nys: {}\n.text\n\
+         movi a2, {PAIRS}\nmovi a3, xs\nmovi a4, ys\nmovi a5, out\n\
+         pair:\nl32i a6, 0(a3)\nl32i a7, 0(a4)\nmclr\nmovi a8, 16\n\
+         step:\nandi a9, a7, 1\nmstep a6, a9\nslli a6, a6, 1\nsrli a7, a7, 1\n\
+         addi a8, a8, -1\nbnez a8, step\n\
+         mres a12\ns32i a12, 0(a5)\n\
+         addi a3, a3, 4\naddi a4, a4, 4\naddi a5, a5, 4\n\
+         addi a2, a2, -1\nbnez a2, pair\nhalt",
+        PAIRS * 4,
+        words_directive(&xs),
+        words_directive(&ys)
+    );
+    Workload::assemble(
+        "seq_mult",
+        "16 sequential multiplications on a carry-save step unit",
+        exts::csa_mult(),
+        &source,
+        checks,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_sim::{Interp, ProcConfig};
+
+    #[test]
+    fn seq_mult_verifies() {
+        let w = seq_mult();
+        let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+        sim.run(10_000_000).unwrap();
+        w.verify(sim.state()).unwrap();
+    }
+}

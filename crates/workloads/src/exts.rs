@@ -1,0 +1,1098 @@
+//! The extension-set (TIE) library shared by the characterization suite
+//! and the application benchmarks.
+//!
+//! Each constructor builds one "enhanced processor" configuration. Between
+//! them the sets exercise **all ten** hardware-library categories at
+//! several bit-widths, which the characterization suite needs in order to
+//! identify every structural coefficient of the macro-model ("the test
+//! program suite also incorporates custom instructions so as to cover all
+//! the custom hardware library components").
+
+use emx_hwlib::{DfGraph, LookupTable, NodeId, PrimOp};
+use emx_tie::{ExtensionBuilder, ExtensionSet, InputBind, OutputBind};
+
+use crate::gf;
+
+/// Builds the GF(2⁴) product of two 4-bit nodes inside `g`, using
+/// log/antilog tables with explicit zero handling. Returns the product
+/// node.
+fn gfmul_core(g: &mut DfGraph, a: NodeId, b: NodeId) -> NodeId {
+    let log_t = g.add_table(LookupTable::new(gf::log_table().to_vec(), 4).expect("table"));
+    let exp_t = g.add_table(LookupTable::new(gf::exp_table().to_vec(), 4).expect("table"));
+    let la = g
+        .node(PrimOp::TableLookup { table_index: log_t }, 4, &[a])
+        .expect("graph");
+    let lb = g
+        .node(PrimOp::TableLookup { table_index: log_t }, 4, &[b])
+        .expect("graph");
+    let sum = g.node(PrimOp::Add, 5, &[la, lb]).expect("graph");
+    let prod = g
+        .node(PrimOp::TableLookup { table_index: exp_t }, 4, &[sum])
+        .expect("graph");
+    let az = g.node(PrimOp::RedOr, 1, &[a]).expect("graph");
+    let bz = g.node(PrimOp::RedOr, 1, &[b]).expect("graph");
+    let nz = g.node(PrimOp::And, 1, &[az, bz]).expect("graph");
+    let zero = g.constant(0, 4).expect("graph");
+    g.node(PrimOp::Mux, 4, &[nz, prod, zero]).expect("graph")
+}
+
+/// `mac16`: a 16×16 multiply–accumulate unit over a 40-bit accumulator
+/// (`TIE_mac` + custom register).
+///
+/// * `mac a, b` — `acc += a·b`
+/// * `rdacc d` — `d = acc[31:0]`
+/// * `clracc` — `acc = 0`
+pub fn mac16() -> ExtensionSet {
+    mac_width(16, 40, "mac16")
+}
+
+/// `mac8`: the same MAC structure at 8-bit operand / 20-bit accumulator
+/// width. Exists so the characterization suite sees the TIE_mac and
+/// custom-register categories at two different complexity ratios (the
+/// quadratic-vs-linear `f(C)` split is unidentifiable from one width).
+pub fn mac8() -> ExtensionSet {
+    mac_width(8, 20, "mac8")
+}
+
+fn mac_width(w: u8, acc_w: u8, name: &str) -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new(name);
+    let acc = ext.state("acc", acc_w).expect("state");
+
+    let mut g = DfGraph::new();
+    let a = g.input("a", w);
+    let b = g.input("b", w);
+    let acc_in = g.input("acc", acc_w);
+    let mac = g
+        .node(PrimOp::TieMac, acc_w, &[a, b, acc_in])
+        .expect("graph");
+    g.output(mac);
+    ext.instruction("mac", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_input(InputBind::State(acc))
+        .expect("bind")
+        .bind_output(OutputBind::State(acc))
+        .expect("bind");
+
+    let mut g = DfGraph::new();
+    let acc_in = g.input("acc", acc_w);
+    let low = g
+        .node(PrimOp::Slice { lsb: 0 }, acc_w.min(32), &[acc_in])
+        .expect("graph");
+    g.output(low);
+    ext.instruction("rdacc", g)
+        .expect("inst")
+        .bind_input(InputBind::State(acc))
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+
+    let mut g = DfGraph::new();
+    let zero = g.constant(0, acc_w).expect("graph");
+    g.output(zero);
+    ext.instruction("clracc", g)
+        .expect("inst")
+        .bind_output(OutputBind::State(acc))
+        .expect("bind");
+
+    ext.build().expect("mac extension compiles")
+}
+
+/// `mac16x2`: dual MAC over packed 16-bit lanes with two 40-bit
+/// accumulators (the `multi_accumulate` datapath).
+///
+/// * `mac2 a, b` — `acc0 += lo16(a)·lo16(b); acc1 += hi16(a)·hi16(b)`
+/// * `rdacc0 d` / `rdacc1 d` — read accumulator low words
+/// * `clracc2` — clear both
+pub fn mac16x2() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("mac16x2");
+    let acc0 = ext.state("acc0", 40).expect("state");
+    let acc1 = ext.state("acc1", 40).expect("state");
+
+    let mut g = DfGraph::new();
+    let a = g.input("a", 32);
+    let b = g.input("b", 32);
+    let a0_in = g.input("acc0", 40);
+    let a1_in = g.input("acc1", 40);
+    let alo = g.node(PrimOp::Slice { lsb: 0 }, 16, &[a]).expect("graph");
+    let ahi = g.node(PrimOp::Slice { lsb: 16 }, 16, &[a]).expect("graph");
+    let blo = g.node(PrimOp::Slice { lsb: 0 }, 16, &[b]).expect("graph");
+    let bhi = g.node(PrimOp::Slice { lsb: 16 }, 16, &[b]).expect("graph");
+    let m0 = g
+        .node(PrimOp::TieMac, 40, &[alo, blo, a0_in])
+        .expect("graph");
+    let m1 = g
+        .node(PrimOp::TieMac, 40, &[ahi, bhi, a1_in])
+        .expect("graph");
+    g.output(m0);
+    g.output(m1);
+    ext.instruction("mac2", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_input(InputBind::State(acc0))
+        .expect("bind")
+        .bind_input(InputBind::State(acc1))
+        .expect("bind")
+        .bind_output(OutputBind::State(acc0))
+        .expect("bind")
+        .bind_output(OutputBind::State(acc1))
+        .expect("bind");
+
+    for (name, state) in [("rdacc0", acc0), ("rdacc1", acc1)] {
+        let mut g = DfGraph::new();
+        let acc_in = g.input("acc", 40);
+        let low = g
+            .node(PrimOp::Slice { lsb: 0 }, 32, &[acc_in])
+            .expect("graph");
+        g.output(low);
+        ext.instruction(name, g)
+            .expect("inst")
+            .bind_input(InputBind::State(state))
+            .expect("bind")
+            .bind_output(OutputBind::Gpr)
+            .expect("bind");
+    }
+
+    let mut g = DfGraph::new();
+    let zero = g.constant(0, 40).expect("graph");
+    g.output(zero);
+    g.output(zero);
+    ext.instruction("clracc2", g)
+        .expect("inst")
+        .bind_output(OutputBind::State(acc0))
+        .expect("bind")
+        .bind_output(OutputBind::State(acc1))
+        .expect("bind");
+
+    ext.build().expect("mac16x2 extension compiles")
+}
+
+fn add_gfmul_inst(ext: &mut ExtensionBuilder) {
+    let mut g = DfGraph::new();
+    let a = g.input("a", 4);
+    let b = g.input("b", 4);
+    let p = gfmul_core(&mut g, a, b);
+    g.output(p);
+    ext.instruction("gfmul", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+}
+
+/// `gf16`: a single-instruction GF(2⁴) multiplier using log/antilog
+/// tables (categories: table, adder, logic/mux).
+///
+/// * `gfmul d, a, b` — `d = a ⊗ b` in GF(16)
+pub fn gf16() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("gf16");
+    add_gfmul_inst(&mut ext);
+    ext.build().expect("gf16 extension compiles")
+}
+
+/// `gf16mac`: GF(2⁴) multiplier plus an accumulating variant over a 4-bit
+/// custom register.
+///
+/// * `gfmul d, a, b`
+/// * `gfmac a, b` — `gacc ^= a ⊗ b`
+/// * `rdgacc d` / `clrgacc`
+pub fn gf16_mac() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("gf16mac");
+    let gacc = ext.state("gacc", 4).expect("state");
+
+    let mut g = DfGraph::new();
+    let a = g.input("a", 4);
+    let b = g.input("b", 4);
+    let p = gfmul_core(&mut g, a, b);
+    g.output(p);
+    ext.instruction("gfmul", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+
+    let mut g = DfGraph::new();
+    let a = g.input("a", 4);
+    let b = g.input("b", 4);
+    let acc_in = g.input("gacc", 4);
+    let p = gfmul_core(&mut g, a, b);
+    let nx = g.node(PrimOp::Xor, 4, &[p, acc_in]).expect("graph");
+    g.output(nx);
+    ext.instruction("gfmac", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_input(InputBind::State(gacc))
+        .expect("bind")
+        .bind_output(OutputBind::State(gacc))
+        .expect("bind");
+
+    let mut g = DfGraph::new();
+    let acc_in = g.input("gacc", 4);
+    g.output(acc_in);
+    ext.instruction("rdgacc", g)
+        .expect("inst")
+        .bind_input(InputBind::State(gacc))
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+
+    let mut g = DfGraph::new();
+    let zero = g.constant(0, 4).expect("graph");
+    g.output(zero);
+    ext.instruction("clrgacc", g)
+        .expect("inst")
+        .bind_output(OutputBind::State(gacc))
+        .expect("bind");
+
+    ext.build().expect("gf16mac extension compiles")
+}
+
+/// `rswide`: a four-way parallel Reed–Solomon syndrome unit over a packed
+/// 16-bit syndrome register. One `synstep` performs, for all four
+/// syndromes at once, `S_i ← S_i·αⁱ ⊕ r` — a full Horner step per
+/// received symbol.
+///
+/// * `synstep r`
+/// * `rdsyn d` — packed `[S3 S2 S1 S0]`
+/// * `clrsyn`
+pub fn rs_wide() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("rswide");
+    add_syn_insts(&mut ext);
+    ext.build().expect("rswide extension compiles")
+}
+
+/// `rsfull`: the widest Reed–Solomon configuration — the parallel
+/// syndrome unit of [`rs_wide`] plus the [`gf16`] multiplier, so both the
+/// encoder and the decoder run on custom hardware.
+pub fn rs_full() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("rsfull");
+    add_gfmul_inst(&mut ext);
+    add_syn_insts(&mut ext);
+    ext.build().expect("rsfull extension compiles")
+}
+
+fn add_syn_insts(ext: &mut ExtensionBuilder) {
+    let syn = ext.state("syn", 16).expect("state");
+
+    let mut g = DfGraph::new();
+    let r = g.input("r", 4);
+    let syn_in = g.input("syn", 16);
+    let mut lanes = Vec::new();
+    for i in 0..4u8 {
+        let s = g
+            .node(PrimOp::Slice { lsb: 4 * i }, 4, &[syn_in])
+            .expect("graph");
+        let rotated = if i == 0 {
+            s // α⁰ = 1: no constant multiplier needed
+        } else {
+            let t = g.add_table(
+                LookupTable::new(gf::const_mul_table(i as usize).to_vec(), 4).expect("table"),
+            );
+            g.node(PrimOp::TableLookup { table_index: t }, 4, &[s])
+                .expect("graph")
+        };
+        let nx = g.node(PrimOp::Xor, 4, &[rotated, r]).expect("graph");
+        lanes.push(nx);
+    }
+    let p01 = g
+        .node(PrimOp::Pack { lsb: 4 }, 8, &[lanes[0], lanes[1]])
+        .expect("graph");
+    let p012 = g
+        .node(PrimOp::Pack { lsb: 8 }, 12, &[p01, lanes[2]])
+        .expect("graph");
+    let packed = g
+        .node(PrimOp::Pack { lsb: 12 }, 16, &[p012, lanes[3]])
+        .expect("graph");
+    g.output(packed);
+    ext.instruction("synstep", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::State(syn))
+        .expect("bind")
+        .bind_output(OutputBind::State(syn))
+        .expect("bind");
+
+    let mut g = DfGraph::new();
+    let syn_in = g.input("syn", 16);
+    g.output(syn_in);
+    ext.instruction("rdsyn", g)
+        .expect("inst")
+        .bind_input(InputBind::State(syn))
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+
+    let mut g = DfGraph::new();
+    let zero = g.constant(0, 16).expect("graph");
+    g.output(zero);
+    ext.instruction("clrsyn", g)
+        .expect("inst")
+        .bind_output(OutputBind::State(syn))
+        .expect("bind");
+}
+
+/// `dsp16`: saturating fractional multiply plus variable shifts
+/// (multiplier, shifter, comparator coverage).
+///
+/// * `satmul d, a, b` — `d = min((a·b) >> 7, 0xffff)` over 16-bit inputs
+/// * `vshl d, a, b` / `vshr d, a, b` — variable barrel shifts
+pub fn dsp16() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("dsp16");
+
+    let mut g = DfGraph::new();
+    let a = g.input("a", 16);
+    let b = g.input("b", 16);
+    let p = g.node(PrimOp::Mul, 32, &[a, b]).expect("graph");
+    let sh = g.node(PrimOp::Slice { lsb: 7 }, 25, &[p]).expect("graph");
+    let limit = g.constant(0xffff, 25).expect("graph");
+    let over = g.node(PrimOp::CmpLtu, 1, &[limit, sh]).expect("graph");
+    let lo = g.node(PrimOp::Slice { lsb: 0 }, 16, &[sh]).expect("graph");
+    let sat = g.constant(0xffff, 16).expect("graph");
+    let out = g.node(PrimOp::Mux, 16, &[over, sat, lo]).expect("graph");
+    g.output(out);
+    ext.instruction("satmul", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+
+    for (name, op) in [("vshl", PrimOp::Shl), ("vshr", PrimOp::Shr)] {
+        let mut g = DfGraph::new();
+        let a = g.input("a", 32);
+        let b = g.input("b", 5);
+        let out = g.node(op, 32, &[a, b]).expect("graph");
+        g.output(out);
+        ext.instruction(name, g)
+            .expect("inst")
+            .bind_input(InputBind::GprS)
+            .expect("bind")
+            .bind_input(InputBind::GprT)
+            .expect("bind")
+            .bind_output(OutputBind::Gpr)
+            .expect("bind");
+    }
+
+    ext.build().expect("dsp16 extension compiles")
+}
+
+/// `csamult`: a carry-save sequential-multiplier step unit (the
+/// `seq_mult` datapath; `TIE_csa` + `TIE_add` coverage).
+///
+/// State: carry-save pair `(ssum, scarry)`.
+///
+/// * `mstep m, bit` — if `bit`, CSA-accumulate `m` into the pair
+/// * `mres d` — resolve the pair with a `TIE_add`
+/// * `mclr`
+pub fn csa_mult() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("csamult");
+    let ssum = ext.state("ssum", 32).expect("state");
+    let scarry = ext.state("scarry", 32).expect("state");
+
+    let mut g = DfGraph::new();
+    let m = g.input("m", 32);
+    let bit = g.input("bit", 1);
+    let s_in = g.input("ssum", 32);
+    let c_in = g.input("scarry", 32);
+    let zero = g.constant(0, 32).expect("graph");
+    let masked = g.node(PrimOp::Mux, 32, &[bit, m, zero]).expect("graph");
+    let ns = g
+        .node(PrimOp::TieCsaSum, 32, &[s_in, c_in, masked])
+        .expect("graph");
+    let nc = g
+        .node(PrimOp::TieCsaCarry, 32, &[s_in, c_in, masked])
+        .expect("graph");
+    g.output(ns);
+    g.output(nc);
+    ext.instruction("mstep", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_input(InputBind::State(ssum))
+        .expect("bind")
+        .bind_input(InputBind::State(scarry))
+        .expect("bind")
+        .bind_output(OutputBind::State(ssum))
+        .expect("bind")
+        .bind_output(OutputBind::State(scarry))
+        .expect("bind");
+
+    let mut g = DfGraph::new();
+    let s_in = g.input("ssum", 32);
+    let c_in = g.input("scarry", 32);
+    let zero = g.constant(0, 32).expect("graph");
+    let sum = g
+        .node(PrimOp::TieAdd, 32, &[s_in, c_in, zero])
+        .expect("graph");
+    g.output(sum);
+    ext.instruction("mres", g)
+        .expect("inst")
+        .bind_input(InputBind::State(ssum))
+        .expect("bind")
+        .bind_input(InputBind::State(scarry))
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+
+    let mut g = DfGraph::new();
+    let zero = g.constant(0, 32).expect("graph");
+    g.output(zero);
+    g.output(zero);
+    ext.instruction("mclr", g)
+        .expect("inst")
+        .bind_output(OutputBind::State(ssum))
+        .expect("bind")
+        .bind_output(OutputBind::State(scarry))
+        .expect("bind");
+
+    ext.build().expect("csamult extension compiles")
+}
+
+/// `tmul16`: `TIE_mult` coverage — low and high halves of a 16×16
+/// product.
+pub fn tmul16() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("tmul16");
+    for (name, lsb) in [("tmullo", 0u8), ("tmulhi", 16u8)] {
+        let mut g = DfGraph::new();
+        let a = g.input("a", 16);
+        let b = g.input("b", 16);
+        let p = g.node(PrimOp::TieMult, 32, &[a, b]).expect("graph");
+        let part = g.node(PrimOp::Slice { lsb }, 16, &[p]).expect("graph");
+        g.output(part);
+        ext.instruction(name, g)
+            .expect("inst")
+            .bind_input(InputBind::GprS)
+            .expect("bind")
+            .bind_input(InputBind::GprT)
+            .expect("bind")
+            .bind_output(OutputBind::Gpr)
+            .expect("bind");
+    }
+    ext.build().expect("tmul16 extension compiles")
+}
+
+/// `wide64`: a 64-bit signature register (wide custom-register +
+/// reduction-logic coverage).
+///
+/// * `wacc a` — `w ^= (a | a<<32)`
+/// * `wpar d` — parity of `w`
+/// * `wclr`
+pub fn wide64() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("wide64");
+    let w = ext.state("w", 64).expect("state");
+
+    let mut g = DfGraph::new();
+    let a = g.input("a", 32);
+    let w_in = g.input("w", 64);
+    let rep = g
+        .node(PrimOp::Pack { lsb: 32 }, 64, &[a, a])
+        .expect("graph");
+    let nx = g.node(PrimOp::Xor, 64, &[w_in, rep]).expect("graph");
+    g.output(nx);
+    ext.instruction("wacc", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::State(w))
+        .expect("bind")
+        .bind_output(OutputBind::State(w))
+        .expect("bind");
+
+    let mut g = DfGraph::new();
+    let w_in = g.input("w", 64);
+    let par = g.node(PrimOp::RedXor, 1, &[w_in]).expect("graph");
+    g.output(par);
+    ext.instruction("wpar", g)
+        .expect("inst")
+        .bind_input(InputBind::State(w))
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+
+    let mut g = DfGraph::new();
+    let zero = g.constant(0, 64).expect("graph");
+    g.output(zero);
+    ext.instruction("wclr", g)
+        .expect("inst")
+        .bind_output(OutputBind::State(w))
+        .expect("bind");
+
+    ext.build().expect("wide64 extension compiles")
+}
+
+/// `simd4`: a packed 4×8-bit SIMD adder (`add4` workload).
+///
+/// * `add4x8 d, a, b` — four independent byte sums, no cross-lane carry
+pub fn simd4() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("simd4");
+    let mut g = DfGraph::new();
+    let a = g.input("a", 32);
+    let b = g.input("b", 32);
+    let mut sums = Vec::new();
+    for k in 0..4u8 {
+        let ak = g
+            .node(PrimOp::Slice { lsb: 8 * k }, 8, &[a])
+            .expect("graph");
+        let bk = g
+            .node(PrimOp::Slice { lsb: 8 * k }, 8, &[b])
+            .expect("graph");
+        sums.push(g.node(PrimOp::Add, 8, &[ak, bk]).expect("graph"));
+    }
+    let p01 = g
+        .node(PrimOp::Pack { lsb: 8 }, 16, &[sums[0], sums[1]])
+        .expect("graph");
+    let p012 = g
+        .node(PrimOp::Pack { lsb: 16 }, 24, &[p01, sums[2]])
+        .expect("graph");
+    let out = g
+        .node(PrimOp::Pack { lsb: 24 }, 32, &[p012, sums[3]])
+        .expect("graph");
+    g.output(out);
+    ext.instruction("add4x8", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+    ext.build().expect("simd4 extension compiles")
+}
+
+/// `sortpair`: compare-and-order unit for sorting kernels.
+///
+/// * `cmpx d, a, b` — `d = max(a,b)` (unsigned); `min(a,b)` is latched in
+///   the `min` custom register
+/// * `rdmin d` — read the latched minimum
+pub fn sortpair() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("sortpair");
+    let min = ext.state("min", 32).expect("state");
+
+    let mut g = DfGraph::new();
+    let a = g.input("a", 32);
+    let b = g.input("b", 32);
+    let lt = g.node(PrimOp::CmpLtu, 1, &[a, b]).expect("graph");
+    let mx = g.node(PrimOp::Mux, 32, &[lt, b, a]).expect("graph");
+    let mn = g.node(PrimOp::Mux, 32, &[lt, a, b]).expect("graph");
+    g.output(mx);
+    g.output(mn);
+    ext.instruction("cmpx", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind")
+        .bind_output(OutputBind::State(min))
+        .expect("bind");
+
+    let mut g = DfGraph::new();
+    let m_in = g.input("min", 32);
+    g.output(m_in);
+    ext.instruction("rdmin", g)
+        .expect("inst")
+        .bind_input(InputBind::State(min))
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+
+    ext.build().expect("sortpair extension compiles")
+}
+
+/// `blend8`: an 8-bit alpha blender (`alphablend` workload):
+/// `d = (a·α + b·(255−α)) >> 8` with α in a custom register.
+///
+/// * `setalpha a`
+/// * `blend d, a, b`
+pub fn blend8() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("blend8");
+    let alpha = ext.state("alpha", 8).expect("state");
+
+    let mut g = DfGraph::new();
+    let a = g.input("a", 8);
+    g.output(a);
+    ext.instruction("setalpha", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_output(OutputBind::State(alpha))
+        .expect("bind");
+
+    let mut g = DfGraph::new();
+    let a = g.input("a", 8);
+    let b = g.input("b", 8);
+    let al = g.input("alpha", 8);
+    let p1 = g.node(PrimOp::Mul, 16, &[a, al]).expect("graph");
+    let c255 = g.constant(255, 8).expect("graph");
+    let ia = g.node(PrimOp::Sub, 8, &[c255, al]).expect("graph");
+    let p2 = g.node(PrimOp::Mul, 16, &[b, ia]).expect("graph");
+    let s = g.node(PrimOp::Add, 16, &[p1, p2]).expect("graph");
+    let out = g.node(PrimOp::Slice { lsb: 8 }, 8, &[s]).expect("graph");
+    g.output(out);
+    ext.instruction("blend", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_input(InputBind::State(alpha))
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+
+    ext.build().expect("blend8 extension compiles")
+}
+
+/// Pseudo-DES S-box contents: two fixed, data-rich 64-entry 4-bit tables.
+pub(crate) fn des_sbox(which: usize, index: u64) -> u64 {
+    let i = index & 63;
+    match which {
+        0 => ((i * 13 + 5) ^ (i >> 2)) & 0xf,
+        _ => ((i * 7 + 11) ^ (i >> 3) ^ 0x9) & 0xf,
+    }
+}
+
+/// `sbox12`: a two-S-box substitution unit (the DES workload): a 12-bit
+/// input is split into two 6-bit halves, each substituted through its own
+/// 64-entry table, producing a packed 8-bit result.
+///
+/// * `dsbox d, a`
+pub fn sbox12() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("sbox12");
+    let mut g = DfGraph::new();
+    let x = g.input("x", 12);
+    let t0 =
+        g.add_table(LookupTable::new((0..64).map(|i| des_sbox(0, i)).collect(), 4).expect("table"));
+    let t1 =
+        g.add_table(LookupTable::new((0..64).map(|i| des_sbox(1, i)).collect(), 4).expect("table"));
+    let lo = g.node(PrimOp::Slice { lsb: 0 }, 6, &[x]).expect("graph");
+    let hi = g.node(PrimOp::Slice { lsb: 6 }, 6, &[x]).expect("graph");
+    let s0 = g
+        .node(PrimOp::TableLookup { table_index: t0 }, 4, &[lo])
+        .expect("graph");
+    let s1 = g
+        .node(PrimOp::TableLookup { table_index: t1 }, 4, &[hi])
+        .expect("graph");
+    let out = g
+        .node(PrimOp::Pack { lsb: 4 }, 8, &[s0, s1])
+        .expect("graph");
+    g.output(out);
+    ext.instruction("dsbox", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+    ext.build().expect("sbox12 extension compiles")
+}
+
+/// `tie_alu`: stateless three-operand TIE arithmetic — the fused modules
+/// wired straight between the operand buses, an immediate and the result
+/// bus, with **no custom registers**. Exists so the TIE_mac / TIE_add /
+/// TIE_csa categories appear in the characterization suite unbundled from
+/// custom-register traffic.
+///
+/// * `maci d, a, b, imm` — `d = a·b + imm` (TIE_mac)
+/// * `add3i d, a, b, imm` — `d = a + b + imm` (TIE_add)
+/// * `csa3s d, a, b, imm` / `csa3c d, a, b, imm` — carry-save sum/carry
+pub fn tie_alu() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("tie_alu");
+    let specs: [(&str, PrimOp, u8); 4] = [
+        ("maci", PrimOp::TieMac, 32),
+        ("add3i", PrimOp::TieAdd, 32),
+        ("csa3s", PrimOp::TieCsaSum, 32),
+        ("csa3c", PrimOp::TieCsaCarry, 32),
+    ];
+    for (name, op, w) in specs {
+        let mut g = DfGraph::new();
+        let a = g.input("a", w);
+        let b = g.input("b", w);
+        let imm = g.input("imm", w);
+        let out = g.node(op, w, &[a, b, imm]).expect("graph");
+        g.output(out);
+        ext.instruction(name, g)
+            .expect("inst")
+            .bind_input(InputBind::GprS)
+            .expect("bind")
+            .bind_input(InputBind::GprT)
+            .expect("bind")
+            .bind_input(InputBind::Imm)
+            .expect("bind")
+            .bind_output(OutputBind::Gpr)
+            .expect("bind");
+    }
+    // A near-empty custom instruction: one wire-level pass-through. Its
+    // executions carry GPR coupling (n_CI) with almost no combinational
+    // hardware, separating the side-effect coefficient from the
+    // logic/mux category.
+    let mut g = DfGraph::new();
+    let a = g.input("a", 32);
+    let out = g.node(PrimOp::Slice { lsb: 0 }, 32, &[a]).expect("graph");
+    g.output(out);
+    ext.instruction("cpass", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+
+    ext.build().expect("tie_alu extension compiles")
+}
+
+/// `mul32c`: a full-width 32-bit custom multiplier (`cmul d, a, b`).
+/// Gives the characterization suite the general-multiplier category at
+/// `f(C) = 1`, complementing the 8- and 16-bit instances elsewhere.
+pub fn mul32c() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("mul32c");
+    let mut g = DfGraph::new();
+    let a = g.input("a", 32);
+    let b = g.input("b", 32);
+    let m = g.node(PrimOp::Mul, 32, &[a, b]).expect("graph");
+    g.output(m);
+    ext.instruction("cmul", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+    ext.build().expect("mul32c extension compiles")
+}
+
+/// `bigtable`: a 256-entry × 16-bit lookup unit (`tlu d, a`) — a
+/// sine/companding-style table far larger than the GF and S-box tables,
+/// giving the table category a high-complexity instance.
+pub fn bigtable() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("bigtable");
+    let mut g = DfGraph::new();
+    let a = g.input("a", 8);
+    let entries: Vec<u64> = (0..256u64).map(|i| (i * i * 257 / 64) & 0xffff).collect();
+    let t = g.add_table(LookupTable::new(entries, 16).expect("table"));
+    let out = g
+        .node(PrimOp::TableLookup { table_index: t }, 16, &[a])
+        .expect("graph");
+    g.output(out);
+    ext.instruction("tlu", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+    ext.build().expect("bigtable extension compiles")
+}
+
+/// `absdiff`: unsigned absolute difference (`gcd` workload).
+pub fn absdiff_ext() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("absdiff");
+    let mut g = DfGraph::new();
+    let a = g.input("a", 32);
+    let b = g.input("b", 32);
+    let lt = g.node(PrimOp::CmpLtu, 1, &[a, b]).expect("graph");
+    let d1 = g.node(PrimOp::Sub, 32, &[a, b]).expect("graph");
+    let d2 = g.node(PrimOp::Sub, 32, &[b, a]).expect("graph");
+    let out = g.node(PrimOp::Mux, 32, &[lt, d2, d1]).expect("graph");
+    g.output(out);
+    ext.instruction("absdiff", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+    ext.build().expect("absdiff extension compiles")
+}
+
+/// `line`: Bresenham helpers for the `drawline` workload: unsigned
+/// absolute difference plus a signed step selector.
+///
+/// * `absdiff d, a, b`
+/// * `sgnsel d, a, b` — `+1` if `a < b` (signed), else `-1`
+pub fn line_ext() -> ExtensionSet {
+    let mut ext = ExtensionBuilder::new("line");
+    let mut g = DfGraph::new();
+    let a = g.input("a", 32);
+    let b = g.input("b", 32);
+    let lt = g.node(PrimOp::CmpLtu, 1, &[a, b]).expect("graph");
+    let d1 = g.node(PrimOp::Sub, 32, &[a, b]).expect("graph");
+    let d2 = g.node(PrimOp::Sub, 32, &[b, a]).expect("graph");
+    let out = g.node(PrimOp::Mux, 32, &[lt, d2, d1]).expect("graph");
+    g.output(out);
+    ext.instruction("absdiff", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+
+    let mut g = DfGraph::new();
+    let a = g.input("a", 32);
+    let b = g.input("b", 32);
+    let lt = g.node(PrimOp::CmpLts, 1, &[a, b]).expect("graph");
+    let plus = g.constant(1, 32).expect("graph");
+    let minus = g.constant(0xffff_ffff, 32).expect("graph");
+    let out = g.node(PrimOp::Mux, 32, &[lt, plus, minus]).expect("graph");
+    g.output(out);
+    ext.instruction("sgnsel", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+
+    ext.build().expect("line extension compiles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_hwlib::Category;
+
+    fn exec1(set: &ExtensionSet, name: &str, rs: u32, rt: u32) -> u64 {
+        let inst = set.by_name(name).expect("instruction exists");
+        let mut state = set.initial_state();
+        inst.execute(rs, rt, 0, &mut state)
+            .expect("executes")
+            .gpr
+            .expect("writes gpr")
+    }
+
+    #[test]
+    fn gfmul_matches_reference() {
+        let set = gf16();
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                assert_eq!(
+                    exec1(&set, "gfmul", a, b) as u8,
+                    gf::mul(a as u8, b as u8),
+                    "{a}⊗{b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gfmac_accumulates() {
+        let set = gf16_mac();
+        let mac = set.by_name("gfmac").unwrap();
+        let rd = set.by_name("rdgacc").unwrap();
+        let mut state = set.initial_state();
+        let mut expected = 0u8;
+        for (a, b) in [(3u8, 7u8), (5, 5), (12, 9), (1, 15)] {
+            mac.execute(u32::from(a), u32::from(b), 0, &mut state)
+                .unwrap();
+            expected ^= gf::mul(a, b);
+        }
+        let got = rd.execute(0, 0, 0, &mut state).unwrap().gpr.unwrap();
+        assert_eq!(got as u8, expected);
+    }
+
+    #[test]
+    fn synstep_computes_syndromes() {
+        // Feed a message of 6 symbols and compare against direct
+        // polynomial evaluation S_i = Σ r_j α^(i·(n-1-j)).
+        let msg = [3u8, 0, 7, 12, 1, 9];
+        let set = rs_wide();
+        let step = set.by_name("synstep").unwrap();
+        let rd = set.by_name("rdsyn").unwrap();
+        let mut state = set.initial_state();
+        for &r in &msg {
+            step.execute(u32::from(r), 0, 0, &mut state).unwrap();
+        }
+        let packed = rd.execute(0, 0, 0, &mut state).unwrap().gpr.unwrap();
+        for i in 0..4 {
+            let mut s = 0u8;
+            for (j, &r) in msg.iter().enumerate() {
+                let power = (i * (msg.len() - 1 - j)) % 15;
+                s ^= gf::mul(r, gf::exp(power));
+            }
+            let lane = ((packed >> (4 * i)) & 0xf) as u8;
+            assert_eq!(lane, s, "syndrome {i}");
+        }
+    }
+
+    #[test]
+    fn satmul_saturates() {
+        let set = dsp16();
+        assert_eq!(exec1(&set, "satmul", 100, 128), 100); // (100·128)>>7
+        assert_eq!(exec1(&set, "satmul", 0xffff, 0xffff), 0xffff); // saturates
+        assert_eq!(exec1(&set, "vshl", 1, 5), 32);
+        assert_eq!(exec1(&set, "vshr", 32, 5), 1);
+    }
+
+    #[test]
+    fn csa_multiplier_multiplies() {
+        let set = csa_mult();
+        let mstep = set.by_name("mstep").unwrap();
+        let mres = set.by_name("mres").unwrap();
+        let (a, b) = (0xbeefu32, 0x1234u32);
+        let mut state = set.initial_state();
+        for i in 0..16 {
+            let bit = (b >> i) & 1;
+            mstep.execute(a << i, bit, 0, &mut state).unwrap();
+        }
+        let out = mres.execute(0, 0, 0, &mut state).unwrap().gpr.unwrap();
+        assert_eq!(out as u32, a.wrapping_mul(b));
+    }
+
+    #[test]
+    fn tmul_halves() {
+        let set = tmul16();
+        let (a, b) = (0xabcdu32, 0x4321u32);
+        let p = u64::from(a) * u64::from(b);
+        assert_eq!(exec1(&set, "tmullo", a, b), p & 0xffff);
+        assert_eq!(exec1(&set, "tmulhi", a, b), (p >> 16) & 0xffff);
+    }
+
+    #[test]
+    fn wide64_parity() {
+        let set = wide64();
+        let wacc = set.by_name("wacc").unwrap();
+        let wpar = set.by_name("wpar").unwrap();
+        let mut state = set.initial_state();
+        wacc.execute(0b101, 0, 0, &mut state).unwrap();
+        // w = 0b101 | 0b101<<32: 4 ones → even parity.
+        assert_eq!(wpar.execute(0, 0, 0, &mut state).unwrap().gpr.unwrap(), 0);
+        wacc.execute(1, 0, 0, &mut state).unwrap();
+        // toggles two bits → still even.
+        assert_eq!(wpar.execute(0, 0, 0, &mut state).unwrap().gpr.unwrap(), 0);
+        state[0] ^= 1;
+        assert_eq!(wpar.execute(0, 0, 0, &mut state).unwrap().gpr.unwrap(), 1);
+    }
+
+    #[test]
+    fn add4x8_is_lanewise() {
+        let set = simd4();
+        let a = 0xff_01_80_7f;
+        let b = 0x01_02_80_01;
+        let expected = u32::from_le_bytes([
+            0x7fu8.wrapping_add(0x01),
+            0x80u8.wrapping_add(0x80),
+            0x01u8.wrapping_add(0x02),
+            0xffu8.wrapping_add(0x01),
+        ]);
+        assert_eq!(exec1(&set, "add4x8", a, b) as u32, expected);
+    }
+
+    #[test]
+    fn sortpair_orders() {
+        let set = sortpair();
+        let cmpx = set.by_name("cmpx").unwrap();
+        let rdmin = set.by_name("rdmin").unwrap();
+        let mut state = set.initial_state();
+        let out = cmpx.execute(10, 42, 0, &mut state).unwrap();
+        assert_eq!(out.gpr, Some(42));
+        assert_eq!(rdmin.execute(0, 0, 0, &mut state).unwrap().gpr, Some(10));
+        let out = cmpx.execute(42, 10, 0, &mut state).unwrap();
+        assert_eq!(out.gpr, Some(42));
+        assert_eq!(rdmin.execute(0, 0, 0, &mut state).unwrap().gpr, Some(10));
+    }
+
+    #[test]
+    fn blend_interpolates() {
+        let set = blend8();
+        let setalpha = set.by_name("setalpha").unwrap();
+        let blend = set.by_name("blend").unwrap();
+        let mut state = set.initial_state();
+        setalpha.execute(255, 0, 0, &mut state).unwrap();
+        let out = blend.execute(200, 10, 0, &mut state).unwrap().gpr.unwrap();
+        assert_eq!(out, (200 * 255) >> 8); // α=255 → (almost) all a
+        setalpha.execute(0, 0, 0, &mut state).unwrap();
+        let out = blend.execute(200, 10, 0, &mut state).unwrap().gpr.unwrap();
+        assert_eq!(out, (10 * 255) >> 8);
+        setalpha.execute(128, 0, 0, &mut state).unwrap();
+        let out = blend.execute(100, 50, 0, &mut state).unwrap().gpr.unwrap();
+        assert_eq!(out, (100 * 128 + 50 * 127) >> 8);
+    }
+
+    #[test]
+    fn dsbox_substitutes() {
+        let set = sbox12();
+        let x = 0b101010_010101u32;
+        let expected = des_sbox(0, 0b010101) | (des_sbox(1, 0b101010) << 4);
+        assert_eq!(exec1(&set, "dsbox", x, 0), expected);
+    }
+
+    #[test]
+    fn absdiff_and_sgnsel() {
+        let set = line_ext();
+        assert_eq!(exec1(&set, "absdiff", 10, 3), 7);
+        assert_eq!(exec1(&set, "absdiff", 3, 10), 7);
+        assert_eq!(exec1(&set, "sgnsel", 1, 5), 1);
+        assert_eq!(exec1(&set, "sgnsel", 5, 1) as u32, u32::MAX);
+    }
+
+    #[test]
+    fn mac2_dual_lanes() {
+        let set = mac16x2();
+        let mac2 = set.by_name("mac2").unwrap();
+        let mut state = set.initial_state();
+        // a = [hi=3, lo=10], b = [hi=7, lo=20]
+        mac2.execute((3 << 16) | 10, (7 << 16) | 20, 0, &mut state)
+            .unwrap();
+        mac2.execute((1 << 16) | 2, (1 << 16) | 3, 0, &mut state)
+            .unwrap();
+        assert_eq!(state[0], 10 * 20 + 2 * 3);
+        assert_eq!(state[1], 3 * 7 + 1);
+    }
+
+    #[test]
+    fn library_covers_all_ten_categories() {
+        let sets = [
+            mac16(),
+            mac16x2(),
+            gf16(),
+            gf16_mac(),
+            rs_wide(),
+            dsp16(),
+            csa_mult(),
+            tmul16(),
+            wide64(),
+            simd4(),
+            sortpair(),
+            blend8(),
+            sbox12(),
+            absdiff_ext(),
+            line_ext(),
+        ];
+        let mut covered = [false; 10];
+        for set in &sets {
+            for inst in set {
+                for (i, &r) in inst.resource_vector().iter().enumerate() {
+                    if r > 0.0 {
+                        covered[i] = true;
+                    }
+                }
+            }
+        }
+        for (i, c) in covered.iter().enumerate() {
+            assert!(c, "category {:?} not covered", Category::ALL[i]);
+        }
+    }
+}

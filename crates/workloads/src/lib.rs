@@ -1,0 +1,52 @@
+//! Test programs and application benchmarks for the emx energy-estimation
+//! flow.
+//!
+//! The paper's experimental setup uses "Tensilica benchmarks written in C,
+//! while custom instructions are written in TIE". This crate provides the
+//! equivalent corpus, written directly in emx assembly:
+//!
+//! * [`suite::characterization_suite`] — the **25 test programs** used to
+//!   build the macro-model (the x-axis of Fig. 3). The suite is designed
+//!   for what regression macro-modeling needs: *diversity* in instruction
+//!   statistics covering every base-ISA class, every non-ideal event
+//!   (cache misses, uncached fetches, interlocks) and every custom
+//!   hardware library category at several bit-widths.
+//! * [`apps`] — the **ten applications of Table II** (`ins_sort`, `gcd`,
+//!   `alphablend`, `add4`, `bubsort`, `des`, `accumulate`, `drawline`,
+//!   `multi_accumulate`, `seq_mult`), each incorporating its own custom
+//!   instructions, each self-checking against a Rust reference
+//!   implementation.
+//! * [`reed_solomon`] — a GF(2⁴) RS(15,11) encoder/decoder with **four
+//!   custom-instruction choices** (`rs0`..`rs3`), the design-space
+//!   exploration study of Fig. 4.
+//! * [`exts`] — the extension-set (TIE) definitions shared by the corpus.
+//!
+//! Every workload carries memory checks so that functional correctness is
+//! verified, not assumed: energy numbers from a broken codec would be
+//! meaningless.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use emx_sim::{Interp, ProcConfig};
+//!
+//! let w = emx_workloads::apps::gcd();
+//! let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+//! sim.run(10_000_000)?;
+//! w.verify(sim.state())?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod exts;
+pub mod gf;
+pub mod reed_solomon;
+pub mod suite;
+mod workload;
+
+pub use workload::{MemCheck, VerifyError, Workload};

@@ -1,0 +1,452 @@
+//! Reed–Solomon RS(15,11) over GF(2⁴) with **four custom-instruction
+//! choices** — the design-space exploration study of Fig. 4 of the paper
+//! ("a single application … with four different custom instruction
+//! choices").
+//!
+//! The application encodes messages with a systematic LFSR encoder,
+//! injects a (known) single symbol error, computes the four syndromes and
+//! corrects the error. The four processor configurations move
+//! progressively more of the GF arithmetic into custom hardware:
+//!
+//! | config | extension | what is custom |
+//! |--------|-----------|----------------|
+//! | `rs0` | none        | everything in software (log/antilog tables in memory, `call`-based GF multiply) |
+//! | `rs1` | `gf16`      | single-cycle `gfmul` |
+//! | `rs2` | `gf16mac`   | `gfmul` + accumulating `gfmac` for the syndrome loops |
+//! | `rs3` | `rsfull`    | `gfmul` + a four-way parallel `synstep` syndrome unit |
+//!
+//! Each configuration is functionally identical — all four produce the
+//! same corrected codewords, checked against the Rust reference — so the
+//! energy differences measured across them are purely architectural,
+//! which is exactly what the relative-accuracy study needs.
+
+use emx_isa::program::layout::DATA_BASE;
+
+use crate::workload::words_directive;
+use crate::{exts, gf, MemCheck, Workload};
+
+/// Codeword length (symbols).
+pub const N: usize = 15;
+/// Message length (symbols).
+pub const K: usize = 11;
+/// Number of parity symbols / syndromes.
+pub const PARITY: usize = N - K;
+
+/// Number of messages processed per run.
+const MESSAGES: usize = 4;
+/// Outer repetitions (the whole codec pipeline is idempotent).
+const REPEATS: u32 = 6;
+
+/// Injected single errors per message: `(power-of-x position, magnitude)`;
+/// position 255 means "no error".
+const ERRORS: [(u32, u32); MESSAGES] = [(3, 5), (14, 9), (0, 1), (255, 0)];
+
+/// Generator polynomial coefficients `g0..g3` of
+/// `g(x) = Π_{i=0..3} (x − αⁱ)` (monic; the x⁴ coefficient is 1).
+pub fn generator() -> [u8; PARITY] {
+    // Multiply out (x − α⁰)(x − α¹)(x − α²)(x − α³); subtraction is xor.
+    let mut g = vec![1u8]; // 1 (constant polynomial), ascending powers
+    for i in 0..PARITY {
+        let root = gf::exp(i);
+        // g(x) ← g(x)·(x + root)
+        let mut next = vec![0u8; g.len() + 1];
+        for (j, &c) in g.iter().enumerate() {
+            next[j + 1] ^= c; // ·x
+            next[j] ^= gf::mul(c, root);
+        }
+        g = next;
+    }
+    debug_assert_eq!(g[PARITY], 1);
+    [g[0], g[1], g[2], g[3]]
+}
+
+/// Systematic LFSR encoder. `msg` is in transmit order (`m[0]` is the
+/// highest-power symbol `c_14`); returns the full codeword `c_14..c_0`.
+pub fn encode(msg: &[u8; K]) -> [u8; N] {
+    let g = generator();
+    let mut reg = [0u8; PARITY]; // reg[k] holds the x^k coefficient
+    for &m in msg {
+        let fb = m ^ reg[PARITY - 1];
+        reg[3] = reg[2] ^ gf::mul(fb, g[3]);
+        reg[2] = reg[1] ^ gf::mul(fb, g[2]);
+        reg[1] = reg[0] ^ gf::mul(fb, g[1]);
+        reg[0] = gf::mul(fb, g[0]);
+    }
+    let mut cw = [0u8; N];
+    cw[..K].copy_from_slice(msg);
+    for k in 0..PARITY {
+        cw[K + k] = reg[PARITY - 1 - k];
+    }
+    cw
+}
+
+/// Computes the four syndromes `S_i = c(αⁱ)` of a received word (transmit
+/// order).
+pub fn syndromes(cw: &[u8; N]) -> [u8; PARITY] {
+    let mut s = [0u8; PARITY];
+    for (i, si) in s.iter_mut().enumerate() {
+        for &c in cw {
+            *si = gf::mul(*si, gf::exp(i)) ^ c;
+        }
+    }
+    s
+}
+
+/// Corrects at most one symbol error in place; returns the corrected
+/// position (power of x) if a correction was applied.
+pub fn correct_single(cw: &mut [u8; N]) -> Option<usize> {
+    let s = syndromes(cw);
+    if s.iter().all(|&v| v == 0) {
+        return None;
+    }
+    let p = (gf::log(s[1]) + gf::ORDER - gf::log(s[0])) % gf::ORDER;
+    cw[N - 1 - p] ^= s[0];
+    Some(p)
+}
+
+/// The four custom-instruction choices for the codec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RsConfig {
+    /// Base processor only (software GF arithmetic).
+    Rs0,
+    /// `gfmul` custom instruction.
+    Rs1,
+    /// `gfmul` + `gfmac` custom instructions.
+    Rs2,
+    /// `gfmul` + the parallel `synstep` syndrome unit.
+    Rs3,
+}
+
+impl RsConfig {
+    /// All four configurations, in Fig. 4 order.
+    pub const ALL: [RsConfig; 4] = [RsConfig::Rs0, RsConfig::Rs1, RsConfig::Rs2, RsConfig::Rs3];
+
+    /// Short name (`rs0`..`rs3`).
+    pub fn name(self) -> &'static str {
+        match self {
+            RsConfig::Rs0 => "rs0",
+            RsConfig::Rs1 => "rs1",
+            RsConfig::Rs2 => "rs2",
+            RsConfig::Rs3 => "rs3",
+        }
+    }
+
+    fn ext(self) -> emx_tie::ExtensionSet {
+        match self {
+            RsConfig::Rs0 => emx_tie::ExtensionSet::empty(),
+            RsConfig::Rs1 => exts::gf16(),
+            RsConfig::Rs2 => exts::gf16_mac(),
+            RsConfig::Rs3 => exts::rs_full(),
+        }
+    }
+
+    /// Builds the codec workload for this configuration.
+    pub fn workload(self) -> Workload {
+        build_workload(self)
+    }
+}
+
+/// All four codec workloads (`rs0`..`rs3`).
+pub fn all_configs() -> Vec<Workload> {
+    RsConfig::ALL.iter().map(|c| c.workload()).collect()
+}
+
+/// Deterministic test messages.
+fn messages() -> Vec<[u8; K]> {
+    let raw = crate::workload::lcg_stream(801, MESSAGES * K);
+    (0..MESSAGES)
+        .map(|m| {
+            let mut msg = [0u8; K];
+            for (j, slot) in msg.iter_mut().enumerate() {
+                *slot = (raw[m * K + j] & 0xf) as u8;
+            }
+            msg
+        })
+        .collect()
+}
+
+/// Emits a GF-multiply of `x_reg` by constant `c`, result in `a14`.
+/// Clobbers `a12`, `a13` (and `a15` in the software configuration).
+fn mul_const(cfg: RsConfig, x_reg: &str, c: u8) -> String {
+    match cfg {
+        RsConfig::Rs0 => {
+            format!("mov a12, {x_reg}\nmovi a13, {c}\ncall gfmul_sw\n")
+        }
+        _ => format!("movi a13, {c}\ngfmul a14, {x_reg}, a13\n"),
+    }
+}
+
+/// Emits the syndrome phase: leaves `S0..S3` in `a6..a9`.
+fn syndrome_phase(cfg: RsConfig) -> String {
+    match cfg {
+        RsConfig::Rs0 | RsConfig::Rs1 => {
+            // One software Horner loop per syndrome.
+            let mut out = String::new();
+            for (i, sreg) in ["a6", "a7", "a8", "a9"].iter().enumerate() {
+                let alpha_i = gf::exp(i);
+                out.push_str(&format!(
+                    "movi {sreg}, 0\nmovi a10, cw\nmovi a11, {N}\nsyn{i}:\n{mul}\
+                     l32i a13, 0(a10)\nxor {sreg}, a14, a13\n\
+                     addi a10, a10, 4\naddi a11, a11, -1\nbnez a11, syn{i}\n",
+                    mul = mul_const(cfg, sreg, alpha_i),
+                ));
+            }
+            out
+        }
+        RsConfig::Rs2 => {
+            // gfmac accumulation, scanning from c_0 upward with a running
+            // power of αⁱ.
+            let mut out = String::new();
+            for (i, sreg) in ["a6", "a7", "a8", "a9"].iter().enumerate() {
+                let alpha_i = gf::exp(i);
+                out.push_str(&format!(
+                    "clrgacc\nmovi a10, cw\naddi a10, a10, {last}\nmovi a11, {N}\n\
+                     movi a12, 1\nmovi a13, {alpha_i}\nsyn{i}:\n\
+                     l32i a14, 0(a10)\ngfmac a14, a12\ngfmul a12, a12, a13\n\
+                     addi a10, a10, -4\naddi a11, a11, -1\nbnez a11, syn{i}\n\
+                     rdgacc {sreg}\n",
+                    last = 4 * (N - 1),
+                ));
+            }
+            out
+        }
+        RsConfig::Rs3 => {
+            // One pass through the parallel syndrome unit.
+            format!(
+                "clrsyn\nmovi a10, cw\nmovi a11, {N}\nsynl:\n\
+                 l32i a12, 0(a10)\nsynstep a12\n\
+                 addi a10, a10, 4\naddi a11, a11, -1\nbnez a11, synl\n\
+                 rdsyn a10\nextui a6, a10, 0, 4\nextui a7, a10, 4, 4\n\
+                 extui a8, a10, 8, 4\nextui a9, a10, 12, 4\n"
+            )
+        }
+    }
+}
+
+fn build_workload(cfg: RsConfig) -> Workload {
+    let g = generator();
+    let msgs = messages();
+
+    // ---- Rust reference: expected corrected codewords -----------------------
+    let mut expected_words: Vec<u32> = Vec::new();
+    for (m, msg) in msgs.iter().enumerate() {
+        let clean = encode(msg);
+        let mut received = clean;
+        let (pos, mag) = ERRORS[m];
+        if pos != 255 {
+            received[N - 1 - pos as usize] ^= mag as u8;
+        }
+        correct_single(&mut received);
+        assert_eq!(received, clean, "reference decoder failed");
+        expected_words.extend(received.iter().map(|&s| u32::from(s)));
+    }
+    let checks: Vec<MemCheck> = expected_words
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| MemCheck {
+            addr: DATA_BASE + 4 * i as u32,
+            expected: v,
+        })
+        .collect();
+
+    // ---- data segment ---------------------------------------------------------
+    let msg_words: Vec<u32> = msgs
+        .iter()
+        .flat_map(|m| m.iter().map(|&s| u32::from(s)))
+        .collect();
+    let err_words: Vec<u32> = ERRORS.iter().flat_map(|&(p, m)| [p, m]).collect();
+    let log_bytes: Vec<String> = gf::log_table().iter().map(|v| v.to_string()).collect();
+    let exp_bytes: Vec<String> = gf::exp_table().iter().map(|v| v.to_string()).collect();
+
+    // ---- per-message phases -----------------------------------------------------
+    // Register plan: a2 message countdown, a5 outer repeat countdown,
+    // a3/a4/a10/a11 phase-local pointers/counters, a6..a9 LFSR registers /
+    // syndromes, a12..a15 GF-multiply scratch.
+    let recompute_idx_into_a3 = format!("movi a3, {MESSAGES}\nsub a3, a3, a2\n");
+
+    let encode_phase = format!(
+        "{idx}movi a4, {msg_stride}\nmul a3, a3, a4\nmovi a4, msgs\nadd a3, a3, a4\n\
+         movi a6, 0\nmovi a7, 0\nmovi a8, 0\nmovi a9, 0\nmovi a10, {K}\n\
+         encl:\nl32i a11, 0(a3)\nxor a11, a11, a9\n\
+         {m3}xor a9, a8, a14\n\
+         {m2}xor a8, a7, a14\n\
+         {m1}xor a7, a6, a14\n\
+         {m0}mov a6, a14\n\
+         addi a3, a3, 4\naddi a10, a10, -1\nbnez a10, encl\n",
+        idx = recompute_idx_into_a3,
+        msg_stride = 4 * K,
+        m3 = mul_const(cfg, "a11", g[3]),
+        m2 = mul_const(cfg, "a11", g[2]),
+        m1 = mul_const(cfg, "a11", g[1]),
+        m0 = mul_const(cfg, "a11", g[0]),
+    );
+
+    let copy_to_cw = format!(
+        "{idx}movi a4, {msg_stride}\nmul a3, a3, a4\nmovi a4, msgs\nadd a3, a3, a4\n\
+         movi a4, cw\nmovi a10, {K}\n\
+         cpl:\nl32i a11, 0(a3)\ns32i a11, 0(a4)\naddi a3, a3, 4\naddi a4, a4, 4\n\
+         addi a10, a10, -1\nbnez a10, cpl\n\
+         s32i a9, 0(a4)\ns32i a8, 4(a4)\ns32i a7, 8(a4)\ns32i a6, 12(a4)\n",
+        idx = recompute_idx_into_a3,
+        msg_stride = 4 * K,
+    );
+
+    let inject_error = format!(
+        "{idx}slli a3, a3, 3\nmovi a4, errs\nadd a3, a3, a4\n\
+         l32i a10, 0(a3)\nl32i a11, 4(a3)\n\
+         beqi a10, 255, noerr\n\
+         movi a4, {nm1}\nsub a4, a4, a10\nslli a4, a4, 2\nmovi a14, cw\nadd a4, a4, a14\n\
+         l32i a14, 0(a4)\nxor a14, a14, a11\ns32i a14, 0(a4)\n\
+         noerr:\n",
+        idx = recompute_idx_into_a3,
+        nm1 = N - 1,
+    );
+
+    let correction_phase = format!(
+        "or a10, a6, a7\nor a10, a10, a8\nor a10, a10, a9\nbeqz a10, storecw\n\
+         movi a10, logt\nadd a11, a10, a7\nl8ui a11, 0(a11)\n\
+         add a10, a10, a6\nl8ui a10, 0(a10)\n\
+         sub a11, a11, a10\nbgez a11, posok\naddi a11, a11, 15\nposok:\n\
+         movi a10, {nm1}\nsub a10, a10, a11\nslli a10, a10, 2\nmovi a11, cw\nadd a10, a10, a11\n\
+         l32i a11, 0(a10)\nxor a11, a11, a6\ns32i a11, 0(a10)\n\
+         storecw:\n",
+        nm1 = N - 1,
+    );
+
+    let copy_out = format!(
+        "{idx}movi a4, {out_stride}\nmul a3, a3, a4\nmovi a4, out\nadd a4, a4, a3\n\
+         movi a3, cw\nmovi a10, {N}\n\
+         outl:\nl32i a11, 0(a3)\ns32i a11, 0(a4)\naddi a3, a3, 4\naddi a4, a4, 4\n\
+         addi a10, a10, -1\nbnez a10, outl\n",
+        idx = recompute_idx_into_a3,
+        out_stride = 4 * N,
+    );
+
+    let gfmul_subroutine = if cfg == RsConfig::Rs0 {
+        "gfmul_sw:\nmovi a14, 0\nbeqz a12, gfret\nbeqz a13, gfret\n\
+         movi a14, logt\nadd a15, a14, a12\nl8ui a15, 0(a15)\n\
+         add a14, a14, a13\nl8ui a14, 0(a14)\nadd a15, a15, a14\n\
+         movi a14, expt\nadd a14, a14, a15\nl8ui a14, 0(a14)\ngfret:\nret\n"
+            .to_owned()
+    } else {
+        String::new()
+    };
+
+    let source = format!(
+        ".data\nout: .space {out_size}\nmsgs: {msgs_words}errs: {errs_words}\
+         logt: .byte {log_bytes}\nexpt: .byte {exp_bytes}\ncw: .space {cw_size}\n.text\n\
+         movi a5, {REPEATS}\n\
+         repeat:\nmovi a2, {MESSAGES}\n\
+         message:\n\
+         {encode_phase}{copy_to_cw}{inject_error}{syndrome_phase}{correction_phase}{copy_out}\
+         addi a2, a2, -1\nbnez a2, message\n\
+         addi a5, a5, -1\nbnez a5, repeat\n\
+         halt\n\
+         {gfmul_subroutine}",
+        out_size = 4 * N * MESSAGES,
+        msgs_words = words_directive(&msg_words),
+        errs_words = words_directive(&err_words),
+        log_bytes = log_bytes.join(", "),
+        exp_bytes = exp_bytes.join(", "),
+        cw_size = 4 * N,
+        syndrome_phase = syndrome_phase(cfg),
+    );
+
+    Workload::assemble(
+        format!("reed_solomon_{}", cfg.name()),
+        format!(
+            "RS(15,11) encode + single-error decode, custom-instruction choice {}",
+            cfg.name()
+        ),
+        cfg.ext(),
+        &source,
+        checks,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_sim::{Interp, ProcConfig};
+
+    #[test]
+    fn generator_has_the_four_roots() {
+        let g = generator();
+        for i in 0..PARITY {
+            // Evaluate x⁴ + g3x³ + g2x² + g1x + g0 at αⁱ.
+            let x = gf::exp(i);
+            let x2 = gf::mul(x, x);
+            let x3 = gf::mul(x2, x);
+            let x4 = gf::mul(x2, x2);
+            let v = x4 ^ gf::mul(g[3], x3) ^ gf::mul(g[2], x2) ^ gf::mul(g[1], x) ^ g[0];
+            assert_eq!(v, 0, "α^{i} is not a root");
+        }
+    }
+
+    #[test]
+    fn clean_codewords_have_zero_syndromes() {
+        for msg in messages() {
+            let cw = encode(&msg);
+            assert_eq!(syndromes(&cw), [0; PARITY]);
+        }
+    }
+
+    #[test]
+    fn single_errors_are_corrected_at_every_position() {
+        let msg = messages()[0];
+        let clean = encode(&msg);
+        for pos in 0..N {
+            for mag in 1..16u8 {
+                let mut cw = clean;
+                cw[N - 1 - pos] ^= mag;
+                let fixed = correct_single(&mut cw);
+                assert_eq!(fixed, Some(pos));
+                assert_eq!(cw, clean, "pos {pos} mag {mag}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_four_configs_decode_correctly() {
+        for cfg in RsConfig::ALL {
+            let w = cfg.workload();
+            let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+            let run = sim
+                .run(50_000_000)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name()));
+            assert!(run.halted);
+            w.verify(sim.state()).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn custom_configs_execute_fewer_cycles() {
+        // Moving GF arithmetic into hardware must shorten execution:
+        // rs0 > rs1 > rs2? (rs2 restructures the loop, so only require
+        // rs1 and rs3 to beat rs0, and rs3 to be the fastest.)
+        let mut cycles = Vec::new();
+        for cfg in RsConfig::ALL {
+            let w = cfg.workload();
+            let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+            cycles.push(sim.run(50_000_000).unwrap().stats.total_cycles);
+        }
+        assert!(
+            cycles[1] < cycles[0],
+            "rs1 {} !< rs0 {}",
+            cycles[1],
+            cycles[0]
+        );
+        assert!(
+            cycles[3] < cycles[1],
+            "rs3 {} !< rs1 {}",
+            cycles[3],
+            cycles[1]
+        );
+        assert!(
+            cycles[3] < cycles[2],
+            "rs3 {} !< rs2 {}",
+            cycles[3],
+            cycles[2]
+        );
+    }
+}

@@ -1,0 +1,952 @@
+//! The 25-program characterization suite (the test programs of Fig. 3).
+//!
+//! Regression macro-modeling "only requires that the test programs have
+//! diversity in their instruction statistics so as to cover the
+//! instruction space" — plus, for an extensible processor, coverage of
+//! "all the custom hardware library components". The suite therefore
+//! spans:
+//!
+//! * every base-ISA class with several distinct mixes, including
+//!   deliberately varied taken/untaken branch ratios (programs 1–10),
+//! * every non-ideal event: I/D-cache misses at different rates, uncached
+//!   fetches, and load-use/multiplier/custom interlocks,
+//! * every hardware-library category, with *varying ratios between
+//!   categories* across programs 11–25 so each structural coefficient is
+//!   identifiable (two programs per extension where a single usage ratio
+//!   would leave columns collinear),
+//! * the same extension units the evaluation applications use (sorting,
+//!   SAD, blending, S-box substitution) exercised by *different kernels*,
+//!   so application estimation interpolates rather than extrapolates the
+//!   fitted coefficient space — exactly the situation of the paper, whose
+//!   test programs and applications draw on one hardware library.
+
+use crate::workload::{lcg_stream, words_directive};
+use crate::{exts, Workload};
+use emx_tie::ExtensionSet;
+
+/// LCG scrambling preamble + one update line, shared by data-driven loops.
+const LCG_SETUP: &str = "movi a10, 1664525\nmovi a11, 1013904223\n";
+const LCG_STEP: &str = "mul a3, a3, a10\nadd a3, a3, a11\n";
+
+fn base(name: &str, description: &str, source: &str) -> Workload {
+    Workload::assemble(name, description, ExtensionSet::empty(), source, vec![])
+}
+
+fn base_checked(
+    name: &str,
+    description: &str,
+    source: &str,
+    checks: Vec<crate::MemCheck>,
+) -> Workload {
+    Workload::assemble(name, description, ExtensionSet::empty(), source, checks)
+}
+
+/// A small leaf routine appended to most programs and `call`ed from their
+/// loops. It mixes a store, a load-use interlock, and a data-dependent
+/// branch into every host program, so the jump/load/store/branch/interlock
+/// variables get signal at naturally varying densities across the whole
+/// suite instead of being identified from one specialized program each.
+const SPICE_SUB: &str = "spice:\ns32i a5, -8(a1)\nl32i a15, -8(a1)\n\
+add a15, a15, a5\nbgeui a15, 0x40000000, spice_x\nxor a14, a15, a5\nspice_x:\nret\n";
+
+/// Appends the spice leaf to a program source.
+fn spiced(src: &str) -> String {
+    format!("{src}\n{SPICE_SUB}")
+}
+
+fn p01_matmul() -> Workload {
+    // 8x8 integer matrix multiply: loads, multiplies, adds and stores in
+    // natural (compiled-code-like) proportions.
+    let a = lcg_stream(31, 64)
+        .iter()
+        .map(|v| v & 0xff)
+        .collect::<Vec<_>>();
+    let b = lcg_stream(32, 64)
+        .iter()
+        .map(|v| v & 0xff)
+        .collect::<Vec<_>>();
+    let mut c = vec![0u32; 64];
+    for i in 0..8 {
+        for j in 0..8 {
+            for k in 0..8 {
+                c[i * 8 + j] = c[i * 8 + j].wrapping_add(a[i * 8 + k].wrapping_mul(b[k * 8 + j]));
+            }
+        }
+    }
+    let checks = c
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| crate::MemCheck {
+            addr: emx_isa::program::layout::DATA_BASE + 4 * i as u32,
+            expected: v,
+        })
+        .collect();
+    base_checked(
+        "matmul",
+        "8x8 integer matrix multiply",
+        &format!(
+            ".data\nmatc: .space 256\nmata: {}\nmatb: {}\n.text\n\
+             movi a2, 0\niloop:\nmovi a3, 0\njloop:\nmovi a7, 0\nmovi a4, 0\n\
+             kloop:\n\
+             slli a8, a2, 3\nadd a8, a8, a4\nslli a8, a8, 2\nmovi a9, mata\nadd a8, a8, a9\nl32i a8, 0(a8)\n\
+             slli a9, a4, 3\nadd a9, a9, a3\nslli a9, a9, 2\nmovi a12, matb\nadd a9, a9, a12\nl32i a9, 0(a9)\n\
+             mul a8, a8, a9\nadd a7, a7, a8\n\
+             addi a4, a4, 1\nblti a4, 8, kloop\n\
+             slli a8, a2, 3\nadd a8, a8, a3\nslli a8, a8, 2\nmovi a9, matc\nadd a8, a8, a9\ns32i a7, 0(a8)\n\
+             addi a3, a3, 1\nblti a3, 8, jloop\n\
+             addi a2, a2, 1\nblti a2, 8, iloop\nhalt",
+            words_directive(&a),
+            words_directive(&b)
+        ),
+        checks,
+    )
+}
+
+fn p02_crc32() -> Workload {
+    // Bitwise CRC-32 over 128 bytes: shifter/xor heavy with a roughly
+    // 50/50 taken/untaken data-dependent branch per bit.
+    let data: Vec<u8> = lcg_stream(33, 128).iter().map(|v| *v as u8).collect();
+    let mut crc = 0xffff_ffffu32;
+    for &byte in &data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let bit = crc & 1;
+            crc >>= 1;
+            if bit != 0 {
+                crc ^= 0xedb8_8320;
+            }
+        }
+    }
+    crc ^= 0xffff_ffff;
+    let byte_list: Vec<String> = data.iter().map(|b| b.to_string()).collect();
+    base_checked(
+        "crc32",
+        "bitwise CRC-32 over a byte buffer",
+        &format!(
+            ".data\nout: .space 4\nbytes: .byte {}\n.text\n\
+             movi a2, 0xffffffff\nmovi a3, bytes\nmovi a4, 128\n\
+             byteloop:\nl8ui a5, 0(a3)\nxor a2, a2, a5\nmovi a6, 8\n\
+             bitloop:\nandi a7, a2, 1\nsrli a2, a2, 1\nbeqz a7, nobit\n\
+             movi a8, 0xedb88320\nxor a2, a2, a8\nnobit:\n\
+             addi a6, a6, -1\nbnez a6, bitloop\n\
+             addi a3, a3, 1\naddi a4, a4, -1\nbnez a4, byteloop\n\
+             movi a5, 0xffffffff\nxor a2, a2, a5\nmovi a3, out\ns32i a2, 0(a3)\nhalt",
+            byte_list.join(", ")
+        ),
+        vec![crate::MemCheck {
+            addr: emx_isa::program::layout::DATA_BASE,
+            expected: crc,
+        }],
+    )
+}
+
+fn p03_binsearch() -> Workload {
+    // Binary search of 64 keys in a sorted 128-word array: data-dependent
+    // branches and load-use interlocks, like real search code.
+    let mut arr = lcg_stream(34, 128);
+    arr.sort_unstable();
+    let keys: Vec<u32> = lcg_stream(35, 64)
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            if i % 2 == 0 {
+                arr[(v % 128) as usize]
+            } else {
+                v
+            }
+        })
+        .collect();
+    let mut results = vec![0u32; 64];
+    for (r, &key) in results.iter_mut().zip(&keys) {
+        let (mut lo, mut hi) = (0i32, 127i32);
+        *r = u32::MAX;
+        while lo <= hi {
+            let mid = (lo + hi) >> 1;
+            let v = arr[mid as usize];
+            if v == key {
+                *r = mid as u32;
+                break;
+            } else if v < key {
+                lo = mid + 1;
+            } else {
+                hi = mid - 1;
+            }
+        }
+    }
+    let checks = results
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| crate::MemCheck {
+            addr: emx_isa::program::layout::DATA_BASE + 4 * i as u32,
+            expected: v,
+        })
+        .collect();
+    base_checked(
+        "binsearch",
+        "binary search of 64 keys in a sorted array",
+        &format!(
+            ".data\nout: .space 256\narr: {}\nkeys: {}\n.text\n\
+             movi a2, 0\nkeyloop:\n\
+             slli a3, a2, 2\nmovi a4, keys\nadd a3, a3, a4\nl32i a3, 0(a3)\n\
+             movi a4, 0\nmovi a5, 127\nmovi a9, 0xffffffff\n\
+             bs:\nblt a5, a4, done\n\
+             add a6, a4, a5\nsrli a6, a6, 1\n\
+             slli a7, a6, 2\nmovi a8, arr\nadd a7, a7, a8\nl32i a7, 0(a7)\n\
+             beq a7, a3, found\nbltu a7, a3, golo\n\
+             addi a5, a6, -1\nj bs\n\
+             golo:\naddi a4, a6, 1\nj bs\n\
+             found:\nmov a9, a6\n\
+             done:\nslli a7, a2, 2\nmovi a8, out\nadd a7, a7, a8\ns32i a9, 0(a7)\n\
+             addi a2, a2, 1\nblti a2, 64, keyloop\nhalt",
+            words_directive(&arr),
+            words_directive(&keys)
+        ),
+        checks,
+    )
+}
+
+fn p04_histogram() -> Workload {
+    // Byte histogram into 16 bins: read-modify-write with a load-use
+    // interlock per element.
+    let data: Vec<u8> = lcg_stream(36, 256).iter().map(|v| *v as u8).collect();
+    let mut bins = [0u32; 16];
+    for &b in &data {
+        bins[(b & 15) as usize] += 1;
+    }
+    let checks = bins
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| crate::MemCheck {
+            addr: emx_isa::program::layout::DATA_BASE + 4 * i as u32,
+            expected: v,
+        })
+        .collect();
+    let byte_list: Vec<String> = data.iter().map(|b| b.to_string()).collect();
+    base_checked(
+        "histogram",
+        "low-nibble byte histogram",
+        &format!(
+            ".data\nout: .space 64\nbytes: .byte {}\n.text\n\
+             movi a2, bytes\nmovi a3, 256\n\
+             hl:\nl8ui a4, 0(a2)\nandi a4, a4, 15\nslli a4, a4, 2\n\
+             movi a5, out\nadd a4, a4, a5\nl32i a6, 0(a4)\naddi a6, a6, 1\ns32i a6, 0(a4)\n\
+             addi a2, a2, 1\naddi a3, a3, -1\nbnez a3, hl\nhalt",
+            byte_list.join(", ")
+        ),
+        checks,
+    )
+}
+
+fn p05_fib_rec() -> Workload {
+    // Recursive Fibonacci with real stack frames: call/return and
+    // stack-memory traffic dominate.
+    fn fib(n: u32) -> u32 {
+        if n < 2 {
+            n
+        } else {
+            fib(n - 1) + fib(n - 2)
+        }
+    }
+    base_checked(
+        "fib_rec",
+        "recursive Fibonacci with stack frames",
+        ".data\nout: .space 4\n.text\n\
+         movi a2, 13\ncall fib\nmovi a4, out\ns32i a3, 0(a4)\nhalt\n\
+         fib:\nblti a2, 2, fbase\n\
+         addi a1, a1, -16\ns32i a0, 0(a1)\ns32i a2, 4(a1)\n\
+         addi a2, a2, -1\ncall fib\n\
+         l32i a2, 4(a1)\ns32i a3, 8(a1)\n\
+         addi a2, a2, -2\ncall fib\n\
+         l32i a2, 8(a1)\nadd a3, a3, a2\n\
+         l32i a0, 0(a1)\naddi a1, a1, 16\nret\n\
+         fbase:\nmov a3, a2\nret",
+        vec![crate::MemCheck {
+            addr: emx_isa::program::layout::DATA_BASE,
+            expected: fib(13),
+        }],
+    )
+}
+
+fn p06_strfind() -> Workload {
+    // First-match substring search: byte loads and mostly-untaken
+    // equality branches, like parser/string code.
+    let mut hay: Vec<u8> = lcg_stream(37, 256).iter().map(|v| *v as u8).collect();
+    let needles: [[u8; 4]; 4] = [
+        [hay[40], hay[41], hay[42], hay[43]],
+        [hay[200], hay[201], hay[202], hay[203]],
+        [1, 2, 3, 4],
+        [hay[97], hay[98], hay[99], hay[100]],
+    ];
+    // Make sure the artificial needle is absent from the haystack.
+    if hay.windows(4).any(|w| w == [1, 2, 3, 4]) {
+        hay[41] ^= 0x55;
+    }
+    let find = |hay: &[u8], n: &[u8; 4]| -> u32 {
+        for i in 0..=(hay.len() - 4) {
+            if &hay[i..i + 4] == n {
+                return i as u32;
+            }
+        }
+        u32::MAX
+    };
+    let needles_words: Vec<u32> = needles.iter().map(|n| u32::from_le_bytes(*n)).collect();
+    let checks = needles
+        .iter()
+        .enumerate()
+        .map(|(i, n)| crate::MemCheck {
+            addr: emx_isa::program::layout::DATA_BASE + 4 * i as u32,
+            expected: find(&hay, n),
+        })
+        .collect();
+    let byte_list: Vec<String> = hay.iter().map(|b| b.to_string()).collect();
+    base_checked(
+        "strfind",
+        "four-byte substring search in a 256-byte haystack",
+        &format!(
+            ".data\nout: .space 16\nneedles: {}\nhay: .byte {}\n.text\n\
+             movi a2, 0\nnloop:\n\
+             slli a3, a2, 2\nmovi a4, needles\nadd a3, a3, a4\nl32i a3, 0(a3)\n\
+             andi a4, a3, 0xff\nmovi a5, 0\nmovi a9, 0xffffffff\n\
+             sloop:\nmovi a6, hay\nadd a6, a6, a5\nl8ui a7, 0(a6)\n\
+             beq a7, a4, maybe\n\
+             cont:\naddi a5, a5, 1\nblti a5, 253, sloop\nj store\n\
+             maybe:\nextui a8, a3, 8, 8\nl8ui a7, 1(a6)\nbne a7, a8, cont\n\
+             extui a8, a3, 16, 8\nl8ui a7, 2(a6)\nbne a7, a8, cont\n\
+             extui a8, a3, 24, 8\nl8ui a7, 3(a6)\nbne a7, a8, cont\n\
+             mov a9, a5\n\
+             store:\nslli a6, a2, 2\nmovi a7, out\nadd a6, a6, a7\ns32i a9, 0(a6)\n\
+             addi a2, a2, 1\nblti a2, 4, nloop\nhalt",
+            words_directive(&needles_words),
+            byte_list.join(", ")
+        ),
+        checks,
+    )
+}
+
+fn p07_partition() -> Workload {
+    // Repeated Lomuto partition passes: the data-movement and branching
+    // pattern of quicksort, on the base ISA.
+    let mut arr = lcg_stream(38, 64);
+    let asm_data = words_directive(&arr);
+    for rep in 0..8u32 {
+        let pivot = arr[((rep * 7) & 63) as usize];
+        let mut i = 0usize;
+        for j in 0..64 {
+            if arr[j] < pivot {
+                arr.swap(i, j);
+                i += 1;
+            }
+        }
+    }
+    let checks = arr
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| crate::MemCheck {
+            addr: emx_isa::program::layout::DATA_BASE + 4 * i as u32,
+            expected: v,
+        })
+        .collect();
+    base_checked(
+        "partition",
+        "eight quicksort partition passes",
+        &format!(
+            ".data\narr: {asm_data}\n.text\n\
+             movi a2, 0\nrloop:\n\
+             movi a3, 7\nmul a3, a3, a2\nandi a3, a3, 63\nslli a3, a3, 2\n\
+             movi a4, arr\nadd a3, a3, a4\nl32i a3, 0(a3)\n\
+             movi a5, 0\nmovi a6, 0\n\
+             ploop:\nslli a7, a6, 2\nmovi a8, arr\nadd a7, a7, a8\nl32i a8, 0(a7)\n\
+             bgeu a8, a3, noswap\n\
+             slli a9, a5, 2\nmovi a12, arr\nadd a9, a9, a12\nl32i a12, 0(a9)\n\
+             s32i a12, 0(a7)\ns32i a8, 0(a9)\naddi a5, a5, 1\n\
+             noswap:\naddi a6, a6, 1\nblti a6, 64, ploop\n\
+             addi a2, a2, 1\nblti a2, 8, rloop\nhalt"
+        ),
+        checks,
+    )
+}
+
+fn p08_mem_stride() -> Workload {
+    base(
+        "mem_stride",
+        "cache-hostile strided loads and stores (n_dcm heavy)",
+        "movi a2, 6\nouter:\nmovi a3, 0x40000\nmovi a4, 400\nloop:\nl32i a5, 0(a3)\n\
+         add a5, a5, a4\ns32i a5, 64(a3)\naddi a3, a3, 128\naddi a4, a4, -1\nbnez a4, loop\n\
+         addi a2, a2, -1\nbnez a2, outer\nhalt",
+    )
+}
+
+fn big_body(name: &str, description: &str, body: usize, iters: u32, seed: usize) -> Workload {
+    let mut src = format!("movi a2, {iters}\nmovi a3, 7\nmovi a4, 13\nloop:\n");
+    let lines = [
+        "add a5, a3, a4\n",
+        "xor a6, a5, a3\n",
+        "addi a7, a7, 3\n",
+        "slli a8, a3, 2\n",
+        "sub a9, a8, a5\n",
+    ];
+    for i in 0..body {
+        src.push_str(lines[(i + seed) % lines.len()]);
+    }
+    src.push_str("addi a2, a2, -1\nbnez a2, loop\nhalt\n");
+    base(name, description, &src)
+}
+
+fn p09_icache_big() -> Workload {
+    big_body(
+        "icache_big",
+        "loop body exceeding the 16 KB I-cache (n_icm)",
+        5200,
+        7,
+        0,
+    )
+}
+
+fn p10_uncached() -> Workload {
+    base(
+        "uncached",
+        "xorshift checksum executing from the uncached region (n_ucf)",
+        ".uncached\nmovi a2, 220\nmovi a3, 7\nul:\nslli a4, a3, 3\nxor a3, a3, a4\n\
+         srli a4, a3, 5\nadd a3, a3, a4\naddi a2, a2, -1\nbnez a2, ul\nhalt",
+    )
+}
+
+// --- custom-instruction programs (11–25) --------------------------------
+
+fn p11_tie_mac_fir() -> Workload {
+    let xs = lcg_stream(14, 64)
+        .iter()
+        .map(|v| v & 0xffff)
+        .collect::<Vec<_>>();
+    let hs = lcg_stream(15, 64)
+        .iter()
+        .map(|v| v & 0xffff)
+        .collect::<Vec<_>>();
+    let dot: u64 = xs
+        .iter()
+        .zip(&hs)
+        .map(|(&x, &h)| u64::from(x) * u64::from(h))
+        .sum::<u64>()
+        & 0xffff_ffff;
+    let repeats = 30u32;
+    Workload::assemble(
+        "tie_mac_fir",
+        "dot product on the mac16 unit (TIE_mac heavy)",
+        exts::mac16(),
+        &spiced(&format!(
+            ".data\nxs: {}\nhs: {}\nout: .space 4\n.text\n\
+             movi a2, {repeats}\nouter:\nclracc\nmovi a3, xs\nmovi a4, hs\nmovi a5, 64\n\
+             loop:\nl32i a6, 0(a3)\nl32i a7, 0(a4)\nmac a6, a7\naddi a3, a3, 4\n\
+             addi a4, a4, 4\naddi a5, a5, -1\nbnez a5, loop\n\
+             call spice\naddi a2, a2, -1\nbnez a2, outer\n\
+             rdacc a8\nmovi a9, out\ns32i a8, 0(a9)\nhalt",
+            words_directive(&xs),
+            words_directive(&hs),
+        )),
+        vec![crate::MemCheck {
+            addr: emx_isa::program::layout::DATA_BASE + 64 * 4 * 2,
+            expected: dot as u32,
+        }],
+    )
+}
+
+fn p12_tie_mac2() -> Workload {
+    Workload::assemble(
+        "tie_mac2",
+        "dual-lane MAC on packed data with frequent reads (mac16x2)",
+        exts::mac16x2(),
+        &spiced(&format!(
+            "{LCG_SETUP}movi a2, 450\nclracc2\nmovi a3, 0x12345\nloop:\n{LCG_STEP}\
+             mac2 a3, a3\nmac2 a3, a10\nrdacc0 a5\nrdacc1 a6\nadd a7, a5, a6\ncall spice\n\
+             addi a2, a2, -1\nbnez a2, loop\nhalt"
+        )),
+        vec![],
+    )
+}
+
+fn p13_tie_gf_mul() -> Workload {
+    Workload::assemble(
+        "tie_gf_mul",
+        "GF(16) multiplies without state (table + adder + logic)",
+        exts::gf16(),
+        &spiced(&format!(
+            "{LCG_SETUP}movi a2, 700\nmovi a3, 9\nloop:\n{LCG_STEP}\
+             andi a5, a3, 15\nextui a6, a3, 4, 4\ngfmul a7, a5, a6\ngfmul a8, a7, a5\n\
+             gfmul a9, a8, a6\ncall spice\naddi a2, a2, -1\nbnez a2, loop\nhalt"
+        )),
+        vec![],
+    )
+}
+
+fn p14_tie_gf_mac() -> Workload {
+    Workload::assemble(
+        "tie_gf_mac",
+        "GF(16) multiply–accumulate (adds custom-register traffic)",
+        exts::gf16_mac(),
+        &spiced(&format!(
+            "{LCG_SETUP}movi a2, 600\nmovi a3, 5\nclrgacc\nloop:\n{LCG_STEP}\
+             andi a5, a3, 15\nextui a6, a3, 8, 4\ngfmac a5, a6\ngfmac a6, a5\ncall spice\n\
+             addi a2, a2, -1\nbnez a2, loop\nrdgacc a7\nhalt"
+        )),
+        vec![],
+    )
+}
+
+fn p15_tie_syn() -> Workload {
+    let data = lcg_stream(19, 60)
+        .iter()
+        .map(|v| v & 0xf)
+        .collect::<Vec<_>>();
+    Workload::assemble(
+        "tie_syn",
+        "parallel syndrome accumulation (rswide)",
+        exts::rs_wide(),
+        &spiced(&format!(
+            ".data\nsyms: {}\n.text\nmovi a2, 40\nouter:\nclrsyn\nmovi a3, syms\nmovi a4, 60\n\
+             loop:\nl32i a5, 0(a3)\nsynstep a5\naddi a3, a3, 4\naddi a4, a4, -1\nbnez a4, loop\n\
+             call spice\naddi a2, a2, -1\nbnez a2, outer\nrdsyn a6\nhalt",
+            words_directive(&data)
+        )),
+        vec![],
+    )
+}
+
+fn p16_tie_dsp_mul() -> Workload {
+    Workload::assemble(
+        "tie_dsp_mul",
+        "saturating fractional multiplies (custom multiplier heavy)",
+        exts::dsp16(),
+        &spiced(&format!(
+            "{LCG_SETUP}movi a2, 700\nmovi a3, 0x1234\nloop:\n{LCG_STEP}\
+             extui a5, a3, 0, 16\nextui a6, a3, 12, 16\nsatmul a7, a5, a6\n\
+             satmul a8, a7, a5\ncall spice\naddi a2, a2, -1\nbnez a2, loop\nhalt"
+        )),
+        vec![],
+    )
+}
+
+fn p17_tie_dsp_shift() -> Workload {
+    Workload::assemble(
+        "tie_dsp_shift",
+        "variable barrel shifts on the DSP unit (custom shifter heavy)",
+        exts::dsp16(),
+        &spiced(&format!(
+            "{LCG_SETUP}movi a2, 700\nmovi a3, 0xf00f\nloop:\n{LCG_STEP}\
+             andi a5, a3, 31\nvshl a6, a3, a5\nvshr a7, a6, a5\nvshl a8, a7, a5\n\
+             vshr a9, a8, a5\ncall spice\naddi a2, a2, -1\nbnez a2, loop\nhalt"
+        )),
+        vec![],
+    )
+}
+
+fn p18_tie_csa() -> Workload {
+    Workload::assemble(
+        "tie_csa",
+        "carry-save accumulation steps (TIE_csa heavy)",
+        exts::csa_mult(),
+        &spiced(&format!(
+            "{LCG_SETUP}movi a2, 500\nmclr\nmovi a3, 0x777\nloop:\n{LCG_STEP}\
+             andi a5, a3, 1\nmstep a3, a5\nmstep a10, a5\nmstep a3, a5\ncall spice\n\
+             addi a2, a2, -1\nbnez a2, loop\nmres a6\nhalt"
+        )),
+        vec![],
+    )
+}
+
+fn p19_tie_csa_res() -> Workload {
+    Workload::assemble(
+        "tie_csa_res",
+        "carry-save steps with frequent resolution (raises the TIE_add ratio)",
+        exts::csa_mult(),
+        &spiced(&format!(
+            "{LCG_SETUP}movi a2, 400\nmovi a3, 0x135\nloop:\n{LCG_STEP}\
+             andi a5, a3, 1\nmclr\nmstep a3, a5\nmres a6\nmres a7\nmres a8\n\
+             add a9, a6, a7\ncall spice\naddi a2, a2, -1\nbnez a2, loop\nhalt"
+        )),
+        vec![],
+    )
+}
+
+fn p20_tie_tmul() -> Workload {
+    Workload::assemble(
+        "tie_tmul",
+        "TIE_mult low/high products",
+        exts::tmul16(),
+        &spiced(&format!(
+            "{LCG_SETUP}movi a2, 600\nmovi a3, 0xbeef\nloop:\n{LCG_STEP}\
+             extui a5, a3, 0, 16\nextui a6, a3, 16, 16\ntmullo a7, a5, a6\n\
+             tmulhi a8, a5, a6\nadd a9, a7, a8\ncall spice\naddi a2, a2, -1\nbnez a2, loop\nhalt"
+        )),
+        vec![],
+    )
+}
+
+fn p21_tie_simd() -> Workload {
+    let xs = lcg_stream(25, 48);
+    let ys = lcg_stream(26, 48);
+    Workload::assemble(
+        "tie_simd",
+        "packed 4×8-bit SIMD adds over arrays",
+        exts::simd4(),
+        &spiced(&format!(
+            ".data\nxs: {}\nys: {}\nout: .space 192\n.text\n\
+             movi a2, 25\nouter:\nmovi a3, xs\nmovi a4, ys\nmovi a5, out\nmovi a6, 48\n\
+             loop:\nl32i a7, 0(a3)\nl32i a8, 0(a4)\nadd4x8 a9, a7, a8\ns32i a9, 0(a5)\n\
+             addi a3, a3, 4\naddi a4, a4, 4\naddi a5, a5, 4\naddi a6, a6, -1\nbnez a6, loop\n\
+             call spice\naddi a2, a2, -1\nbnez a2, outer\nhalt",
+            words_directive(&xs),
+            words_directive(&ys)
+        )),
+        vec![],
+    )
+}
+
+fn p22_tie_sort() -> Workload {
+    // Pairwise min/max reduction — a different kernel from the sorting
+    // applications, on the same hardware.
+    let xs = lcg_stream(27, 96);
+    Workload::assemble(
+        "tie_sort",
+        "pairwise min/max reduction on the compare-and-order unit",
+        exts::sortpair(),
+        &spiced(&format!(
+            ".data\nxs: {}\nmaxout: .space 4\nminout: .space 4\n.text\n\
+             movi a2, 60\nouter:\nmovi a3, xs\nmovi a4, 48\nmovi a5, 0\nmovi a6, 0xffffffff\n\
+             loop:\nl32i a7, 0(a3)\nl32i a8, 4(a3)\ncmpx a9, a7, a8\nrdmin a12\n\
+             cmpx a5, a5, a9\ncmpx a13, a6, a12\nrdmin a6\n\
+             addi a3, a3, 8\naddi a4, a4, -1\nbnez a4, loop\n\
+             call spice\naddi a2, a2, -1\nbnez a2, outer\n\
+             movi a3, maxout\ns32i a5, 0(a3)\ns32i a6, 4(a3)\nhalt",
+            words_directive(&xs)
+        )),
+        vec![],
+    )
+}
+
+fn p23_tie_absdiff() -> Workload {
+    // Sum of absolute differences — a motion-estimation-style kernel on
+    // the same unit the gcd application uses.
+    let xs = lcg_stream(28, 64)
+        .iter()
+        .map(|v| v & 0xffff)
+        .collect::<Vec<_>>();
+    let ys = lcg_stream(29, 64)
+        .iter()
+        .map(|v| v & 0xffff)
+        .collect::<Vec<_>>();
+    Workload::assemble(
+        "tie_absdiff",
+        "sum of absolute differences (SAD) on the absdiff unit",
+        exts::absdiff_ext(),
+        &spiced(&format!(
+            ".data\nxs: {}\nys: {}\n.text\n\
+             movi a2, 45\nouter:\nmovi a3, xs\nmovi a4, ys\nmovi a5, 64\nmovi a6, 0\n\
+             loop:\nl32i a7, 0(a3)\nl32i a8, 0(a4)\nabsdiff a9, a7, a8\nadd a6, a6, a9\n\
+             addi a3, a3, 4\naddi a4, a4, 4\naddi a5, a5, -1\nbnez a5, loop\n\
+             call spice\naddi a2, a2, -1\nbnez a2, outer\nhalt",
+            words_directive(&xs),
+            words_directive(&ys)
+        )),
+        vec![],
+    )
+}
+
+fn p24_tie_blend() -> Workload {
+    // Cross-fade between two constant registers while sweeping alpha —
+    // a different access pattern from the pixel-array application.
+    Workload::assemble(
+        "tie_blend",
+        "alpha sweep on the blend unit",
+        exts::blend8(),
+        &spiced(&format!(
+            "{LCG_SETUP}movi a2, 800\nmovi a3, 11\nloop:\n{LCG_STEP}\
+             andi a5, a3, 255\nsetalpha a5\nextui a6, a3, 8, 8\nextui a7, a3, 16, 8\n\
+             blend a8, a6, a7\nblend a9, a7, a6\ncall spice\naddi a2, a2, -1\nbnez a2, loop\nhalt"
+        )),
+        vec![],
+    )
+}
+
+fn p25_tie_sbox() -> Workload {
+    Workload::assemble(
+        "tie_sbox",
+        "stream substitution through the two-S-box unit",
+        exts::sbox12(),
+        &spiced(&format!(
+            "{LCG_SETUP}movi a2, 800\nmovi a3, 3\nmovi a6, 0\nloop:\n{LCG_STEP}\
+             extui a5, a3, 3, 12\ndsbox a7, a5\nxor a6, a6, a7\nextui a5, a3, 17, 12\n\
+             dsbox a8, a5\nadd a6, a6, a8\ncall spice\naddi a2, a2, -1\nbnez a2, loop\nhalt"
+        )),
+        vec![],
+    )
+}
+
+/// The full 25-program characterization suite, in Fig. 3 order.
+pub fn characterization_suite() -> Vec<Workload> {
+    vec![
+        p01_matmul(),
+        p02_crc32(),
+        p03_binsearch(),
+        p04_histogram(),
+        p05_fib_rec(),
+        p06_strfind(),
+        p07_partition(),
+        p08_mem_stride(),
+        p09_icache_big(),
+        p10_uncached(),
+        p11_tie_mac_fir(),
+        p12_tie_mac2(),
+        p13_tie_gf_mul(),
+        p14_tie_gf_mac(),
+        p15_tie_syn(),
+        p16_tie_dsp_mul(),
+        p17_tie_dsp_shift(),
+        p18_tie_csa(),
+        p19_tie_csa_res(),
+        p20_tie_tmul(),
+        p21_tie_simd(),
+        p22_tie_sort(),
+        p23_tie_absdiff(),
+        p24_tie_blend(),
+        p25_tie_sbox(),
+    ]
+}
+
+/// A second icache-pressure program kept out of the default suite; used
+/// by the suite-diversity ablation (A5).
+pub fn extra_icache_program() -> Workload {
+    big_body("icache_huge", "larger I-cache-thrashing body", 7000, 4, 2)
+}
+
+/// Nine single-event **calibration micro-programs**, used alongside the
+/// 25 kernels during characterization.
+///
+/// Conventional instruction-level characterization builds its entire
+/// suite out of such "isolated instructions … wrapped in loops"; the
+/// paper's regression approach removes that *requirement*, but nothing
+/// prevents a suite from including a few. They come in scheduling pairs
+/// that differ in exactly one event kind (an interlock present vs broken,
+/// an untaken branch vs a `nop`, …), which pins the per-event
+/// coefficients that realistic kernels alone leave weakly identified —
+/// without them, the least-squares solution can trade, say, stall energy
+/// against load energy and extrapolate poorly to unseen applications.
+pub fn calibration_programs() -> Vec<Workload> {
+    let mk = |name: &str, src: &str| base(name, "single-event calibration pair member", src);
+    vec![
+        mk(
+            "cal_ilk_a",
+            ".data\nv: .word 3, 4\n.text\nmovi a2, 1500\nmovi a3, v\nl:\n\
+             l32i a4, 0(a3)\nadd a5, a4, a4\nl32i a6, 4(a3)\nadd a7, a6, a6\n\
+             addi a2, a2, -1\nbnez a2, l\nhalt",
+        ),
+        mk(
+            "cal_ilk_b",
+            ".data\nv: .word 3, 4\n.text\nmovi a2, 1500\nmovi a3, v\nl:\n\
+             l32i a4, 0(a3)\nl32i a6, 4(a3)\nadd a5, a4, a4\nadd a7, a6, a6\n\
+             addi a2, a2, -1\nbnez a2, l\nhalt",
+        ),
+        mk(
+            "cal_bu_a",
+            "movi a2, 1500\nmovi a3, 5\nl:\nbeqi a3, 9, x\nbnei a3, 5, x\n\
+             blti a3, 0, x\nadd a4, a3, a3\naddi a2, a2, -1\nbnez a2, l\nx: halt",
+        ),
+        mk(
+            "cal_bu_b",
+            "movi a2, 1500\nmovi a3, 5\nl:\nnop\nnop\nnop\n\
+             add a4, a3, a3\naddi a2, a2, -1\nbnez a2, l\nx: halt",
+        ),
+        mk(
+            "cal_s_a",
+            ".data\nbuf: .space 16\n.text\nmovi a2, 1500\nmovi a3, buf\nmovi a4, 7\nl:\n\
+             s32i a4, 0(a3)\ns32i a4, 4(a3)\ns32i a4, 8(a3)\nadd a5, a2, a2\n\
+             addi a2, a2, -1\nbnez a2, l\nhalt",
+        ),
+        mk(
+            "cal_l_a",
+            ".data\nbuf: .space 16\n.text\nmovi a2, 1500\nmovi a3, buf\nl:\n\
+             l32i a4, 0(a3)\nl32i a5, 4(a3)\nl32i a6, 8(a3)\nadd a7, a2, a2\n\
+             addi a2, a2, -1\nbnez a2, l\nhalt",
+        ),
+        mk(
+            "cal_bt_a",
+            "movi a2, 1500\nmovi a3, 0\nl:\nbeqz a3, s1\ns1:\nbeqz a3, s2\ns2:\n\
+             beqz a3, s3\ns3:\nadd a4, a2, a2\naddi a2, a2, -1\nbnez a2, l\nhalt",
+        ),
+        mk(
+            "cal_j_a",
+            "movi a2, 1500\nl:\nj s1\ns1:\nj s2\ns2:\nadd a4, a2, a2\n\
+             addi a2, a2, -1\nbnez a2, l\nhalt",
+        ),
+        mk(
+            "cal_a_a",
+            "movi a2, 1500\nmovi a3, 9\nl:\nadd a4, a3, a3\nadd a5, a4, a3\n\
+             add a6, a5, a4\nadd a7, a6, a5\naddi a2, a2, -1\nbnez a2, l\nhalt",
+        ),
+    ]
+}
+
+/// Width-variant custom programs: the same kernels at different
+/// bit-widths, so quadratic-`f(C)` categories (TIE_mac) and linear ones
+/// (custom registers) appear at more than one complexity ratio and can be
+/// separated by the regression.
+pub fn width_variant_programs() -> Vec<Workload> {
+    let xs = lcg_stream(41, 64)
+        .iter()
+        .map(|v| v & 0xff)
+        .collect::<Vec<_>>();
+    let hs = lcg_stream(42, 64)
+        .iter()
+        .map(|v| v & 0xff)
+        .collect::<Vec<_>>();
+    let mut out = vec![Workload::assemble(
+        "tie_mac8_fir",
+        "dot product on the 8-bit MAC variant",
+        exts::mac8(),
+        &format!(
+            ".data\nxs: {}\nhs: {}\n.text\n\
+             movi a2, 30\nouter:\nclracc\nmovi a3, xs\nmovi a4, hs\nmovi a5, 64\n\
+             loop:\nl32i a6, 0(a3)\nl32i a7, 0(a4)\nmac a6, a7\naddi a3, a3, 4\n\
+             addi a4, a4, 4\naddi a5, a5, -1\nbnez a5, loop\n\
+             call spice\naddi a2, a2, -1\nbnez a2, outer\n\
+             rdacc a8\nhalt\n{SPICE_SUB}",
+            words_directive(&xs),
+            words_directive(&hs),
+        ),
+        vec![],
+    )];
+    out.push(Workload::assemble(
+        "tie_alu_mac",
+        "stateless fused-MAC stream (TIE_mac without custom registers)",
+        exts::tie_alu(),
+        &format!(
+            "{LCG_SETUP}movi a2, 600\nmovi a3, 3\nloop:\n{LCG_STEP}\
+             maci a5, a3, a10, 17\nmaci a6, a5, a3, 5\nadd3i a7, a5, a6, 9\n\
+             addi a2, a2, -1\nbnez a2, loop\nhalt"
+        ),
+        vec![],
+    ));
+    out.push(Workload::assemble(
+        "tie_alu_csa",
+        "stateless carry-save stream (TIE_csa/TIE_add without custom registers)",
+        exts::tie_alu(),
+        &format!(
+            "{LCG_SETUP}movi a2, 600\nmovi a3, 7\nloop:\n{LCG_STEP}\
+             extui a4, a3, 4, 14\ncsa3s a5, a4, a10, 33\ncsa3c a6, a4, a10, 33\n\
+             add3i a7, a5, a6, 0\ncsa3s a8, a7, a5, 12\n\
+             addi a2, a2, -1\nbnez a2, loop\nhalt"
+        ),
+        vec![],
+    ));
+    out.push(Workload::assemble(
+        "tie_alu_pass",
+        "pass-through custom instructions (n_CI with minimal hardware)",
+        exts::tie_alu(),
+        &format!(
+            "{LCG_SETUP}movi a2, 600\nmovi a3, 3\nloop:\n{LCG_STEP}\
+             extui a4, a3, 2, 12\ncpass a5, a4\ncpass a6, a5\ncpass a7, a6\n\
+             addi a2, a2, -1\nbnez a2, loop\nhalt"
+        ),
+        vec![],
+    ));
+    out.push(Workload::assemble(
+        "tie_mul32",
+        "full-width custom multiplies (multiplier category at f = 1)",
+        exts::mul32c(),
+        &format!(
+            "{LCG_SETUP}movi a2, 600\nmovi a3, 3\nloop:\n{LCG_STEP}\
+             cmul a5, a3, a10\ncmul a6, a5, a3\nxor a7, a5, a6\n\
+             addi a2, a2, -1\nbnez a2, loop\nhalt"
+        ),
+        vec![],
+    ));
+    out.push(Workload::assemble(
+        "tie_bigtable",
+        "wide-table lookups (table category at high complexity)",
+        exts::bigtable(),
+        &format!(
+            "{LCG_SETUP}movi a2, 600\nmovi a3, 3\nloop:\n{LCG_STEP}\
+             extui a4, a3, 3, 8\ntlu a5, a4\nextui a4, a3, 13, 8\ntlu a6, a4\n\
+             add a7, a5, a6\naddi a2, a2, -1\nbnez a2, loop\nhalt"
+        ),
+        vec![],
+    ));
+    out
+}
+
+/// The full training set used by the default characterization flow: the
+/// 25 kernels of [`characterization_suite`] plus the nine
+/// [`calibration_programs`] and the [`width_variant_programs`].
+pub fn full_training_suite() -> Vec<Workload> {
+    let mut all = characterization_suite();
+    all.extend(calibration_programs());
+    all.extend(width_variant_programs());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_isa::DynClass;
+    use emx_sim::{Interp, ProcConfig};
+
+    #[test]
+    fn suite_has_25_programs_with_unique_names() {
+        let suite = characterization_suite();
+        assert_eq!(suite.len(), 25);
+        let mut names: Vec<_> = suite.iter().map(|w| w.name().to_owned()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 25);
+    }
+
+    #[test]
+    fn every_program_halts_and_verifies() {
+        for w in characterization_suite() {
+            let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+            let run = sim
+                .run(80_000_000)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", w.name()));
+            assert!(run.halted, "{} did not halt", w.name());
+            w.verify(sim.state()).unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn suite_covers_every_variable() {
+        // Aggregate statistics across the suite: every macro-model variable
+        // must be exercised by at least one program.
+        let mut class = [0u64; 6];
+        let mut struct_act = [0.0f64; 10];
+        let (mut icm, mut dcm, mut ucf, mut ilk, mut ci) = (0u64, 0u64, 0u64, 0u64, 0u64);
+        for w in characterization_suite() {
+            let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+            let stats = sim.run(80_000_000).unwrap().stats;
+            for (i, c) in stats.class_cycles.iter().enumerate() {
+                class[i] += c;
+            }
+            for (i, s) in stats.struct_activity.iter().enumerate() {
+                struct_act[i] += s;
+            }
+            icm += stats.icache_misses;
+            dcm += stats.dcache_misses;
+            ucf += stats.uncached_fetches;
+            ilk += stats.interlocks;
+            ci += stats.ci_gpr_cycles;
+        }
+        for (i, &c) in class.iter().enumerate() {
+            assert!(c > 0, "class {:?} never exercised", DynClass::ALL[i]);
+        }
+        for (i, &s) in struct_act.iter().enumerate() {
+            assert!(
+                s > 0.0,
+                "hardware category {:?} never exercised",
+                emx_hwlib::Category::ALL[i]
+            );
+        }
+        assert!(icm > 100, "too few icache misses: {icm}");
+        assert!(dcm > 100, "too few dcache misses: {dcm}");
+        assert!(ucf > 100, "too few uncached fetches: {ucf}");
+        assert!(ilk > 100, "too few interlocks: {ilk}");
+        assert!(ci > 100, "too few GPR-coupled custom cycles: {ci}");
+    }
+}

@@ -1,0 +1,202 @@
+use std::error::Error;
+use std::fmt;
+
+use emx_isa::asm::Assembler;
+use emx_isa::Program;
+use emx_sim::CoreState;
+use emx_tie::ExtensionSet;
+
+/// A memory word the workload is expected to produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemCheck {
+    /// Byte address of the 32-bit word.
+    pub addr: u32,
+    /// Expected little-endian value.
+    pub expected: u32,
+}
+
+/// A workload's functional verification failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    workload: String,
+    addr: u32,
+    expected: u32,
+    got: u32,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "workload `{}`: memory at 0x{:06x} is 0x{:08x}, expected 0x{:08x}",
+            self.workload, self.addr, self.got, self.expected
+        )
+    }
+}
+
+impl Error for VerifyError {}
+
+/// A benchmark: an assembled program, the extension set of the processor
+/// it targets, and the memory contents it must produce.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    name: String,
+    description: String,
+    program: Program,
+    ext: ExtensionSet,
+    checks: Vec<MemCheck>,
+}
+
+impl Workload {
+    /// Assembles a workload from source, registering the extension set's
+    /// mnemonics first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source does not assemble — workload sources are part
+    /// of this crate, so a failure is a bug, not an input error.
+    pub fn assemble(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        ext: ExtensionSet,
+        source: &str,
+        checks: Vec<MemCheck>,
+    ) -> Self {
+        let name = name.into();
+        let mut asm = Assembler::new();
+        ext.register_mnemonics(&mut asm);
+        let program = asm
+            .assemble(source)
+            .unwrap_or_else(|e| panic!("workload `{name}` failed to assemble: {e}"));
+        Workload {
+            name,
+            description: description.into(),
+            program,
+            ext,
+            checks,
+        }
+    }
+
+    /// The workload's name (as it appears in the paper's tables/figures).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// One-line description.
+    pub fn description(&self) -> &str {
+        &self.description
+    }
+
+    /// The assembled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The extension set the program targets.
+    pub fn ext(&self) -> &ExtensionSet {
+        &self.ext
+    }
+
+    /// The expected memory results.
+    pub fn checks(&self) -> &[MemCheck] {
+        &self.checks
+    }
+
+    /// Verifies the workload's results against a halted simulator state.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerifyError`] naming the first mismatching word.
+    pub fn verify(&self, state: &CoreState) -> Result<(), VerifyError> {
+        for check in &self.checks {
+            let got = state.mem.read_u32(check.addr);
+            if got != check.expected {
+                return Err(VerifyError {
+                    workload: self.name.clone(),
+                    addr: check.addr,
+                    expected: check.expected,
+                    got,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Formats a `u32` slice as `.word` directives, 8 per line.
+pub(crate) fn words_directive(values: &[u32]) -> String {
+    let mut out = String::new();
+    for chunk in values.chunks(8) {
+        out.push_str(".word ");
+        let items: Vec<String> = chunk.iter().map(|v| format!("0x{v:x}")).collect();
+        out.push_str(&items.join(", "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Deterministic 32-bit LCG used to generate reproducible workload data
+/// without threading a RNG through every constructor.
+pub(crate) fn lcg_stream(seed: u32, n: usize) -> Vec<u32> {
+    let mut x = seed | 1;
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            x
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_sim::{Interp, ProcConfig};
+
+    #[test]
+    fn assemble_and_verify() {
+        let w = Workload::assemble(
+            "store42",
+            "stores 42",
+            ExtensionSet::empty(),
+            ".data\nout: .space 4\n.text\nmovi a2, out\nmovi a3, 42\ns32i a3, 0(a2)\nhalt",
+            vec![MemCheck {
+                addr: emx_isa::program::layout::DATA_BASE,
+                expected: 42,
+            }],
+        );
+        let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+        sim.run(10_000).unwrap();
+        w.verify(sim.state()).unwrap();
+    }
+
+    #[test]
+    fn verify_reports_mismatch() {
+        let w = Workload::assemble(
+            "wrong",
+            "",
+            ExtensionSet::empty(),
+            "halt",
+            vec![MemCheck {
+                addr: 0x40000,
+                expected: 7,
+            }],
+        );
+        let sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+        let err = w.verify(sim.state()).unwrap_err();
+        assert_eq!(err.expected, 7);
+        assert_eq!(err.got, 0);
+        assert!(err.to_string().contains("wrong"));
+    }
+
+    #[test]
+    fn lcg_is_deterministic() {
+        assert_eq!(lcg_stream(1, 4), lcg_stream(1, 4));
+        assert_ne!(lcg_stream(1, 4), lcg_stream(2, 4));
+    }
+
+    #[test]
+    fn words_directive_formats() {
+        let s = words_directive(&[1, 2, 3]);
+        assert_eq!(s, ".word 0x1, 0x2, 0x3\n");
+    }
+}

@@ -1,0 +1,113 @@
+//! Design-space exploration: the use case the paper builds the
+//! macro-model for.
+//!
+//! A designer weighing four custom-instruction choices for a
+//! Reed–Solomon codec wants energy (and performance) per candidate
+//! *without synthesizing four processors*. The macro-model ranks the
+//! candidates from instruction-set simulation alone; we cross-check the
+//! ranking against the slow reference estimator (this example's analogue
+//! of Fig. 4).
+//!
+//! ```sh
+//! cargo run --release --example design_space_exploration
+//! ```
+
+use emx::prelude::*;
+use emx::workloads::reed_solomon::RsConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("characterizing the base processor once...");
+    let suite = emx::workloads::suite::full_training_suite();
+    let cases: Vec<TrainingCase<'_>> = suite
+        .iter()
+        .map(|w| TrainingCase {
+            name: w.name(),
+            program: w.program(),
+            ext: w.ext(),
+        })
+        .collect();
+    let model = Characterizer::new(ProcConfig::default())
+        .characterize(&cases)?
+        .model;
+
+    println!("\nRS(15,11) codec under four custom-instruction choices:\n");
+    println!(
+        "{:<6} {:<34} {:>9} {:>12} {:>12}",
+        "cfg", "custom instructions", "cycles", "E estimate", "E reference"
+    );
+
+    let mut ranked: Vec<(String, f64, f64)> = Vec::new();
+    for cfg in RsConfig::ALL {
+        let w = cfg.workload();
+        // The fast path — all a design loop needs per candidate.
+        let est = model.estimate(w.program(), w.ext(), ProcConfig::default())?;
+        // The slow path — run here only to demonstrate tracking.
+        let reference =
+            RtlEnergyEstimator::new().estimate(w.program(), w.ext(), ProcConfig::default())?;
+        let insts: Vec<String> = w.ext().iter().map(|i| i.name().to_owned()).collect();
+        println!(
+            "{:<6} {:<34} {:>9} {:>12} {:>12}",
+            cfg.name(),
+            if insts.is_empty() {
+                "(base ISA only)".to_owned()
+            } else {
+                insts.join(",")
+            },
+            est.stats.total_cycles,
+            est.energy.to_string(),
+            reference.total.to_string(),
+        );
+        ranked.push((
+            cfg.name().to_owned(),
+            est.energy.as_picojoules(),
+            reference.total.as_picojoules(),
+        ));
+    }
+
+    // The decision the designer actually makes: which candidate wins?
+    let by_est = ranked
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("four candidates");
+    let by_ref = ranked
+        .iter()
+        .min_by(|a, b| a.2.total_cmp(&b.2))
+        .expect("four candidates");
+    println!(
+        "\nmacro-model picks: {}   reference picks: {}",
+        by_est.0, by_ref.0
+    );
+    assert_eq!(
+        by_est.0, by_ref.0,
+        "relative accuracy must preserve the winner"
+    );
+    println!(
+        "the fast model and the reference agree — custom instructions chosen without synthesis"
+    );
+
+    // The same loop through the DSE API: Pareto front and EDP ranking.
+    let workloads: Vec<_> = RsConfig::ALL.iter().map(|c| c.workload()).collect();
+    let candidates: Vec<emx::core::dse::Candidate<'_>> = workloads
+        .iter()
+        .map(|w| emx::core::dse::Candidate {
+            name: w.name(),
+            program: w.program(),
+            ext: w.ext(),
+        })
+        .collect();
+    let points = emx::core::dse::evaluate(&model, &candidates, ProcConfig::default())?;
+    println!("\nenergy/performance Pareto front:");
+    for &i in &emx::core::dse::pareto_front(&points) {
+        println!(
+            "  {:<22} {:>10} cycles   {}",
+            points[i].name, points[i].cycles, points[i].energy
+        );
+    }
+    let edp = emx::core::dse::rank_by_edp(&points);
+    println!(
+        "best energy-delay product: {} (EDP = {:.3e} pJ·cycles)",
+        points[edp[0]].name,
+        points[edp[0]].edp()
+    );
+    Ok(())
+}

@@ -1,0 +1,84 @@
+//! Quickstart: characterize the extensible processor once, then estimate
+//! application energy with nothing but instruction-set simulation.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use emx::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Step 1: build the energy macro-model (done once per base core).
+    //
+    // Every training case is one test program running on its own extended
+    // processor; the characterizer runs the fast ISS for the independent
+    // variables and the RTL-level reference estimator for the dependent
+    // variable, then fits the 21 energy coefficients by least squares.
+    println!("characterizing the emx base processor (this runs 40 test programs)...");
+    let suite = emx::workloads::suite::full_training_suite();
+    let cases: Vec<TrainingCase<'_>> = suite
+        .iter()
+        .map(|w| TrainingCase {
+            name: w.name(),
+            program: w.program(),
+            ext: w.ext(),
+        })
+        .collect();
+    let result = Characterizer::new(ProcConfig::default()).characterize(&cases)?;
+    println!(
+        "model fitted: R^2 = {:.5}, rms fitting error = {:.2}%\n",
+        result.fit.r_squared(),
+        result.fit.rms_percent_error()
+    );
+
+    // ---- Step 2: estimate an application — no synthesis, no RTL power run.
+    //
+    // Write a small program against a custom extension and ask the model
+    // for its energy. The only work is instruction-set simulation plus a
+    // 21-element dot product.
+    let ext = emx::workloads::exts::mac16();
+    let mut asm = Assembler::new();
+    ext.register_mnemonics(&mut asm);
+    let program = asm.assemble(
+        r#"
+        # Sum of squares 1..100 on the custom MAC unit.
+        .data
+        out: .space 4
+        .text
+            clracc
+            movi    a2, 100
+        loop:
+            mac     a2, a2          # acc += a2*a2
+            addi    a2, a2, -1
+            bnez    a2, loop
+            rdacc   a3
+            movi    a4, out
+            s32i    a3, 0(a4)
+            halt
+        "#,
+    )?;
+
+    let estimate = result
+        .model
+        .estimate(&program, &ext, ProcConfig::default())?;
+    println!("sum-of-squares on the MAC extension:");
+    println!("  cycles:           {}", estimate.stats.total_cycles);
+    println!("  estimated energy: {}", estimate.energy);
+
+    // Cross-check against the slow reference path (the thing the
+    // macro-model lets a design loop skip).
+    let reference = RtlEnergyEstimator::new().estimate(&program, &ext, ProcConfig::default())?;
+    println!("  reference energy: {}", reference.total);
+    println!(
+        "  estimation error: {:+.1}%",
+        estimate.energy.percent_error_vs(reference.total)
+    );
+
+    // And confirm the program computed the right answer: Σ k² for k=1..100.
+    let mut sim = Interp::new(&program, &ext, ProcConfig::default());
+    sim.run(1_000_000)?;
+    let sum: u32 = (1..=100u32).map(|k| k * k).sum();
+    assert_eq!(sim.state().mem.read_u32(program.data_base()), sum);
+    println!("  result verified:  Σk² = {sum}");
+    Ok(())
+}

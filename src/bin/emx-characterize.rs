@@ -1,0 +1,57 @@
+//! `emx-characterize`: run the one-time characterization flow over the
+//! built-in training suite and write the fitted macro-model to a text
+//! file, ready for `emx-run --model`.
+//!
+//! ```sh
+//! emx-characterize model.txt
+//! emx-run program.s --tie ext.tie --model model.txt   # instant estimates
+//! ```
+
+use std::process::ExitCode;
+
+use emx::core::{Characterizer, TrainingCase};
+use emx::sim::ProcConfig;
+
+fn run(path: &str) -> Result<(), String> {
+    println!("characterizing the emx base processor over the built-in training suite…");
+    let suite = emx::workloads::suite::full_training_suite();
+    let cases: Vec<TrainingCase<'_>> = suite
+        .iter()
+        .map(|w| TrainingCase {
+            name: w.name(),
+            program: w.program(),
+            ext: w.ext(),
+        })
+        .collect();
+    let result = Characterizer::new(ProcConfig::default())
+        .characterize(&cases)
+        .map_err(|e| format!("characterization failed: {e}"))?;
+
+    println!(
+        "fitted {} coefficients over {} programs: R^2 = {:.5}, rms = {:.2}%, max = {:.2}%",
+        result.model.coefficients().len(),
+        result.fit.sample_errors().len(),
+        result.fit.r_squared(),
+        result.fit.rms_percent_error(),
+        result.fit.max_abs_percent_error(),
+    );
+    std::fs::write(path, result.model.to_text())
+        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    println!("model written to {path}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: emx-characterize <model-output.txt>");
+        return ExitCode::FAILURE;
+    };
+    match run(&path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("emx-characterize: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

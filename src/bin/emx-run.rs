@@ -1,0 +1,235 @@
+//! `emx-run`: assemble and execute an emx assembly program, optionally on
+//! an extended processor defined in a `.tie` file, and report execution
+//! statistics and energy.
+//!
+//! ```sh
+//! emx-run program.s                        # run, print stats
+//! emx-run program.s --tie ext.tie          # with a custom extension
+//! emx-run program.s --energy               # + reference energy report
+//! emx-run program.s --profile 256          # + power-over-time windows
+//! emx-run program.s --disasm               # print the program and exit
+//! emx-run program.s --trace                # per-instruction execution trace
+//! emx-run program.s --model model.txt      # instant macro-model estimate
+//!                                          #   (model from emx-characterize)
+//! emx-run program.s --max-cycles 1000000
+//! ```
+
+use std::process::ExitCode;
+
+use emx::prelude::*;
+use emx::tie::lang::parse_extension;
+
+struct Options {
+    program_path: String,
+    tie_path: Option<String>,
+    model_path: Option<String>,
+    energy: bool,
+    profile: Option<u64>,
+    disasm: bool,
+    trace: bool,
+    max_cycles: u64,
+}
+
+const USAGE: &str = "usage: emx-run <program.s> [--tie <ext.tie>] [--energy] \
+                     [--model <model.txt>] \
+                     [--profile <window-cycles>] [--disasm] [--trace] [--max-cycles <n>]";
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut program_path = None;
+    let mut options = Options {
+        program_path: String::new(),
+        tie_path: None,
+        model_path: None,
+        energy: false,
+        profile: None,
+        disasm: false,
+        trace: false,
+        max_cycles: 1_000_000_000,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tie" => {
+                options.tie_path = Some(args.next().ok_or("--tie needs a file path")?);
+            }
+            "--model" => {
+                options.model_path = Some(args.next().ok_or("--model needs a file path")?);
+            }
+            "--energy" => options.energy = true,
+            "--disasm" => options.disasm = true,
+            "--trace" => options.trace = true,
+            "--profile" => {
+                let w = args.next().ok_or("--profile needs a window size")?;
+                let w: u64 = w.parse().map_err(|_| format!("bad window size `{w}`"))?;
+                if w == 0 {
+                    return Err("window size must be nonzero".to_owned());
+                }
+                options.profile = Some(w);
+            }
+            "--max-cycles" => {
+                let n = args.next().ok_or("--max-cycles needs a number")?;
+                options.max_cycles = n.parse().map_err(|_| format!("bad cycle count `{n}`"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            path if program_path.is_none() => program_path = Some(path.to_owned()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    options.program_path = program_path.ok_or(USAGE)?;
+    Ok(options)
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let ext = match &options.tie_path {
+        Some(path) => {
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            parse_extension(&src).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => ExtensionSet::empty(),
+    };
+
+    let src = std::fs::read_to_string(&options.program_path)
+        .map_err(|e| format!("cannot read `{}`: {e}", options.program_path))?;
+    let mut asm = Assembler::new();
+    ext.register_mnemonics(&mut asm);
+    let program = asm
+        .assemble(&src)
+        .map_err(|e| format!("{}: {e}", options.program_path))?;
+
+    if options.disasm {
+        print!("{program}");
+        return Ok(());
+    }
+
+    let mut sim = Interp::new(&program, &ext, ProcConfig::default());
+    let result = if options.trace {
+        let mut tracer = emx::sim::trace::Tracer::new();
+        let result = sim
+            .run_with_sink(&mut tracer, options.max_cycles)
+            .map_err(|e| format!("simulation failed: {e}"))?;
+        println!("{}\n", tracer.to_text());
+        result
+    } else {
+        sim.run(options.max_cycles)
+            .map_err(|e| format!("simulation failed: {e}"))?
+    };
+    println!("{}", result.stats);
+    println!("registers:");
+    for r in Reg::all() {
+        let v = sim.state().reg(r);
+        if v != 0 {
+            println!("  {r:<4} = 0x{v:08x} ({v})");
+        }
+    }
+
+    if let Some(path) = &options.model_path {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+        let model =
+            emx::core::EnergyMacroModel::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+        let estimate = model
+            .estimate(&program, &ext, ProcConfig::default())
+            .map_err(|e| format!("macro-model estimation failed: {e}"))?;
+        println!(
+            "\nmacro-model estimate: {} ({:.1} mW at 187 MHz)",
+            estimate.energy,
+            estimate
+                .energy
+                .average_power_mw(estimate.stats.total_cycles, 187.0)
+        );
+    }
+
+    if options.energy || options.profile.is_some() {
+        let estimator = RtlEnergyEstimator::new();
+        let config = ProcConfig::default();
+        if let Some(window) = options.profile {
+            let (report, profile) = estimator
+                .estimate_profiled(&program, &ext, config, window)
+                .map_err(|e| format!("energy estimation failed: {e}"))?;
+            println!("\nenergy breakdown:\n{}", report.breakdown);
+            println!(
+                "average power {:.1} mW, peak window power {:.1} mW (187 MHz, {window}-cycle windows)",
+                report.average_power_mw(187.0),
+                profile.peak_power_mw(187.0)
+            );
+        } else {
+            let report = estimator
+                .estimate(&program, &ext, config)
+                .map_err(|e| format!("energy estimation failed: {e}"))?;
+            println!("\nenergy breakdown:\n{}", report.breakdown);
+            println!(
+                "average power {:.1} mW at 187 MHz",
+                report.average_power_mw(187.0)
+            );
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("emx-run: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Options, String> {
+        parse_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_minimal_invocation() {
+        let o = opts(&["prog.s"]).unwrap();
+        assert_eq!(o.program_path, "prog.s");
+        assert!(!o.energy);
+        assert!(o.tie_path.is_none());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = opts(&[
+            "p.s",
+            "--tie",
+            "x.tie",
+            "--model",
+            "m.txt",
+            "--energy",
+            "--trace",
+            "--profile",
+            "256",
+            "--max-cycles",
+            "42",
+        ])
+        .unwrap();
+        assert_eq!(o.tie_path.as_deref(), Some("x.tie"));
+        assert_eq!(o.model_path.as_deref(), Some("m.txt"));
+        assert!(o.energy);
+        assert!(o.trace);
+        assert_eq!(o.profile, Some(256));
+        assert_eq!(o.max_cycles, 42);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(opts(&[]).is_err());
+        assert!(opts(&["p.s", "--bogus"]).is_err());
+        assert!(opts(&["p.s", "--profile", "0"]).is_err());
+        assert!(opts(&["p.s", "--profile", "xyz"]).is_err());
+        assert!(opts(&["p.s", "extra.s"]).is_err());
+    }
+}

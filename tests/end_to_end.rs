@@ -1,0 +1,216 @@
+//! Cross-crate integration tests: the full characterize → estimate
+//! pipeline against the paper's headline claims, run end-to-end through
+//! the public API.
+//!
+//! These are the "does the reproduction reproduce" tests: Table II
+//! accuracy bounds, Fig. 3 fit quality, Fig. 4 relative accuracy, and
+//! the structural properties the methodology depends on. They are
+//! slower than unit tests (each builds the macro-model from the full
+//! training suite), so the characterization is shared through a
+//! once-cell.
+
+use std::sync::OnceLock;
+
+use emx::core::{Characterization, Characterizer, TrainingCase};
+use emx::prelude::*;
+use emx::regress::stats;
+use emx::workloads::reed_solomon::RsConfig;
+use emx::workloads::{apps, suite};
+
+fn characterization() -> &'static Characterization {
+    static MODEL: OnceLock<Characterization> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let workloads = suite::full_training_suite();
+        let cases: Vec<TrainingCase<'_>> = workloads
+            .iter()
+            .map(|w| TrainingCase {
+                name: w.name(),
+                program: w.program(),
+                ext: w.ext(),
+            })
+            .collect();
+        Characterizer::new(ProcConfig::default())
+            .characterize(&cases)
+            .expect("training suite characterizes")
+    })
+}
+
+#[test]
+fn fit_quality_matches_the_paper_band() {
+    // Paper Fig. 3: max fitting error < 8.9%, rms 3.8%.
+    let c = characterization();
+    assert!(c.fit.r_squared() > 0.995, "R² = {}", c.fit.r_squared());
+    assert!(
+        c.fit.rms_percent_error() < 6.0,
+        "rms = {}%",
+        c.fit.rms_percent_error()
+    );
+    assert!(
+        c.fit.max_abs_percent_error() < 15.0,
+        "max = {}%",
+        c.fit.max_abs_percent_error()
+    );
+}
+
+#[test]
+fn all_coefficients_are_physical() {
+    // Energy coefficients are per-event energies; every one must be
+    // positive (paper Table I lists positive values throughout).
+    let c = characterization();
+    for (name, value) in c.model.coefficient_table() {
+        assert!(value > -50.0, "{name} = {value} is non-physical");
+    }
+    // And the big effects must be ordered sensibly.
+    let coef = |n: &str| c.model.coefficient(n).expect("paper template");
+    assert!(coef("beta_icm") > 5.0 * coef("alpha_A"), "miss ≫ cycle");
+    assert!(coef("beta_dcm") > 5.0 * coef("alpha_A"));
+    assert!(coef("beta_ucf") > coef("alpha_A"));
+}
+
+#[test]
+fn table2_application_accuracy() {
+    // Paper Table II: max |error| 8.5%, mean |error| 3.3% over ten
+    // held-out applications with custom instructions.
+    let c = characterization();
+    let estimator = RtlEnergyEstimator::new();
+    let mut errors = Vec::new();
+    for w in apps::all() {
+        // Functional correctness first.
+        let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+        sim.run(200_000_000).expect("app runs");
+        w.verify(sim.state()).expect("app verifies");
+
+        let est = c
+            .model
+            .estimate(w.program(), w.ext(), ProcConfig::default())
+            .expect("estimates");
+        let reference = estimator
+            .estimate(w.program(), w.ext(), ProcConfig::default())
+            .expect("reference runs");
+        let err = est.energy.percent_error_vs(reference.total);
+        assert!(err.abs() < 12.0, "{}: {err:+.1}%", w.name());
+        errors.push(err);
+    }
+    let mean = stats::mean_abs(&errors);
+    assert!(mean < 6.0, "mean |error| = {mean:.1}%");
+}
+
+#[test]
+fn fig4_relative_accuracy_across_rs_configs() {
+    // Paper Fig. 4: across four custom-instruction choices the
+    // macro-model profile tracks the reference profile.
+    let c = characterization();
+    let estimator = RtlEnergyEstimator::new();
+    let mut est = Vec::new();
+    let mut reference = Vec::new();
+    for cfg in RsConfig::ALL {
+        let w = cfg.workload();
+        est.push(
+            c.model
+                .estimate(w.program(), w.ext(), ProcConfig::default())
+                .expect("estimates")
+                .energy
+                .as_picojoules(),
+        );
+        reference.push(
+            estimator
+                .estimate(w.program(), w.ext(), ProcConfig::default())
+                .expect("reference runs")
+                .total
+                .as_picojoules(),
+        );
+    }
+    assert!(
+        (stats::spearman(&est, &reference) - 1.0).abs() < 1e-9,
+        "profiles must rank identically: est {est:?} vs ref {reference:?}"
+    );
+    // Custom instructions must show the expected energy win.
+    assert!(est[3] < est[0] / 2.0, "rs3 should halve rs0's energy");
+}
+
+#[test]
+fn estimation_does_not_require_the_reference_path() {
+    // The methodology's point: estimating a *new* extension requires only
+    // ISS. Build an extension nowhere in the training suite and estimate.
+    let mut ext = ExtensionBuilder::new("fresh");
+    let mut g = DfGraph::new();
+    let a = g.input("a", 24);
+    let b = g.input("b", 24);
+    let x = g.node(PrimOp::Xor, 24, &[a, b]).expect("graph");
+    let m = g.node(PrimOp::MinU, 24, &[x, a]).expect("graph");
+    g.output(m);
+    ext.instruction("xmin", g)
+        .expect("inst")
+        .bind_input(InputBind::GprS)
+        .expect("bind")
+        .bind_input(InputBind::GprT)
+        .expect("bind")
+        .bind_output(OutputBind::Gpr)
+        .expect("bind");
+    let ext = ext.build().expect("compiles");
+
+    let mut asm = Assembler::new();
+    ext.register_mnemonics(&mut asm);
+    let program = asm
+        .assemble(
+            "movi a2, 500\nmovi a3, 0x123456\nl:\nxmin a4, a3, a2\nadd a3, a3, a4\n\
+             addi a2, a2, -1\nbnez a2, l\nhalt",
+        )
+        .expect("assembles");
+
+    let c = characterization();
+    let est = c
+        .model
+        .estimate(&program, &ext, ProcConfig::default())
+        .expect("estimates");
+    let reference = RtlEnergyEstimator::new()
+        .estimate(&program, &ext, ProcConfig::default())
+        .expect("reference runs");
+    let err = est.energy.percent_error_vs(reference.total);
+    assert!(err.abs() < 15.0, "unseen extension error {err:+.1}%");
+}
+
+#[test]
+fn iss_and_reference_agree_on_statistics() {
+    // Both paths share one executor and one timing rule set; their
+    // statistics must be identical for every application.
+    for w in apps::all() {
+        let mut iss = Interp::new(w.program(), w.ext(), ProcConfig::default());
+        let fast = iss.run(200_000_000).expect("runs").stats;
+        let slow = RtlEnergyEstimator::new()
+            .estimate(w.program(), w.ext(), ProcConfig::default())
+            .expect("runs")
+            .stats;
+        assert_eq!(fast, slow, "{} statistics diverged", w.name());
+    }
+}
+
+#[test]
+fn macro_model_is_additive_across_programs() {
+    // Linearity: E(stats_a + stats_b) = E(stats_a) + E(stats_b). The
+    // macro-model form guarantees it; this guards against nonlinear
+    // terms sneaking into the variable extraction.
+    let c = characterization();
+    let w1 = apps::gcd();
+    let w2 = apps::accumulate();
+    let run = |w: &Workload| {
+        let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+        sim.run(200_000_000).expect("runs").stats
+    };
+    let (s1, s2) = (run(&w1), run(&w2));
+    let mut combined = s1.clone();
+    for (a, b) in combined.class_cycles.iter_mut().zip(s2.class_cycles) {
+        *a += b;
+    }
+    combined.icache_misses += s2.icache_misses;
+    combined.dcache_misses += s2.dcache_misses;
+    combined.uncached_fetches += s2.uncached_fetches;
+    combined.interlocks += s2.interlocks;
+    combined.ci_gpr_cycles += s2.ci_gpr_cycles;
+    for (a, b) in combined.struct_activity.iter_mut().zip(s2.struct_activity) {
+        *a += b;
+    }
+    let sum = c.model.energy_of_stats(&s1) + c.model.energy_of_stats(&s2);
+    let whole = c.model.energy_of_stats(&combined);
+    assert!((whole.as_picojoules() - sum.as_picojoules()).abs() < 1.0);
+}

@@ -1,52 +1,48 @@
-//! Criterion benches for the paper's speedup claim (§V): macro-model
-//! estimation (fast ISS + dot product) vs the RTL-level reference flow
-//! (detailed trace + net-level integration), per application.
+//! Benches for the paper's speedup claim (§V): macro-model estimation
+//! (fast ISS + dot product) vs the RTL-level reference flow (detailed
+//! trace + net-level integration), per application. Runs on the
+//! registry-free harness in `emx_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use emx_bench::harness::Bench;
 use emx_rtlpower::RtlEnergyEstimator;
 use emx_sim::ProcConfig;
 
-fn bench_estimation(c: &mut Criterion) {
+fn main() {
     let characterization = emx_bench::characterize_default();
     let model = characterization.model;
     let estimator = RtlEnergyEstimator::new();
     let apps = emx_workloads::apps::all();
 
-    let mut group = c.benchmark_group("estimation");
+    let mut bench = Bench::from_args("estimation");
+
+    let mut group = bench.group("estimation");
     group.sample_size(10);
     for w in &apps {
-        group.bench_with_input(BenchmarkId::new("macro_model", w.name()), w, |b, w| {
-            b.iter(|| {
-                let est = model
-                    .estimate(w.program(), w.ext(), ProcConfig::default())
-                    .expect("estimation runs");
-                black_box(est.energy)
-            })
+        group.bench(&format!("macro_model/{}", w.name()), || {
+            let est = model
+                .estimate(w.program(), w.ext(), ProcConfig::default())
+                .expect("estimation runs");
+            black_box(est.energy)
         });
-        group.bench_with_input(BenchmarkId::new("rtl_reference", w.name()), w, |b, w| {
-            b.iter(|| {
-                let rep = estimator
-                    .estimate(w.program(), w.ext(), ProcConfig::default())
-                    .expect("reference runs");
-                black_box(rep.total)
-            })
+        group.bench(&format!("rtl_reference/{}", w.name()), || {
+            let rep = estimator
+                .estimate(w.program(), w.ext(), ProcConfig::default())
+                .expect("reference runs");
+            black_box(rep.total)
         });
     }
     group.finish();
-}
 
-fn bench_characterization(c: &mut Criterion) {
     // The one-time cost of building the macro-model (steps 1–8); done
     // once per base processor, amortized over every later estimate.
-    let mut group = c.benchmark_group("characterization");
+    let mut group = bench.group("characterization");
     group.sample_size(10);
-    group.bench_function("full_flow_40_programs", |b| {
-        b.iter(|| black_box(emx_bench::characterize_default()))
+    group.bench("full_flow_40_programs", || {
+        black_box(emx_bench::characterize_default())
     });
     group.finish();
-}
 
-criterion_group!(benches, bench_estimation, bench_characterization);
-criterion_main!(benches);
+    bench.finish();
+}

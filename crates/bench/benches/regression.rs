@@ -1,11 +1,12 @@
-//! Criterion benches for the regression kernel: the paper highlights
-//! that "construction and use of regression models are efficient" — the
+//! Benches for the regression kernel: the paper highlights that
+//! "construction and use of regression models are efficient" — the
 //! least-squares solve over the whole characterization suite is
-//! microseconds, negligible next to the simulations that feed it.
+//! microseconds, negligible next to the simulations that feed it. Runs
+//! on the registry-free harness in `emx_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use emx_bench::harness::Bench;
 use emx_regress::solve::{normal_equations_lstsq, qr_lstsq};
 use emx_regress::Matrix;
 
@@ -28,21 +29,18 @@ fn design(samples: usize, vars: usize) -> (Matrix, Vec<f64>) {
     (x, y)
 }
 
-fn bench_solvers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lstsq");
+fn main() {
+    let mut bench = Bench::from_args("regression");
+    let mut group = bench.group("lstsq");
     for &samples in &[25usize, 40, 100] {
         let (x, y) = design(samples, 21);
-        group.bench_with_input(BenchmarkId::new("qr", samples), &samples, |b, _| {
-            b.iter(|| black_box(qr_lstsq(&x, &y).expect("solves")))
+        group.bench(&format!("qr/{samples}"), || {
+            black_box(qr_lstsq(&x, &y).expect("solves"))
         });
-        group.bench_with_input(
-            BenchmarkId::new("pseudo_inverse", samples),
-            &samples,
-            |b, _| b.iter(|| black_box(normal_equations_lstsq(&x, &y, 0.0).expect("solves"))),
-        );
+        group.bench(&format!("pseudo_inverse/{samples}"), || {
+            black_box(normal_equations_lstsq(&x, &y, 0.0).expect("solves"))
+        });
     }
     group.finish();
+    bench.finish();
 }
-
-criterion_group!(benches, bench_solvers);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion benches for the simulation substrates: functional ISS
-//! throughput vs the activity-streaming pipeline path, per workload
-//! class.
+//! Benches for the simulation substrates: functional ISS throughput vs
+//! the activity-streaming pipeline path, per workload class. Runs on the
+//! registry-free harness in `emx_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use emx_bench::harness::Bench;
 use emx_sim::{InstRecord, Interp, PipelineSim, ProcConfig};
 use emx_workloads::Workload;
 
@@ -15,40 +15,34 @@ fn pick(names: &[&str]) -> Vec<Workload> {
         .collect()
 }
 
-fn bench_iss(c: &mut Criterion) {
+fn main() {
     let workloads = pick(&["matmul", "crc32", "tie_mac_fir", "tie_syn"]);
-    let mut group = c.benchmark_group("iss");
+    let mut bench = Bench::from_args("simulators");
+
+    let mut group = bench.group("iss");
     for w in &workloads {
         // Pre-measure instruction count for throughput reporting.
         let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
         let insts = sim.run(200_000_000).expect("runs").stats.inst_count;
-        group.throughput(Throughput::Elements(insts));
-        group.bench_with_input(BenchmarkId::from_parameter(w.name()), w, |b, w| {
-            b.iter(|| {
-                let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
-                black_box(sim.run(200_000_000).expect("runs").stats.total_cycles)
-            })
+        group.throughput_elements(insts);
+        group.bench(w.name(), || {
+            let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+            black_box(sim.run(200_000_000).expect("runs").stats.total_cycles)
         });
     }
     group.finish();
-}
 
-fn bench_pipeline(c: &mut Criterion) {
-    let workloads = pick(&["matmul", "crc32", "tie_mac_fir", "tie_syn"]);
-    let mut group = c.benchmark_group("pipeline_trace");
+    let mut group = bench.group("pipeline_trace");
     for w in &workloads {
-        group.bench_with_input(BenchmarkId::from_parameter(w.name()), w, |b, w| {
-            b.iter(|| {
-                let mut records = 0u64;
-                let mut sink = |_: &InstRecord<'_>| records += 1;
-                let mut sim = PipelineSim::new(w.program(), w.ext(), ProcConfig::default());
-                sim.run(&mut sink, 200_000_000).expect("runs");
-                black_box(records)
-            })
+        group.bench(w.name(), || {
+            let mut records = 0u64;
+            let mut sink = |_: &InstRecord<'_>| records += 1;
+            let mut sim = PipelineSim::new(w.program(), w.ext(), ProcConfig::default());
+            sim.run(&mut sink, 200_000_000).expect("runs");
+            black_box(records)
         });
     }
     group.finish();
-}
 
-criterion_group!(benches, bench_iss, bench_pipeline);
-criterion_main!(benches);
+    bench.finish();
+}

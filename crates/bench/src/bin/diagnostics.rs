@@ -5,13 +5,98 @@
 //! EXPERIMENTS.md): high VIF names macro-model variables the suite leaves
 //! nearly collinear, and LOO errors approximate held-out application
 //! accuracy far better than the in-fit residuals of Fig. 3 do.
+//!
+//! With `--report <report.json>` (a file written by `emx-characterize
+//! --report`, schema `emx.characterize-report/1`) the binary first
+//! replays that run's per-phase timings and per-case fitting errors, so
+//! the in-fit residuals can be read side by side with the LOO errors
+//! computed below.
+
+use std::process::ExitCode;
 
 use emx_core::{Characterizer, ModelSpec, TrainingCase};
+use emx_obs::json::Value;
 use emx_regress::diagnostics::{leave_one_out, variance_inflation};
 use emx_regress::FitOptions;
 use emx_sim::ProcConfig;
 
-fn main() {
+/// Prints the phase timings and per-case errors recorded in a
+/// `emx.characterize-report/1` JSON file.
+fn print_report(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let doc = Value::parse(&text).map_err(|e| format!("`{path}` is not valid JSON: {e}"))?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some("emx.characterize-report/1") => {}
+        other => {
+            return Err(format!(
+                "`{path}` has schema {other:?}, expected \"emx.characterize-report/1\""
+            ))
+        }
+    }
+
+    println!("Characterization report ({path})\n");
+    if let Some(timing) = doc.get("timing_us") {
+        let us = |key: &str| timing.get(key).and_then(Value::as_u64).unwrap_or(0);
+        println!(
+            "  phases: ISS {} ms, reference {} ms, solve {} µs — speedup {:.0}×",
+            us("iss_simulate") / 1000,
+            us("reference_estimate") / 1000,
+            us("solve"),
+            doc.get("speedup").and_then(Value::as_f64).unwrap_or(0.0),
+        );
+    }
+    if let Some(fit) = doc.get("fit") {
+        let pct = |key: &str| fit.get(key).and_then(Value::as_f64).unwrap_or(f64::NAN);
+        println!(
+            "  fit: R^2 = {:.5}, rms = {:.2}%, max |err| = {:.2}%\n",
+            pct("r_squared"),
+            pct("rms_percent_error"),
+            pct("max_abs_percent_error"),
+        );
+    }
+    for case in doc.get("cases").and_then(Value::as_array).unwrap_or(&[]) {
+        println!(
+            "  {:<16} {:>9} cycles  ISS {:>7} µs  reference {:>9} µs  in-fit {:>+7.2}%",
+            case.get("name").and_then(Value::as_str).unwrap_or("?"),
+            case.get("cycles").and_then(Value::as_u64).unwrap_or(0),
+            case.get("iss_us").and_then(Value::as_u64).unwrap_or(0),
+            case.get("reference_us")
+                .and_then(Value::as_u64)
+                .unwrap_or(0),
+            case.get("percent_error")
+                .and_then(Value::as_f64)
+                .unwrap_or(f64::NAN),
+        );
+    }
+    println!();
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--report" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--report needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                if let Err(e) = print_report(&path) {
+                    eprintln!("emx diagnostics: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            other => {
+                eprintln!("usage: diagnostics [--report <report.json>] (unknown arg `{other}`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    suite_diagnostics();
+    ExitCode::SUCCESS
+}
+
+fn suite_diagnostics() {
     let workloads = emx_workloads::suite::full_training_suite();
     let cases: Vec<TrainingCase<'_>> = workloads
         .iter()

@@ -1,0 +1,204 @@
+//! A small, registry-free benchmark harness.
+//!
+//! The bench targets in `benches/` use this instead of criterion so the
+//! workspace keeps zero registry dependencies (`cargo build --offline`
+//! must work on machines with no crates.io access — see
+//! `crates/proptest` for the same story on the test side).
+//!
+//! The measurement loop is deliberately simple: per benchmark it
+//! auto-calibrates an inner iteration count so one *sample* takes at
+//! least [`MIN_SAMPLE_NANOS`], collects `sample_size` samples, and
+//! reports min / p50 / p90 / mean per iteration out of an
+//! [`emx_obs::Histogram`] — the same log-linear histogram the
+//! observability layer uses, so quantization error is bounded at ~6 %.
+//!
+//! Run with `cargo bench -p emx-bench [filter]`; only benchmarks whose
+//! `group/id` name contains the filter substring execute.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use emx_obs::Histogram;
+
+/// Minimum wall-clock time of one sample, in nanoseconds. Short
+/// closures are batched until a sample crosses this threshold.
+const MIN_SAMPLE_NANOS: u64 = 2_000_000;
+
+/// Default number of samples per benchmark.
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Top-level state for one bench binary: name filter and run counts.
+pub struct Bench {
+    filter: Option<String>,
+    ran: usize,
+    skipped: usize,
+}
+
+impl Bench {
+    /// Builds the harness from the command line. The first argument that
+    /// is not a flag becomes a substring filter on `group/id` names
+    /// (cargo passes `--bench` flags; those are ignored).
+    pub fn from_args(suite: &str) -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        println!("suite: {suite}");
+        Bench {
+            filter,
+            ran: 0,
+            skipped: 0,
+        }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group {
+            bench: self,
+            name: name.to_owned(),
+            sample_size: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+
+    /// Prints the run/skip tally. Call last in `main`.
+    pub fn finish(self) {
+        println!(
+            "\n{} benchmark(s) run, {} filtered out",
+            self.ran, self.skipped
+        );
+    }
+
+    fn selected(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct Group<'a> {
+    bench: &'a mut Bench,
+    name: String,
+    sample_size: usize,
+    throughput: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares that each iteration processes `elements` items, adding
+    /// an elements-per-second figure to the report. Applies to the
+    /// *next* `bench` call only.
+    pub fn throughput_elements(&mut self, elements: u64) -> &mut Self {
+        self.throughput = Some(elements);
+        self
+    }
+
+    /// Measures `f`, reporting per-iteration latency statistics.
+    pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) {
+        let full_name = format!("{}/{}", self.name, id);
+        let throughput = self.throughput.take();
+        if !self.bench.selected(&full_name) {
+            self.bench.skipped += 1;
+            return;
+        }
+        self.bench.ran += 1;
+
+        // Calibrate: batch iterations until one sample is long enough
+        // for the clock to resolve it well.
+        let once = time_nanos(|| {
+            black_box(f());
+        });
+        let iters_per_sample = (MIN_SAMPLE_NANOS / once.max(1)).clamp(1, 1_000_000);
+
+        let mut hist = Histogram::new();
+        for _ in 0..self.sample_size {
+            let elapsed = time_nanos(|| {
+                for _ in 0..iters_per_sample {
+                    black_box(f());
+                }
+            });
+            hist.record(elapsed / iters_per_sample);
+        }
+
+        let mut line = format!(
+            "{full_name:<40} p50 {:>10}  p90 {:>10}  mean {:>10}  min {:>10}  ({} samples × {} iters)",
+            fmt_nanos(hist.percentile(50.0)),
+            fmt_nanos(hist.percentile(90.0)),
+            fmt_nanos(hist.mean() as u64),
+            fmt_nanos(hist.min()),
+            self.sample_size,
+            iters_per_sample,
+        );
+        if let Some(elements) = throughput {
+            let per_sec = elements as f64 / (hist.percentile(50.0).max(1) as f64 / 1e9);
+            line.push_str(&format!("  {:.1} Melem/s", per_sec / 1e6));
+        }
+        println!("{line}");
+    }
+
+    /// Ends the group (provided for symmetry; dropping works too).
+    pub fn finish(self) {}
+}
+
+fn time_nanos(f: impl FnOnce()) -> u64 {
+    let start = Instant::now();
+    f();
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Renders a nanosecond count with an adaptive unit.
+fn fmt_nanos(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns} ns"),
+        10_000..=9_999_999 => format!("{:.1} µs", ns as f64 / 1e3),
+        10_000_000..=9_999_999_999 => format!("{:.1} ms", ns as f64 / 1e6),
+        _ => format!("{:.2} s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_formatting_scales() {
+        assert_eq!(fmt_nanos(512), "512 ns");
+        assert_eq!(fmt_nanos(25_300), "25.3 µs");
+        assert_eq!(fmt_nanos(18_000_000), "18.0 ms");
+        assert_eq!(fmt_nanos(12_000_000_000), "12.00 s");
+    }
+
+    #[test]
+    fn filter_matches_substrings() {
+        let b = Bench {
+            filter: Some("iss/mat".into()),
+            ran: 0,
+            skipped: 0,
+        };
+        assert!(b.selected("iss/matmul"));
+        assert!(!b.selected("pipeline/matmul"));
+        let unfiltered = Bench {
+            filter: None,
+            ran: 0,
+            skipped: 0,
+        };
+        assert!(unfiltered.selected("anything"));
+    }
+
+    #[test]
+    fn bench_runs_and_counts() {
+        let mut b = Bench {
+            filter: None,
+            ran: 0,
+            skipped: 0,
+        };
+        let mut g = b.group("g");
+        g.sample_size(2);
+        let mut calls = 0u64;
+        g.bench("noop", || calls += 1);
+        g.finish();
+        assert!(calls > 0);
+        assert_eq!(b.ran, 1);
+    }
+}

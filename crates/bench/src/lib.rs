@@ -15,6 +15,8 @@
 //! once, evaluating applications through both estimators, and text-table
 //! formatting.
 
+pub mod harness;
+
 use emx_core::{Characterization, Characterizer, EnergyMacroModel, ModelSpec, TrainingCase};
 use emx_regress::stats;
 use emx_rtlpower::{Energy, RtlEnergyEstimator};

@@ -69,7 +69,9 @@ mod io;
 mod model;
 mod vars;
 
-pub use characterize::{Characterization, Characterizer, TrainingCase};
+pub use characterize::{
+    CaseReport, Characterization, CharacterizeReport, Characterizer, TrainingCase,
+};
 pub use error::CoreError;
 pub use io::ParseModelError;
 pub use model::{EnergyEstimate, EnergyMacroModel};

@@ -1,0 +1,246 @@
+//! Chrome `trace_event` export.
+//!
+//! The output follows the "JSON Object Format" of the Trace Event
+//! specification: a top-level object with a `traceEvents` array, which
+//! Perfetto (<https://ui.perfetto.dev>) and `about://tracing` load
+//! directly. Two processes separate the timelines:
+//!
+//! * **pid 1 — host**: wall-clock spans (`B`/`E`) and instants (`i`)
+//!   from the characterization / estimation phases,
+//! * **pid 2 — simulated time**: counter series (`C`) where one trace
+//!   microsecond equals one simulation cycle (IPC, cache misses,
+//!   per-window energy, …).
+
+use std::io::{self, Write};
+
+use crate::json::Value;
+use crate::{Collector, EventKind, Track};
+
+const HOST_PID: u64 = 1;
+const SIM_PID: u64 = 2;
+
+/// Serializes a [`Collector`] as Chrome `trace_event` JSON.
+///
+/// # Example
+///
+/// ```
+/// use emx_obs::{ChromeTraceWriter, Collector};
+///
+/// let mut c = Collector::new();
+/// let s = c.begin("simulate");
+/// c.sample_at("ipc", 512, 0.87);
+/// c.end(s);
+/// let text = ChromeTraceWriter::new("demo").to_string(&c);
+/// let parsed = emx_obs::json::Value::parse(&text).unwrap();
+/// assert!(parsed.get("traceEvents").is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChromeTraceWriter {
+    process_name: String,
+}
+
+impl ChromeTraceWriter {
+    /// A writer labeling the host process `process_name` in the trace.
+    pub fn new(process_name: &str) -> Self {
+        ChromeTraceWriter {
+            process_name: process_name.to_owned(),
+        }
+    }
+
+    /// Builds the trace document as a JSON value.
+    ///
+    /// Events are emitted in timestamp order per track (the collector
+    /// records them monotonically; a stable sort guarantees it even if
+    /// tracks interleave), so consumers that require non-decreasing `ts`
+    /// within a process accept the output.
+    pub fn to_json(&self, collector: &Collector) -> Value {
+        let mut events = Value::array();
+
+        // Process-name metadata, so Perfetto labels the two timelines.
+        for (pid, name) in [
+            (HOST_PID, format!("{} (host wall-clock)", self.process_name)),
+            (SIM_PID, format!("{} (simulated cycles)", self.process_name)),
+        ] {
+            let mut meta = Value::object();
+            meta.set("name", "process_name");
+            meta.set("ph", "M");
+            meta.set("pid", pid);
+            meta.set("tid", 0u64);
+            let mut args = Value::object();
+            args.set("name", name);
+            meta.set("args", args);
+            events.push(meta);
+        }
+
+        let mut recorded: Vec<&crate::Event> = collector.events().iter().collect();
+        recorded.sort_by_key(|e| e.ts);
+        for event in recorded {
+            let (pid, tid) = match event.track {
+                Track::Host => (HOST_PID, 1u64),
+                Track::Sim => (SIM_PID, 1u64),
+            };
+            let mut e = Value::object();
+            e.set("name", event.name.as_ref());
+            e.set("ts", event.ts);
+            e.set("pid", pid);
+            e.set("tid", tid);
+            match &event.kind {
+                EventKind::Begin => e.set("ph", "B"),
+                EventKind::End => e.set("ph", "E"),
+                EventKind::Instant => {
+                    e.set("ph", "i");
+                    e.set("s", "t");
+                }
+                EventKind::Sample(value) => {
+                    e.set("ph", "C");
+                    let mut args = Value::object();
+                    args.set("value", *value);
+                    e.set("args", args);
+                }
+            }
+            events.push(e);
+        }
+
+        let mut doc = Value::object();
+        doc.set("traceEvents", events);
+        doc.set("displayTimeUnit", "ms");
+        // Cumulative counters and histogram summaries ride along for
+        // tools that read the file but not the timeline.
+        let mut totals = Value::object();
+        for (name, value) in collector.counters() {
+            totals.set(name, *value);
+        }
+        let mut hists = Value::object();
+        for (name, h) in collector.histograms() {
+            let mut summary = Value::object();
+            summary.set("count", h.count());
+            summary.set("min", h.min());
+            summary.set("p50", h.percentile(50.0));
+            summary.set("p90", h.percentile(90.0));
+            summary.set("p99", h.percentile(99.0));
+            summary.set("max", h.max());
+            summary.set("mean", h.mean());
+            hists.set(name, summary);
+        }
+        let mut other = Value::object();
+        other.set("counters", totals);
+        other.set("histograms", hists);
+        doc.set("otherData", other);
+        doc
+    }
+
+    /// The trace document as a JSON string.
+    #[allow(clippy::inherent_to_string)] // mirrors `to_json`; not a Display
+    pub fn to_string(&self, collector: &Collector) -> String {
+        self.to_json(collector).to_string()
+    }
+
+    /// Writes the trace document to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`.
+    pub fn write_to(&self, collector: &Collector, out: &mut impl Write) -> io::Result<()> {
+        out.write_all(self.to_string(collector).as_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_collector() -> Collector {
+        let mut c = Collector::new();
+        let outer = c.begin("characterize");
+        let inner = c.begin("simulate");
+        c.sample_at("ipc", 100, 0.9);
+        c.sample_at("ipc", 200, 0.8);
+        c.sample_at("energy_pj", 200, 1234.5);
+        c.instant("solved");
+        c.end(inner);
+        c.end(outer);
+        c.add("instructions", 1700.0);
+        c.record("case_cycles", 4096);
+        c
+    }
+
+    #[test]
+    fn output_is_valid_json_with_monotone_ts() {
+        let c = sample_collector();
+        let text = ChromeTraceWriter::new("test").to_string(&c);
+        let doc = Value::parse(&text).expect("valid JSON");
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events.len() >= 8);
+
+        let mut last_ts = 0u64;
+        for e in events {
+            let ph = e.get("ph").unwrap().as_str().unwrap();
+            assert!(["M", "B", "E", "i", "C"].contains(&ph), "bad ph {ph}");
+            if ph == "M" {
+                continue;
+            }
+            assert!(e.get("name").unwrap().as_str().is_some());
+            assert!(e.get("pid").unwrap().as_u64().is_some());
+            let ts = e.get("ts").unwrap().as_u64().unwrap();
+            assert!(ts >= last_ts, "ts went backwards: {ts} < {last_ts}");
+            last_ts = ts;
+        }
+    }
+
+    #[test]
+    fn counter_events_carry_values() {
+        let c = sample_collector();
+        let doc = ChromeTraceWriter::new("test").to_json(&c);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let counters: Vec<&Value> = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("C"))
+            .collect();
+        assert_eq!(counters.len(), 3);
+        assert_eq!(
+            counters[0]
+                .get("args")
+                .unwrap()
+                .get("value")
+                .unwrap()
+                .as_f64(),
+            Some(0.9)
+        );
+    }
+
+    #[test]
+    fn totals_ride_in_other_data() {
+        let c = sample_collector();
+        let doc = ChromeTraceWriter::new("test").to_json(&c);
+        let other = doc.get("otherData").unwrap();
+        assert_eq!(
+            other
+                .get("counters")
+                .unwrap()
+                .get("instructions")
+                .unwrap()
+                .as_f64(),
+            Some(1700.0)
+        );
+        let h = other.get("histograms").unwrap().get("case_cycles").unwrap();
+        assert_eq!(h.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(h.get("max").unwrap().as_u64(), Some(4096));
+    }
+
+    #[test]
+    fn spans_pair_up() {
+        let c = sample_collector();
+        let doc = ChromeTraceWriter::new("test").to_json(&c);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let begins = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("B"))
+            .count();
+        let ends = events
+            .iter()
+            .filter(|e| e.get("ph").and_then(Value::as_str) == Some("E"))
+            .count();
+        assert_eq!(begins, 2);
+        assert_eq!(begins, ends);
+    }
+}

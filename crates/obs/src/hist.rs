@@ -1,0 +1,222 @@
+//! Log-linear histograms for latency- and size-shaped distributions.
+
+/// Linear sub-buckets per power-of-two octave. 16 sub-buckets bound the
+/// relative quantization error of any recorded value by 1/16 ≈ 6.25 %.
+const SUBS: u64 = 16;
+
+/// Number of addressable buckets: values below [`SUBS`] get an exact
+/// bucket each; every octave above contributes [`SUBS`] buckets.
+const BUCKETS: usize = ((64 - 4) * SUBS as usize) + SUBS as usize;
+
+fn bucket_of(value: u64) -> usize {
+    if value < SUBS {
+        return value as usize;
+    }
+    let msb = 63 - u64::from(value.leading_zeros());
+    let sub = (value >> (msb - 4)) - SUBS;
+    ((msb - 3) * SUBS + sub) as usize
+}
+
+/// Inclusive lower bound of a bucket.
+fn bucket_low(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUBS {
+        return index;
+    }
+    let msb = index / SUBS + 3;
+    let sub = index % SUBS;
+    (SUBS + sub) << (msb - 4)
+}
+
+/// A fixed-memory log-linear histogram of `u64` samples.
+///
+/// Values are quantized into power-of-two octaves with 16 linear
+/// sub-buckets each, so any percentile estimate is within ~6 % of the
+/// true sample value while the whole structure stays a few kilobytes —
+/// safe to keep per-phase or per-instruction-class without blowing up
+/// memory on billion-event runs.
+///
+/// # Example
+///
+/// ```
+/// use emx_obs::Histogram;
+///
+/// let mut h = Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// assert_eq!(h.min(), 1);
+/// assert_eq!(h.max(), 1000);
+/// let p50 = h.percentile(50.0);
+/// assert!((p50 as f64 - 500.0).abs() / 500.0 < 0.07, "p50 = {p50}");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram. Does not allocate until the first record.
+    pub fn new() -> Self {
+        Histogram {
+            counts: Vec::new(),
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        self.counts[bucket_of(value)] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of all samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// The value at (or just above) the `p`-th percentile, `0 ≤ p ≤ 100`.
+    ///
+    /// Returns the midpoint of the bucket where the cumulative count
+    /// crosses `p` percent of the samples, clamped to the exact recorded
+    /// `[min, max]` range — so `percentile(0.0)` is exactly [`Histogram::min`]
+    /// and `percentile(100.0)` exactly [`Histogram::max`].
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        // The endpoints are known exactly; bucket midpoints are not.
+        if p <= 0.0 {
+            return self.min;
+        }
+        if p >= 100.0 {
+            return self.max;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            if seen >= rank {
+                let low = bucket_low(i);
+                let high = if i + 1 < BUCKETS {
+                    bucket_low(i + 1) - 1
+                } else {
+                    u64::MAX
+                };
+                let mid = low + (high - low) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        let mut prev = 0usize;
+        for v in 0..100_000u64 {
+            let b = bucket_of(v);
+            assert!(b == prev || b == prev + 1, "gap at value {v}");
+            assert!(bucket_low(b) <= v, "lower bound above value at {v}");
+            prev = b;
+        }
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_for_small_values() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(3);
+        }
+        assert_eq!(h.percentile(50.0), 3);
+        assert_eq!(h.percentile(100.0), 3);
+        assert_eq!(h.mean(), 3.0);
+    }
+
+    #[test]
+    fn percentiles_of_uniform_range() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (p, expect) in [(10.0, 1_000.0), (50.0, 5_000.0), (90.0, 9_000.0)] {
+            let got = h.percentile(p) as f64;
+            assert!(
+                (got - expect).abs() / expect < 0.07,
+                "p{p} = {got}, want ≈{expect}"
+            );
+        }
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(100.0), 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn huge_values_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.percentile(100.0), u64::MAX);
+    }
+}

@@ -1,0 +1,503 @@
+//! A registry-free stand-in for the [`proptest`] crate.
+//!
+//! The emx workspace must build and test with `cargo build --offline` on
+//! machines that have **no** crates.io access (see `crates/obs` — the
+//! whole workspace is dependency-free). The property tests, however, are
+//! written against proptest's API. This crate implements exactly the
+//! subset those tests use — `proptest!`, `prop_assert*`, `prop_assume!`,
+//! `Strategy` with `prop_map`/`prop_flat_map`, `Just`, `any`, integer /
+//! float range strategies, tuple strategies and `collection::vec` — on
+//! top of a deterministic xorshift generator, so the tests run verbatim
+//! without the registry.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * no shrinking — a failing case reports its seed and generated
+//!   values instead,
+//! * fixed case count (64 per test) with deterministic per-test seeds,
+//!   so failures reproduce across runs and machines,
+//! * `Strategy::generate` is the whole engine; there is no `ValueTree`.
+//!
+//! If the workspace ever regains registry access, deleting this crate
+//! and restoring `proptest = "1"` in the workspace manifest is the only
+//! change needed.
+//!
+//! [`proptest`]: https://docs.rs/proptest
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! The minimal case-outcome plumbing used by the macros.
+
+    /// Result of running one generated test case.
+    #[derive(Debug)]
+    pub enum CaseOutcome {
+        /// All assertions held.
+        Pass,
+        /// A `prop_assume!` rejected the inputs; the case is not counted.
+        Skip,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    /// Deterministic xorshift64* generator — the only entropy source.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A generator with the given nonzero-forced seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng { state: seed | 1 }
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state ^= self.state << 13;
+            self.state ^= self.state >> 7;
+            self.state ^= self.state << 17;
+            self.state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies and their combinators.
+
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Generates values of an output type from random bits.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { base: self, f }
+        }
+
+        /// Generates a value, then generates from the strategy `f`
+        /// builds out of it (dependent generation).
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { base: self, f }
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.base.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.base.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = i128::from(self.end) - i128::from(self.start);
+                    assert!(span > 0, "empty range strategy");
+                    (i128::from(self.start) + (i128::from(rng.next_u64()) % span)) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let span = i128::from(*self.end()) - i128::from(*self.start()) + 1;
+                    (i128::from(*self.start()) + (i128::from(rng.next_u64()) % span)) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            let span = (self.end - self.start) as u64;
+            assert!(span > 0, "empty range strategy");
+            self.start + (rng.next_u64() % span) as usize
+        }
+    }
+
+    impl Strategy for RangeInclusive<usize> {
+        type Value = usize;
+        fn generate(&self, rng: &mut TestRng) -> usize {
+            let span = (*self.end() - *self.start()) as u64 + 1;
+            *self.start() + (rng.next_u64() % span) as usize
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — full-domain strategies for primitive types.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-domain strategy.
+    pub trait Arbitrary {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            rng.next_f64() * 2e9 - 1e9
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug, Clone)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// A strategy over the whole domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! `vec` — collections of generated elements.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A length specification: fixed, or drawn from a range per case.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + (rng.next_u64() % span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the tests import with `use proptest::prelude::*`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each test runs 64 generated cases with a seed derived from the test
+/// name; a failure panics with the seed and case number so it can be
+/// reproduced exactly.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            const CASES: u32 = 64;
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for byte in stringify!($name).bytes() {
+                seed ^= u64::from(byte);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let mut rng = $crate::test_runner::TestRng::new(seed);
+            let mut passed = 0u32;
+            let mut attempts = 0u32;
+            while passed < CASES && attempts < CASES * 10 {
+                attempts += 1;
+                let outcome = {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    (|| -> $crate::test_runner::CaseOutcome {
+                        $body
+                        $crate::test_runner::CaseOutcome::Pass
+                    })()
+                };
+                match outcome {
+                    $crate::test_runner::CaseOutcome::Pass => passed += 1,
+                    $crate::test_runner::CaseOutcome::Skip => {}
+                    $crate::test_runner::CaseOutcome::Fail(message) => panic!(
+                        "[{}] case {} failed (seed {:#x}): {}",
+                        stringify!($name),
+                        attempts,
+                        seed,
+                        message
+                    ),
+                }
+            }
+            assert!(
+                passed >= CASES / 4,
+                "[{}] too many prop_assume! rejections: {passed} of {attempts} attempts passed",
+                stringify!($name)
+            );
+        }
+    )*};
+}
+
+/// Fails the current case unless `condition` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return $crate::test_runner::CaseOutcome::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return $crate::test_runner::CaseOutcome::Fail(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return $crate::test_runner::CaseOutcome::Fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return $crate::test_runner::CaseOutcome::Fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return $crate::test_runner::CaseOutcome::Fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (without counting it) unless `condition` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return $crate::test_runner::CaseOutcome::Skip;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let s = (0u32..100).prop_map(|v| v * 2);
+        let a: Vec<u32> = {
+            let mut rng = TestRng::new(42);
+            (0..10).map(|_| s.generate(&mut rng)).collect()
+        };
+        let b: Vec<u32> = {
+            let mut rng = TestRng::new(42);
+            (0..10).map(|_| s.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(v in 10u32..20, w in 1u8..=32, f in -2.0f64..2.0) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((1..=32).contains(&w));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn signed_ranges_cover_negatives(v in -2048i32..2048) {
+            prop_assert!((-2048..2048).contains(&v));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(fixed in crate::collection::vec(0u64..5, 6),
+                                    ranged in crate::collection::vec(0u64..5, 1..4)) {
+            prop_assert_eq!(fixed.len(), 6);
+            prop_assert!((1..4).contains(&ranged.len()));
+        }
+
+        #[test]
+        fn flat_map_feeds_dependent_strategies(pair in (2usize..6).prop_flat_map(|n| {
+            (Just(n), crate::collection::vec(0u32..10, n))
+        })) {
+            prop_assert_eq!(pair.0, pair.1.len());
+        }
+
+        #[test]
+        fn assume_skips_without_failing(v in 0u32..10) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+    }
+}

@@ -1,5 +1,6 @@
 use emx_hwlib::{Category, HwEnergyParams};
 use emx_isa::{CustomId, Program, Reg};
+use emx_obs::Collector;
 use emx_sim::{
     ActivitySink, ExecStats, InstKind, InstRecord, MemAccess, PipelineSim, ProcConfig, SimError,
 };
@@ -443,6 +444,17 @@ impl PowerProfile {
         let total: f64 = self.windows.iter().sum();
         total * clock_mhz / (self.window_cycles as f64 * self.windows.len() as f64) / 1000.0
     }
+
+    /// Exports the profile as a `rtl.window_energy_pj` counter series on
+    /// the collector's simulated-time track (one sample per window, at
+    /// the window's end cycle) — the Chrome trace then shows the power
+    /// waveform against the same cycle axis as the ISS counters.
+    pub fn export_to(&self, obs: &mut Collector) {
+        for (i, &pj) in self.windows.iter().enumerate() {
+            let ts = (i as u64 + 1) * self.window_cycles;
+            obs.sample_at("rtl.window_energy_pj", ts, pj);
+        }
+    }
 }
 
 /// Result of one reference energy estimation run.
@@ -537,14 +549,42 @@ impl RtlEnergyEstimator {
         config: ProcConfig,
         max_cycles: u64,
     ) -> Result<EnergyReport, SimError> {
+        self.estimate_traced(program, ext, config, max_cycles, &mut Collector::disabled())
+    }
+
+    /// Like [`RtlEnergyEstimator::estimate_bounded`], with both phases
+    /// instrumented on `obs`: an `rtl-activity-trace` span around the
+    /// detailed simulation, an `rtl-energy-integration` span around the
+    /// net-level integration, and `rtl.trace_records` / `rtl.energy_pj`
+    /// counters. A disabled collector makes this identical to
+    /// [`RtlEnergyEstimator::estimate_bounded`] (which delegates here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors, including [`SimError::CycleLimit`].
+    pub fn estimate_traced(
+        &self,
+        program: &Program,
+        ext: &ExtensionSet,
+        config: ProcConfig,
+        max_cycles: u64,
+        obs: &mut Collector,
+    ) -> Result<EnergyReport, SimError> {
         // Phase 1: detailed simulation → materialized activity trace.
+        let span = obs.begin("rtl-activity-trace");
         let mut sim = PipelineSim::new(program, ext, config);
         let mut collector = TraceCollector { trace: Vec::new() };
-        let run = sim.run(&mut collector, max_cycles)?;
+        let run = sim.run(&mut collector, max_cycles);
+        obs.end(span);
+        let run = run?;
+        obs.add("rtl.trace_records", collector.trace.len() as f64);
 
         // Phase 2: cycle-by-cycle, net-by-net energy integration.
+        let span = obs.begin("rtl-energy-integration");
         let mut integrator = Integrator::new(&self.base, &self.hw, ext);
         integrator.integrate(&collector.trace);
+        obs.end(span);
+        obs.add("rtl.energy_pj", integrator.bd.total().as_picojoules());
 
         Ok(EnergyReport {
             total: integrator.bd.total(),
@@ -777,6 +817,61 @@ mod tests {
         let first = w[1].as_picojoules();
         let last = w[w.len() - 2].as_picojoules();
         assert!(first > 1.15 * last, "hot {first} vs cool {last}");
+    }
+
+    #[test]
+    fn traced_estimation_matches_untraced_and_records_phases() {
+        let program = Assembler::new()
+            .assemble("movi a2, 50\nl: addi a2, a2, -1\nbnez a2, l\nhalt")
+            .unwrap();
+        let ext = ExtensionSet::empty();
+        let est = RtlEnergyEstimator::new();
+
+        let plain = est.estimate(&program, &ext, ProcConfig::default()).unwrap();
+        let mut obs = Collector::new();
+        let traced = est
+            .estimate_traced(
+                &program,
+                &ext,
+                ProcConfig::default(),
+                u64::from(u32::MAX),
+                &mut obs,
+            )
+            .unwrap();
+
+        // Instrumentation must not change the estimate.
+        assert_eq!(plain.total, traced.total);
+        assert_eq!(plain.stats, traced.stats);
+
+        let spans = obs.spans();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["rtl-activity-trace", "rtl-energy-integration"]);
+        assert_eq!(
+            obs.counter("rtl.trace_records"),
+            plain.stats.inst_count as f64
+        );
+        assert!(obs.counter("rtl.energy_pj") > 0.0);
+    }
+
+    #[test]
+    fn profile_exports_counter_series() {
+        let program = Assembler::new()
+            .assemble("movi a2, 100\nl: mul a3, a2, a2\naddi a2, a2, -1\nbnez a2, l\nhalt")
+            .unwrap();
+        let ext = ExtensionSet::empty();
+        let (_, profile) = RtlEnergyEstimator::new()
+            .estimate_profiled(&program, &ext, ProcConfig::default(), 64)
+            .unwrap();
+        let mut obs = Collector::new();
+        profile.export_to(&mut obs);
+        let samples: Vec<u64> = obs
+            .events()
+            .iter()
+            .filter(|e| e.name == "rtl.window_energy_pj")
+            .map(|e| e.ts)
+            .collect();
+        assert_eq!(samples.len(), profile.windows().len());
+        assert!(samples.windows(2).all(|w| w[1] == w[0] + 64));
     }
 
     #[test]

@@ -52,6 +52,7 @@ mod error;
 pub mod exec;
 mod iss;
 mod mem;
+pub mod observe;
 mod pipeline;
 mod record;
 mod stats;

@@ -1,6 +1,7 @@
 use std::fmt;
 
 use emx_isa::DynClass;
+use emx_obs::json::Value;
 
 /// Execution statistics gathered by instruction-set simulation — the raw
 /// material of the macro-model's independent variables (steps 6/7 and 9/10
@@ -77,6 +78,89 @@ impl ExecStats {
     pub fn base_class_cycles(&self) -> u64 {
         self.class_cycles.iter().sum()
     }
+
+    /// Serializes the statistics as JSON with a stable, versioned schema
+    /// (`emx-run --stats-json` emits exactly this document).
+    ///
+    /// Schema `emx.exec-stats/1`:
+    ///
+    /// ```text
+    /// {
+    ///   "schema": "emx.exec-stats/1",
+    ///   "instructions": u64,            // total retired instructions
+    ///   "total_cycles": u64,            // including all penalties
+    ///   "classes": {                    // one entry per dynamic class,
+    ///     "arithmetic":     { "count": u64, "cycles": u64 },
+    ///     "load":           { ... },    // keys are DynClass names:
+    ///     ...                           // arithmetic, load, store, jump,
+    ///   },                              // branch-taken, branch-untaken
+    ///   "icache_misses": u64,           // n_icm
+    ///   "dcache_misses": u64,           // n_dcm (incl. uncached data)
+    ///   "uncached_fetches": u64,        // n_ucf
+    ///   "interlocks": u64,              // n_ilk
+    ///   "ci_gpr_cycles": u64,           // n_CI
+    ///   "custom_cycles": u64,
+    ///   "custom_counts": [u64, ...],    // indexed by CustomId
+    ///   "structural": {                 // one entry per hwlib category
+    ///     "multiplier": { "activity": f64, "activations": f64 },
+    ///     ...                           // keys are Category names
+    ///   },
+    ///   "opcode_cycles": { "add": u64, ... }  // nonzero opcodes only
+    /// }
+    /// ```
+    ///
+    /// Additions will bump the schema suffix; existing keys never change
+    /// meaning within a version.
+    pub fn to_json(&self) -> Value {
+        let mut doc = Value::object();
+        doc.set("schema", "emx.exec-stats/1");
+        doc.set("instructions", self.inst_count);
+        doc.set("total_cycles", self.total_cycles);
+
+        let mut classes = Value::object();
+        for class in DynClass::ALL {
+            let mut entry = Value::object();
+            entry.set("count", self.count_of(class));
+            entry.set("cycles", self.cycles_of(class));
+            classes.set(&class.to_string(), entry);
+        }
+        doc.set("classes", classes);
+
+        doc.set("icache_misses", self.icache_misses);
+        doc.set("dcache_misses", self.dcache_misses);
+        doc.set("uncached_fetches", self.uncached_fetches);
+        doc.set("interlocks", self.interlocks);
+        doc.set("ci_gpr_cycles", self.ci_gpr_cycles);
+        doc.set("custom_cycles", self.custom_cycles);
+        doc.set(
+            "custom_counts",
+            Value::from(
+                self.custom_counts
+                    .iter()
+                    .map(|&n| Value::from(n))
+                    .collect::<Vec<Value>>(),
+            ),
+        );
+
+        let mut structural = Value::object();
+        for category in emx_hwlib::Category::ALL {
+            let mut entry = Value::object();
+            entry.set("activity", self.struct_activity[category.index()]);
+            entry.set("activations", self.struct_activations[category.index()]);
+            structural.set(&category.to_string(), entry);
+        }
+        doc.set("structural", structural);
+
+        let mut opcodes = Value::object();
+        for opcode in emx_isa::Opcode::ALL {
+            let cycles = self.opcode_cycles[opcode.index()];
+            if cycles > 0 {
+                opcodes.set(opcode.mnemonic(), cycles);
+            }
+        }
+        doc.set("opcode_cycles", opcodes);
+        doc
+    }
 }
 
 impl fmt::Display for ExecStats {
@@ -125,6 +209,52 @@ mod tests {
         assert_eq!(s.cycles_of(DynClass::Load), 7);
         assert_eq!(s.count_of(DynClass::Load), 5);
         assert_eq!(s.base_class_cycles(), 7);
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let mut s = ExecStats::new(2);
+        s.inst_count = 1234;
+        s.total_cycles = 5678;
+        s.class_counts[DynClass::Load.index()] = 100;
+        s.class_cycles[DynClass::Load.index()] = 250;
+        s.icache_misses = 7;
+        s.custom_counts = vec![3, 9];
+        s.struct_activity[0] = 1.5;
+        s.opcode_cycles[emx_isa::Opcode::ALL[0].index()] = 42;
+
+        let text = s.to_json().to_string();
+        let doc = Value::parse(&text).expect("valid JSON");
+        assert_eq!(
+            doc.get("schema").and_then(Value::as_str),
+            Some("emx.exec-stats/1")
+        );
+        assert_eq!(doc.get("instructions").and_then(Value::as_u64), Some(1234));
+        assert_eq!(doc.get("total_cycles").and_then(Value::as_u64), Some(5678));
+        let load = doc.get("classes").unwrap().get("load").unwrap();
+        assert_eq!(load.get("count").and_then(Value::as_u64), Some(100));
+        assert_eq!(load.get("cycles").and_then(Value::as_u64), Some(250));
+        assert_eq!(
+            doc.get("custom_counts")
+                .and_then(Value::as_array)
+                .map(|a| a.len()),
+            Some(2)
+        );
+        // Every dynamic class and every structural category is present.
+        for class in DynClass::ALL {
+            assert!(doc
+                .get("classes")
+                .unwrap()
+                .get(&class.to_string())
+                .is_some());
+        }
+        for category in emx_hwlib::Category::ALL {
+            assert!(doc
+                .get("structural")
+                .unwrap()
+                .get(&category.to_string())
+                .is_some());
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub struct Tracer {
     limit: usize,
     cycle: u64,
     truncated: bool,
+    suppressed: u64,
 }
 
 impl Tracer {
@@ -56,6 +57,7 @@ impl Tracer {
             limit,
             cycle: 0,
             truncated: false,
+            suppressed: 0,
         }
     }
 
@@ -70,11 +72,21 @@ impl Tracer {
         self.truncated
     }
 
+    /// How many instructions retired after the limit was hit and were
+    /// therefore not rendered (0 unless [`Tracer::is_truncated`]).
+    pub fn suppressed_lines(&self) -> u64 {
+        self.suppressed
+    }
+
     /// The full trace as one newline-joined string.
     pub fn to_text(&self) -> String {
         let mut out = self.lines.join("\n");
         if self.truncated {
-            out.push_str("\n… trace truncated …");
+            let _ = write!(
+                out,
+                "\n… trace truncated: {} more instruction(s) not shown …",
+                self.suppressed
+            );
         }
         out
     }
@@ -91,6 +103,7 @@ impl ActivitySink for Tracer {
         self.cycle += u64::from(r.cycles);
         if self.lines.len() >= self.limit {
             self.truncated = true;
+            self.suppressed += 1;
             return;
         }
         let mut line = format!(
@@ -176,6 +189,9 @@ mod tests {
         sim.run_with_sink(&mut tracer, 100_000).unwrap();
         assert_eq!(tracer.lines().len(), 10);
         assert!(tracer.is_truncated());
-        assert!(tracer.to_text().contains("truncated"));
+        // 100 loop iterations × 2 instructions + movi + halt = 202
+        // retired instructions; 10 were kept.
+        assert_eq!(tracer.suppressed_lines(), 192);
+        assert!(tracer.to_text().contains("truncated: 192 more"));
     }
 }

@@ -4,15 +4,26 @@
 //!
 //! ```sh
 //! emx-characterize model.txt
-//! emx-run program.s --tie ext.tie --model model.txt   # instant estimates
+//! emx-characterize model.txt --report report.json   # + per-phase timings,
+//!                                                   #   per-case fit errors
+//! emx-run program.s --tie ext.tie --model model.txt # instant estimates
 //! ```
+//!
+//! The report (schema `emx.characterize-report/1`) records wall-clock
+//! time per phase (ISS simulation, reference estimation, least-squares
+//! solve), the measured ISS-vs-reference speedup, and one entry per
+//! training case with its cycles, timings and signed fitting error —
+//! `emx-diagnostics` consumes it.
 
 use std::process::ExitCode;
 
 use emx::core::{Characterizer, TrainingCase};
+use emx::obs::Collector;
 use emx::sim::ProcConfig;
 
-fn run(path: &str) -> Result<(), String> {
+const USAGE: &str = "usage: emx-characterize <model-output.txt> [--report <out.json>]";
+
+fn run(path: &str, report_path: Option<&str>) -> Result<(), String> {
     println!("characterizing the emx base processor over the built-in training suite…");
     let suite = emx::workloads::suite::full_training_suite();
     let cases: Vec<TrainingCase<'_>> = suite
@@ -23,8 +34,9 @@ fn run(path: &str) -> Result<(), String> {
             ext: w.ext(),
         })
         .collect();
-    let result = Characterizer::new(ProcConfig::default())
-        .characterize(&cases)
+    let mut obs = Collector::disabled();
+    let (result, report) = Characterizer::new(ProcConfig::default())
+        .characterize_instrumented(&cases, &mut obs)
         .map_err(|e| format!("characterization failed: {e}"))?;
 
     println!(
@@ -35,23 +47,84 @@ fn run(path: &str) -> Result<(), String> {
         result.fit.rms_percent_error(),
         result.fit.max_abs_percent_error(),
     );
+    println!(
+        "phases: ISS {} ms, reference {} ms, solve {} µs — suite-wide ISS speedup {:.0}×",
+        report.simulate_micros / 1000,
+        report.reference_micros / 1000,
+        report.solve_micros,
+        report.speedup,
+    );
     std::fs::write(path, result.model.to_text())
         .map_err(|e| format!("cannot write `{path}`: {e}"))?;
     println!("model written to {path}");
+
+    if let Some(report_path) = report_path {
+        let mut text = report.to_json().to_string();
+        text.push('\n');
+        std::fs::write(report_path, text)
+            .map_err(|e| format!("cannot write `{report_path}`: {e}"))?;
+        println!("report written to {report_path}");
+    }
     Ok(())
 }
 
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Option<String>), String> {
+    let mut model_path = None;
+    let mut report_path = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--report" => {
+                report_path = Some(args.next().ok_or("--report needs a file path")?);
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            path if model_path.is_none() => model_path = Some(path.to_owned()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    Ok((model_path.ok_or(USAGE)?, report_path))
+}
+
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let (Some(path), None) = (args.next(), args.next()) else {
-        eprintln!("usage: emx-characterize <model-output.txt>");
-        return ExitCode::FAILURE;
+    let (path, report_path) = match parse_args(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
     };
-    match run(&path) {
+    match run(&path, report_path.as_deref()) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
             eprintln!("emx-characterize: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<(String, Option<String>), String> {
+        parse_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_model_path_and_optional_report() {
+        assert_eq!(parse(&["m.txt"]).unwrap(), ("m.txt".to_owned(), None));
+        assert_eq!(
+            parse(&["m.txt", "--report", "r.json"]).unwrap(),
+            ("m.txt".to_owned(), Some("r.json".to_owned()))
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["--report", "r.json"]).is_err());
+        assert!(parse(&["m.txt", "--report"]).is_err());
+        assert!(parse(&["m.txt", "extra"]).is_err());
+        assert!(parse(&["m.txt", "--bogus"]).is_err());
     }
 }

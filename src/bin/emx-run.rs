@@ -11,12 +11,23 @@
 //! emx-run program.s --trace                # per-instruction execution trace
 //! emx-run program.s --model model.txt      # instant macro-model estimate
 //!                                          #   (model from emx-characterize)
+//! emx-run program.s --stats-json out.json  # ExecStats as stable JSON
+//! emx-run program.s --chrome-trace t.json  # Chrome/Perfetto trace of the
+//!                                          #   run (phases + counter series)
 //! emx-run program.s --max-cycles 1000000
 //! ```
+//!
+//! With both `--model` and `--energy` (or `--profile`), a speedup summary
+//! compares the macro-model's wall time against the RTL-level reference
+//! flow — the paper's §V claim, measured live.
 
 use std::process::ExitCode;
+use std::time::Instant;
 
+use emx::obs::{ChromeTraceWriter, Collector};
 use emx::prelude::*;
+use emx::sim::observe::CounterTraceSink;
+use emx::sim::{ActivitySink, InstRecord};
 use emx::tie::lang::parse_extension;
 
 struct Options {
@@ -27,12 +38,16 @@ struct Options {
     profile: Option<u64>,
     disasm: bool,
     trace: bool,
+    stats_json: Option<String>,
+    chrome_trace: Option<String>,
     max_cycles: u64,
 }
 
 const USAGE: &str = "usage: emx-run <program.s> [--tie <ext.tie>] [--energy] \
                      [--model <model.txt>] \
-                     [--profile <window-cycles>] [--disasm] [--trace] [--max-cycles <n>]";
+                     [--profile <window-cycles>] [--disasm] [--trace] \
+                     [--stats-json <out.json>] [--chrome-trace <out.json>] \
+                     [--max-cycles <n>]";
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut program_path = None;
@@ -44,6 +59,8 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         profile: None,
         disasm: false,
         trace: false,
+        stats_json: None,
+        chrome_trace: None,
         max_cycles: 1_000_000_000,
     };
     while let Some(arg) = args.next() {
@@ -57,6 +74,12 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
             "--energy" => options.energy = true,
             "--disasm" => options.disasm = true,
             "--trace" => options.trace = true,
+            "--stats-json" => {
+                options.stats_json = Some(args.next().ok_or("--stats-json needs a file path")?);
+            }
+            "--chrome-trace" => {
+                options.chrome_trace = Some(args.next().ok_or("--chrome-trace needs a file path")?);
+            }
             "--profile" => {
                 let w = args.next().ok_or("--profile needs a window size")?;
                 let w: u64 = w.parse().map_err(|_| format!("bad window size `{w}`"))?;
@@ -79,7 +102,30 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
     Ok(options)
 }
 
+/// Forwards each activity record to two sinks (human trace + counters).
+struct Tee<'a, A: ActivitySink, B: ActivitySink>(&'a mut A, &'a mut B);
+
+impl<A: ActivitySink, B: ActivitySink> ActivitySink for Tee<'_, A, B> {
+    fn record(&mut self, r: &InstRecord<'_>) {
+        self.0.record(r);
+        self.1.record(r);
+    }
+}
+
+fn elapsed_micros(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
 fn run(options: &Options) -> Result<(), String> {
+    // The collector is enabled only when a Chrome trace was requested, so
+    // the default path stays allocation-free.
+    let mut obs = if options.chrome_trace.is_some() {
+        Collector::new()
+    } else {
+        Collector::disabled()
+    };
+
+    let span = obs.begin("assemble");
     let ext = match &options.tie_path {
         Some(path) => {
             let src =
@@ -88,7 +134,6 @@ fn run(options: &Options) -> Result<(), String> {
         }
         None => ExtensionSet::empty(),
     };
-
     let src = std::fs::read_to_string(&options.program_path)
         .map_err(|e| format!("cannot read `{}`: {e}", options.program_path))?;
     let mut asm = Assembler::new();
@@ -96,6 +141,7 @@ fn run(options: &Options) -> Result<(), String> {
     let program = asm
         .assemble(&src)
         .map_err(|e| format!("{}: {e}", options.program_path))?;
+    obs.end(span);
 
     if options.disasm {
         print!("{program}");
@@ -103,17 +149,41 @@ fn run(options: &Options) -> Result<(), String> {
     }
 
     let mut sim = Interp::new(&program, &ext, ProcConfig::default());
+    let span = obs.begin("iss-simulate");
+    let sim_error = |e| format!("simulation failed: {e}");
     let result = if options.trace {
         let mut tracer = emx::sim::trace::Tracer::new();
-        let result = sim
-            .run_with_sink(&mut tracer, options.max_cycles)
-            .map_err(|e| format!("simulation failed: {e}"))?;
+        let result = if obs.is_enabled() {
+            let mut counters = CounterTraceSink::new(&mut obs, 1024);
+            let mut tee = Tee(&mut tracer, &mut counters);
+            let result = sim.run_with_sink(&mut tee, options.max_cycles);
+            counters.finish();
+            result.map_err(sim_error)?
+        } else {
+            sim.run_with_sink(&mut tracer, options.max_cycles)
+                .map_err(sim_error)?
+        };
         println!("{}\n", tracer.to_text());
+        if tracer.is_truncated() {
+            println!(
+                "(trace limited to {} lines; {} instructions suppressed)\n",
+                tracer.lines().len(),
+                tracer.suppressed_lines()
+            );
+        }
         result
+    } else if obs.is_enabled() {
+        let mut counters = CounterTraceSink::new(&mut obs, 1024);
+        let result = sim.run_with_sink(&mut counters, options.max_cycles);
+        counters.finish();
+        result.map_err(sim_error)?
     } else {
-        sim.run(options.max_cycles)
-            .map_err(|e| format!("simulation failed: {e}"))?
+        sim.run(options.max_cycles).map_err(sim_error)?
     };
+    obs.end(span);
+    obs.add("iss.instructions", result.stats.inst_count as f64);
+    obs.add("iss.total_cycles", result.stats.total_cycles as f64);
+
     println!("{}", result.stats);
     println!("registers:");
     for r in Reg::all() {
@@ -123,14 +193,19 @@ fn run(options: &Options) -> Result<(), String> {
         }
     }
 
+    let mut model_micros = None;
     if let Some(path) = &options.model_path {
         let text =
             std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
         let model =
             emx::core::EnergyMacroModel::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+        let started = Instant::now();
+        let span = obs.begin("macro-model-estimate");
         let estimate = model
             .estimate(&program, &ext, ProcConfig::default())
             .map_err(|e| format!("macro-model estimation failed: {e}"))?;
+        obs.end(span);
+        model_micros = Some(elapsed_micros(started));
         println!(
             "\nmacro-model estimate: {} ({:.1} mW at 187 MHz)",
             estimate.energy,
@@ -140,13 +215,18 @@ fn run(options: &Options) -> Result<(), String> {
         );
     }
 
+    let mut reference_micros = None;
     if options.energy || options.profile.is_some() {
         let estimator = RtlEnergyEstimator::new();
         let config = ProcConfig::default();
+        let energy_error = |e| format!("energy estimation failed: {e}");
+        let started = Instant::now();
         if let Some(window) = options.profile {
             let (report, profile) = estimator
                 .estimate_profiled(&program, &ext, config, window)
-                .map_err(|e| format!("energy estimation failed: {e}"))?;
+                .map_err(energy_error)?;
+            reference_micros = Some(elapsed_micros(started));
+            profile.export_to(&mut obs);
             println!("\nenergy breakdown:\n{}", report.breakdown);
             println!(
                 "average power {:.1} mW, peak window power {:.1} mW (187 MHz, {window}-cycle windows)",
@@ -155,14 +235,36 @@ fn run(options: &Options) -> Result<(), String> {
             );
         } else {
             let report = estimator
-                .estimate(&program, &ext, config)
-                .map_err(|e| format!("energy estimation failed: {e}"))?;
+                .estimate_traced(&program, &ext, config, u64::from(u32::MAX), &mut obs)
+                .map_err(energy_error)?;
+            reference_micros = Some(elapsed_micros(started));
             println!("\nenergy breakdown:\n{}", report.breakdown);
             println!(
                 "average power {:.1} mW at 187 MHz",
                 report.average_power_mw(187.0)
             );
         }
+    }
+
+    if let (Some(model_us), Some(reference_us)) = (model_micros, reference_micros) {
+        println!(
+            "\nspeedup: macro-model {model_us} µs vs RTL reference {reference_us} µs → {:.0}×",
+            reference_us as f64 / model_us.max(1) as f64
+        );
+    }
+
+    if let Some(path) = &options.stats_json {
+        let mut text = result.stats.to_json().to_string();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("\nstats JSON written to {path}");
+    }
+
+    if let Some(path) = &options.chrome_trace {
+        let mut text = ChromeTraceWriter::new("emx-run").to_string(&obs);
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("\nChrome trace written to {path} (load at ui.perfetto.dev)");
     }
     Ok(())
 }
@@ -198,6 +300,8 @@ mod tests {
         assert_eq!(o.program_path, "prog.s");
         assert!(!o.energy);
         assert!(o.tie_path.is_none());
+        assert!(o.stats_json.is_none());
+        assert!(o.chrome_trace.is_none());
     }
 
     #[test]
@@ -212,6 +316,10 @@ mod tests {
             "--trace",
             "--profile",
             "256",
+            "--stats-json",
+            "s.json",
+            "--chrome-trace",
+            "t.json",
             "--max-cycles",
             "42",
         ])
@@ -221,6 +329,8 @@ mod tests {
         assert!(o.energy);
         assert!(o.trace);
         assert_eq!(o.profile, Some(256));
+        assert_eq!(o.stats_json.as_deref(), Some("s.json"));
+        assert_eq!(o.chrome_trace.as_deref(), Some("t.json"));
         assert_eq!(o.max_cycles, 42);
     }
 
@@ -230,6 +340,8 @@ mod tests {
         assert!(opts(&["p.s", "--bogus"]).is_err());
         assert!(opts(&["p.s", "--profile", "0"]).is_err());
         assert!(opts(&["p.s", "--profile", "xyz"]).is_err());
+        assert!(opts(&["p.s", "--stats-json"]).is_err());
+        assert!(opts(&["p.s", "--chrome-trace"]).is_err());
         assert!(opts(&["p.s", "extra.s"]).is_err());
     }
 }

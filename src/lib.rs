@@ -21,6 +21,7 @@
 //! | [`regress`] | dense least squares (QR + pseudo-inverse), fit statistics |
 //! | [`core`] | **the paper**: macro-model template, characterization, estimation |
 //! | [`workloads`] | characterization suite, Table II applications, RS(15,11) codec |
+//! | [`obs`] | observability: spans, counters, histograms, Chrome trace export |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@
 pub use emx_core as core;
 pub use emx_hwlib as hwlib;
 pub use emx_isa as isa;
+pub use emx_obs as obs;
 pub use emx_regress as regress;
 pub use emx_rtlpower as rtlpower;
 pub use emx_sim as sim;

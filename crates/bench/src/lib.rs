@@ -17,7 +17,7 @@
 
 pub mod harness;
 
-use emx_core::{Characterization, Characterizer, EnergyMacroModel, ModelSpec, TrainingCase};
+use emx_core::{Characterization, Characterizer, EnergyMacroModel, ModelSpec};
 use emx_regress::stats;
 use emx_rtlpower::{Energy, RtlEnergyEstimator};
 use emx_sim::{Interp, ProcConfig};
@@ -53,14 +53,7 @@ pub fn characterize_with_spec(spec: ModelSpec) -> Characterization {
 ///
 /// See [`characterize_default`].
 pub fn characterize_workloads(workloads: &[Workload], spec: ModelSpec) -> Characterization {
-    let cases: Vec<TrainingCase<'_>> = workloads
-        .iter()
-        .map(|w| TrainingCase {
-            name: w.name(),
-            program: w.program(),
-            ext: w.ext(),
-        })
-        .collect();
+    let cases = suite::training_cases(workloads);
     Characterizer::new(ProcConfig::default())
         .with_spec(spec)
         .characterize(&cases)

@@ -63,7 +63,6 @@
 #![warn(missing_docs)]
 
 mod characterize;
-pub mod dse;
 mod error;
 mod io;
 mod model;

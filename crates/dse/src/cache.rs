@@ -1,0 +1,258 @@
+//! Content-addressed estimation cache.
+//!
+//! Estimating a candidate costs one full ISS run; across a search, across
+//! repeated CLI invocations, and across spaces that share configurations,
+//! the same (program, extension set, processor config) triple recurs. The
+//! cache keys each estimate by an FNV-1a hash of the *content* of that
+//! triple plus a fingerprint of the fitted macro-model, so a stale model
+//! can never serve stale energies — a different model changes every key.
+//!
+//! The cache serializes to a stable `emx.dse-cache/1` JSON document via
+//! `obs::json` for reuse across CLI invocations.
+
+use std::collections::BTreeMap;
+
+use emx_core::EnergyMacroModel;
+use emx_isa::Program;
+use emx_obs::json::Value;
+use emx_sim::ProcConfig;
+use emx_tie::ExtensionSet;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over raw bytes.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// Fingerprint of a fitted macro-model (hash of its stable text form).
+pub fn model_fingerprint(model: &EnergyMacroModel) -> u64 {
+    let mut h = Fnv::new();
+    h.write(model.to_text().as_bytes());
+    h.0
+}
+
+/// Content hash of one estimation request. Two requests collide only if
+/// the encoded program, data image, extension set and processor
+/// configuration are all identical — in which case the estimate is too.
+pub fn candidate_key(
+    model_fp: u64,
+    program: &Program,
+    ext: &ExtensionSet,
+    config: &ProcConfig,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.write(&model_fp.to_le_bytes());
+    h.write_u32(program.text_base());
+    h.write_u32(program.data_base());
+    h.write_u32(program.entry());
+    for inst in program.text() {
+        h.write_u32(emx_isa::encode(inst));
+    }
+    h.write(program.data());
+    // The extension set and config lack a binary serialization; their
+    // derived Debug forms are content-complete and stable within a build.
+    h.write(format!("{ext:?}").as_bytes());
+    h.write(format!("{config:?}").as_bytes());
+    h.0
+}
+
+/// One cached estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheEntry {
+    /// Estimated energy in picojoules.
+    pub energy_pj: f64,
+    /// Execution cycles from the ISS.
+    pub cycles: u64,
+}
+
+/// A content-addressed map from [`candidate_key`] to estimates.
+#[derive(Debug, Default)]
+pub struct EstimationCache {
+    entries: BTreeMap<u64, CacheEntry>,
+}
+
+impl EstimationCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached estimates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks up a cached estimate.
+    pub fn get(&self, key: u64) -> Option<CacheEntry> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Stores an estimate.
+    pub fn insert(&mut self, key: u64, entry: CacheEntry) {
+        self.entries.insert(key, entry);
+    }
+
+    /// Serializes the cache as a stable `emx.dse-cache/1` document.
+    /// Entries are emitted in ascending key order.
+    pub fn to_json(&self) -> Value {
+        let mut entries = Value::object();
+        for (key, e) in &self.entries {
+            let mut v = Value::object();
+            v.set("energy_pj", e.energy_pj);
+            v.set("cycles", e.cycles);
+            entries.set(&format!("{key:016x}"), v);
+        }
+        let mut doc = Value::object();
+        doc.set("schema", "emx.dse-cache/1");
+        doc.set("entries", entries);
+        doc
+    }
+
+    /// Parses a cache document written by [`EstimationCache::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the text is not valid JSON, declares a
+    /// different schema, or contains a malformed entry.
+    pub fn from_json_text(text: &str) -> Result<Self, String> {
+        let doc = Value::parse(text).map_err(|e| format!("cache file: {e}"))?;
+        match doc.get("schema").and_then(Value::as_str) {
+            Some("emx.dse-cache/1") => {}
+            other => return Err(format!("cache file: unexpected schema {other:?}")),
+        }
+        let mut cache = EstimationCache::new();
+        let entries = doc
+            .get("entries")
+            .and_then(Value::as_object)
+            .ok_or("cache file: missing entries object")?;
+        for (key, v) in entries {
+            let key =
+                u64::from_str_radix(key, 16).map_err(|_| format!("cache file: bad key `{key}`"))?;
+            let energy_pj = v
+                .get("energy_pj")
+                .and_then(Value::as_f64)
+                .ok_or_else(|| format!("cache file: entry {key:016x} lacks energy_pj"))?;
+            let cycles = v
+                .get("cycles")
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("cache file: entry {key:016x} lacks cycles"))?;
+            cache.insert(key, CacheEntry { energy_pj, cycles });
+        }
+        Ok(cache)
+    }
+
+    /// Loads a cache from `path`. A missing file yields an empty cache; a
+    /// present-but-corrupt file is an error (silent discard would hide
+    /// real problems).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures other than "not found" and parse errors.
+    pub fn load(path: &str) -> Result<Self, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::from_json_text(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::new()),
+            Err(e) => Err(format!("cannot read `{path}`: {e}")),
+        }
+    }
+
+    /// Writes the cache to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn save(&self, path: &str) -> Result<(), String> {
+        let mut text = self.to_json().to_string();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_workloads::{exts, suite};
+
+    #[test]
+    fn keys_separate_programs_exts_and_configs() {
+        let suite = suite::calibration_programs();
+        let (a, b) = (&suite[0], &suite[1]);
+        let config = ProcConfig::default();
+        let ka = candidate_key(1, a.program(), a.ext(), &config);
+        let kb = candidate_key(1, b.program(), b.ext(), &config);
+        assert_ne!(ka, kb, "different programs must have different keys");
+
+        let ke = candidate_key(1, a.program(), &exts::gf16(), &config);
+        assert_ne!(ka, ke, "different extension sets must differ");
+
+        let mut other = ProcConfig::default();
+        other.clock_mhz += 1.0;
+        let kc = candidate_key(1, a.program(), a.ext(), &other);
+        assert_ne!(ka, kc, "different configs must differ");
+
+        let km = candidate_key(2, a.program(), a.ext(), &config);
+        assert_ne!(ka, km, "different models must differ");
+
+        // Same content twice: identical key.
+        assert_eq!(ka, candidate_key(1, a.program(), a.ext(), &config));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut cache = EstimationCache::new();
+        cache.insert(
+            42,
+            CacheEntry {
+                energy_pj: 123456.789,
+                cycles: 9876,
+            },
+        );
+        cache.insert(
+            7,
+            CacheEntry {
+                energy_pj: 0.125,
+                cycles: 1,
+            },
+        );
+        let text = cache.to_json().to_string();
+        let reloaded = EstimationCache::from_json_text(&text).unwrap();
+        assert_eq!(reloaded.len(), 2);
+        assert_eq!(reloaded.get(42), cache.get(42));
+        assert_eq!(reloaded.get(7), cache.get(7));
+        // Serialization is canonical: a second dump is byte-identical.
+        assert_eq!(reloaded.to_json().to_string(), text);
+    }
+
+    #[test]
+    fn bad_documents_are_rejected() {
+        assert!(EstimationCache::from_json_text("not json").is_err());
+        assert!(EstimationCache::from_json_text("{\"schema\":\"other/1\"}").is_err());
+        assert!(EstimationCache::from_json_text(
+            "{\"schema\":\"emx.dse-cache/1\",\"entries\":{\"zz\":{}}}"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! The exploration engine: cached parallel batch evaluation plus the
+//! search driver that turns a candidate space into a ranked outcome.
+//!
+//! Parallelism is deterministic by construction: the work queue only
+//! decides *which thread* evaluates a candidate, never the result — each
+//! estimate is a pure function of (model, program, extension, config) and
+//! lands in an index-addressed slot. Cache hits and misses are decided
+//! before any thread starts, so the observability counters are stable
+//! across worker counts too.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use emx_core::EnergyMacroModel;
+use emx_obs::{Collector, Track};
+use emx_rtlpower::Energy;
+use emx_sim::{ProcConfig, SimError};
+
+use crate::cache::{candidate_key, model_fingerprint, CacheEntry, EstimationCache};
+use crate::point::{pareto_front, rank_by_edp, DesignPoint};
+use crate::space::{CandidateSpace, Enumeration};
+
+/// Resolves a `--jobs` request: 0 means "one worker per available core".
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        jobs
+    }
+}
+
+/// Evaluates every candidate of an enumeration through the macro-model
+/// fast path, in parallel, with content-addressed caching.
+///
+/// Cache lookups happen up front on the calling thread; only misses enter
+/// the shared work queue, where up to `jobs` scoped workers (0 = auto)
+/// drain them. Each worker records its evaluations as spans on its own
+/// [`Track::Worker`] lane, merged back into `obs` afterwards. Counters
+/// `dse.cache.hits` / `dse.cache.misses` are added here.
+///
+/// The returned points are in candidate order and are byte-for-byte
+/// independent of `jobs` and of cache warmth.
+///
+/// # Errors
+///
+/// Returns the first simulation failure observed; remaining work is
+/// abandoned and nothing from the failed batch enters the cache.
+pub fn evaluate_batch(
+    model: &EnergyMacroModel,
+    candidates: &[crate::space::EnumeratedCandidate],
+    config: &ProcConfig,
+    jobs: usize,
+    cache: &mut EstimationCache,
+    obs: &mut Collector,
+) -> Result<Vec<DesignPoint>, SimError> {
+    let fp = model_fingerprint(model);
+    let keys: Vec<u64> = candidates
+        .iter()
+        .map(|c| candidate_key(fp, c.workload.program(), c.workload.ext(), config))
+        .collect();
+
+    let mut results: Vec<Option<DesignPoint>> = vec![None; candidates.len()];
+    let mut misses: Vec<usize> = Vec::new();
+    for (i, c) in candidates.iter().enumerate() {
+        match cache.get(keys[i]) {
+            Some(entry) => {
+                results[i] = Some(DesignPoint {
+                    name: c.name.clone(),
+                    energy: Energy::from_picojoules(entry.energy_pj),
+                    cycles: entry.cycles,
+                });
+            }
+            None => misses.push(i),
+        }
+    }
+    obs.add("dse.cache.hits", (candidates.len() - misses.len()) as f64);
+    obs.add("dse.cache.misses", misses.len() as f64);
+
+    if !misses.is_empty() {
+        let workers = resolve_jobs(jobs).min(misses.len());
+        let next = Mutex::new(0usize);
+        let out: Mutex<Vec<Option<(Energy, u64)>>> = Mutex::new(vec![None; misses.len()]);
+        let failed: Mutex<Option<SimError>> = Mutex::new(None);
+        let abort = AtomicBool::new(false);
+
+        let mut children: Vec<Collector> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|k| {
+                    let mut child = obs.fork();
+                    let (next, out, failed, abort) = (&next, &out, &failed, &abort);
+                    let misses = &misses;
+                    s.spawn(move || {
+                        loop {
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let slot = {
+                                let mut guard = next.lock().expect("queue lock");
+                                let slot = *guard;
+                                *guard += 1;
+                                slot
+                            };
+                            if slot >= misses.len() {
+                                break;
+                            }
+                            let c = &candidates[misses[slot]];
+                            let span = child
+                                .begin_on(format!("evaluate:{}", c.name), Track::Worker(k as u32));
+                            let r = model.estimate(
+                                c.workload.program(),
+                                c.workload.ext(),
+                                config.clone(),
+                            );
+                            child.end(span);
+                            match r {
+                                Ok(est) => {
+                                    out.lock().expect("result lock")[slot] =
+                                        Some((est.energy, est.stats.total_cycles));
+                                }
+                                Err(e) => {
+                                    let mut guard = failed.lock().expect("error lock");
+                                    guard.get_or_insert(e);
+                                    abort.store(true, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        child
+                    })
+                })
+                .collect();
+            for h in handles {
+                children.push(h.join().expect("worker panicked"));
+            }
+        });
+        for child in children {
+            obs.absorb(child);
+        }
+
+        if let Some(e) = failed.into_inner().expect("error lock") {
+            return Err(e);
+        }
+        for (slot, value) in out
+            .into_inner()
+            .expect("result lock")
+            .into_iter()
+            .enumerate()
+        {
+            let (energy, cycles) = value.expect("every miss evaluated");
+            let i = misses[slot];
+            cache.insert(
+                keys[i],
+                CacheEntry {
+                    energy_pj: energy.as_picojoules(),
+                    cycles,
+                },
+            );
+            results[i] = Some(DesignPoint {
+                name: candidates[i].name.clone(),
+                energy,
+                cycles,
+            });
+        }
+    }
+
+    Ok(results.into_iter().map(|p| p.expect("filled")).collect())
+}
+
+/// The complete outcome of one search: the enumeration, the evaluated
+/// points (parallel to `enumeration.candidates`), and derived rankings.
+#[derive(Debug)]
+pub struct Exploration {
+    /// Name of the explored space.
+    pub space_name: String,
+    /// The area budget applied, if any.
+    pub budget: Option<f64>,
+    /// The enumeration that produced the candidates.
+    pub enumeration: Enumeration,
+    /// One evaluated point per surviving candidate, in candidate order.
+    pub points: Vec<DesignPoint>,
+    /// Candidate indices on the energy/cycles Pareto front (ascending
+    /// cycles).
+    pub pareto: Vec<usize>,
+    /// Index of the candidate with the lowest energy.
+    pub best_energy: Option<usize>,
+    /// Index of the candidate with the lowest energy-delay product.
+    pub best_edp: Option<usize>,
+    /// Index of the zero-hardware base candidate, if it survived.
+    pub base: Option<usize>,
+}
+
+/// Runs the full search: enumerate under the budget, evaluate the
+/// survivors (cached, parallel), and rank the outcome.
+///
+/// Adds `dse.enumerated`, `dse.over_budget`, `dse.pruned` and
+/// `dse.evaluated` counters and wraps the two phases in spans.
+///
+/// # Errors
+///
+/// Propagates the first evaluation failure (see [`evaluate_batch`]).
+pub fn explore(
+    model: &EnergyMacroModel,
+    space: &CandidateSpace,
+    budget: Option<f64>,
+    config: &ProcConfig,
+    jobs: usize,
+    cache: &mut EstimationCache,
+    obs: &mut Collector,
+) -> Result<Exploration, SimError> {
+    let span = obs.begin("dse.enumerate");
+    let enumeration = space.enumerate(budget);
+    obs.end(span);
+    obs.add("dse.enumerated", enumeration.enumerated as f64);
+    obs.add("dse.over_budget", enumeration.over_budget as f64);
+    obs.add("dse.pruned", enumeration.pruned as f64);
+    obs.add("dse.evaluated", enumeration.candidates.len() as f64);
+
+    let span = obs.begin("dse.evaluate");
+    let points = evaluate_batch(model, &enumeration.candidates, config, jobs, cache, obs)?;
+    obs.end(span);
+
+    let pareto = pareto_front(&points);
+    let best_energy = (0..points.len()).min_by(|&a, &b| {
+        points[a]
+            .energy
+            .as_picojoules()
+            .total_cmp(&points[b].energy.as_picojoules())
+    });
+    let best_edp = rank_by_edp(&points).first().copied();
+    let base = enumeration.candidates.iter().position(|c| c.mask == 0);
+
+    Ok(Exploration {
+        space_name: space.name().to_owned(),
+        budget,
+        enumeration,
+        points,
+        pareto,
+        best_energy,
+        best_edp,
+        base,
+    })
+}

@@ -1,0 +1,61 @@
+//! # emx-dse — design-space exploration on top of the macro-model
+//!
+//! The paper's one-time hybrid characterization exists to make energy
+//! evaluation cheap enough to sit *inside* a design-space exploration
+//! loop. This crate is that loop:
+//!
+//! * [`space`] — candidate generation: power sets of TIE extension units
+//!   under an area budget (net-equivalents derived from the RTL power
+//!   library's component sizes), with dominance pruning before any
+//!   evaluation,
+//! * [`cache`] — a content-addressed estimation cache keyed by the hash
+//!   of (model, program, extension set, processor config), with optional
+//!   JSON persistence across CLI invocations,
+//! * [`engine`] — a deterministic parallel batch evaluator over a shared
+//!   work queue (`std::thread` scoped workers) plus the search driver,
+//! * [`point`] — design points, Pareto front extraction and energy-delay
+//!   ranking (absorbed from the former `core::dse`),
+//! * [`report`] — the stable `emx.dse-report/1` schema.
+//!
+//! # Example
+//!
+//! ```no_run
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let model: emx_core::EnergyMacroModel = unimplemented!();
+//! use emx_dse::{explore, CandidateSpace, EstimationCache};
+//! use emx_obs::Collector;
+//! use emx_sim::ProcConfig;
+//!
+//! let space = CandidateSpace::reed_solomon();
+//! let mut cache = EstimationCache::new();
+//! let mut obs = Collector::new();
+//! let out = explore(
+//!     &model,
+//!     &space,
+//!     None,
+//!     &ProcConfig::default(),
+//!     0, // one worker per core
+//!     &mut cache,
+//!     &mut obs,
+//! )?;
+//! for &i in &out.pareto {
+//!     let p = &out.points[i];
+//!     println!("{}: {} in {} cycles", p.name, p.energy, p.cycles);
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod engine;
+pub mod point;
+pub mod report;
+pub mod space;
+
+pub use cache::{candidate_key, model_fingerprint, CacheEntry, EstimationCache};
+pub use engine::{evaluate_batch, explore, resolve_jobs, Exploration};
+pub use point::{evaluate, pareto_front, rank_by_edp, Candidate, DesignPoint};
+pub use space::{area_cost, CandidateSpace, DesignOption, EnumeratedCandidate, Enumeration};

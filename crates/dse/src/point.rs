@@ -1,37 +1,18 @@
-//! Design-space exploration on top of the macro-model.
+//! Design points and Pareto/EDP analysis (absorbed from `core::dse`).
 //!
 //! The paper's motivation is "evaluating energy-performance trade-offs
 //! among different candidate custom instructions" inside an ASIP design
 //! cycle — possible only because macro-model estimation needs no synthesis
-//! per candidate. This module packages that loop: evaluate a set of
-//! candidate (program, extension) design points through the fast path,
-//! then extract the energy/performance Pareto front or an
-//! energy-delay-product ranking.
-//!
-//! # Example
-//!
-//! ```no_run
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! # let model: emx_core::EnergyMacroModel = unimplemented!();
-//! use emx_core::dse::{self, Candidate};
-//! use emx_sim::ProcConfig;
-//!
-//! # let (p0, e0): (emx_isa::Program, emx_tie::ExtensionSet) = unimplemented!();
-//! let candidates = [Candidate { name: "baseline", program: &p0, ext: &e0 }];
-//! let points = dse::evaluate(&model, &candidates, ProcConfig::default())?;
-//! for &i in &dse::pareto_front(&points) {
-//!     println!("{}: {} in {} cycles", points[i].name, points[i].energy, points[i].cycles);
-//! }
-//! # Ok(())
-//! # }
-//! ```
+//! per candidate. This module holds the evaluated-point vocabulary: a
+//! [`DesignPoint`] in the energy/cycles plane, the Pareto front over a set
+//! of points, and an energy-delay-product ranking.
 
 use emx_isa::Program;
 use emx_rtlpower::Energy;
 use emx_sim::{ProcConfig, SimError};
 use emx_tie::ExtensionSet;
 
-use crate::EnergyMacroModel;
+use emx_core::EnergyMacroModel;
 
 /// One candidate configuration: the application compiled against one
 /// custom-instruction choice.
@@ -63,8 +44,10 @@ impl DesignPoint {
     }
 }
 
-/// Evaluates every candidate through the fast estimation path (one ISS run
-/// plus a dot product each — no synthesis, no reference power run).
+/// Evaluates every candidate sequentially through the fast estimation path
+/// (one ISS run plus a dot product each — no synthesis, no reference power
+/// run). The parallel, cached equivalent is
+/// [`evaluate_batch`](crate::engine::evaluate_batch).
 ///
 /// # Errors
 ///

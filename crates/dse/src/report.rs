@@ -1,0 +1,96 @@
+//! The stable `emx.dse-report/1` document.
+//!
+//! The report is a pure function of the search *result* — it carries no
+//! wall-clock timings, no worker count, and no cache statistics — so two
+//! runs over the same inputs emit byte-identical JSON regardless of
+//! `--jobs` and cache warmth. Timing and cache behaviour live in the
+//! observability counters and the Chrome trace instead.
+
+use emx_obs::json::Value;
+
+use crate::engine::Exploration;
+
+/// Schema identifier written into every report.
+pub const SCHEMA: &str = "emx.dse-report/1";
+
+/// Builds the report document for one exploration, given the option list
+/// of the explored space (name/area pairs, in declaration order).
+pub fn to_json(exploration: &Exploration, options: &[(String, f64)]) -> Value {
+    let mut doc = Value::object();
+    doc.set("schema", SCHEMA);
+    doc.set("workload", exploration.space_name.as_str());
+    match exploration.budget {
+        Some(b) => doc.set("budget", b),
+        None => doc.set("budget", Value::Null),
+    }
+
+    let mut opts = Value::array();
+    for (name, area) in options {
+        let mut o = Value::object();
+        o.set("name", name.as_str());
+        o.set("area", *area);
+        opts.push(o);
+    }
+    doc.set("options", opts);
+
+    doc.set("enumerated", exploration.enumeration.enumerated as u64);
+    doc.set("over_budget", exploration.enumeration.over_budget as u64);
+    doc.set("pruned", exploration.enumeration.pruned as u64);
+    doc.set("evaluated", exploration.enumeration.candidates.len() as u64);
+
+    let base = exploration.base.map(|i| &exploration.points[i]);
+    let mut candidates = Value::array();
+    for (i, (candidate, point)) in exploration
+        .enumeration
+        .candidates
+        .iter()
+        .zip(&exploration.points)
+        .enumerate()
+    {
+        let mut c = Value::object();
+        c.set("name", candidate.name.as_str());
+        let mut names = Value::array();
+        for o in &candidate.options {
+            names.push(o.as_str());
+        }
+        c.set("options", names);
+        c.set("workload", candidate.workload.name());
+        c.set("area", candidate.area);
+        c.set("energy_pj", point.energy.as_picojoules());
+        c.set("cycles", point.cycles);
+        c.set("edp", point.edp());
+        match base {
+            Some(b) => {
+                let de = 100.0 * (point.energy.as_picojoules() / b.energy.as_picojoules() - 1.0);
+                let dc = 100.0 * (point.cycles as f64 / b.cycles as f64 - 1.0);
+                c.set("delta_energy_pct", de);
+                c.set("delta_cycles_pct", dc);
+            }
+            None => {
+                c.set("delta_energy_pct", Value::Null);
+                c.set("delta_cycles_pct", Value::Null);
+            }
+        }
+        c.set("pareto", exploration.pareto.contains(&i));
+        candidates.push(c);
+    }
+    doc.set("candidates", candidates);
+
+    let mut pareto = Value::array();
+    for &i in &exploration.pareto {
+        pareto.push(exploration.points[i].name.as_str());
+    }
+    doc.set("pareto", pareto);
+
+    let mut best = Value::object();
+    match exploration.best_energy {
+        Some(i) => best.set("min_energy", exploration.points[i].name.as_str()),
+        None => best.set("min_energy", Value::Null),
+    }
+    match exploration.best_edp {
+        Some(i) => best.set("min_edp", exploration.points[i].name.as_str()),
+        None => best.set("min_edp", Value::Null),
+    }
+    doc.set("best", best);
+    doc
+}

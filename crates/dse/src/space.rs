@@ -1,0 +1,345 @@
+//! Candidate enumeration: power sets of extension units under an area
+//! budget, with dominance pruning before any evaluation.
+//!
+//! A [`CandidateSpace`] is a list of *design options* — independent
+//! hardware units from the TIE extension library — plus a resolver that
+//! maps any subset of them to the application workload the software would
+//! actually be compiled to (which custom instructions the codec can use).
+//! Enumeration walks every subset, drops those over the area budget, and
+//! prunes *dominated* subsets: two subsets that resolve to the same
+//! workload execute identically, so only the cheapest (by area, then
+//! option count, then enumeration order) can ever be worth building.
+
+use emx_hwlib::Category;
+use emx_tie::ExtensionSet;
+use emx_workloads::reed_solomon::RsConfig;
+use emx_workloads::{exts, Workload};
+
+/// Area cost of one extension set, in *net-equivalents*: each structural
+/// category's instantiated complexity `f(C)` (the paper's Eq. 4 scaling)
+/// weighted by the per-bit net count of that component class in the RTL
+/// power library (`rtlpower::gates` — 64 nets/bit for a multiplier, 4 for
+/// an adder, 3 for logic, 5 for a shifter), times the 32-bit reference
+/// width. Decode/control logic rides on the logic weight.
+pub fn area_cost(ext: &ExtensionSet) -> f64 {
+    // One weight per `Category::ALL` slot: [Multiplier, AdderCmp,
+    // LogicMux, Shifter, CustomReg, TieMult, TieMac, TieAdd, TieCsa,
+    // Table]. The specialized TIE modules reuse the weight of the
+    // library component they are assembled from.
+    const NETS_PER_BIT: [f64; 10] = [64.0, 4.0, 3.0, 5.0, 1.0, 64.0, 64.0, 4.0, 4.0, 2.0];
+    const LOGIC_NETS: f64 = 3.0;
+    const REF_WIDTH: f64 = 32.0;
+    debug_assert_eq!(Category::ALL.len(), NETS_PER_BIT.len());
+    let f = ext.instantiated_complexity();
+    // fold from +0.0, not `sum()`: the empty set must cost 0.0, not -0.0.
+    let datapath = f
+        .iter()
+        .zip(NETS_PER_BIT)
+        .fold(0.0f64, |acc, (x, w)| acc + x * w);
+    REF_WIDTH * (datapath + LOGIC_NETS * ext.control_complexity())
+}
+
+/// One independently selectable hardware unit.
+#[derive(Debug, Clone)]
+pub struct DesignOption {
+    /// Short display name (`gf16`, `rswide`, …).
+    pub name: String,
+    /// The compiled extension unit.
+    pub ext: ExtensionSet,
+}
+
+impl DesignOption {
+    /// Area cost of this unit (see [`area_cost`]).
+    pub fn area(&self) -> f64 {
+        area_cost(&self.ext)
+    }
+}
+
+/// A subset of the space's options, as seen by the resolver.
+#[derive(Debug, Clone, Copy)]
+pub struct Selection<'a> {
+    options: &'a [&'a DesignOption],
+}
+
+impl Selection<'_> {
+    /// Does any selected unit provide custom instruction `mnemonic`?
+    pub fn has_inst(&self, mnemonic: &str) -> bool {
+        self.options
+            .iter()
+            .any(|o| o.ext.by_name(mnemonic).is_some())
+    }
+
+    /// The selected options.
+    pub fn options(&self) -> &[&DesignOption] {
+        self.options
+    }
+}
+
+type ResolveFn = Box<dyn Fn(&Selection<'_>) -> Workload>;
+
+/// An enumerable family of candidate configurations for one application.
+pub struct CandidateSpace {
+    name: String,
+    options: Vec<DesignOption>,
+    resolve: ResolveFn,
+}
+
+/// One surviving candidate: a selection of options plus the workload the
+/// application resolves to under that selection.
+#[derive(Debug, Clone)]
+pub struct EnumeratedCandidate {
+    /// Display name: `+`-joined option names, or `base` for the empty set.
+    pub name: String,
+    /// Selection bitmask over the space's options (bit *i* = option *i*).
+    pub mask: u32,
+    /// Names of the selected options, in declaration order.
+    pub options: Vec<String>,
+    /// Summed area cost of the selected units.
+    pub area: f64,
+    /// The application workload this selection resolves to.
+    pub workload: Workload,
+}
+
+/// The outcome of [`CandidateSpace::enumerate`].
+#[derive(Debug)]
+pub struct Enumeration {
+    /// Surviving candidates, in ascending-mask order.
+    pub candidates: Vec<EnumeratedCandidate>,
+    /// Subsets walked (2^options).
+    pub enumerated: usize,
+    /// Subsets dropped for exceeding the area budget.
+    pub over_budget: usize,
+    /// Subsets dropped as dominated (same resolved workload, no cheaper).
+    pub pruned: usize,
+}
+
+impl CandidateSpace {
+    /// Builds a space from options and a resolver. The resolver maps any
+    /// selection to the workload the application would be compiled to.
+    pub fn new(
+        name: impl Into<String>,
+        options: Vec<DesignOption>,
+        resolve: impl Fn(&Selection<'_>) -> Workload + 'static,
+    ) -> Self {
+        assert!(options.len() <= 20, "2^n enumeration: keep spaces small");
+        CandidateSpace {
+            name: name.into(),
+            options,
+            resolve: Box::new(resolve),
+        }
+    }
+
+    /// The space's name (`reed-solomon`, …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The selectable options, in declaration order.
+    pub fn options(&self) -> &[DesignOption] {
+        &self.options
+    }
+
+    /// Names of the built-in spaces, for CLI listings.
+    pub fn names() -> &'static [&'static str] {
+        &["reed-solomon"]
+    }
+
+    /// Looks up a built-in space by name.
+    pub fn by_name(name: &str) -> Option<CandidateSpace> {
+        match name {
+            "reed-solomon" => Some(Self::reed_solomon()),
+            _ => None,
+        }
+    }
+
+    /// The paper's Fig. 4 study as a searchable space: the GF(16)
+    /// multiplier, the GF MAC unit, the four-way syndrome unit, and the
+    /// combined RS unit are free choices; the resolver picks the best
+    /// codec variant the selected instructions support.
+    pub fn reed_solomon() -> CandidateSpace {
+        let options = vec![
+            DesignOption {
+                name: "gf16".to_owned(),
+                ext: exts::gf16(),
+            },
+            DesignOption {
+                name: "gf16mac".to_owned(),
+                ext: exts::gf16_mac(),
+            },
+            DesignOption {
+                name: "rswide".to_owned(),
+                ext: exts::rs_wide(),
+            },
+            DesignOption {
+                name: "rsfull".to_owned(),
+                ext: exts::rs_full(),
+            },
+        ];
+        CandidateSpace::new("reed-solomon", options, |sel| {
+            // The codec needs `gfmul` everywhere (encoder feedback taps);
+            // the syndrome loop then uses the best unit available.
+            let cfg = if sel.has_inst("gfmul") && sel.has_inst("synstep") {
+                RsConfig::Rs3
+            } else if sel.has_inst("gfmac") {
+                RsConfig::Rs2
+            } else if sel.has_inst("gfmul") {
+                RsConfig::Rs1
+            } else {
+                RsConfig::Rs0
+            };
+            cfg.workload()
+        })
+    }
+
+    /// Walks every subset of the options, applies the optional area
+    /// `budget`, resolves each survivor to its effective workload, and
+    /// prunes dominated selections.
+    pub fn enumerate(&self, budget: Option<f64>) -> Enumeration {
+        let n = self.options.len();
+        let total = 1usize << n;
+        let mut survivors: Vec<EnumeratedCandidate> = Vec::new();
+        let mut over_budget = 0usize;
+        let mut pruned = 0usize;
+
+        for mask in 0..total as u32 {
+            let selected: Vec<&DesignOption> = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| &self.options[i])
+                .collect();
+            let area = selected.iter().fold(0.0f64, |acc, o| acc + o.area());
+            if budget.is_some_and(|b| area > b) {
+                over_budget += 1;
+                continue;
+            }
+            let workload = (self.resolve)(&Selection { options: &selected });
+            let candidate = EnumeratedCandidate {
+                name: if selected.is_empty() {
+                    "base".to_owned()
+                } else {
+                    selected
+                        .iter()
+                        .map(|o| o.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join("+")
+                },
+                mask,
+                options: selected.iter().map(|o| o.name.clone()).collect(),
+                area,
+                workload,
+            };
+            // Dominance: same resolved workload ⇒ identical execution, so
+            // only the cheapest build matters. Ties break toward fewer
+            // units, then earlier enumeration order — deterministic.
+            match survivors
+                .iter_mut()
+                .find(|c| c.workload.name() == candidate.workload.name())
+            {
+                Some(existing) => {
+                    // Areas that differ only by accumulated rounding (the
+                    // same hardware summed in a different order) count as
+                    // equal, so the tie-break stays physical.
+                    let tolerance = 1e-9 * existing.area.abs().max(1.0);
+                    let better = if (candidate.area - existing.area).abs() <= tolerance {
+                        candidate.options.len() < existing.options.len()
+                    } else {
+                        candidate.area < existing.area
+                    };
+                    if better {
+                        *existing = candidate;
+                    }
+                    pruned += 1;
+                }
+                None => survivors.push(candidate),
+            }
+        }
+        survivors.sort_by_key(|c| c.mask);
+        Enumeration {
+            candidates: survivors,
+            enumerated: total,
+            over_budget,
+            pruned,
+        }
+    }
+}
+
+impl std::fmt::Debug for CandidateSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CandidateSpace")
+            .field("name", &self.name)
+            .field("options", &self.options)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_cost_is_positive_and_monotone_in_content() {
+        assert_eq!(area_cost(&ExtensionSet::empty()), 0.0);
+        let gf16 = area_cost(&exts::gf16());
+        let gf16_mac = area_cost(&exts::gf16_mac());
+        assert!(gf16 > 0.0);
+        // The MAC unit contains a multiplier plus state: strictly bigger.
+        assert!(gf16_mac > gf16, "{gf16_mac} !> {gf16}");
+    }
+
+    #[test]
+    fn rs_space_enumerates_to_the_four_paper_configs() {
+        let space = CandidateSpace::reed_solomon();
+        let e = space.enumerate(None);
+        assert_eq!(e.enumerated, 16);
+        assert_eq!(e.over_budget, 0);
+        assert_eq!(e.candidates.len(), 4);
+        assert_eq!(e.pruned, 12);
+        let names: Vec<&str> = e.candidates.iter().map(|c| c.workload.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "reed_solomon_rs0",
+                "reed_solomon_rs1",
+                "reed_solomon_rs2",
+                "reed_solomon_rs3"
+            ]
+        );
+        // The base candidate carries no hardware.
+        assert_eq!(e.candidates[0].name, "base");
+        assert_eq!(e.candidates[0].area, 0.0);
+        // rs3 resolves to a single-unit build, not a redundant pair.
+        assert_eq!(e.candidates[3].options, ["rsfull"]);
+    }
+
+    #[test]
+    fn budget_excludes_expensive_candidates() {
+        let space = CandidateSpace::reed_solomon();
+        let unbounded = space.enumerate(None);
+        let costliest = unbounded
+            .candidates
+            .iter()
+            .map(|c| c.area)
+            .fold(0.0f64, f64::max);
+        let e = space.enumerate(Some(costliest / 2.0));
+        assert!(e.over_budget > 0);
+        assert!(e.candidates.len() < unbounded.candidates.len());
+        // The base candidate (zero area) always survives a non-negative budget.
+        assert!(e.candidates.iter().any(|c| c.name == "base"));
+        for c in &e.candidates {
+            assert!(c.area <= costliest / 2.0);
+        }
+    }
+
+    #[test]
+    fn redundant_pairs_are_pruned_by_dominance() {
+        // {gf16, rswide} resolves to rs3 like {rsfull}, at no less area —
+        // it must never survive next to it.
+        let space = CandidateSpace::reed_solomon();
+        let e = space.enumerate(None);
+        let rs3: Vec<&EnumeratedCandidate> = e
+            .candidates
+            .iter()
+            .filter(|c| c.workload.name() == "reed_solomon_rs3")
+            .collect();
+        assert_eq!(rs3.len(), 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the Pareto front: the structural guarantees a
+//! search driver relies on when it presents "the trade-off curve" to a
+//! designer.
+//!
+//! The small integer grids are deliberate — they force duplicate points
+//! and single-axis ties, the cases where dominance logic usually breaks.
+
+use proptest::prelude::*;
+
+use emx_dse::{pareto_front, DesignPoint};
+use emx_rtlpower::Energy;
+
+fn build(pairs: &[(u64, u64)]) -> Vec<DesignPoint> {
+    pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(energy, cycles))| DesignPoint {
+            name: format!("p{i}"),
+            energy: Energy::from_picojoules(energy as f64),
+            cycles,
+        })
+        .collect()
+}
+
+/// `a` is at least as good as `b` on both axes.
+fn weakly_dominates(a: &DesignPoint, b: &DesignPoint) -> bool {
+    a.cycles <= b.cycles && a.energy.as_picojoules() <= b.energy.as_picojoules()
+}
+
+fn pairs_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((0u64..8, 0u64..8), 0..24)
+}
+
+/// Same-length point list and shuffle keys, for the permutation property.
+fn pairs_and_keys() -> impl Strategy<Value = (Vec<(u64, u64)>, Vec<u64>)> {
+    (0usize..24).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0u64..8, 0u64..8), n),
+            proptest::collection::vec(any::<u64>(), n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn front_members_are_mutually_non_dominating(pairs in pairs_strategy()) {
+        let points = build(&pairs);
+        let front = pareto_front(&points);
+        for (k, &i) in front.iter().enumerate() {
+            for &j in &front[k + 1..] {
+                prop_assert!(
+                    !weakly_dominates(&points[i], &points[j]),
+                    "{} dominates fellow front member {}", points[i].name, points[j].name
+                );
+                prop_assert!(
+                    !weakly_dominates(&points[j], &points[i]),
+                    "{} dominates fellow front member {}", points[j].name, points[i].name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn excluded_points_are_dominated_by_the_front(pairs in pairs_strategy()) {
+        let points = build(&pairs);
+        let front = pareto_front(&points);
+        // Weak dominance, not strict: of two identical points exactly one
+        // survives, and the survivor only *weakly* dominates its twin.
+        for (i, p) in points.iter().enumerate() {
+            if front.contains(&i) {
+                continue;
+            }
+            prop_assert!(
+                front.iter().any(|&f| weakly_dominates(&points[f], p)),
+                "excluded {} is dominated by no front member", p.name
+            );
+        }
+        // Non-empty input always yields a non-empty front.
+        prop_assert_eq!(front.is_empty(), points.is_empty());
+    }
+
+    #[test]
+    fn front_is_deterministic_under_permutation((pairs, keys) in pairs_and_keys()) {
+        let points = build(&pairs);
+        let mut order: Vec<usize> = (0..pairs.len()).collect();
+        order.sort_by_key(|&i| keys[i]);
+        let permuted: Vec<DesignPoint> = order.iter().map(|&i| points[i].clone()).collect();
+
+        // The front as a *value set* must not depend on input order (the
+        // indices do, so compare (cycles, energy) pairs).
+        let values = |pts: &[DesignPoint], front: &[usize]| -> Vec<(u64, f64)> {
+            let mut v: Vec<(u64, f64)> = front
+                .iter()
+                .map(|&i| (pts[i].cycles, pts[i].energy.as_picojoules()))
+                .collect();
+            v.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+            v
+        };
+        let a = values(&points, &pareto_front(&points));
+        let b = values(&permuted, &pareto_front(&permuted));
+        prop_assert_eq!(a, b);
+    }
+}

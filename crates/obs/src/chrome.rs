@@ -72,12 +72,38 @@ impl ChromeTraceWriter {
             events.push(meta);
         }
 
+        // Thread-name metadata for every worker lane that has events.
+        let mut workers: Vec<u32> = collector
+            .events()
+            .iter()
+            .filter_map(|e| match e.track {
+                Track::Worker(k) => Some(k),
+                _ => None,
+            })
+            .collect();
+        workers.sort_unstable();
+        workers.dedup();
+        for k in workers {
+            let mut meta = Value::object();
+            meta.set("name", "thread_name");
+            meta.set("ph", "M");
+            meta.set("pid", HOST_PID);
+            meta.set("tid", 2 + u64::from(k));
+            let mut args = Value::object();
+            args.set("name", format!("worker-{k}"));
+            meta.set("args", args);
+            events.push(meta);
+        }
+
         let mut recorded: Vec<&crate::Event> = collector.events().iter().collect();
         recorded.sort_by_key(|e| e.ts);
         for event in recorded {
             let (pid, tid) = match event.track {
                 Track::Host => (HOST_PID, 1u64),
                 Track::Sim => (SIM_PID, 1u64),
+                // Worker lanes render under the host process, one tid
+                // per thread, after the main lane (tid 1).
+                Track::Worker(k) => (HOST_PID, 2 + u64::from(k)),
             };
             let mut e = Value::object();
             e.set("name", event.name.as_ref());

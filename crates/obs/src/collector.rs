@@ -14,6 +14,9 @@ pub enum Track {
     /// Simulated time; timestamps are simulation cycles (rendered as
     /// one microsecond per cycle in Chrome traces).
     Sim,
+    /// Wall-clock time of one worker thread (0-based index); renders as
+    /// its own lane under the host process in Chrome traces.
+    Worker(u32),
 }
 
 /// What an [`Event`] records.
@@ -132,6 +135,12 @@ impl Collector {
 
     /// Opens a span on the host track. Close it with [`Collector::end`].
     pub fn begin(&mut self, name: impl Into<Cow<'static, str>>) -> SpanId {
+        self.begin_on(name, Track::Host)
+    }
+
+    /// Opens a span on an explicit track — [`Track::Worker`] lanes let
+    /// parallel evaluators keep per-thread timelines in one trace.
+    pub fn begin_on(&mut self, name: impl Into<Cow<'static, str>>, track: Track) -> SpanId {
         if !self.enabled {
             return SpanId(usize::MAX);
         }
@@ -140,23 +149,25 @@ impl Collector {
             name: name.into(),
             ts: self.now_us(),
             kind: EventKind::Begin,
-            track: Track::Host,
+            track,
         });
         id
     }
 
-    /// Closes a span opened with [`Collector::begin`].
+    /// Closes a span opened with [`Collector::begin`] or
+    /// [`Collector::begin_on`]; the End event lands on the same track.
     pub fn end(&mut self, span: SpanId) {
         if !self.enabled {
             return;
         }
         let name = self.events[span.0].name.clone();
+        let track = self.events[span.0].track;
         debug_assert!(matches!(self.events[span.0].kind, EventKind::Begin));
         self.events.push(Event {
             name,
             ts: self.now_us(),
             kind: EventKind::End,
-            track: Track::Host,
+            track,
         });
     }
 
@@ -251,6 +262,40 @@ impl Collector {
     /// All histograms, in first-touch order.
     pub fn histograms(&self) -> &[(Cow<'static, str>, Histogram)] {
         &self.histograms
+    }
+
+    /// A child collector sharing this collector's time origin, for use
+    /// on another thread. Because `origin` is shared, timestamps from
+    /// the child land on the same timeline when merged back with
+    /// [`Collector::absorb`]. A fork of a disabled collector is itself
+    /// disabled (and therefore free).
+    pub fn fork(&self) -> Self {
+        Collector {
+            enabled: self.enabled,
+            origin: self.origin,
+            events: Vec::new(),
+            counters: Vec::new(),
+            histograms: Vec::new(),
+        }
+    }
+
+    /// Merges a forked child back: events are appended, counters are
+    /// summed, histograms are merged bucket-wise.
+    pub fn absorb(&mut self, child: Self) {
+        if !self.enabled {
+            return;
+        }
+        self.events.extend(child.events);
+        for (name, value) in child.counters {
+            self.add(name, value);
+        }
+        for (name, hist) in child.histograms {
+            if let Some(slot) = self.histograms.iter_mut().find(|(k, _)| *k == name) {
+                slot.1.merge(&hist);
+            } else {
+                self.histograms.push((name, hist));
+            }
+        }
     }
 
     /// The raw event stream, in recording order.
@@ -386,6 +431,49 @@ mod tests {
         });
         assert_eq!(out, 42);
         assert_eq!(c.spans().len(), 1);
+    }
+
+    #[test]
+    fn worker_spans_keep_their_track() {
+        let mut c = Collector::new();
+        let s = c.begin_on("evaluate", Track::Worker(3));
+        c.end(s);
+        let tracks: Vec<Track> = c.events().iter().map(|e| e.track).collect();
+        assert_eq!(tracks, [Track::Worker(3), Track::Worker(3)]);
+    }
+
+    #[test]
+    fn fork_and_absorb_merge_everything() {
+        let mut parent = Collector::new();
+        parent.add("hits", 1.0);
+        parent.record("lat", 10);
+
+        let mut child = parent.fork();
+        assert!(child.is_enabled());
+        let s = child.begin_on("work", Track::Worker(0));
+        child.end(s);
+        child.add("hits", 2.0);
+        child.add("misses", 5.0);
+        child.record("lat", 30);
+        child.record("other", 7);
+
+        parent.absorb(child);
+        assert_eq!(parent.counter("hits"), 3.0);
+        assert_eq!(parent.counter("misses"), 5.0);
+        assert_eq!(parent.histogram("lat").unwrap().count(), 2);
+        assert_eq!(parent.histogram("lat").unwrap().max(), 30);
+        assert_eq!(parent.histogram("other").unwrap().count(), 1);
+        assert_eq!(parent.spans().len(), 1);
+    }
+
+    #[test]
+    fn fork_of_disabled_is_disabled() {
+        let parent = Collector::disabled();
+        let mut child = parent.fork();
+        assert!(!child.is_enabled());
+        let s = child.begin_on("x", Track::Worker(0));
+        child.end(s);
+        assert!(child.events().is_empty());
     }
 
     #[test]

@@ -112,6 +112,25 @@ impl Histogram {
         }
     }
 
+    /// Merges another histogram into this one, bucket-wise. Equivalent
+    /// to having recorded every one of `other`'s samples here (up to
+    /// the shared quantization, which both sides use identically).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.total == 0 {
+            return;
+        }
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        for (slot, &n) in self.counts.iter_mut().zip(&other.counts) {
+            *slot += n;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
     /// The value at (or just above) the `p`-th percentile, `0 ≤ p ≤ 100`.
     ///
     /// Returns the midpoint of the bucket where the cumulative count
@@ -209,6 +228,32 @@ mod tests {
         assert_eq!(h.max(), 0);
         assert_eq!(h.percentile(50.0), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_in_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in 1..=100u64 {
+            a.record(v);
+            both.record(v);
+        }
+        for v in 500..=600u64 {
+            b.record(v);
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+
+        // Merging an empty histogram is a no-op either way.
+        let empty = Histogram::new();
+        let before = a.clone();
+        a.merge(&empty);
+        assert_eq!(a, before);
+        let mut fresh = Histogram::new();
+        fresh.merge(&before);
+        assert_eq!(fresh, before);
     }
 
     #[test]

@@ -883,6 +883,20 @@ pub fn full_training_suite() -> Vec<Workload> {
     all
 }
 
+/// Borrows a workload slice as characterization training cases — the
+/// shape `Characterizer::characterize` wants, without every caller
+/// hand-rolling the same `iter().map(TrainingCase { .. })` boilerplate.
+pub fn training_cases(workloads: &[Workload]) -> Vec<emx_core::TrainingCase<'_>> {
+    workloads
+        .iter()
+        .map(|w| emx_core::TrainingCase {
+            name: w.name(),
+            program: w.program(),
+            ext: w.ext(),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,113 +1,169 @@
 //! Design-space exploration: the use case the paper builds the
 //! macro-model for.
 //!
-//! A designer weighing four custom-instruction choices for a
-//! Reed–Solomon codec wants energy (and performance) per candidate
-//! *without synthesizing four processors*. The macro-model ranks the
-//! candidates from instruction-set simulation alone; we cross-check the
-//! ranking against the slow reference estimator (this example's analogue
-//! of Fig. 4).
+//! A designer weighing custom-instruction choices for a Reed–Solomon
+//! codec wants energy (and performance) per candidate *without
+//! synthesizing a processor per candidate*. The `emx-dse` engine
+//! enumerates every subset of the extension units, prunes redundant
+//! builds, evaluates the survivors in parallel through the macro-model,
+//! and reports the energy/cycles Pareto front; we cross-check the winner
+//! against the slow reference estimator (this example's analogue of
+//! Fig. 4).
 //!
 //! ```sh
 //! cargo run --release --example design_space_exploration
 //! ```
 
+use emx::dse::{self, CandidateSpace, EstimationCache};
+use emx::obs::Collector;
 use emx::prelude::*;
-use emx::workloads::reed_solomon::RsConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("characterizing the base processor once...");
     let suite = emx::workloads::suite::full_training_suite();
-    let cases: Vec<TrainingCase<'_>> = suite
-        .iter()
-        .map(|w| TrainingCase {
-            name: w.name(),
-            program: w.program(),
-            ext: w.ext(),
-        })
-        .collect();
+    let cases = emx::workloads::suite::training_cases(&suite);
     let model = Characterizer::new(ProcConfig::default())
         .characterize(&cases)?
         .model;
 
-    println!("\nRS(15,11) codec under four custom-instruction choices:\n");
+    // ---- Full search: every subset of the RS extension units.
+    let space = CandidateSpace::reed_solomon();
+    let mut cache = EstimationCache::new();
+    let mut obs = Collector::new();
+    let out = dse::explore(
+        &model,
+        &space,
+        None,
+        &ProcConfig::default(),
+        2,
+        &mut cache,
+        &mut obs,
+    )?;
     println!(
-        "{:<6} {:<34} {:>9} {:>12} {:>12}",
-        "cfg", "custom instructions", "cycles", "E estimate", "E reference"
+        "\nRS(15,11) codec: {} subsets enumerated, {} dominated, {} evaluated\n",
+        out.enumeration.enumerated,
+        out.enumeration.pruned,
+        out.points.len()
     );
-
-    let mut ranked: Vec<(String, f64, f64)> = Vec::new();
-    for cfg in RsConfig::ALL {
-        let w = cfg.workload();
-        // The fast path — all a design loop needs per candidate.
-        let est = model.estimate(w.program(), w.ext(), ProcConfig::default())?;
-        // The slow path — run here only to demonstrate tracking.
-        let reference =
-            RtlEnergyEstimator::new().estimate(w.program(), w.ext(), ProcConfig::default())?;
-        let insts: Vec<String> = w.ext().iter().map(|i| i.name().to_owned()).collect();
+    println!(
+        "{:<16} {:<24} {:>9} {:>9} {:>12} {:>7}",
+        "candidate", "workload", "area", "cycles", "E estimate", "pareto"
+    );
+    for (i, (c, p)) in out
+        .enumeration
+        .candidates
+        .iter()
+        .zip(&out.points)
+        .enumerate()
+    {
         println!(
-            "{:<6} {:<34} {:>9} {:>12} {:>12}",
-            cfg.name(),
-            if insts.is_empty() {
-                "(base ISA only)".to_owned()
-            } else {
-                insts.join(",")
-            },
-            est.stats.total_cycles,
-            est.energy.to_string(),
-            reference.total.to_string(),
+            "{:<16} {:<24} {:>9.1} {:>9} {:>12} {:>7}",
+            c.name,
+            c.workload.name(),
+            c.area,
+            p.cycles,
+            p.energy.to_string(),
+            if out.pareto.contains(&i) { "*" } else { "" }
         );
-        ranked.push((
-            cfg.name().to_owned(),
-            est.energy.as_picojoules(),
-            reference.total.as_picojoules(),
-        ));
     }
 
     // The decision the designer actually makes: which candidate wins?
-    let by_est = ranked
+    // Cross-check the macro-model's pick against the slow reference path
+    // (the thing the fast path lets a design loop skip).
+    let by_est = out.best_energy.expect("candidates evaluated");
+    let by_ref = out
+        .enumeration
+        .candidates
         .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            let reference = RtlEnergyEstimator::new().estimate(
+                c.workload.program(),
+                c.workload.ext(),
+                ProcConfig::default(),
+            )?;
+            Ok((i, reference.total.as_picojoules()))
+        })
+        .collect::<Result<Vec<_>, Box<dyn std::error::Error>>>()?
+        .into_iter()
         .min_by(|a, b| a.1.total_cmp(&b.1))
-        .expect("four candidates");
-    let by_ref = ranked
-        .iter()
-        .min_by(|a, b| a.2.total_cmp(&b.2))
-        .expect("four candidates");
+        .expect("candidates evaluated")
+        .0;
     println!(
         "\nmacro-model picks: {}   reference picks: {}",
-        by_est.0, by_ref.0
+        out.points[by_est].name, out.points[by_ref].name
     );
     assert_eq!(
-        by_est.0, by_ref.0,
+        out.points[by_est].name, out.points[by_ref].name,
         "relative accuracy must preserve the winner"
     );
     println!(
         "the fast model and the reference agree — custom instructions chosen without synthesis"
     );
 
-    // The same loop through the DSE API: Pareto front and EDP ranking.
-    let workloads: Vec<_> = RsConfig::ALL.iter().map(|c| c.workload()).collect();
-    let candidates: Vec<emx::core::dse::Candidate<'_>> = workloads
-        .iter()
-        .map(|w| emx::core::dse::Candidate {
-            name: w.name(),
-            program: w.program(),
-            ext: w.ext(),
-        })
-        .collect();
-    let points = emx::core::dse::evaluate(&model, &candidates, ProcConfig::default())?;
     println!("\nenergy/performance Pareto front:");
-    for &i in &emx::core::dse::pareto_front(&points) {
+    for &i in &out.pareto {
         println!(
-            "  {:<22} {:>10} cycles   {}",
-            points[i].name, points[i].cycles, points[i].energy
+            "  {:<16} {:>10} cycles   {}",
+            out.points[i].name, out.points[i].cycles, out.points[i].energy
         );
     }
-    let edp = emx::core::dse::rank_by_edp(&points);
+    let edp = out.best_edp.expect("candidates evaluated");
     println!(
         "best energy-delay product: {} (EDP = {:.3e} pJ·cycles)",
-        points[edp[0]].name,
-        points[edp[0]].edp()
+        out.points[edp].name,
+        out.points[edp].edp()
+    );
+
+    // ---- Area-constrained search: cap the budget below the full RS unit
+    // and watch the front adapt to what still fits.
+    let full_area = out
+        .enumeration
+        .candidates
+        .iter()
+        .map(|c| c.area)
+        .fold(0.0f64, f64::max);
+    let budget = full_area * 0.8;
+    let constrained = dse::explore(
+        &model,
+        &space,
+        Some(budget),
+        &ProcConfig::default(),
+        2,
+        &mut cache,
+        &mut obs,
+    )?;
+    println!(
+        "\nunder an area budget of {budget:.0} net-equivalents ({} subsets excluded):",
+        constrained.enumeration.over_budget
+    );
+    let pick = constrained.best_energy.expect("base always fits");
+    println!(
+        "  best affordable candidate: {} ({})",
+        constrained.points[pick].name, constrained.points[pick].energy
+    );
+
+    // ---- The cache makes reruns free: the constrained search re-used
+    // every estimate, and a warm repeat of the full search is all hits.
+    let hits_before = obs.counter("dse.cache.hits");
+    let rerun = dse::explore(
+        &model,
+        &space,
+        None,
+        &ProcConfig::default(),
+        2,
+        &mut cache,
+        &mut obs,
+    )?;
+    let new_hits = obs.counter("dse.cache.hits") - hits_before;
+    assert!(new_hits > 0.0, "warm rerun must hit the cache");
+    for (a, b) in out.points.iter().zip(&rerun.points) {
+        assert_eq!(a.energy.as_picojoules(), b.energy.as_picojoules());
+        assert_eq!(a.cycles, b.cycles);
+    }
+    println!(
+        "\nwarm-cache rerun: {new_hits:.0} hits, byte-identical results — \
+         the search loop costs one ISS run per *new* candidate only"
     );
     Ok(())
 }

@@ -16,14 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // variable, then fits the 21 energy coefficients by least squares.
     println!("characterizing the emx base processor (this runs 40 test programs)...");
     let suite = emx::workloads::suite::full_training_suite();
-    let cases: Vec<TrainingCase<'_>> = suite
-        .iter()
-        .map(|w| TrainingCase {
-            name: w.name(),
-            program: w.program(),
-            ext: w.ext(),
-        })
-        .collect();
+    let cases = emx::workloads::suite::training_cases(&suite);
     let result = Characterizer::new(ProcConfig::default()).characterize(&cases)?;
     println!(
         "model fitted: R^2 = {:.5}, rms fitting error = {:.2}%\n",

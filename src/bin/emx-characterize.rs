@@ -17,23 +17,17 @@
 
 use std::process::ExitCode;
 
-use emx::core::{Characterizer, TrainingCase};
+use emx::core::Characterizer;
 use emx::obs::Collector;
 use emx::sim::ProcConfig;
+use emx::workloads::suite;
 
 const USAGE: &str = "usage: emx-characterize <model-output.txt> [--report <out.json>]";
 
 fn run(path: &str, report_path: Option<&str>) -> Result<(), String> {
     println!("characterizing the emx base processor over the built-in training suite…");
-    let suite = emx::workloads::suite::full_training_suite();
-    let cases: Vec<TrainingCase<'_>> = suite
-        .iter()
-        .map(|w| TrainingCase {
-            name: w.name(),
-            program: w.program(),
-            ext: w.ext(),
-        })
-        .collect();
+    let workloads = suite::full_training_suite();
+    let cases = suite::training_cases(&workloads);
     let mut obs = Collector::disabled();
     let (result, report) = Characterizer::new(ProcConfig::default())
         .characterize_instrumented(&cases, &mut obs)

@@ -1,0 +1,275 @@
+//! `emx-dse`: explore a custom-instruction design space with the
+//! macro-model fast path — enumerate candidate extension subsets under an
+//! area budget, evaluate them in parallel with a content-addressed
+//! estimation cache, and report the energy/performance Pareto front.
+//!
+//! ```sh
+//! emx-dse --workload reed-solomon                  # full search
+//! emx-dse --budget 800                             # area-constrained
+//! emx-dse --jobs 4                                 # 4 worker threads
+//! emx-dse --cache dse-cache.json                   # reuse across runs
+//! emx-dse --model model.txt                        # skip characterization
+//! emx-dse --json report.json                       # emx.dse-report/1
+//! emx-dse --chrome-trace t.json                    # per-worker trace lanes
+//! ```
+//!
+//! The report JSON is a pure function of the search inputs: identical
+//! across `--jobs` settings and cache warmth (timings and cache counters
+//! live in the observability outputs instead).
+
+use std::process::ExitCode;
+
+use emx::core::Characterizer;
+use emx::dse::{self, CandidateSpace, EstimationCache};
+use emx::obs::{ChromeTraceWriter, Collector};
+use emx::sim::ProcConfig;
+use emx::workloads::suite;
+
+struct Options {
+    workload: String,
+    budget: Option<f64>,
+    jobs: usize,
+    cache_path: Option<String>,
+    model_path: Option<String>,
+    json_path: Option<String>,
+    chrome_trace: Option<String>,
+}
+
+const USAGE: &str = "usage: emx-dse [--workload <name>] [--budget <net-equivalents>] \
+                     [--jobs <n>] [--cache <file.json>] [--model <model.txt>] \
+                     [--json <out.json>] [--chrome-trace <out.json>]";
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut options = Options {
+        workload: "reed-solomon".to_owned(),
+        budget: None,
+        jobs: 0,
+        cache_path: None,
+        model_path: None,
+        json_path: None,
+        chrome_trace: None,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--workload" => {
+                options.workload = args.next().ok_or("--workload needs a space name")?;
+            }
+            "--budget" => {
+                let b = args.next().ok_or("--budget needs a number")?;
+                let b: f64 = b.parse().map_err(|_| format!("bad budget `{b}`"))?;
+                if !b.is_finite() || b < 0.0 {
+                    return Err(format!("budget must be finite and non-negative, got {b}"));
+                }
+                options.budget = Some(b);
+            }
+            "--jobs" => {
+                let n = args.next().ok_or("--jobs needs a number")?;
+                options.jobs = n.parse().map_err(|_| format!("bad job count `{n}`"))?;
+            }
+            "--cache" => {
+                options.cache_path = Some(args.next().ok_or("--cache needs a file path")?);
+            }
+            "--model" => {
+                options.model_path = Some(args.next().ok_or("--model needs a file path")?);
+            }
+            "--json" => {
+                options.json_path = Some(args.next().ok_or("--json needs a file path")?);
+            }
+            "--chrome-trace" => {
+                options.chrome_trace = Some(args.next().ok_or("--chrome-trace needs a file path")?);
+            }
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let space = CandidateSpace::by_name(&options.workload).ok_or_else(|| {
+        format!(
+            "unknown workload `{}` (available: {})",
+            options.workload,
+            CandidateSpace::names().join(", ")
+        )
+    })?;
+
+    let mut obs = Collector::new();
+
+    let model = match &options.model_path {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            emx::core::EnergyMacroModel::from_text(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+        None => {
+            println!("no --model given: characterizing the base processor once…");
+            let span = obs.begin("dse.characterize");
+            let workloads = suite::full_training_suite();
+            let cases = suite::training_cases(&workloads);
+            let result = Characterizer::new(ProcConfig::default())
+                .characterize(&cases)
+                .map_err(|e| format!("characterization failed: {e}"))?;
+            obs.end(span);
+            result.model
+        }
+    };
+
+    let mut cache = match &options.cache_path {
+        Some(path) => EstimationCache::load(path)?,
+        None => EstimationCache::new(),
+    };
+
+    let out = dse::explore(
+        &model,
+        &space,
+        options.budget,
+        &ProcConfig::default(),
+        options.jobs,
+        &mut cache,
+        &mut obs,
+    )
+    .map_err(|e| format!("exploration failed: {e}"))?;
+
+    println!(
+        "space `{}`: {} subsets enumerated, {} over budget, {} dominated, {} evaluated",
+        out.space_name,
+        out.enumeration.enumerated,
+        out.enumeration.over_budget,
+        out.enumeration.pruned,
+        out.points.len(),
+    );
+    println!(
+        "cache: {:.0} hits, {:.0} misses ({} entries)",
+        obs.counter("dse.cache.hits"),
+        obs.counter("dse.cache.misses"),
+        cache.len(),
+    );
+    println!(
+        "\n{:<16} {:<24} {:>10} {:>12} {:>12} {:>8}",
+        "candidate", "workload", "area", "energy", "cycles", "pareto"
+    );
+    for (i, (c, p)) in out
+        .enumeration
+        .candidates
+        .iter()
+        .zip(&out.points)
+        .enumerate()
+    {
+        println!(
+            "{:<16} {:<24} {:>10.1} {:>12} {:>12} {:>8}",
+            c.name,
+            c.workload.name(),
+            c.area,
+            p.energy.to_string(),
+            p.cycles,
+            if out.pareto.contains(&i) { "*" } else { "" }
+        );
+    }
+    if let Some(i) = out.best_energy {
+        println!("\nlowest energy: {}", out.points[i].name);
+    }
+    if let Some(i) = out.best_edp {
+        println!("lowest energy-delay product: {}", out.points[i].name);
+    }
+
+    if let Some(path) = &options.cache_path {
+        cache.save(path)?;
+        println!("cache written to {path}");
+    }
+
+    if let Some(path) = &options.json_path {
+        let options_table: Vec<(String, f64)> = space
+            .options()
+            .iter()
+            .map(|o| (o.name.clone(), o.area()))
+            .collect();
+        let mut text = dse::report::to_json(&out, &options_table).to_string();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("report written to {path}");
+    }
+
+    if let Some(path) = &options.chrome_trace {
+        let mut text = ChromeTraceWriter::new("emx-dse").to_string(&obs);
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        println!("Chrome trace written to {path} (load at ui.perfetto.dev)");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("emx-dse: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Options, String> {
+        parse_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_defaults() {
+        let o = opts(&[]).unwrap();
+        assert_eq!(o.workload, "reed-solomon");
+        assert_eq!(o.budget, None);
+        assert_eq!(o.jobs, 0);
+        assert!(o.cache_path.is_none());
+        assert!(o.model_path.is_none());
+        assert!(o.json_path.is_none());
+        assert!(o.chrome_trace.is_none());
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let o = opts(&[
+            "--workload",
+            "reed-solomon",
+            "--budget",
+            "800.5",
+            "--jobs",
+            "4",
+            "--cache",
+            "c.json",
+            "--model",
+            "m.txt",
+            "--json",
+            "r.json",
+            "--chrome-trace",
+            "t.json",
+        ])
+        .unwrap();
+        assert_eq!(o.budget, Some(800.5));
+        assert_eq!(o.jobs, 4);
+        assert_eq!(o.cache_path.as_deref(), Some("c.json"));
+        assert_eq!(o.model_path.as_deref(), Some("m.txt"));
+        assert_eq!(o.json_path.as_deref(), Some("r.json"));
+        assert_eq!(o.chrome_trace.as_deref(), Some("t.json"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(opts(&["--budget"]).is_err());
+        assert!(opts(&["--budget", "-1"]).is_err());
+        assert!(opts(&["--budget", "nan"]).is_err());
+        assert!(opts(&["--jobs", "many"]).is_err());
+        assert!(opts(&["--bogus"]).is_err());
+        assert!(opts(&["stray"]).is_err());
+    }
+}

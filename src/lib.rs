@@ -21,22 +21,20 @@
 //! | [`regress`] | dense least squares (QR + pseudo-inverse), fit statistics |
 //! | [`core`] | **the paper**: macro-model template, characterization, estimation |
 //! | [`workloads`] | characterization suite, Table II applications, RS(15,11) codec |
+//! | [`dse`] | design-space exploration: enumeration, cached parallel evaluation, Pareto search |
 //! | [`obs`] | observability: spans, counters, histograms, Chrome trace export |
 //!
 //! # Quickstart
 //!
 //! ```no_run
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! use emx::core::{Characterizer, TrainingCase};
+//! use emx::core::Characterizer;
 //! use emx::sim::ProcConfig;
 //! use emx::workloads::suite;
 //!
 //! // 1. Characterize the extensible processor once (steps 1–8).
 //! let suite = suite::full_training_suite();
-//! let cases: Vec<TrainingCase<'_>> = suite
-//!     .iter()
-//!     .map(|w| TrainingCase { name: w.name(), program: w.program(), ext: w.ext() })
-//!     .collect();
+//! let cases = suite::training_cases(&suite);
 //! let result = Characterizer::new(ProcConfig::default()).characterize(&cases)?;
 //!
 //! // 2. Estimate any application with any extensions (steps 9–11).
@@ -51,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub use emx_core as core;
+pub use emx_dse as dse;
 pub use emx_hwlib as hwlib;
 pub use emx_isa as isa;
 pub use emx_obs as obs;
@@ -65,6 +64,7 @@ pub mod prelude {
     pub use emx_core::{
         Characterization, Characterizer, EnergyMacroModel, ModelSpec, TrainingCase,
     };
+    pub use emx_dse::{CandidateSpace, DesignPoint, EstimationCache};
     pub use emx_hwlib::{Category, DfGraph, PrimOp};
     pub use emx_isa::asm::Assembler;
     pub use emx_isa::{Program, Reg};

@@ -1,0 +1,145 @@
+//! Integration tests for the design-space exploration engine: the
+//! acceptance properties the `emx-dse` CLI is sold on — a report that is
+//! a pure function of the search inputs (identical across worker counts),
+//! and a cache that makes warm reruns free without changing results.
+//!
+//! Characterization is expensive, so the fitted model is shared through a
+//! once-cell like `end_to_end.rs`.
+
+use std::sync::OnceLock;
+
+use emx::core::{Characterization, Characterizer};
+use emx::dse::{self, CandidateSpace, EstimationCache};
+use emx::obs::Collector;
+use emx::sim::ProcConfig;
+use emx::workloads::suite;
+
+fn characterization() -> &'static Characterization {
+    static MODEL: OnceLock<Characterization> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let workloads = suite::full_training_suite();
+        let cases = suite::training_cases(&workloads);
+        Characterizer::new(ProcConfig::default())
+            .characterize(&cases)
+            .expect("training suite characterizes")
+    })
+}
+
+fn report_text(jobs: usize, cache: &mut EstimationCache, obs: &mut Collector) -> String {
+    let space = CandidateSpace::reed_solomon();
+    let out = dse::explore(
+        &characterization().model,
+        &space,
+        None,
+        &ProcConfig::default(),
+        jobs,
+        cache,
+        obs,
+    )
+    .expect("exploration succeeds");
+    let options: Vec<(String, f64)> = space
+        .options()
+        .iter()
+        .map(|o| (o.name.clone(), o.area()))
+        .collect();
+    dse::report::to_json(&out, &options).to_string()
+}
+
+#[test]
+fn report_is_byte_identical_across_job_counts() {
+    let serial = report_text(1, &mut EstimationCache::new(), &mut Collector::disabled());
+    for jobs in [2, 4] {
+        let parallel = report_text(
+            jobs,
+            &mut EstimationCache::new(),
+            &mut Collector::disabled(),
+        );
+        assert_eq!(serial, parallel, "--jobs {jobs} changed the report");
+    }
+}
+
+#[test]
+fn warm_cache_rerun_hits_and_matches() {
+    let mut cache = EstimationCache::new();
+    let mut obs = Collector::new();
+    let cold = report_text(2, &mut cache, &mut obs);
+    assert_eq!(obs.counter("dse.cache.hits"), 0.0);
+    let misses = obs.counter("dse.cache.misses");
+    assert!(misses > 0.0);
+    assert_eq!(cache.len() as f64, misses);
+
+    // Round-trip through the JSON persistence, as `--cache` does.
+    let mut warm_cache =
+        EstimationCache::from_json_text(&cache.to_json().to_string()).expect("cache round-trips");
+    let warm = report_text(2, &mut warm_cache, &mut obs);
+    assert!(
+        obs.counter("dse.cache.hits") > 0.0,
+        "warm rerun must hit the cache"
+    );
+    assert_eq!(obs.counter("dse.cache.misses"), misses, "no new misses");
+    assert_eq!(cold, warm, "cache warmth changed the report");
+}
+
+#[test]
+fn report_schema_is_stable_and_complete() {
+    let text = report_text(1, &mut EstimationCache::new(), &mut Collector::disabled());
+    let doc = emx::obs::json::Value::parse(&text).expect("report parses");
+    assert_eq!(
+        doc.get("schema").and_then(|v| v.as_str()),
+        Some(dse::report::SCHEMA)
+    );
+    assert_eq!(
+        doc.get("workload").and_then(|v| v.as_str()),
+        Some("reed-solomon")
+    );
+    let candidates = doc
+        .get("candidates")
+        .and_then(|v| v.as_array())
+        .expect("candidates array");
+    assert_eq!(candidates.len(), 4, "four paper configurations survive");
+    for c in candidates {
+        assert!(c.get("name").and_then(|v| v.as_str()).is_some());
+        assert!(c.get("energy_pj").and_then(|v| v.as_f64()).unwrap() > 0.0);
+        assert!(c.get("cycles").and_then(|v| v.as_u64()).unwrap() > 0);
+    }
+    let pareto = doc
+        .get("pareto")
+        .and_then(|v| v.as_array())
+        .expect("pareto array");
+    assert!(!pareto.is_empty(), "the front is never empty");
+    // The base candidate exists and every delta is measured against it:
+    // its own deltas are exactly zero.
+    let base = candidates
+        .iter()
+        .find(|c| c.get("name").and_then(|v| v.as_str()) == Some("base"))
+        .expect("base candidate");
+    assert_eq!(
+        base.get("delta_energy_pct").and_then(|v| v.as_f64()),
+        Some(0.0)
+    );
+    assert_eq!(
+        base.get("delta_cycles_pct").and_then(|v| v.as_f64()),
+        Some(0.0)
+    );
+}
+
+#[test]
+fn budget_prunes_but_preserves_the_base() {
+    let mut obs = Collector::disabled();
+    let space = CandidateSpace::reed_solomon();
+    let out = dse::explore(
+        &characterization().model,
+        &space,
+        Some(0.0),
+        &ProcConfig::default(),
+        1,
+        &mut EstimationCache::new(),
+        &mut obs,
+    )
+    .expect("exploration succeeds");
+    // A zero budget excludes all hardware; only the base ISA survives.
+    assert_eq!(out.points.len(), 1);
+    assert_eq!(out.points[0].name, "base");
+    assert_eq!(out.base, Some(0));
+    assert!(out.enumeration.over_budget > 0);
+}

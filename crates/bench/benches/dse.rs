@@ -13,7 +13,11 @@ use emx_sim::ProcConfig;
 fn main() {
     let model = emx_bench::characterize_default().model;
     let space = CandidateSpace::reed_solomon();
-    let candidates = space.enumerate(None).candidates.len() as u64;
+    let candidates = space
+        .enumerate(None)
+        .expect("reed-solomon space enumerates")
+        .candidates
+        .len() as u64;
 
     let mut bench = Bench::from_args("dse");
     let mut group = bench.group("dse");

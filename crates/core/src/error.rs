@@ -1,8 +1,246 @@
+//! The unified error taxonomy for the estimation pipeline.
+//!
+//! Every crate in the workspace keeps its own precise error enum
+//! ([`SimError`], [`RegressError`], …) — those are the types library code
+//! matches on. [`EmxError`] is the *boundary* type: anything that crosses a
+//! crate or process boundary (CLI `main`s, long-running exploration loops,
+//! persisted reports) converts into it, gaining three things:
+//!
+//! * a coarse [`ErrorKind`] for routing (retry? quarantine? abort?),
+//! * a stable machine-readable `code` string (`sim.invalid_pc`,
+//!   `cache.corrupt`, …) safe to grep in logs and match in tooling,
+//! * full `source()` chaining back to the precise per-crate error.
+//!
+//! The kinds also define the CLI exit-code contract (see
+//! [`EmxError::exit_code`]): usage errors exit 2, input/data errors exit 1,
+//! internal errors (bugs, contained panics) exit 3.
+
 use std::error::Error;
 use std::fmt;
 
 use emx_regress::RegressError;
 use emx_sim::SimError;
+use emx_tie::TieError;
+
+/// Coarse classification of a failure, for routing and exit codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// The command line itself was malformed (unknown flag, missing
+    /// operand). Exit code 2.
+    Usage,
+    /// A file could not be read or written. Exit code 1.
+    Io,
+    /// An input file was syntactically or semantically invalid (assembly,
+    /// TIE source, model text, cache/report JSON). Exit code 1.
+    Parse,
+    /// A simulation failed (bad program counter, cycle budget, …).
+    /// Exit code 1.
+    Sim,
+    /// The regression / model-fitting machinery failed (singular system,
+    /// under-determined fit, …). Exit code 1.
+    Model,
+    /// A persisted cache was corrupt or stale. Recoverable by quarantine
+    /// and rebuild; fatal only when recovery is impossible. Exit code 1.
+    Cache,
+    /// A candidate space could not be enumerated as requested. Exit code 1.
+    Space,
+    /// A worker failed while evaluating one candidate — including a
+    /// contained panic. The batch survives; the candidate is reported.
+    /// Exit code 3 when fatal.
+    Worker,
+    /// An internal invariant broke (a bug in this codebase, not in the
+    /// inputs). Exit code 3.
+    Internal,
+}
+
+impl ErrorKind {
+    /// The process exit code the CLI contract assigns to this kind:
+    /// 2 for usage errors, 3 for internal errors (including contained
+    /// worker failures), 1 for everything the user's inputs can cause.
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::Usage => 2,
+            ErrorKind::Worker | ErrorKind::Internal => 3,
+            _ => 1,
+        }
+    }
+
+    /// Stable lowercase name (`usage`, `io`, …) used as a code prefix.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Usage => "usage",
+            ErrorKind::Io => "io",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Sim => "sim",
+            ErrorKind::Model => "model",
+            ErrorKind::Cache => "cache",
+            ErrorKind::Space => "space",
+            ErrorKind::Worker => "worker",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// The unified boundary error: kind + stable code + message + source chain.
+///
+/// Construct one with the kind-named constructors ([`EmxError::usage`],
+/// [`EmxError::io`], …) or by converting a per-crate error with `?` /
+/// `From`. Conversions assign the most precise code for each source
+/// variant, so `match`-free callers can still dispatch on
+/// [`EmxError::code`].
+#[derive(Debug)]
+pub struct EmxError {
+    kind: ErrorKind,
+    code: &'static str,
+    message: String,
+    source: Option<Box<dyn Error + Send + Sync + 'static>>,
+}
+
+impl EmxError {
+    /// Creates an error of the given kind with a stable machine code.
+    pub fn new(kind: ErrorKind, code: &'static str, message: impl Into<String>) -> Self {
+        EmxError {
+            kind,
+            code,
+            message: message.into(),
+            source: None,
+        }
+    }
+
+    /// A malformed command line. Exit code 2.
+    pub fn usage(message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Usage, "usage.args", message)
+    }
+
+    /// A failed read/write of `path`. Exit code 1.
+    pub fn io(path: &str, err: &std::io::Error) -> Self {
+        Self::new(ErrorKind::Io, "io.file", format!("`{path}`: {err}"))
+    }
+
+    /// An invalid input file. Exit code 1.
+    pub fn parse(code: &'static str, message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Parse, code, message)
+    }
+
+    /// A broken internal invariant. Exit code 3.
+    pub fn internal(code: &'static str, message: impl Into<String>) -> Self {
+        Self::new(ErrorKind::Internal, code, message)
+    }
+
+    /// Attaches the underlying cause (kept alive for `source()` chains).
+    #[must_use]
+    pub fn with_source(mut self, source: impl Error + Send + Sync + 'static) -> Self {
+        self.source = Some(Box::new(source));
+        self
+    }
+
+    /// Prefixes the human-readable message with `context` (": "-joined),
+    /// leaving kind, code and source untouched.
+    #[must_use]
+    pub fn context(mut self, context: impl fmt::Display) -> Self {
+        self.message = format!("{context}: {}", self.message);
+        self
+    }
+
+    /// The coarse classification.
+    pub fn kind(&self) -> ErrorKind {
+        self.kind
+    }
+
+    /// The stable machine-readable code (e.g. `sim.invalid_pc`). Codes are
+    /// append-only across versions: tooling may match on them.
+    pub fn code(&self) -> &'static str {
+        self.code
+    }
+
+    /// The human-readable message (without the code).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The process exit code for this error under the CLI contract.
+    pub fn exit_code(&self) -> u8 {
+        self.kind.exit_code()
+    }
+}
+
+impl fmt::Display for EmxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.message, self.code)
+    }
+}
+
+impl Error for EmxError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source.as_deref().map(|e| e as &(dyn Error + 'static))
+    }
+}
+
+/// The stable code for one simulator error variant.
+pub fn sim_error_code(e: &SimError) -> &'static str {
+    match e {
+        SimError::InvalidPc(_) => "sim.invalid_pc",
+        SimError::UnknownCustom(_) => "sim.unknown_custom",
+        SimError::Unaligned { .. } => "sim.unaligned",
+        SimError::CycleLimit(_) => "sim.cycle_limit",
+        SimError::Graph(_) => "sim.graph",
+        _ => "sim.other",
+    }
+}
+
+/// The stable code for one regression error variant.
+pub fn regress_error_code(e: &RegressError) -> &'static str {
+    match e {
+        RegressError::ShapeMismatch { .. } => "model.shape_mismatch",
+        RegressError::Singular => "model.singular",
+        RegressError::UnknownVariable(_) => "model.unknown_variable",
+        RegressError::Underdetermined { .. } => "model.underdetermined",
+        RegressError::SampleWidth { .. } => "model.sample_width",
+        RegressError::NonFinite => "model.non_finite",
+        _ => "model.other",
+    }
+}
+
+impl From<SimError> for EmxError {
+    fn from(e: SimError) -> Self {
+        EmxError::new(ErrorKind::Sim, sim_error_code(&e), e.to_string()).with_source(e)
+    }
+}
+
+impl From<RegressError> for EmxError {
+    fn from(e: RegressError) -> Self {
+        EmxError::new(ErrorKind::Model, regress_error_code(&e), e.to_string()).with_source(e)
+    }
+}
+
+impl From<TieError> for EmxError {
+    fn from(e: TieError) -> Self {
+        EmxError::parse("parse.tie", e.to_string()).with_source(e)
+    }
+}
+
+impl From<emx_tie::lang::LangError> for EmxError {
+    fn from(e: emx_tie::lang::LangError) -> Self {
+        EmxError::parse("parse.tie", e.to_string()).with_source(e)
+    }
+}
+
+impl From<CoreError> for EmxError {
+    fn from(e: CoreError) -> Self {
+        let (kind, code) = match &e {
+            CoreError::Sim { source, .. } => (ErrorKind::Sim, sim_error_code(source)),
+            CoreError::Regress(source) => (ErrorKind::Model, regress_error_code(source)),
+        };
+        EmxError::new(kind, code, e.to_string()).with_source(e)
+    }
+}
+
+impl From<crate::ParseModelError> for EmxError {
+    fn from(e: crate::ParseModelError) -> Self {
+        EmxError::parse("parse.model", e.to_string()).with_source(e)
+    }
+}
 
 /// Errors from the characterization / estimation flows.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,5 +282,52 @@ impl Error for CoreError {
 impl From<RegressError> for CoreError {
     fn from(e: RegressError) -> Self {
         CoreError::Regress(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_map_to_the_exit_code_contract() {
+        assert_eq!(ErrorKind::Usage.exit_code(), 2);
+        assert_eq!(ErrorKind::Io.exit_code(), 1);
+        assert_eq!(ErrorKind::Parse.exit_code(), 1);
+        assert_eq!(ErrorKind::Sim.exit_code(), 1);
+        assert_eq!(ErrorKind::Model.exit_code(), 1);
+        assert_eq!(ErrorKind::Cache.exit_code(), 1);
+        assert_eq!(ErrorKind::Space.exit_code(), 1);
+        assert_eq!(ErrorKind::Worker.exit_code(), 3);
+        assert_eq!(ErrorKind::Internal.exit_code(), 3);
+    }
+
+    #[test]
+    fn conversions_preserve_kind_code_and_source() {
+        let e: EmxError = SimError::InvalidPc(0x44).into();
+        assert_eq!(e.kind(), ErrorKind::Sim);
+        assert_eq!(e.code(), "sim.invalid_pc");
+        assert!(e.source().is_some(), "source chain must survive");
+        assert!(e.to_string().contains("[sim.invalid_pc]"));
+
+        let e: EmxError = RegressError::Singular.into();
+        assert_eq!(e.kind(), ErrorKind::Model);
+        assert_eq!(e.code(), "model.singular");
+
+        let e: EmxError = CoreError::Sim {
+            program: "p".into(),
+            source: SimError::CycleLimit(10),
+        }
+        .into();
+        assert_eq!(e.kind(), ErrorKind::Sim);
+        assert_eq!(e.code(), "sim.cycle_limit");
+        assert!(e.message().contains("`p`"));
+    }
+
+    #[test]
+    fn context_prefixes_without_losing_code() {
+        let e = EmxError::parse("parse.model", "bad header").context("model.txt");
+        assert_eq!(e.code(), "parse.model");
+        assert!(e.to_string().starts_with("model.txt: bad header"));
     }
 }

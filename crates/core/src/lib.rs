@@ -63,7 +63,7 @@
 #![warn(missing_docs)]
 
 mod characterize;
-mod error;
+pub mod error;
 mod io;
 mod model;
 mod vars;
@@ -71,7 +71,7 @@ mod vars;
 pub use characterize::{
     CaseReport, Characterization, CharacterizeReport, Characterizer, TrainingCase,
 };
-pub use error::CoreError;
+pub use error::{CoreError, EmxError, ErrorKind};
 pub use io::ParseModelError;
 pub use model::{EnergyEstimate, EnergyMacroModel};
 pub use vars::{ArithGranularity, ModelSpec};

@@ -18,6 +18,11 @@ use emx_obs::json::Value;
 use emx_sim::ProcConfig;
 use emx_tie::ExtensionSet;
 
+use crate::error::CacheError;
+
+/// The persisted document schema this cache reads and writes.
+pub const SCHEMA: &str = "emx.dse-cache/1";
+
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
@@ -126,7 +131,7 @@ impl EstimationCache {
             entries.set(&format!("{key:016x}"), v);
         }
         let mut doc = Value::object();
-        doc.set("schema", "emx.dse-cache/1");
+        doc.set("schema", SCHEMA);
         doc.set("entries", entries);
         doc
     }
@@ -135,59 +140,170 @@ impl EstimationCache {
     ///
     /// # Errors
     ///
-    /// Returns a message if the text is not valid JSON, declares a
-    /// different schema, or contains a malformed entry.
-    pub fn from_json_text(text: &str) -> Result<Self, String> {
-        let doc = Value::parse(text).map_err(|e| format!("cache file: {e}"))?;
-        match doc.get("schema").and_then(Value::as_str) {
-            Some("emx.dse-cache/1") => {}
-            other => return Err(format!("cache file: unexpected schema {other:?}")),
-        }
-        let mut cache = EstimationCache::new();
-        let entries = doc
-            .get("entries")
-            .and_then(Value::as_object)
-            .ok_or("cache file: missing entries object")?;
-        for (key, v) in entries {
-            let key =
-                u64::from_str_radix(key, 16).map_err(|_| format!("cache file: bad key `{key}`"))?;
-            let energy_pj = v
-                .get("energy_pj")
-                .and_then(Value::as_f64)
-                .ok_or_else(|| format!("cache file: entry {key:016x} lacks energy_pj"))?;
-            let cycles = v
-                .get("cycles")
-                .and_then(Value::as_u64)
-                .ok_or_else(|| format!("cache file: entry {key:016x} lacks cycles"))?;
-            cache.insert(key, CacheEntry { energy_pj, cycles });
+    /// Returns a [`CacheError`] if the text is not valid JSON, declares a
+    /// different schema, or contains a malformed entry. For
+    /// best-effort recovery of a damaged file use
+    /// [`EstimationCache::salvage_json_text`] instead.
+    pub fn from_json_text(text: &str) -> Result<Self, CacheError> {
+        let (cache, salvage) = Self::salvage_json_text(text)?;
+        if let Some(first_bad) = salvage.skipped.into_iter().next() {
+            return Err(CacheError::BadEntry(first_bad));
         }
         Ok(cache)
     }
 
+    /// Best-effort parse: returns every well-formed entry of the document
+    /// plus a description of what was skipped.
+    ///
+    /// Unlike [`EstimationCache::from_json_text`], malformed *entries* do
+    /// not fail the whole document — keys are content hashes, so a good
+    /// entry stays valid no matter what sits next to it in the file.
+    ///
+    /// # Errors
+    ///
+    /// Still errors when nothing is salvageable: unparseable JSON
+    /// (typically a write cut short by a crash), a different `schema`
+    /// (entries keyed by another scheme must not be trusted), or a missing
+    /// `entries` object.
+    pub fn salvage_json_text(text: &str) -> Result<(Self, CacheSalvage), CacheError> {
+        let doc = Value::parse(text).map_err(|e| CacheError::Corrupt(e.to_string()))?;
+        match doc.get("schema").and_then(Value::as_str) {
+            Some(SCHEMA) => {}
+            other => return Err(CacheError::SchemaMismatch(format!("{other:?}"))),
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(Value::as_object)
+            .ok_or_else(|| CacheError::Corrupt("missing entries object".to_owned()))?;
+        let mut cache = EstimationCache::new();
+        let mut salvage = CacheSalvage::default();
+        for (key, v) in entries {
+            let Ok(key_value) = u64::from_str_radix(key, 16) else {
+                salvage.skipped.push(format!("bad key `{key}`"));
+                continue;
+            };
+            let energy_pj = v.get("energy_pj").and_then(Value::as_f64);
+            let cycles = v.get("cycles").and_then(Value::as_u64);
+            match (energy_pj, cycles) {
+                (Some(energy_pj), Some(cycles)) => {
+                    cache.insert(key_value, CacheEntry { energy_pj, cycles });
+                    salvage.recovered += 1;
+                }
+                _ => salvage
+                    .skipped
+                    .push(format!("entry {key_value:016x} lacks energy_pj/cycles")),
+            }
+        }
+        Ok((cache, salvage))
+    }
+
     /// Loads a cache from `path`. A missing file yields an empty cache; a
-    /// present-but-corrupt file is an error (silent discard would hide
-    /// real problems).
+    /// present-but-corrupt file is an error (use
+    /// [`EstimationCache::load_or_recover`] for the quarantine-and-rebuild
+    /// behaviour the CLI wants).
     ///
     /// # Errors
     ///
     /// Propagates read failures other than "not found" and parse errors.
-    pub fn load(path: &str) -> Result<Self, String> {
+    pub fn load(path: &str) -> Result<Self, CacheError> {
         match std::fs::read_to_string(path) {
             Ok(text) => Self::from_json_text(&text),
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::new()),
-            Err(e) => Err(format!("cannot read `{path}`: {e}")),
+            Err(e) => Err(CacheError::Io(format!("`{path}`: {e}"))),
         }
     }
 
-    /// Writes the cache to `path`.
+    /// Loads a cache from `path`, recovering from corruption instead of
+    /// refusing to start: a damaged or schema-mismatched file is
+    /// **quarantined** (renamed to `<path>.corrupt`, preserving the
+    /// evidence) and every salvageable entry is kept. The exploration then
+    /// proceeds — at worst cold, never aborted.
+    ///
+    /// Returns the cache plus a [`CacheRecovery`] describing what happened
+    /// (`None` when the file was absent or fully healthy).
     ///
     /// # Errors
     ///
-    /// Propagates write failures.
-    pub fn save(&self, path: &str) -> Result<(), String> {
+    /// Only unrecoverable conditions: the file exists but cannot be read,
+    /// or the quarantine rename itself fails (both leave the bad file in
+    /// place, so nothing is lost).
+    pub fn load_or_recover(path: &str) -> Result<(Self, Option<CacheRecovery>), CacheError> {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Self::new(), None)),
+            Err(e) => return Err(CacheError::Io(format!("`{path}`: {e}"))),
+        };
+        let (cache, cause, salvage) = match Self::salvage_json_text(&text) {
+            Ok((cache, salvage)) if salvage.skipped.is_empty() => return Ok((cache, None)),
+            Ok((cache, salvage)) => {
+                let cause = CacheError::BadEntry(salvage.skipped.join("; "));
+                (cache, cause, salvage)
+            }
+            Err(cause) => (Self::new(), cause, CacheSalvage::default()),
+        };
+        let quarantine = format!("{path}.corrupt");
+        std::fs::rename(path, &quarantine)
+            .map_err(|e| CacheError::WriteFailed(format!("quarantine to `{quarantine}`: {e}")))?;
+        Ok((
+            cache,
+            Some(CacheRecovery {
+                cause,
+                quarantined_to: quarantine,
+                recovered: salvage.recovered,
+                skipped: salvage.skipped.len(),
+            }),
+        ))
+    }
+
+    /// Writes the cache to `path` **atomically**: the document is written
+    /// to `<path>.tmp` and renamed into place, so a crash mid-write can
+    /// never leave a truncated cache where a good one stood.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write and rename failures (the temp file is cleaned up).
+    pub fn save(&self, path: &str) -> Result<(), CacheError> {
         let mut text = self.to_json().to_string();
         text.push('\n');
-        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, text).map_err(|e| CacheError::WriteFailed(format!("`{tmp}`: {e}")))?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            CacheError::WriteFailed(format!("rename `{tmp}` -> `{path}`: {e}"))
+        })
+    }
+}
+
+/// What [`EstimationCache::salvage_json_text`] managed to keep.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CacheSalvage {
+    /// Entries recovered intact.
+    pub recovered: usize,
+    /// Human-readable descriptions of the entries skipped.
+    pub skipped: Vec<String>,
+}
+
+/// The outcome of a [`EstimationCache::load_or_recover`] that found a
+/// damaged file.
+#[derive(Debug)]
+pub struct CacheRecovery {
+    /// Why the file could not be used as-is.
+    pub cause: CacheError,
+    /// Where the damaged file was preserved.
+    pub quarantined_to: String,
+    /// Entries salvaged into the returned cache.
+    pub recovered: usize,
+    /// Entries dropped as malformed.
+    pub skipped: usize,
+}
+
+impl std::fmt::Display for CacheRecovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}; quarantined to `{}`, salvaged {} entries ({} skipped)",
+            self.cause, self.quarantined_to, self.recovered, self.skipped
+        )
     }
 }
 
@@ -221,7 +337,7 @@ mod tests {
     }
 
     #[test]
-    fn json_round_trip() {
+    fn json_round_trip() -> Result<(), CacheError> {
         let mut cache = EstimationCache::new();
         cache.insert(
             42,
@@ -238,21 +354,145 @@ mod tests {
             },
         );
         let text = cache.to_json().to_string();
-        let reloaded = EstimationCache::from_json_text(&text).unwrap();
+        let reloaded = EstimationCache::from_json_text(&text)?;
         assert_eq!(reloaded.len(), 2);
         assert_eq!(reloaded.get(42), cache.get(42));
         assert_eq!(reloaded.get(7), cache.get(7));
         // Serialization is canonical: a second dump is byte-identical.
         assert_eq!(reloaded.to_json().to_string(), text);
+        Ok(())
     }
 
     #[test]
     fn bad_documents_are_rejected() {
-        assert!(EstimationCache::from_json_text("not json").is_err());
-        assert!(EstimationCache::from_json_text("{\"schema\":\"other/1\"}").is_err());
-        assert!(EstimationCache::from_json_text(
-            "{\"schema\":\"emx.dse-cache/1\",\"entries\":{\"zz\":{}}}"
+        assert!(matches!(
+            EstimationCache::from_json_text("not json"),
+            Err(CacheError::Corrupt(_))
+        ));
+        assert!(matches!(
+            EstimationCache::from_json_text("{\"schema\":\"other/1\"}"),
+            Err(CacheError::SchemaMismatch(_))
+        ));
+        assert!(matches!(
+            EstimationCache::from_json_text(
+                "{\"schema\":\"emx.dse-cache/1\",\"entries\":{\"zz\":{}}}"
+            ),
+            Err(CacheError::BadEntry(_))
+        ));
+    }
+
+    /// A scratch path under the system temp dir, cleaned up on drop.
+    struct Scratch(String);
+
+    impl Scratch {
+        fn new(tag: &str) -> Self {
+            let pid = std::process::id();
+            let path = std::env::temp_dir().join(format!("emx-dse-cache-{tag}-{pid}.json"));
+            Scratch(path.to_string_lossy().into_owned())
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            for suffix in ["", ".tmp", ".corrupt"] {
+                let _ = std::fs::remove_file(format!("{}{suffix}", self.0));
+            }
+        }
+    }
+
+    #[test]
+    fn save_is_atomic_and_round_trips_through_disk() -> Result<(), CacheError> {
+        let scratch = Scratch::new("atomic");
+        let mut cache = EstimationCache::new();
+        cache.insert(
+            3,
+            CacheEntry {
+                energy_pj: 1.5,
+                cycles: 2,
+            },
+        );
+        cache.save(&scratch.0)?;
+        assert!(
+            !std::path::Path::new(&format!("{}.tmp", scratch.0)).exists(),
+            "temp file must be renamed away"
+        );
+        let reloaded = EstimationCache::load(&scratch.0)?;
+        assert_eq!(reloaded.get(3), cache.get(3));
+        Ok(())
+    }
+
+    #[test]
+    fn truncated_write_is_quarantined_and_run_starts_cold() -> Result<(), CacheError> {
+        let scratch = Scratch::new("truncated");
+        let mut cache = EstimationCache::new();
+        cache.insert(
+            9,
+            CacheEntry {
+                energy_pj: 4.0,
+                cycles: 8,
+            },
+        );
+        cache.save(&scratch.0)?;
+        // Simulate a crash mid-write: chop the file in half.
+        let text =
+            std::fs::read_to_string(&scratch.0).map_err(|e| CacheError::Io(e.to_string()))?;
+        std::fs::write(&scratch.0, &text[..text.len() / 2])
+            .map_err(|e| CacheError::Io(e.to_string()))?;
+
+        // Strict load refuses; recovery quarantines and starts cold.
+        assert!(matches!(
+            EstimationCache::load(&scratch.0),
+            Err(CacheError::Corrupt(_))
+        ));
+        let (recovered, recovery) = EstimationCache::load_or_recover(&scratch.0)?;
+        assert!(recovered.is_empty(), "nothing salvageable from cut JSON");
+        let recovery = recovery.ok_or(CacheError::Corrupt("expected recovery".into()))?;
+        assert!(matches!(recovery.cause, CacheError::Corrupt(_)));
+        assert!(std::path::Path::new(&recovery.quarantined_to).exists());
+        assert!(
+            !std::path::Path::new(&scratch.0).exists(),
+            "damaged file must be moved out of the way"
+        );
+
+        // A fresh save then works and reloads cleanly: the rebuild path.
+        cache.save(&scratch.0)?;
+        let (warm, recovery) = EstimationCache::load_or_recover(&scratch.0)?;
+        assert!(recovery.is_none());
+        assert_eq!(warm.get(9), cache.get(9));
+        Ok(())
+    }
+
+    #[test]
+    fn partial_damage_salvages_good_entries() -> Result<(), CacheError> {
+        let scratch = Scratch::new("salvage");
+        let text = "{\"schema\":\"emx.dse-cache/1\",\"entries\":{\
+                    \"000000000000002a\":{\"energy_pj\":1.0,\"cycles\":5},\
+                    \"zz\":{\"energy_pj\":2.0,\"cycles\":6}}}";
+        std::fs::write(&scratch.0, text).map_err(|e| CacheError::Io(e.to_string()))?;
+        let (cache, recovery) = EstimationCache::load_or_recover(&scratch.0)?;
+        assert_eq!(cache.len(), 1, "the intact entry survives");
+        assert_eq!(cache.get(0x2a).map(|e| e.cycles), Some(5));
+        let recovery = recovery.ok_or(CacheError::Corrupt("expected recovery".into()))?;
+        assert_eq!(recovery.recovered, 1);
+        assert_eq!(recovery.skipped, 1);
+        Ok(())
+    }
+
+    #[test]
+    fn schema_mismatch_is_quarantined_not_trusted() -> Result<(), CacheError> {
+        let scratch = Scratch::new("schema");
+        std::fs::write(
+            &scratch.0,
+            "{\"schema\":\"emx.dse-cache/2\",\"entries\":{}}",
         )
-        .is_err());
+        .map_err(|e| CacheError::Io(e.to_string()))?;
+        let (cache, recovery) = EstimationCache::load_or_recover(&scratch.0)?;
+        assert!(
+            cache.is_empty(),
+            "foreign-schema entries must not be trusted"
+        );
+        let recovery = recovery.ok_or(CacheError::Corrupt("expected recovery".into()))?;
+        assert!(matches!(recovery.cause, CacheError::SchemaMismatch(_)));
+        Ok(())
     }
 }

@@ -7,16 +7,27 @@
 //! lands in an index-addressed slot. Cache hits and misses are decided
 //! before any thread starts, so the observability counters are stable
 //! across worker counts too.
+//!
+//! Failures are *contained*: a candidate whose evaluation errors — or
+//! panics — costs exactly that candidate. The worker catches the panic,
+//! records a typed [`FailedCandidate`], and moves to the next slot; the
+//! coordinator never unwinds, the batch completes, and the ranking is
+//! computed over the survivors. A poisoned queue or result lock is
+//! recovered (the protected data is an index or a slot table, both valid
+//! at every step), so one bad candidate cannot cascade into a dead batch.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use emx_core::EnergyMacroModel;
+use emx_isa::Program;
 use emx_obs::{Collector, Track};
 use emx_rtlpower::Energy;
 use emx_sim::{ProcConfig, SimError};
+use emx_tie::ExtensionSet;
 
-use crate::cache::{candidate_key, model_fingerprint, CacheEntry, EstimationCache};
+use crate::cache::{candidate_key, CacheEntry, EstimationCache};
+use crate::error::DseError;
 use crate::point::{pareto_front, rank_by_edp, DesignPoint};
 use crate::space::{CandidateSpace, Enumeration};
 
@@ -27,6 +38,92 @@ pub fn resolve_jobs(jobs: usize) -> usize {
     } else {
         jobs
     }
+}
+
+/// Locks a mutex, recovering the guard if a previous holder panicked.
+///
+/// Sound here because every structure behind a lock in this module is
+/// valid between operations: the queue index is a plain counter and the
+/// slot table holds independent per-candidate cells, so a panicking
+/// holder cannot leave either in a half-updated state.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Anything that can price one candidate: the macro-model in production,
+/// a fault-injecting shim in tests (see [`crate::fault`]).
+///
+/// The `fingerprint` feeds the content-addressed cache key, so two
+/// estimators that could disagree on any candidate must report different
+/// fingerprints.
+pub trait CandidateEstimator: Sync {
+    /// Estimates `(energy, cycles)` for one candidate configuration.
+    ///
+    /// # Errors
+    ///
+    /// Whatever simulation error the underlying flow hits; the engine
+    /// contains it to this candidate.
+    fn estimate_candidate(
+        &self,
+        program: &Program,
+        ext: &ExtensionSet,
+        config: ProcConfig,
+    ) -> Result<(Energy, u64), SimError>;
+
+    /// Content fingerprint for cache keying.
+    fn fingerprint(&self) -> u64;
+}
+
+impl<T: CandidateEstimator + ?Sized> CandidateEstimator for &T {
+    fn estimate_candidate(
+        &self,
+        program: &Program,
+        ext: &ExtensionSet,
+        config: ProcConfig,
+    ) -> Result<(Energy, u64), SimError> {
+        (**self).estimate_candidate(program, ext, config)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        (**self).fingerprint()
+    }
+}
+
+impl CandidateEstimator for EnergyMacroModel {
+    fn estimate_candidate(
+        &self,
+        program: &Program,
+        ext: &ExtensionSet,
+        config: ProcConfig,
+    ) -> Result<(Energy, u64), SimError> {
+        let est = self.estimate(program, ext, config)?;
+        Ok((est.energy, est.stats.total_cycles))
+    }
+
+    fn fingerprint(&self) -> u64 {
+        crate::cache::model_fingerprint(self)
+    }
+}
+
+/// One candidate the batch could not price, with the typed cause. The
+/// batch itself survives; these are reported, not thrown.
+#[derive(Debug)]
+pub struct FailedCandidate {
+    /// The candidate's display name.
+    pub name: String,
+    /// Why its evaluation failed.
+    pub error: DseError,
+}
+
+/// The outcome of [`evaluate_batch`]: per-candidate points (slot *i*
+/// belongs to candidate *i*; `None` marks a failure) plus the failure
+/// records.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// One slot per input candidate, `None` where evaluation failed.
+    pub points: Vec<Option<DesignPoint>>,
+    /// The failed candidates, in candidate order.
+    pub failed: Vec<FailedCandidate>,
 }
 
 /// Evaluates every candidate of an enumeration through the macro-model
@@ -41,10 +138,9 @@ pub fn resolve_jobs(jobs: usize) -> usize {
 /// The returned points are in candidate order and are byte-for-byte
 /// independent of `jobs` and of cache warmth.
 ///
-/// # Errors
-///
-/// Returns the first simulation failure observed; remaining work is
-/// abandoned and nothing from the failed batch enters the cache.
+/// A failing — or panicking — candidate does not abort the batch: its
+/// slot comes back `None` with a [`FailedCandidate`] record, nothing of
+/// it enters the cache, and every other candidate is still evaluated.
 pub fn evaluate_batch(
     model: &EnergyMacroModel,
     candidates: &[crate::space::EnumeratedCandidate],
@@ -52,8 +148,21 @@ pub fn evaluate_batch(
     jobs: usize,
     cache: &mut EstimationCache,
     obs: &mut Collector,
-) -> Result<Vec<DesignPoint>, SimError> {
-    let fp = model_fingerprint(model);
+) -> BatchResult {
+    evaluate_batch_with(model, candidates, config, jobs, cache, obs)
+}
+
+/// [`evaluate_batch`] over any [`CandidateEstimator`] — the injection
+/// point for fault testing.
+pub fn evaluate_batch_with<E: CandidateEstimator + ?Sized>(
+    estimator: &E,
+    candidates: &[crate::space::EnumeratedCandidate],
+    config: &ProcConfig,
+    jobs: usize,
+    cache: &mut EstimationCache,
+    obs: &mut Collector,
+) -> BatchResult {
+    let fp = estimator.fingerprint();
     let keys: Vec<u64> = candidates
         .iter()
         .map(|c| candidate_key(fp, c.workload.program(), c.workload.ext(), config))
@@ -76,27 +185,25 @@ pub fn evaluate_batch(
     obs.add("dse.cache.hits", (candidates.len() - misses.len()) as f64);
     obs.add("dse.cache.misses", misses.len() as f64);
 
+    let mut failed: Vec<FailedCandidate> = Vec::new();
     if !misses.is_empty() {
+        type Slot = Option<Result<(Energy, u64), DseError>>;
         let workers = resolve_jobs(jobs).min(misses.len());
         let next = Mutex::new(0usize);
-        let out: Mutex<Vec<Option<(Energy, u64)>>> = Mutex::new(vec![None; misses.len()]);
-        let failed: Mutex<Option<SimError>> = Mutex::new(None);
-        let abort = AtomicBool::new(false);
+        let out: Mutex<Vec<Slot>> = Mutex::new((0..misses.len()).map(|_| None).collect());
 
         let mut children: Vec<Collector> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|k| {
                     let mut child = obs.fork();
-                    let (next, out, failed, abort) = (&next, &out, &failed, &abort);
+                    let (next, out) = (&next, &out);
                     let misses = &misses;
+                    let estimator = &estimator;
                     s.spawn(move || {
                         loop {
-                            if abort.load(Ordering::Relaxed) {
-                                break;
-                            }
                             let slot = {
-                                let mut guard = next.lock().expect("queue lock");
+                                let mut guard = lock_recovering(next);
                                 let slot = *guard;
                                 *guard += 1;
                                 slot
@@ -107,63 +214,98 @@ pub fn evaluate_batch(
                             let c = &candidates[misses[slot]];
                             let span = child
                                 .begin_on(format!("evaluate:{}", c.name), Track::Worker(k as u32));
-                            let r = model.estimate(
-                                c.workload.program(),
-                                c.workload.ext(),
-                                config.clone(),
-                            );
+                            // Contain panics to the candidate being priced:
+                            // the estimator call touches only its own
+                            // arguments, so unwinding cannot leave shared
+                            // state torn (hence AssertUnwindSafe).
+                            let r = catch_unwind(AssertUnwindSafe(|| {
+                                estimator.estimate_candidate(
+                                    c.workload.program(),
+                                    c.workload.ext(),
+                                    config.clone(),
+                                )
+                            }));
                             child.end(span);
-                            match r {
-                                Ok(est) => {
-                                    out.lock().expect("result lock")[slot] =
-                                        Some((est.energy, est.stats.total_cycles));
-                                }
-                                Err(e) => {
-                                    let mut guard = failed.lock().expect("error lock");
-                                    guard.get_or_insert(e);
-                                    abort.store(true, Ordering::Relaxed);
-                                }
-                            }
+                            let outcome: Result<(Energy, u64), DseError> = match r {
+                                Ok(Ok(v)) => Ok(v),
+                                Ok(Err(e)) => Err(DseError::WorkerFailed {
+                                    candidate: c.name.clone(),
+                                    source: e,
+                                }),
+                                Err(payload) => Err(DseError::WorkerPanicked {
+                                    candidate: c.name.clone(),
+                                    message: panic_message(payload.as_ref()),
+                                }),
+                            };
+                            lock_recovering(out)[slot] = Some(outcome);
                         }
                         child
                     })
                 })
                 .collect();
             for h in handles {
-                children.push(h.join().expect("worker panicked"));
+                // A worker that dies outside the contained region (a bug
+                // in the loop itself) loses its obs lane but must not
+                // bring down the coordinator; its unfinished slots are
+                // reported below.
+                if let Ok(child) = h.join() {
+                    children.push(child);
+                }
             }
         });
         for child in children {
             obs.absorb(child);
         }
 
-        if let Some(e) = failed.into_inner().expect("error lock") {
-            return Err(e);
-        }
-        for (slot, value) in out
-            .into_inner()
-            .expect("result lock")
-            .into_iter()
-            .enumerate()
-        {
-            let (energy, cycles) = value.expect("every miss evaluated");
+        for (slot, value) in lock_recovering(&out).drain(..).enumerate() {
             let i = misses[slot];
-            cache.insert(
-                keys[i],
-                CacheEntry {
-                    energy_pj: energy.as_picojoules(),
-                    cycles,
-                },
-            );
-            results[i] = Some(DesignPoint {
-                name: candidates[i].name.clone(),
-                energy,
-                cycles,
-            });
+            match value {
+                Some(Ok((energy, cycles))) => {
+                    cache.insert(
+                        keys[i],
+                        CacheEntry {
+                            energy_pj: energy.as_picojoules(),
+                            cycles,
+                        },
+                    );
+                    results[i] = Some(DesignPoint {
+                        name: candidates[i].name.clone(),
+                        energy,
+                        cycles,
+                    });
+                }
+                Some(Err(error)) => failed.push(FailedCandidate {
+                    name: candidates[i].name.clone(),
+                    error,
+                }),
+                None => failed.push(FailedCandidate {
+                    name: candidates[i].name.clone(),
+                    error: DseError::WorkerPanicked {
+                        candidate: candidates[i].name.clone(),
+                        message: "worker thread lost before evaluating this slot".to_owned(),
+                    },
+                }),
+            }
         }
+        failed.sort_by(|a, b| a.name.cmp(&b.name));
     }
 
-    Ok(results.into_iter().map(|p| p.expect("filled")).collect())
+    BatchResult {
+        points: results,
+        failed,
+    }
+}
+
+/// Renders a caught panic payload (`&str` and `String` payloads, which is
+/// what `panic!` produces; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
 }
 
 /// The complete outcome of one search: the enumeration, the evaluated
@@ -174,10 +316,15 @@ pub struct Exploration {
     pub space_name: String,
     /// The area budget applied, if any.
     pub budget: Option<f64>,
-    /// The enumeration that produced the candidates.
+    /// The enumeration that produced the candidates. Candidates whose
+    /// evaluation failed are removed, so `candidates` stays parallel to
+    /// `points`.
     pub enumeration: Enumeration,
     /// One evaluated point per surviving candidate, in candidate order.
     pub points: Vec<DesignPoint>,
+    /// Candidates that could not be evaluated, with typed causes. The
+    /// search completed over the survivors.
+    pub failed: Vec<FailedCandidate>,
     /// Candidate indices on the energy/cycles Pareto front (ascending
     /// cycles).
     pub pareto: Vec<usize>,
@@ -192,12 +339,15 @@ pub struct Exploration {
 /// Runs the full search: enumerate under the budget, evaluate the
 /// survivors (cached, parallel), and rank the outcome.
 ///
-/// Adds `dse.enumerated`, `dse.over_budget`, `dse.pruned` and
-/// `dse.evaluated` counters and wraps the two phases in spans.
+/// Adds `dse.enumerated`, `dse.over_budget`, `dse.pruned`,
+/// `dse.evaluated` and `dse.failed` counters and wraps the two phases in
+/// spans.
 ///
 /// # Errors
 ///
-/// Propagates the first evaluation failure (see [`evaluate_batch`]).
+/// Only enumeration can fail ([`DseError::SpaceTooLarge`]). Evaluation
+/// failures are contained per candidate and reported in
+/// [`Exploration::failed`]; the ranking covers the survivors.
 pub fn explore(
     model: &EnergyMacroModel,
     space: &CandidateSpace,
@@ -206,18 +356,50 @@ pub fn explore(
     jobs: usize,
     cache: &mut EstimationCache,
     obs: &mut Collector,
-) -> Result<Exploration, SimError> {
+) -> Result<Exploration, DseError> {
+    explore_with(model, space, budget, config, jobs, cache, obs)
+}
+
+/// [`explore`] over any [`CandidateEstimator`] — the injection point for
+/// fault testing.
+///
+/// # Errors
+///
+/// See [`explore`].
+pub fn explore_with<E: CandidateEstimator + ?Sized>(
+    estimator: &E,
+    space: &CandidateSpace,
+    budget: Option<f64>,
+    config: &ProcConfig,
+    jobs: usize,
+    cache: &mut EstimationCache,
+    obs: &mut Collector,
+) -> Result<Exploration, DseError> {
     let span = obs.begin("dse.enumerate");
     let enumeration = space.enumerate(budget);
     obs.end(span);
+    let mut enumeration = enumeration?;
     obs.add("dse.enumerated", enumeration.enumerated as f64);
     obs.add("dse.over_budget", enumeration.over_budget as f64);
     obs.add("dse.pruned", enumeration.pruned as f64);
     obs.add("dse.evaluated", enumeration.candidates.len() as f64);
 
     let span = obs.begin("dse.evaluate");
-    let points = evaluate_batch(model, &enumeration.candidates, config, jobs, cache, obs)?;
+    let batch = evaluate_batch_with(estimator, &enumeration.candidates, config, jobs, cache, obs);
     obs.end(span);
+    obs.add("dse.failed", batch.failed.len() as f64);
+
+    // Drop failed candidates so `candidates` and `points` stay parallel
+    // and every ranking index below is valid for both.
+    let mut points: Vec<DesignPoint> = Vec::with_capacity(batch.points.len());
+    let mut survivors = Vec::with_capacity(batch.points.len());
+    for (candidate, point) in enumeration.candidates.drain(..).zip(batch.points) {
+        if let Some(point) = point {
+            survivors.push(candidate);
+            points.push(point);
+        }
+    }
+    enumeration.candidates = survivors;
 
     let pareto = pareto_front(&points);
     let best_energy = (0..points.len()).min_by(|&a, &b| {
@@ -234,6 +416,7 @@ pub fn explore(
         budget,
         enumeration,
         points,
+        failed: batch.failed,
         pareto,
         best_energy,
         best_edp,

@@ -1,0 +1,193 @@
+//! Typed errors for the exploration engine.
+//!
+//! The design goal is *failure containment*: a design-space search runs
+//! unattended for hours, so one bad candidate, one poisoned lock or one
+//! corrupt cache file must fail **small** — the affected candidate or file
+//! — never the whole session. Every variant here records enough context
+//! (candidate name, file path, entry key) to diagnose the failure from a
+//! report alone, and every variant maps onto the workspace-wide
+//! [`EmxError`] taxonomy with a stable machine-readable code.
+
+use std::error::Error;
+use std::fmt;
+
+use emx_core::{error::sim_error_code, EmxError, ErrorKind};
+use emx_sim::SimError;
+
+/// Why one persisted cache file could not be used as-is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheError {
+    /// The file exists but could not be read.
+    Io(String),
+    /// The file is not valid JSON (often: a write cut short by a crash).
+    Corrupt(String),
+    /// The file parses but declares a different schema than
+    /// `emx.dse-cache/1`.
+    SchemaMismatch(String),
+    /// One entry inside an otherwise valid document is malformed.
+    BadEntry(String),
+    /// The recovered file could not be quarantined or rewritten.
+    WriteFailed(String),
+}
+
+impl CacheError {
+    /// The stable machine code for this failure.
+    pub fn code(&self) -> &'static str {
+        match self {
+            CacheError::Io(_) => "cache.io",
+            CacheError::Corrupt(_) => "cache.corrupt",
+            CacheError::SchemaMismatch(_) => "cache.schema_mismatch",
+            CacheError::BadEntry(_) => "cache.bad_entry",
+            CacheError::WriteFailed(_) => "cache.write_failed",
+        }
+    }
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::Io(m) => write!(f, "cache file unreadable: {m}"),
+            CacheError::Corrupt(m) => write!(f, "cache file corrupt: {m}"),
+            CacheError::SchemaMismatch(m) => write!(f, "cache schema mismatch: {m}"),
+            CacheError::BadEntry(m) => write!(f, "malformed cache entry: {m}"),
+            CacheError::WriteFailed(m) => write!(f, "cache write failed: {m}"),
+        }
+    }
+}
+
+impl Error for CacheError {}
+
+/// Errors from candidate enumeration and batch evaluation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DseError {
+    /// The candidate space has more options than the enumerator can
+    /// address: `2^options` subsets would exceed the enumerable width.
+    SpaceTooLarge {
+        /// Number of design options in the space.
+        options: usize,
+        /// Largest supported option count.
+        max: usize,
+    },
+    /// A worker's estimate of one candidate returned a simulation error.
+    /// Contained: only this candidate is lost.
+    WorkerFailed {
+        /// The candidate being evaluated.
+        candidate: String,
+        /// The underlying simulator error.
+        source: SimError,
+    },
+    /// A worker panicked while evaluating one candidate. The panic was
+    /// caught; only this candidate is lost.
+    WorkerPanicked {
+        /// The candidate being evaluated.
+        candidate: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A persisted cache file could not be used (see [`CacheError`]).
+    Cache(CacheError),
+}
+
+impl DseError {
+    /// The stable machine code for this failure (mirrors
+    /// [`EmxError::code`]).
+    pub fn code(&self) -> &'static str {
+        match self {
+            DseError::SpaceTooLarge { .. } => "space.too_large",
+            DseError::WorkerFailed { source, .. } => sim_error_code(source),
+            DseError::WorkerPanicked { .. } => "worker.panicked",
+            DseError::Cache(e) => e.code(),
+        }
+    }
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseError::SpaceTooLarge { options, max } => write!(
+                f,
+                "candidate space has {options} options; at most {max} are enumerable"
+            ),
+            DseError::WorkerFailed { candidate, source } => {
+                write!(f, "evaluating `{candidate}` failed: {source}")
+            }
+            DseError::WorkerPanicked { candidate, message } => {
+                write!(f, "worker panicked evaluating `{candidate}`: {message}")
+            }
+            DseError::Cache(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for DseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DseError::WorkerFailed { source, .. } => Some(source),
+            DseError::Cache(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CacheError> for DseError {
+    fn from(e: CacheError) -> Self {
+        DseError::Cache(e)
+    }
+}
+
+impl From<CacheError> for EmxError {
+    fn from(e: CacheError) -> Self {
+        EmxError::new(ErrorKind::Cache, e.code(), e.to_string()).with_source(e)
+    }
+}
+
+impl From<DseError> for EmxError {
+    fn from(e: DseError) -> Self {
+        let kind = match &e {
+            DseError::SpaceTooLarge { .. } => ErrorKind::Space,
+            DseError::WorkerFailed { .. } | DseError::WorkerPanicked { .. } => ErrorKind::Worker,
+            DseError::Cache(_) => ErrorKind::Cache,
+        };
+        EmxError::new(kind, e.code(), e.to_string()).with_source(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_kind_mapped() {
+        let e = DseError::SpaceTooLarge {
+            options: 99,
+            max: 24,
+        };
+        assert_eq!(e.code(), "space.too_large");
+        let u: EmxError = e.into();
+        assert_eq!(u.kind(), ErrorKind::Space);
+        assert_eq!(u.exit_code(), 1);
+
+        let e = DseError::WorkerPanicked {
+            candidate: "gf16".into(),
+            message: "boom".into(),
+        };
+        assert_eq!(e.code(), "worker.panicked");
+        let u: EmxError = e.into();
+        assert_eq!(u.kind(), ErrorKind::Worker);
+        assert_eq!(u.exit_code(), 3);
+
+        let e = DseError::WorkerFailed {
+            candidate: "base".into(),
+            source: SimError::CycleLimit(7),
+        };
+        assert_eq!(e.code(), "sim.cycle_limit");
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: DseError = CacheError::SchemaMismatch("other/1".into()).into();
+        assert_eq!(e.code(), "cache.schema_mismatch");
+        let u: EmxError = e.into();
+        assert_eq!(u.kind(), ErrorKind::Cache);
+    }
+}

@@ -1,0 +1,108 @@
+//! Fault injection for exercising the engine's failure containment.
+//!
+//! Production code never imports this module; the fault-injection suite
+//! (`tests/faults.rs`) and downstream robustness tests do. The shims wrap
+//! a real estimator and misbehave — return an error, or panic outright —
+//! for exactly the candidates a *trigger* predicate selects, so a test
+//! can prove that one poisoned candidate costs one candidate and nothing
+//! else.
+//!
+//! Triggers see what the engine passes an estimator: the program and the
+//! extension set. Select candidates structurally (e.g. "anything whose
+//! extension set provides `gfmac`") rather than by display name, which
+//! the estimator never learns.
+
+use emx_isa::Program;
+use emx_rtlpower::Energy;
+use emx_sim::{ProcConfig, SimError};
+use emx_tie::ExtensionSet;
+
+use crate::engine::CandidateEstimator;
+
+/// What the shim does when its trigger matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Return a [`SimError::CycleLimit`] — the recoverable-error path.
+    Error,
+    /// Panic mid-evaluation — the contained-panic path.
+    Panic,
+}
+
+type Trigger = Box<dyn Fn(&Program, &ExtensionSet) -> bool + Send + Sync>;
+
+/// A [`CandidateEstimator`] that misbehaves on selected candidates and
+/// delegates the rest to the wrapped estimator.
+pub struct FailingEstimator<E> {
+    inner: E,
+    mode: FaultMode,
+    trigger: Trigger,
+}
+
+impl<E: CandidateEstimator> FailingEstimator<E> {
+    /// Fails (typed [`SimError`]) every candidate the trigger matches.
+    pub fn fail_when(
+        inner: E,
+        trigger: impl Fn(&Program, &ExtensionSet) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        FailingEstimator {
+            inner,
+            mode: FaultMode::Error,
+            trigger: Box::new(trigger),
+        }
+    }
+
+    /// Panics on every candidate the trigger matches.
+    pub fn panic_when(
+        inner: E,
+        trigger: impl Fn(&Program, &ExtensionSet) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        FailingEstimator {
+            inner,
+            mode: FaultMode::Panic,
+            trigger: Box::new(trigger),
+        }
+    }
+}
+
+/// Trigger matching any candidate whose extension set provides the custom
+/// instruction `mnemonic` — the structural way to name a candidate from
+/// inside an estimator.
+pub fn has_inst(mnemonic: &str) -> impl Fn(&Program, &ExtensionSet) -> bool + Send + Sync {
+    let mnemonic = mnemonic.to_owned();
+    move |_, ext| ext.by_name(&mnemonic).is_some()
+}
+
+impl<E: CandidateEstimator> CandidateEstimator for FailingEstimator<E> {
+    fn estimate_candidate(
+        &self,
+        program: &Program,
+        ext: &ExtensionSet,
+        config: ProcConfig,
+    ) -> Result<(Energy, u64), SimError> {
+        if (self.trigger)(program, ext) {
+            match self.mode {
+                FaultMode::Error => return Err(SimError::CycleLimit(0)),
+                FaultMode::Panic => panic!("injected fault: estimator panicked"),
+            }
+        }
+        self.inner.estimate_candidate(program, ext, config)
+    }
+
+    // Salted so a faulty run can never share cache entries with a healthy
+    // one (successful estimates do get cached).
+    fn fingerprint(&self) -> u64 {
+        self.inner.fingerprint() ^ 0xFA17_FA17_FA17_FA17
+    }
+}
+
+/// Truncates the file at `path` to its first `keep` bytes — simulates a
+/// write cut short by a crash, for cache-recovery tests.
+///
+/// # Errors
+///
+/// Propagates read/write failures as strings (test-support only).
+pub fn truncate_file(path: &str, keep: usize) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("read `{path}`: {e}"))?;
+    let keep = keep.min(bytes.len());
+    std::fs::write(path, &bytes[..keep]).map_err(|e| format!("write `{path}`: {e}"))
+}

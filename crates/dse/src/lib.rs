@@ -15,7 +15,12 @@
 //!   work queue (`std::thread` scoped workers) plus the search driver,
 //! * [`point`] — design points, Pareto front extraction and energy-delay
 //!   ranking (absorbed from the former `core::dse`),
-//! * [`report`] — the stable `emx.dse-report/1` schema.
+//! * [`report`] — the stable `emx.dse-report/1` schema,
+//! * [`error`] — the typed failure taxonomy ([`DseError`], [`CacheError`])
+//!   that keeps failures *contained*: a bad candidate, a poisoned lock or
+//!   a corrupt cache file costs that candidate or file, never the search,
+//! * [`fault`] — injectable misbehaving estimators and IO shims for
+//!   proving the containment contract in tests.
 //!
 //! # Example
 //!
@@ -51,11 +56,21 @@
 
 pub mod cache;
 pub mod engine;
+pub mod error;
+pub mod fault;
 pub mod point;
 pub mod report;
 pub mod space;
 
-pub use cache::{candidate_key, model_fingerprint, CacheEntry, EstimationCache};
-pub use engine::{evaluate_batch, explore, resolve_jobs, Exploration};
+pub use cache::{
+    candidate_key, model_fingerprint, CacheEntry, CacheRecovery, CacheSalvage, EstimationCache,
+};
+pub use engine::{
+    evaluate_batch, evaluate_batch_with, explore, explore_with, resolve_jobs, BatchResult,
+    CandidateEstimator, Exploration, FailedCandidate,
+};
+pub use error::{CacheError, DseError};
 pub use point::{evaluate, pareto_front, rank_by_edp, Candidate, DesignPoint};
-pub use space::{area_cost, CandidateSpace, DesignOption, EnumeratedCandidate, Enumeration};
+pub use space::{
+    area_cost, CandidateSpace, DesignOption, EnumeratedCandidate, Enumeration, MAX_OPTIONS,
+};

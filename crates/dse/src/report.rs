@@ -38,6 +38,20 @@ pub fn to_json(exploration: &Exploration, options: &[(String, f64)]) -> Value {
     doc.set("pruned", exploration.enumeration.pruned as u64);
     doc.set("evaluated", exploration.enumeration.candidates.len() as u64);
 
+    // Contained failures: candidates the engine could not price. The run
+    // still succeeded — these are reported, and the rankings below cover
+    // the survivors only.
+    let mut failed = Value::array();
+    for f in &exploration.failed {
+        let mut v = Value::object();
+        v.set("name", f.name.as_str());
+        v.set("code", f.error.code());
+        let message = f.error.to_string();
+        v.set("error", message.as_str());
+        failed.push(v);
+    }
+    doc.set("failed_candidates", failed);
+
     let base = exploration.base.map(|i| &exploration.points[i]);
     let mut candidates = Value::array();
     for (i, (candidate, point)) in exploration

@@ -15,6 +15,15 @@ use emx_tie::ExtensionSet;
 use emx_workloads::reed_solomon::RsConfig;
 use emx_workloads::{exts, Workload};
 
+use crate::error::DseError;
+
+/// Largest option count [`CandidateSpace::enumerate`] will walk: `2^24`
+/// subsets (~16M) is the most an exhaustive pass can visit in reasonable
+/// time, and it keeps every mask comfortably inside `usize` on all
+/// supported targets. Larger spaces get a typed [`DseError::SpaceTooLarge`]
+/// instead of a silently truncated walk.
+pub const MAX_OPTIONS: usize = 24;
+
 /// Area cost of one extension set, in *net-equivalents*: each structural
 /// category's instantiated complexity `f(C)` (the paper's Eq. 4 scaling)
 /// weighted by the per-bit net count of that component class in the RTL
@@ -91,7 +100,9 @@ pub struct EnumeratedCandidate {
     /// Display name: `+`-joined option names, or `base` for the empty set.
     pub name: String,
     /// Selection bitmask over the space's options (bit *i* = option *i*).
-    pub mask: u32,
+    /// `usize` wide so every mask of a [`MAX_OPTIONS`]-option space is
+    /// representable; a narrower type would silently alias subsets.
+    pub mask: usize,
     /// Names of the selected options, in declaration order.
     pub options: Vec<String>,
     /// Summed area cost of the selected units.
@@ -121,7 +132,6 @@ impl CandidateSpace {
         options: Vec<DesignOption>,
         resolve: impl Fn(&Selection<'_>) -> Workload + 'static,
     ) -> Self {
-        assert!(options.len() <= 20, "2^n enumeration: keep spaces small");
         CandidateSpace {
             name: name.into(),
             options,
@@ -192,16 +202,29 @@ impl CandidateSpace {
     }
 
     /// Walks every subset of the options, applies the optional area
-    /// `budget`, resolves each survivor to its effective workload, and
-    /// prunes dominated selections.
-    pub fn enumerate(&self, budget: Option<f64>) -> Enumeration {
+    /// `budget` (a candidate at exactly the budget survives; only strictly
+    /// larger areas are dropped), resolves each survivor to its effective
+    /// workload, and prunes dominated selections.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::SpaceTooLarge`] when the space has more than
+    /// [`MAX_OPTIONS`] options — `2^n` subsets would exceed the enumerable
+    /// width, and truncating the walk would silently skip candidates.
+    pub fn enumerate(&self, budget: Option<f64>) -> Result<Enumeration, DseError> {
         let n = self.options.len();
+        if n > MAX_OPTIONS {
+            return Err(DseError::SpaceTooLarge {
+                options: n,
+                max: MAX_OPTIONS,
+            });
+        }
         let total = 1usize << n;
         let mut survivors: Vec<EnumeratedCandidate> = Vec::new();
         let mut over_budget = 0usize;
         let mut pruned = 0usize;
 
-        for mask in 0..total as u32 {
+        for mask in 0..total {
             let selected: Vec<&DesignOption> = (0..n)
                 .filter(|i| mask & (1 << i) != 0)
                 .map(|i| &self.options[i])
@@ -253,12 +276,12 @@ impl CandidateSpace {
             }
         }
         survivors.sort_by_key(|c| c.mask);
-        Enumeration {
+        Ok(Enumeration {
             candidates: survivors,
             enumerated: total,
             over_budget,
             pruned,
-        }
+        })
     }
 }
 
@@ -286,9 +309,9 @@ mod tests {
     }
 
     #[test]
-    fn rs_space_enumerates_to_the_four_paper_configs() {
+    fn rs_space_enumerates_to_the_four_paper_configs() -> Result<(), DseError> {
         let space = CandidateSpace::reed_solomon();
-        let e = space.enumerate(None);
+        let e = space.enumerate(None)?;
         assert_eq!(e.enumerated, 16);
         assert_eq!(e.over_budget, 0);
         assert_eq!(e.candidates.len(), 4);
@@ -308,18 +331,19 @@ mod tests {
         assert_eq!(e.candidates[0].area, 0.0);
         // rs3 resolves to a single-unit build, not a redundant pair.
         assert_eq!(e.candidates[3].options, ["rsfull"]);
+        Ok(())
     }
 
     #[test]
-    fn budget_excludes_expensive_candidates() {
+    fn budget_excludes_expensive_candidates() -> Result<(), DseError> {
         let space = CandidateSpace::reed_solomon();
-        let unbounded = space.enumerate(None);
+        let unbounded = space.enumerate(None)?;
         let costliest = unbounded
             .candidates
             .iter()
             .map(|c| c.area)
             .fold(0.0f64, f64::max);
-        let e = space.enumerate(Some(costliest / 2.0));
+        let e = space.enumerate(Some(costliest / 2.0))?;
         assert!(e.over_budget > 0);
         assert!(e.candidates.len() < unbounded.candidates.len());
         // The base candidate (zero area) always survives a non-negative budget.
@@ -327,19 +351,64 @@ mod tests {
         for c in &e.candidates {
             assert!(c.area <= costliest / 2.0);
         }
+        Ok(())
     }
 
     #[test]
-    fn redundant_pairs_are_pruned_by_dominance() {
+    fn budget_boundary_is_inclusive() -> Result<(), DseError> {
+        // A candidate at *exactly* the budget must survive; only strictly
+        // larger areas count as over budget.
+        let space = CandidateSpace::reed_solomon();
+        let gf16_area = space.options()[0].area();
+        let at_budget = space.enumerate(Some(gf16_area))?;
+        assert!(
+            at_budget
+                .candidates
+                .iter()
+                .any(|c| (c.area - gf16_area).abs() < 1e-12),
+            "candidate with area == budget must survive"
+        );
+        // Shave the budget below that area: the same candidate now counts
+        // in over_budget instead.
+        let under = space.enumerate(Some(gf16_area * (1.0 - 1e-6)))?;
+        assert!(under.over_budget > at_budget.over_budget);
+        assert!(!under
+            .candidates
+            .iter()
+            .any(|c| (c.area - gf16_area).abs() < 1e-12));
+        Ok(())
+    }
+
+    #[test]
+    fn redundant_pairs_are_pruned_by_dominance() -> Result<(), DseError> {
         // {gf16, rswide} resolves to rs3 like {rsfull}, at no less area —
         // it must never survive next to it.
         let space = CandidateSpace::reed_solomon();
-        let e = space.enumerate(None);
+        let e = space.enumerate(None)?;
         let rs3: Vec<&EnumeratedCandidate> = e
             .candidates
             .iter()
             .filter(|c| c.workload.name() == "reed_solomon_rs3")
             .collect();
         assert_eq!(rs3.len(), 1);
+        Ok(())
+    }
+
+    #[test]
+    fn oversized_spaces_get_a_typed_error_not_a_truncated_walk() {
+        let options = (0..MAX_OPTIONS + 1)
+            .map(|i| DesignOption {
+                name: format!("opt{i}"),
+                ext: ExtensionSet::empty(),
+            })
+            .collect();
+        let space = CandidateSpace::new("too-big", options, |_| RsConfig::Rs0.workload());
+        match space.enumerate(None) {
+            Err(DseError::SpaceTooLarge { options, max }) => {
+                assert_eq!(options, MAX_OPTIONS + 1);
+                assert_eq!(max, MAX_OPTIONS);
+            }
+            other => panic!("expected SpaceTooLarge, got {other:?}"),
+        }
     }
 }

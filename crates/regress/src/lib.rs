@@ -35,8 +35,8 @@
 //! data.push_sample("s3", &[1.0, 1.0], 5.0)?;
 //! data.push_sample("s4", &[2.0, 1.0], 7.0)?;
 //! let fit = data.fit(Default::default())?;
-//! assert!((fit.coefficient("x0").unwrap() - 2.0).abs() < 1e-9);
-//! assert!((fit.coefficient("x1").unwrap() - 3.0).abs() < 1e-9);
+//! assert!(fit.coefficient("x0").is_some_and(|c| (c - 2.0).abs() < 1e-9));
+//! assert!(fit.coefficient("x1").is_some_and(|c| (c - 3.0).abs() < 1e-9));
 //! # Ok(())
 //! # }
 //! ```

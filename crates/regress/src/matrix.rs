@@ -32,7 +32,9 @@ impl Matrix {
     ///
     /// Panics if `rows * cols` overflows `usize`.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        let len = rows.checked_mul(cols).expect("matrix size overflow");
+        let Some(len) = rows.checked_mul(cols) else {
+            panic!("matrix size overflow: {rows} x {cols}")
+        };
         Matrix {
             rows,
             cols,

@@ -121,8 +121,8 @@ impl LinearFit {
 /// d.push_sample("p1", &[2.0, 1.0], 7.0)?;
 /// d.push_sample("p2", &[1.0, 1.0], 5.0)?;
 /// let fit = d.fit(Default::default())?;
-/// assert!((fit.coefficient("a").unwrap() - 2.0).abs() < 1e-9);
-/// assert!((fit.coefficient("b").unwrap() - 3.0).abs() < 1e-9);
+/// assert!(fit.coefficient("a").is_some_and(|c| (c - 2.0).abs() < 1e-9));
+/// assert!(fit.coefficient("b").is_some_and(|c| (c - 3.0).abs() < 1e-9));
 /// # Ok(())
 /// # }
 /// ```
@@ -279,11 +279,14 @@ impl Dataset {
 /// # Example
 ///
 /// ```
+/// # fn main() -> Result<(), emx_regress::RegressError> {
 /// use emx_regress::{lstsq, Matrix};
 ///
 /// let x = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
-/// let c = lstsq(&x, &[1.0, 2.0, 3.0]).unwrap();
+/// let c = lstsq(&x, &[1.0, 2.0, 3.0])?;
 /// assert!((c[0] - 1.0).abs() < 1e-10 && (c[1] - 2.0).abs() < 1e-10);
+/// # Ok(())
+/// # }
 /// ```
 pub fn lstsq(x: &Matrix, y: &[f64]) -> Result<Vec<f64>, RegressError> {
     qr_lstsq(x, y)

@@ -23,12 +23,15 @@ use crate::{Matrix, RegressError};
 /// # Example
 ///
 /// ```
+/// # fn main() -> Result<(), emx_regress::RegressError> {
 /// use emx_regress::{Matrix, solve::cholesky_solve};
 ///
 /// let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
-/// let x = cholesky_solve(&a, &[8.0, 7.0]).unwrap();
+/// let x = cholesky_solve(&a, &[8.0, 7.0])?;
 /// assert!((x[0] - 1.25).abs() < 1e-12);
 /// assert!((x[1] - 1.5).abs() < 1e-12);
+/// # Ok(())
+/// # }
 /// ```
 pub fn cholesky_solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, RegressError> {
     let n = a.rows();

@@ -127,11 +127,18 @@ impl Cache {
             };
         }
 
-        // Miss: pick an invalid way, else the LRU way.
-        let victim = set_lines
+        // Miss: pick an invalid way, else the LRU way. A zero-way
+        // configuration has nowhere to fill — degrade to an uncached miss
+        // rather than panicking on a hostile config.
+        let Some(victim) = set_lines
             .iter_mut()
             .min_by_key(|l| if l.valid { l.lru + 1 } else { 0 })
-            .expect("ways > 0");
+        else {
+            return CacheAccess {
+                hit: false,
+                writeback: false,
+            };
+        };
         let writeback = victim.valid && victim.dirty;
         *victim = Line {
             tag,

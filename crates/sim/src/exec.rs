@@ -401,17 +401,19 @@ mod tests {
     use super::*;
     use emx_isa::asm::Assembler;
 
-    fn run_to_halt(src: &str) -> CoreState {
-        let program = Assembler::new().assemble(src).unwrap();
+    type TestResult = Result<(), Box<dyn std::error::Error>>;
+
+    fn run_to_halt(src: &str) -> Result<CoreState, Box<dyn std::error::Error>> {
+        let program = Assembler::new().assemble(src)?;
         let ext = ExtensionSet::empty();
         let mut state = CoreState::new(&program, &ext);
         for _ in 0..10_000 {
-            let out = step(&mut state, &program, &ext).unwrap();
+            let out = step(&mut state, &program, &ext)?;
             if out.halted {
-                return state;
+                return Ok(state);
             }
         }
-        panic!("program did not halt");
+        Err("program did not halt".into())
     }
 
     fn r(i: u8) -> Reg {
@@ -419,11 +421,11 @@ mod tests {
     }
 
     #[test]
-    fn arithmetic_semantics() {
+    fn arithmetic_semantics() -> TestResult {
         let s = run_to_halt(
             "movi a2, 7\nmovi a3, -3\nadd a4, a2, a3\nsub a5, a2, a3\nmul a6, a2, a3\n\
              neg a7, a3\nabs a8, a3\nclz a9, a2\nmax a10, a2, a3\nminu a11, a2, a3\nhalt",
-        );
+        )?;
         assert_eq!(s.reg(r(4)), 4);
         assert_eq!(s.reg(r(5)), 10);
         assert_eq!(s.reg(r(6)) as i32, -21);
@@ -432,138 +434,148 @@ mod tests {
         assert_eq!(s.reg(r(9)), 29);
         assert_eq!(s.reg(r(10)), 7);
         assert_eq!(s.reg(r(11)), 7); // unsigned: -3 is huge
+        Ok(())
     }
 
     #[test]
-    fn shift_semantics() {
+    fn shift_semantics() -> TestResult {
         let s = run_to_halt(
             "movi a2, 0x80000001\nslli a3, a2, 1\nsrli a4, a2, 1\nsrai a5, a2, 1\n\
              rori a6, a2, 1\nmovi a7, 4\nsll a8, a2, a7\nhalt",
-        );
+        )?;
         assert_eq!(s.reg(r(3)), 2);
         assert_eq!(s.reg(r(4)), 0x4000_0000);
         assert_eq!(s.reg(r(5)), 0xc000_0000);
         assert_eq!(s.reg(r(6)), 0xc000_0000);
         assert_eq!(s.reg(r(8)), 0x10);
+        Ok(())
     }
 
     #[test]
-    fn mul_variants() {
+    fn mul_variants() -> TestResult {
         let s = run_to_halt(
             "movi a2, 0x10000\nmovi a3, 0x10000\nmulh a4, a2, a3\nmuluh a5, a2, a3\n\
              movi a6, -2\nmovi a7, 3\nmul16s a8, a6, a7\nmul16u a9, a6, a7\nhalt",
-        );
+        )?;
         assert_eq!(s.reg(r(4)), 1);
         assert_eq!(s.reg(r(5)), 1);
         assert_eq!(s.reg(r(8)) as i32, -6);
         assert_eq!(s.reg(r(9)), 0xfffe * 3);
+        Ok(())
     }
 
     #[test]
-    fn extui_and_sext() {
+    fn extui_and_sext() -> TestResult {
         let s = run_to_halt(
             "movi a2, 0x12345678\nextui a3, a2, 8, 12\nmovi a4, 0x80\nsext8 a5, a4\n\
              movi a6, 0x8000\nsext16 a7, a6\nhalt",
-        );
+        )?;
         assert_eq!(s.reg(r(3)), 0x456);
         assert_eq!(s.reg(r(5)), 0xffff_ff80);
         assert_eq!(s.reg(r(7)), 0xffff_8000);
+        Ok(())
     }
 
     #[test]
-    fn conditional_moves() {
+    fn conditional_moves() -> TestResult {
         let s = run_to_halt(
             "movi a2, 5\nmovi a3, 0\nmovi a4, 99\nmoveqz a4, a2, a3\n\
              movi a5, 99\nmovnez a5, a2, a3\nmovi a6, -1\nmovi a7, 99\nmovltz a7, a2, a6\nhalt",
-        );
+        )?;
         assert_eq!(s.reg(r(4)), 5); // a3 == 0 → moved
         assert_eq!(s.reg(r(5)), 99); // a3 == 0 → not moved
         assert_eq!(s.reg(r(7)), 5); // a6 < 0 → moved
+        Ok(())
     }
 
     #[test]
-    fn memory_round_trip() {
+    fn memory_round_trip() -> TestResult {
         let s = run_to_halt(
             ".data\nbuf: .space 16\n.text\nmovi a2, buf\nmovi a3, 0x1234abcd\n\
              s32i a3, 0(a2)\nl32i a4, 0(a2)\nl16ui a5, 0(a2)\nl16si a6, 2(a2)\n\
              l8ui a7, 3(a2)\ns8i a3, 8(a2)\nl8si a8, 8(a2)\nhalt",
-        );
+        )?;
         assert_eq!(s.reg(r(4)), 0x1234_abcd);
         assert_eq!(s.reg(r(5)), 0xabcd);
         assert_eq!(s.reg(r(6)), 0x1234);
         assert_eq!(s.reg(r(7)), 0x12);
         assert_eq!(s.reg(r(8)), 0xffff_ffcd);
+        Ok(())
     }
 
     #[test]
-    fn unaligned_access_faults() {
-        let program = Assembler::new()
-            .assemble("movi a2, 1\nl32i a3, 0(a2)\nhalt")
-            .unwrap();
+    fn unaligned_access_faults() -> TestResult {
+        let program = Assembler::new().assemble("movi a2, 1\nl32i a3, 0(a2)\nhalt")?;
         let ext = ExtensionSet::empty();
         let mut state = CoreState::new(&program, &ext);
-        step(&mut state, &program, &ext).unwrap();
+        step(&mut state, &program, &ext)?;
         assert_eq!(
             step(&mut state, &program, &ext),
             Err(SimError::Unaligned { addr: 1, size: 4 })
         );
+        Ok(())
     }
 
     #[test]
-    fn calls_and_returns() {
-        let s = run_to_halt("movi a2, 1\ncall fn\nmovi a4, 7\nhalt\nfn: movi a3, 6\nret");
+    fn calls_and_returns() -> TestResult {
+        let s = run_to_halt("movi a2, 1\ncall fn\nmovi a4, 7\nhalt\nfn: movi a3, 6\nret")?;
         assert_eq!(s.reg(r(3)), 6);
         assert_eq!(s.reg(r(4)), 7);
+        Ok(())
     }
 
     #[test]
-    fn computed_jump() {
-        let s = run_to_halt("movi a2, tgt\njx a2\nmovi a3, 1\nhalt\ntgt: movi a3, 2\nhalt");
+    fn computed_jump() -> TestResult {
+        let s = run_to_halt("movi a2, tgt\njx a2\nmovi a3, 1\nhalt\ntgt: movi a3, 2\nhalt")?;
         assert_eq!(s.reg(r(3)), 2);
+        Ok(())
     }
 
     #[test]
-    fn branch_taken_and_untaken() {
+    fn branch_taken_and_untaken() -> TestResult {
         let program = Assembler::new()
-            .assemble("movi a2, 0\nbeqz a2, yes\nnop\nyes: bnez a2, no\nhalt\nno: nop\nhalt")
-            .unwrap();
+            .assemble("movi a2, 0\nbeqz a2, yes\nnop\nyes: bnez a2, no\nhalt\nno: nop\nhalt")?;
         let ext = ExtensionSet::empty();
         let mut state = CoreState::new(&program, &ext);
-        step(&mut state, &program, &ext).unwrap();
-        let b1 = step(&mut state, &program, &ext).unwrap();
+        step(&mut state, &program, &ext)?;
+        let b1 = step(&mut state, &program, &ext)?;
         assert!(b1.taken);
-        let b2 = step(&mut state, &program, &ext).unwrap();
+        let b2 = step(&mut state, &program, &ext)?;
         assert!(!b2.taken);
+        Ok(())
     }
 
     #[test]
-    fn mask_branches() {
+    fn mask_branches() -> TestResult {
         let s = run_to_halt(
             "movi a2, 0b1110\nmovi a3, 0b0110\nmovi a4, 0\n\
              ball a2, a3, t1\nj end\nt1: addi a4, a4, 1\n\
              bany a2, a3, t2\nj end\nt2: addi a4, a4, 1\n\
              movi a5, 0b0001\nbnone a2, a5, t3\nj end\nt3: addi a4, a4, 1\n\
              end: halt",
-        );
+        )?;
         assert_eq!(s.reg(r(4)), 3);
+        Ok(())
     }
 
     #[test]
-    fn invalid_pc_detected() {
-        let program = Assembler::new().assemble("nop\nnop\n").unwrap();
+    fn invalid_pc_detected() -> TestResult {
+        let program = Assembler::new().assemble("nop\nnop\n")?;
         let ext = ExtensionSet::empty();
         let mut state = CoreState::new(&program, &ext);
-        step(&mut state, &program, &ext).unwrap();
-        step(&mut state, &program, &ext).unwrap();
+        step(&mut state, &program, &ext)?;
+        step(&mut state, &program, &ext)?;
         assert_eq!(
             step(&mut state, &program, &ext),
             Err(SimError::InvalidPc(8))
         );
+        Ok(())
     }
 
     #[test]
-    fn l32r_reads_literal() {
-        let s = run_to_halt(".data\nk: .word 0xcafef00d\n.text\nl32r a2, k\nhalt");
+    fn l32r_reads_literal() -> TestResult {
+        let s = run_to_halt(".data\nk: .word 0xcafef00d\n.text\nl32r a2, k\nhalt")?;
         assert_eq!(s.reg(r(2)), 0xcafe_f00d);
+        Ok(())
     }
 }

@@ -139,7 +139,9 @@ impl<'a> Interp<'a> {
         let (read_a, read_b) = match &out.inst {
             Inst::Base(b) => b.read_regs(),
             Inst::Custom(c) => {
-                let spec = self.ext.get(c.id).expect("validated by exec::step");
+                // exec::step validated the id, but re-check instead of
+                // panicking so a future desync stays a recoverable error.
+                let spec = self.ext.get(c.id).ok_or(SimError::UnknownCustom(c.id))?;
                 let sig = spec.signature();
                 (
                     (sig.gpr_reads >= 1).then_some(c.rs),
@@ -170,7 +172,7 @@ impl<'a> Interp<'a> {
                 (InstKind::Base(class, b.op.exec_unit()), cost, cost - 1)
             }
             Inst::Custom(c) => {
-                let spec = self.ext.get(c.id).expect("validated by exec::step");
+                let spec = self.ext.get(c.id).ok_or(SimError::UnknownCustom(c.id))?;
                 let cost = u32::from(spec.latency());
                 self.stats.custom_cycles += u64::from(cost);
                 if spec.uses_gpr() {
@@ -242,7 +244,7 @@ impl<'a> Interp<'a> {
         if S::ACTIVE {
             let custom = match (&out.inst, out.custom) {
                 (Inst::Custom(_), Some(id)) => {
-                    let spec = self.ext.get(id).expect("validated by exec::step");
+                    let spec = self.ext.get(id).ok_or(SimError::UnknownCustom(id))?;
                     Some(CustomActivity {
                         id,
                         latency: spec.latency(),

@@ -57,7 +57,7 @@
 //!         }
 //!     }",
 //! )?;
-//! let inst = set.by_name("addsat").expect("declared");
+//! let inst = set.by_name("addsat").ok_or("addsat not declared")?;
 //! let mut state = set.initial_state();
 //! assert_eq!(inst.execute(200, 100, 0, &mut state)?.gpr, Some(255));
 //! assert_eq!(inst.execute(3, 4, 0, &mut state)?.gpr, Some(7));

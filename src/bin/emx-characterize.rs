@@ -17,21 +17,21 @@
 
 use std::process::ExitCode;
 
-use emx::core::Characterizer;
+use emx::core::{Characterizer, EmxError};
 use emx::obs::Collector;
 use emx::sim::ProcConfig;
 use emx::workloads::suite;
 
 const USAGE: &str = "usage: emx-characterize <model-output.txt> [--report <out.json>]";
 
-fn run(path: &str, report_path: Option<&str>) -> Result<(), String> {
+fn run(path: &str, report_path: Option<&str>) -> Result<(), EmxError> {
     println!("characterizing the emx base processor over the built-in training suite…");
     let workloads = suite::full_training_suite();
     let cases = suite::training_cases(&workloads);
     let mut obs = Collector::disabled();
     let (result, report) = Characterizer::new(ProcConfig::default())
         .characterize_instrumented(&cases, &mut obs)
-        .map_err(|e| format!("characterization failed: {e}"))?;
+        .map_err(|e| EmxError::from(e).context("characterization failed"))?;
 
     println!(
         "fitted {} coefficients over {} programs: R^2 = {:.5}, rms = {:.2}%, max = {:.2}%",
@@ -48,50 +48,59 @@ fn run(path: &str, report_path: Option<&str>) -> Result<(), String> {
         report.solve_micros,
         report.speedup,
     );
-    std::fs::write(path, result.model.to_text())
-        .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    std::fs::write(path, result.model.to_text()).map_err(|e| EmxError::io(path, &e))?;
     println!("model written to {path}");
 
     if let Some(report_path) = report_path {
         let mut text = report.to_json().to_string();
         text.push('\n');
-        std::fs::write(report_path, text)
-            .map_err(|e| format!("cannot write `{report_path}`: {e}"))?;
+        std::fs::write(report_path, text).map_err(|e| EmxError::io(report_path, &e))?;
         println!("report written to {report_path}");
     }
     Ok(())
 }
 
-fn parse_args(mut args: impl Iterator<Item = String>) -> Result<(String, Option<String>), String> {
+fn parse_args(
+    mut args: impl Iterator<Item = String>,
+) -> Result<(String, Option<String>), EmxError> {
     let mut model_path = None;
     let mut report_path = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--report" => {
-                report_path = Some(args.next().ok_or("--report needs a file path")?);
+                report_path = Some(args.next().ok_or_else(|| {
+                    EmxError::usage(format!("--report needs a file path\n{USAGE}"))
+                })?);
             }
-            "--help" | "-h" => return Err(USAGE.to_owned()),
-            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            "--help" | "-h" => return Err(EmxError::usage(USAGE)),
+            other if other.starts_with('-') => {
+                return Err(EmxError::usage(format!("unknown flag `{other}`")))
+            }
             path if model_path.is_none() => model_path = Some(path.to_owned()),
-            extra => return Err(format!("unexpected argument `{extra}`")),
+            extra => return Err(EmxError::usage(format!("unexpected argument `{extra}`"))),
         }
     }
-    Ok((model_path.ok_or(USAGE)?, report_path))
+    Ok((
+        model_path.ok_or_else(|| EmxError::usage(USAGE))?,
+        report_path,
+    ))
 }
 
+// Exit-code contract (shared by all emx binaries): 2 = usage error,
+// 1 = bad input/data, 3 = internal error or fatal worker failure.
 fn main() -> ExitCode {
     let (path, report_path) = match parse_args(std::env::args().skip(1)) {
         Ok(parsed) => parsed,
-        Err(message) => {
-            eprintln!("{message}");
-            return ExitCode::FAILURE;
+        Err(e) => {
+            eprintln!("{}", e.message());
+            return ExitCode::from(e.exit_code());
         }
     };
     match run(&path, report_path.as_deref()) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("emx-characterize: {message}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("emx-characterize: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -100,7 +109,7 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> Result<(String, Option<String>), String> {
+    fn parse(args: &[&str]) -> Result<(String, Option<String>), EmxError> {
         parse_args(args.iter().map(|s| (*s).to_owned()))
     }
 
@@ -115,10 +124,17 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
-        assert!(parse(&[]).is_err());
-        assert!(parse(&["--report", "r.json"]).is_err());
-        assert!(parse(&["m.txt", "--report"]).is_err());
-        assert!(parse(&["m.txt", "extra"]).is_err());
-        assert!(parse(&["m.txt", "--bogus"]).is_err());
+        for args in [
+            &[][..],
+            &["--report", "r.json"],
+            &["m.txt", "--report"],
+            &["m.txt", "extra"],
+            &["m.txt", "--bogus"],
+        ] {
+            match parse(args) {
+                Err(e) => assert_eq!(e.exit_code(), 2, "{args:?} must be a usage error"),
+                Ok(_) => panic!("{args:?} must be rejected"),
+            }
+        }
     }
 }

@@ -19,7 +19,7 @@
 
 use std::process::ExitCode;
 
-use emx::core::Characterizer;
+use emx::core::{Characterizer, EmxError};
 use emx::dse::{self, CandidateSpace, EstimationCache};
 use emx::obs::{ChromeTraceWriter, Collector};
 use emx::sim::ProcConfig;
@@ -39,7 +39,7 @@ const USAGE: &str = "usage: emx-dse [--workload <name>] [--budget <net-equivalen
                      [--jobs <n>] [--cache <file.json>] [--model <model.txt>] \
                      [--json <out.json>] [--chrome-trace <out.json>]";
 
-fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, EmxError> {
     let mut options = Options {
         workload: "reed-solomon".to_owned(),
         budget: None,
@@ -49,58 +49,83 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         json_path: None,
         chrome_trace: None,
     };
+    let missing = |what: &str| EmxError::usage(format!("{what}\n{USAGE}"));
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workload" => {
-                options.workload = args.next().ok_or("--workload needs a space name")?;
+                options.workload = args
+                    .next()
+                    .ok_or_else(|| missing("--workload needs a space name"))?;
             }
             "--budget" => {
-                let b = args.next().ok_or("--budget needs a number")?;
-                let b: f64 = b.parse().map_err(|_| format!("bad budget `{b}`"))?;
+                let b = args
+                    .next()
+                    .ok_or_else(|| missing("--budget needs a number"))?;
+                let b: f64 = b
+                    .parse()
+                    .map_err(|_| EmxError::usage(format!("bad budget `{b}`")))?;
                 if !b.is_finite() || b < 0.0 {
-                    return Err(format!("budget must be finite and non-negative, got {b}"));
+                    return Err(EmxError::usage(format!(
+                        "budget must be finite and non-negative, got {b}"
+                    )));
                 }
                 options.budget = Some(b);
             }
             "--jobs" => {
-                let n = args.next().ok_or("--jobs needs a number")?;
-                options.jobs = n.parse().map_err(|_| format!("bad job count `{n}`"))?;
+                let n = args
+                    .next()
+                    .ok_or_else(|| missing("--jobs needs a number"))?;
+                options.jobs = n
+                    .parse()
+                    .map_err(|_| EmxError::usage(format!("bad job count `{n}`")))?;
             }
             "--cache" => {
-                options.cache_path = Some(args.next().ok_or("--cache needs a file path")?);
+                options.cache_path = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--cache needs a file path"))?,
+                );
             }
             "--model" => {
-                options.model_path = Some(args.next().ok_or("--model needs a file path")?);
+                options.model_path = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--model needs a file path"))?,
+                );
             }
             "--json" => {
-                options.json_path = Some(args.next().ok_or("--json needs a file path")?);
+                options.json_path = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--json needs a file path"))?,
+                );
             }
             "--chrome-trace" => {
-                options.chrome_trace = Some(args.next().ok_or("--chrome-trace needs a file path")?);
+                options.chrome_trace = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--chrome-trace needs a file path"))?,
+                );
             }
-            "--help" | "-h" => return Err(USAGE.to_owned()),
-            other => return Err(format!("unexpected argument `{other}`")),
+            "--help" | "-h" => return Err(EmxError::usage(USAGE)),
+            other => return Err(EmxError::usage(format!("unexpected argument `{other}`"))),
         }
     }
     Ok(options)
 }
 
-fn run(options: &Options) -> Result<(), String> {
+fn run(options: &Options) -> Result<(), EmxError> {
     let space = CandidateSpace::by_name(&options.workload).ok_or_else(|| {
-        format!(
+        EmxError::usage(format!(
             "unknown workload `{}` (available: {})",
             options.workload,
             CandidateSpace::names().join(", ")
-        )
+        ))
     })?;
 
     let mut obs = Collector::new();
 
     let model = match &options.model_path {
         Some(path) => {
-            let text =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            emx::core::EnergyMacroModel::from_text(&text).map_err(|e| format!("{path}: {e}"))?
+            let text = std::fs::read_to_string(path).map_err(|e| EmxError::io(path, &e))?;
+            emx::core::EnergyMacroModel::from_text(&text)
+                .map_err(|e| EmxError::from(e).context(path))?
         }
         None => {
             println!("no --model given: characterizing the base processor once…");
@@ -109,14 +134,22 @@ fn run(options: &Options) -> Result<(), String> {
             let cases = suite::training_cases(&workloads);
             let result = Characterizer::new(ProcConfig::default())
                 .characterize(&cases)
-                .map_err(|e| format!("characterization failed: {e}"))?;
+                .map_err(|e| EmxError::from(e).context("characterization failed"))?;
             obs.end(span);
             result.model
         }
     };
 
+    // A damaged cache file must never abort a search: quarantine it, keep
+    // whatever entries survived, and run (at worst) cold.
     let mut cache = match &options.cache_path {
-        Some(path) => EstimationCache::load(path)?,
+        Some(path) => {
+            let (cache, recovery) = EstimationCache::load_or_recover(path)?;
+            if let Some(recovery) = recovery {
+                eprintln!("emx-dse: warning: cache recovered: {recovery}");
+            }
+            cache
+        }
         None => EstimationCache::new(),
     };
 
@@ -129,7 +162,7 @@ fn run(options: &Options) -> Result<(), String> {
         &mut cache,
         &mut obs,
     )
-    .map_err(|e| format!("exploration failed: {e}"))?;
+    .map_err(|e| EmxError::from(e).context("exploration failed"))?;
 
     println!(
         "space `{}`: {} subsets enumerated, {} over budget, {} dominated, {} evaluated",
@@ -166,6 +199,15 @@ fn run(options: &Options) -> Result<(), String> {
             if out.pareto.contains(&i) { "*" } else { "" }
         );
     }
+    if !out.failed.is_empty() {
+        eprintln!(
+            "emx-dse: warning: {} candidate(s) failed to evaluate (search completed over survivors):",
+            out.failed.len()
+        );
+        for f in &out.failed {
+            eprintln!("  {}: {} [{}]", f.name, f.error, f.error.code());
+        }
+    }
     if let Some(i) = out.best_energy {
         println!("\nlowest energy: {}", out.points[i].name);
     }
@@ -186,32 +228,34 @@ fn run(options: &Options) -> Result<(), String> {
             .collect();
         let mut text = dse::report::to_json(&out, &options_table).to_string();
         text.push('\n');
-        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        std::fs::write(path, text).map_err(|e| EmxError::io(path, &e))?;
         println!("report written to {path}");
     }
 
     if let Some(path) = &options.chrome_trace {
         let mut text = ChromeTraceWriter::new("emx-dse").to_string(&obs);
         text.push('\n');
-        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        std::fs::write(path, text).map_err(|e| EmxError::io(path, &e))?;
         println!("Chrome trace written to {path} (load at ui.perfetto.dev)");
     }
     Ok(())
 }
 
+// Exit-code contract (shared by all emx binaries): 2 = usage error,
+// 1 = bad input/data, 3 = internal error or fatal worker failure.
 fn main() -> ExitCode {
     let options = match parse_args(std::env::args().skip(1)) {
         Ok(options) => options,
-        Err(message) => {
-            eprintln!("{message}");
-            return ExitCode::FAILURE;
+        Err(e) => {
+            eprintln!("{}", e.message());
+            return ExitCode::from(e.exit_code());
         }
     };
     match run(&options) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("emx-dse: {message}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("emx-dse: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -220,7 +264,7 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn opts(args: &[&str]) -> Result<Options, String> {
+    fn opts(args: &[&str]) -> Result<Options, EmxError> {
         parse_args(args.iter().map(|s| (*s).to_owned()))
     }
 
@@ -265,11 +309,18 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
-        assert!(opts(&["--budget"]).is_err());
-        assert!(opts(&["--budget", "-1"]).is_err());
-        assert!(opts(&["--budget", "nan"]).is_err());
-        assert!(opts(&["--jobs", "many"]).is_err());
-        assert!(opts(&["--bogus"]).is_err());
-        assert!(opts(&["stray"]).is_err());
+        for args in [
+            &["--budget"][..],
+            &["--budget", "-1"],
+            &["--budget", "nan"],
+            &["--jobs", "many"],
+            &["--bogus"],
+            &["stray"],
+        ] {
+            match opts(args) {
+                Err(e) => assert_eq!(e.exit_code(), 2, "{args:?} must be a usage error"),
+                Ok(_) => panic!("{args:?} must be rejected"),
+            }
+        }
     }
 }

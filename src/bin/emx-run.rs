@@ -24,6 +24,7 @@
 use std::process::ExitCode;
 use std::time::Instant;
 
+use emx::core::EmxError;
 use emx::obs::{ChromeTraceWriter, Collector};
 use emx::prelude::*;
 use emx::sim::observe::CounterTraceSink;
@@ -49,7 +50,7 @@ const USAGE: &str = "usage: emx-run <program.s> [--tie <ext.tie>] [--energy] \
                      [--stats-json <out.json>] [--chrome-trace <out.json>] \
                      [--max-cycles <n>]";
 
-fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String> {
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, EmxError> {
     let mut program_path = None;
     let mut options = Options {
         program_path: String::new(),
@@ -63,42 +64,65 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, String>
         chrome_trace: None,
         max_cycles: 1_000_000_000,
     };
+    let missing = |what: &str| EmxError::usage(format!("{what}\n{USAGE}"));
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--tie" => {
-                options.tie_path = Some(args.next().ok_or("--tie needs a file path")?);
+                options.tie_path = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--tie needs a file path"))?,
+                );
             }
             "--model" => {
-                options.model_path = Some(args.next().ok_or("--model needs a file path")?);
+                options.model_path = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--model needs a file path"))?,
+                );
             }
             "--energy" => options.energy = true,
             "--disasm" => options.disasm = true,
             "--trace" => options.trace = true,
             "--stats-json" => {
-                options.stats_json = Some(args.next().ok_or("--stats-json needs a file path")?);
+                options.stats_json = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--stats-json needs a file path"))?,
+                );
             }
             "--chrome-trace" => {
-                options.chrome_trace = Some(args.next().ok_or("--chrome-trace needs a file path")?);
+                options.chrome_trace = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--chrome-trace needs a file path"))?,
+                );
             }
             "--profile" => {
-                let w = args.next().ok_or("--profile needs a window size")?;
-                let w: u64 = w.parse().map_err(|_| format!("bad window size `{w}`"))?;
+                let w = args
+                    .next()
+                    .ok_or_else(|| missing("--profile needs a window size"))?;
+                let w: u64 = w
+                    .parse()
+                    .map_err(|_| EmxError::usage(format!("bad window size `{w}`")))?;
                 if w == 0 {
-                    return Err("window size must be nonzero".to_owned());
+                    return Err(EmxError::usage("window size must be nonzero"));
                 }
                 options.profile = Some(w);
             }
             "--max-cycles" => {
-                let n = args.next().ok_or("--max-cycles needs a number")?;
-                options.max_cycles = n.parse().map_err(|_| format!("bad cycle count `{n}`"))?;
+                let n = args
+                    .next()
+                    .ok_or_else(|| missing("--max-cycles needs a number"))?;
+                options.max_cycles = n
+                    .parse()
+                    .map_err(|_| EmxError::usage(format!("bad cycle count `{n}`")))?;
             }
-            "--help" | "-h" => return Err(USAGE.to_owned()),
-            other if other.starts_with('-') => return Err(format!("unknown flag `{other}`")),
+            "--help" | "-h" => return Err(EmxError::usage(USAGE)),
+            other if other.starts_with('-') => {
+                return Err(EmxError::usage(format!("unknown flag `{other}`")))
+            }
             path if program_path.is_none() => program_path = Some(path.to_owned()),
-            extra => return Err(format!("unexpected argument `{extra}`")),
+            extra => return Err(EmxError::usage(format!("unexpected argument `{extra}`"))),
         }
     }
-    options.program_path = program_path.ok_or(USAGE)?;
+    options.program_path = program_path.ok_or_else(|| EmxError::usage(USAGE))?;
     Ok(options)
 }
 
@@ -116,7 +140,7 @@ fn elapsed_micros(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
-fn run(options: &Options) -> Result<(), String> {
+fn run(options: &Options) -> Result<(), EmxError> {
     // The collector is enabled only when a Chrome trace was requested, so
     // the default path stays allocation-free.
     let mut obs = if options.chrome_trace.is_some() {
@@ -128,19 +152,18 @@ fn run(options: &Options) -> Result<(), String> {
     let span = obs.begin("assemble");
     let ext = match &options.tie_path {
         Some(path) => {
-            let src =
-                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            parse_extension(&src).map_err(|e| format!("{path}: {e}"))?
+            let src = std::fs::read_to_string(path).map_err(|e| EmxError::io(path, &e))?;
+            parse_extension(&src).map_err(|e| EmxError::from(e).context(path))?
         }
         None => ExtensionSet::empty(),
     };
     let src = std::fs::read_to_string(&options.program_path)
-        .map_err(|e| format!("cannot read `{}`: {e}", options.program_path))?;
+        .map_err(|e| EmxError::io(&options.program_path, &e))?;
     let mut asm = Assembler::new();
     ext.register_mnemonics(&mut asm);
     let program = asm
         .assemble(&src)
-        .map_err(|e| format!("{}: {e}", options.program_path))?;
+        .map_err(|e| EmxError::parse("parse.asm", format!("{}: {e}", options.program_path)))?;
     obs.end(span);
 
     if options.disasm {
@@ -150,7 +173,7 @@ fn run(options: &Options) -> Result<(), String> {
 
     let mut sim = Interp::new(&program, &ext, ProcConfig::default());
     let span = obs.begin("iss-simulate");
-    let sim_error = |e| format!("simulation failed: {e}");
+    let sim_error = |e: emx::sim::SimError| EmxError::from(e).context("simulation failed");
     let result = if options.trace {
         let mut tracer = emx::sim::trace::Tracer::new();
         let result = if obs.is_enabled() {
@@ -195,15 +218,14 @@ fn run(options: &Options) -> Result<(), String> {
 
     let mut model_micros = None;
     if let Some(path) = &options.model_path {
-        let text =
-            std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-        let model =
-            emx::core::EnergyMacroModel::from_text(&text).map_err(|e| format!("{path}: {e}"))?;
+        let text = std::fs::read_to_string(path).map_err(|e| EmxError::io(path, &e))?;
+        let model = emx::core::EnergyMacroModel::from_text(&text)
+            .map_err(|e| EmxError::from(e).context(path))?;
         let started = Instant::now();
         let span = obs.begin("macro-model-estimate");
         let estimate = model
             .estimate(&program, &ext, ProcConfig::default())
-            .map_err(|e| format!("macro-model estimation failed: {e}"))?;
+            .map_err(|e| EmxError::from(e).context("macro-model estimation failed"))?;
         obs.end(span);
         model_micros = Some(elapsed_micros(started));
         println!(
@@ -219,7 +241,8 @@ fn run(options: &Options) -> Result<(), String> {
     if options.energy || options.profile.is_some() {
         let estimator = RtlEnergyEstimator::new();
         let config = ProcConfig::default();
-        let energy_error = |e| format!("energy estimation failed: {e}");
+        let energy_error =
+            |e: emx::sim::SimError| EmxError::from(e).context("energy estimation failed");
         let started = Instant::now();
         if let Some(window) = options.profile {
             let (report, profile) = estimator
@@ -256,32 +279,34 @@ fn run(options: &Options) -> Result<(), String> {
     if let Some(path) = &options.stats_json {
         let mut text = result.stats.to_json().to_string();
         text.push('\n');
-        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        std::fs::write(path, text).map_err(|e| EmxError::io(path, &e))?;
         println!("\nstats JSON written to {path}");
     }
 
     if let Some(path) = &options.chrome_trace {
         let mut text = ChromeTraceWriter::new("emx-run").to_string(&obs);
         text.push('\n');
-        std::fs::write(path, text).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        std::fs::write(path, text).map_err(|e| EmxError::io(path, &e))?;
         println!("\nChrome trace written to {path} (load at ui.perfetto.dev)");
     }
     Ok(())
 }
 
+// Exit-code contract (shared by all emx binaries): 2 = usage error,
+// 1 = bad input/data, 3 = internal error or fatal worker failure.
 fn main() -> ExitCode {
     let options = match parse_args(std::env::args().skip(1)) {
         Ok(options) => options,
-        Err(message) => {
-            eprintln!("{message}");
-            return ExitCode::FAILURE;
+        Err(e) => {
+            eprintln!("{}", e.message());
+            return ExitCode::from(e.exit_code());
         }
     };
     match run(&options) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("emx-run: {message}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("emx-run: {e}");
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -290,7 +315,7 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn opts(args: &[&str]) -> Result<Options, String> {
+    fn opts(args: &[&str]) -> Result<Options, EmxError> {
         parse_args(args.iter().map(|s| (*s).to_owned()))
     }
 
@@ -336,12 +361,19 @@ mod tests {
 
     #[test]
     fn rejects_bad_input() {
-        assert!(opts(&[]).is_err());
-        assert!(opts(&["p.s", "--bogus"]).is_err());
-        assert!(opts(&["p.s", "--profile", "0"]).is_err());
-        assert!(opts(&["p.s", "--profile", "xyz"]).is_err());
-        assert!(opts(&["p.s", "--stats-json"]).is_err());
-        assert!(opts(&["p.s", "--chrome-trace"]).is_err());
-        assert!(opts(&["p.s", "extra.s"]).is_err());
+        for args in [
+            &[][..],
+            &["p.s", "--bogus"],
+            &["p.s", "--profile", "0"],
+            &["p.s", "--profile", "xyz"],
+            &["p.s", "--stats-json"],
+            &["p.s", "--chrome-trace"],
+            &["p.s", "extra.s"],
+        ] {
+            match opts(args) {
+                Err(e) => assert_eq!(e.exit_code(), 2, "{args:?} must be a usage error"),
+                Ok(_) => panic!("{args:?} must be rejected"),
+            }
+        }
     }
 }

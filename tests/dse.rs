@@ -107,6 +107,11 @@ fn report_schema_is_stable_and_complete() {
         .and_then(|v| v.as_array())
         .expect("pareto array");
     assert!(!pareto.is_empty(), "the front is never empty");
+    let failed = doc
+        .get("failed_candidates")
+        .and_then(|v| v.as_array())
+        .expect("failed_candidates array");
+    assert!(failed.is_empty(), "a healthy run reports no failures");
     // The base candidate exists and every delta is measured against it:
     // its own deltas are exactly zero.
     let base = candidates

@@ -1,0 +1,179 @@
+//! Fault-injection suite: proves the engine's failure-containment
+//! contract end to end.
+//!
+//! The contract under test (see DESIGN.md §"Error taxonomy"): one bad
+//! candidate — whether it returns a typed error or panics outright —
+//! costs exactly that candidate. The run completes, the report carries
+//! the failure in `failed_candidates` with a stable machine code, the
+//! Pareto front covers the survivors, and nothing about the containment
+//! depends on worker count or cache warmth. Likewise a cache file cut
+//! short by a crash is quarantined and rebuilt, never fatal.
+//!
+//! Characterization is expensive, so the fitted model is shared through a
+//! once-cell like `dse.rs`.
+
+use std::sync::OnceLock;
+
+use emx::core::{Characterization, Characterizer};
+use emx::dse::fault::{has_inst, truncate_file, FailingEstimator};
+use emx::dse::{self, CandidateSpace, EstimationCache};
+use emx::obs::Collector;
+use emx::sim::ProcConfig;
+use emx::workloads::suite;
+
+fn characterization() -> &'static Characterization {
+    static MODEL: OnceLock<Characterization> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let workloads = suite::full_training_suite();
+        let cases = suite::training_cases(&workloads);
+        Characterizer::new(ProcConfig::default())
+            .characterize(&cases)
+            .expect("training suite characterizes")
+    })
+}
+
+fn explore_with<E: dse::CandidateEstimator>(
+    estimator: &E,
+    jobs: usize,
+    cache: &mut EstimationCache,
+) -> dse::Exploration {
+    dse::explore_with(
+        estimator,
+        &CandidateSpace::reed_solomon(),
+        None,
+        &ProcConfig::default(),
+        jobs,
+        cache,
+        &mut Collector::disabled(),
+    )
+    .expect("a contained failure must not abort the exploration")
+}
+
+fn report_json(out: &dse::Exploration) -> String {
+    let space = CandidateSpace::reed_solomon();
+    let options: Vec<(String, f64)> = space
+        .options()
+        .iter()
+        .map(|o| (o.name.clone(), o.area()))
+        .collect();
+    dse::report::to_json(out, &options).to_string()
+}
+
+/// The acceptance property: an injected worker panic yields a successful
+/// run whose report names the failed candidate, with the Pareto front
+/// computed over the survivors.
+#[test]
+fn injected_panic_fails_one_candidate_not_the_run() {
+    // `gfmac` is provided only by the rs2 workload's extension set, so
+    // the trigger selects exactly the `gf16mac` candidate.
+    let injector = FailingEstimator::panic_when(&characterization().model, has_inst("gfmac"));
+    let mut cache = EstimationCache::new();
+    let out = explore_with(&injector, 4, &mut cache);
+
+    assert_eq!(out.failed.len(), 1, "exactly one candidate is poisoned");
+    assert_eq!(out.failed[0].name, "gf16mac");
+    assert_eq!(out.failed[0].error.code(), "worker.panicked");
+
+    // Survivors: candidates and points stay parallel, the failed one is
+    // in neither, and every ranking index is valid.
+    assert_eq!(out.points.len(), 3);
+    assert_eq!(out.enumeration.candidates.len(), 3);
+    assert!(out.points.iter().all(|p| p.name != "gf16mac"));
+    assert!(!out.pareto.is_empty(), "the front covers the survivors");
+    for &i in &out.pareto {
+        assert!(i < out.points.len());
+    }
+    assert_eq!(out.base, Some(0), "the base candidate survives");
+
+    // The report carries the failure with its machine code.
+    let doc = emx::obs::json::Value::parse(&report_json(&out)).expect("report parses");
+    let failed = doc
+        .get("failed_candidates")
+        .and_then(|v| v.as_array())
+        .expect("failed_candidates array");
+    assert_eq!(failed.len(), 1);
+    assert_eq!(
+        failed[0].get("name").and_then(|v| v.as_str()),
+        Some("gf16mac")
+    );
+    assert_eq!(
+        failed[0].get("code").and_then(|v| v.as_str()),
+        Some("worker.panicked")
+    );
+    let candidates = doc
+        .get("candidates")
+        .and_then(|v| v.as_array())
+        .expect("candidates array");
+    assert_eq!(candidates.len(), 3, "the report ranks the survivors");
+}
+
+#[test]
+fn injected_error_is_typed_and_never_cached() {
+    // `synstep` is provided only by the rs3 workload's extension set.
+    let injector = FailingEstimator::fail_when(&characterization().model, has_inst("synstep"));
+    let mut cache = EstimationCache::new();
+    let out = explore_with(&injector, 2, &mut cache);
+
+    assert_eq!(out.failed.len(), 1);
+    assert_eq!(out.failed[0].name, "rsfull");
+    assert_eq!(out.failed[0].error.code(), "sim.cycle_limit");
+    // The typed error chains back to the simulator error.
+    assert!(std::error::Error::source(&out.failed[0].error).is_some());
+
+    assert_eq!(out.points.len(), 3);
+    assert_eq!(cache.len(), 3, "only successful estimates enter the cache");
+}
+
+#[test]
+fn containment_is_deterministic_across_job_counts() {
+    let injector = FailingEstimator::panic_when(&characterization().model, has_inst("gfmac"));
+    let serial = report_json(&explore_with(&injector, 1, &mut EstimationCache::new()));
+    for jobs in [2, 4] {
+        let parallel = report_json(&explore_with(&injector, jobs, &mut EstimationCache::new()));
+        assert_eq!(serial, parallel, "--jobs {jobs} changed the faulty report");
+    }
+}
+
+#[test]
+fn truncated_cache_write_recovers_end_to_end() {
+    let path = std::env::temp_dir().join(format!("emx-faults-cache-{}.json", std::process::id()));
+    let path = path.to_string_lossy().into_owned();
+    let _cleanup = Cleanup(&path);
+
+    let model = &characterization().model;
+    let mut cache = EstimationCache::new();
+    let healthy = report_json(&explore_with(&model, 1, &mut cache));
+    cache.save(&path).expect("cache saves");
+
+    // Crash mid-write: the persisted document loses its second half.
+    truncate_file(&path, 40).expect("truncation shim works");
+
+    // Recovery quarantines the damaged file and the search still runs —
+    // cold, but to the same report.
+    let (mut recovered, recovery) =
+        EstimationCache::load_or_recover(&path).expect("recovery never aborts");
+    assert!(recovery.is_some(), "damage must be reported");
+    assert!(recovered.is_empty(), "nothing salvageable from cut JSON");
+    assert!(
+        std::path::Path::new(&format!("{path}.corrupt")).exists(),
+        "the damaged file is preserved for diagnosis"
+    );
+    let rebuilt = report_json(&explore_with(&model, 1, &mut recovered));
+    assert_eq!(healthy, rebuilt, "recovery must not change results");
+
+    // The rebuilt cache persists and reloads cleanly.
+    recovered.save(&path).expect("cache saves after recovery");
+    let (warm, recovery) = EstimationCache::load_or_recover(&path).expect("clean load");
+    assert!(recovery.is_none());
+    assert_eq!(warm.len(), recovered.len());
+}
+
+struct Cleanup<'a>(&'a str);
+
+impl Drop for Cleanup<'_> {
+    fn drop(&mut self) {
+        for suffix in ["", ".tmp", ".corrupt"] {
+            let _ = std::fs::remove_file(format!("{}{suffix}", self.0));
+        }
+    }
+}

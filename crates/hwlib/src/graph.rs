@@ -161,6 +161,27 @@ impl DfGraph {
         Self::default()
     }
 
+    /// Builds the one-component graph `out = op(i0, …)` with `in_w`-bit
+    /// inputs (one per operand of `op`) and an `out_w`-bit result — the
+    /// "unit datapath" that tests and fuzzers wrap around a single
+    /// primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid widths (outside `1..=64`) and on table lookups —
+    /// `op` must not reference a table, since a unit graph owns none.
+    pub fn single_op(op: PrimOp, in_w: u8, out_w: u8) -> Self {
+        let mut g = DfGraph::new();
+        let inputs: Vec<NodeId> = (0..op.arity())
+            .map(|i| g.input(&format!("i{i}"), in_w))
+            .collect();
+        let n = g
+            .node(op, out_w, &inputs)
+            .expect("single_op: op must be valid outside a table context");
+        g.output(n);
+        g
+    }
+
     /// Adds a named graph input of the given width and returns its node.
     ///
     /// Input values are supplied to [`DfGraph::eval`] in creation order.

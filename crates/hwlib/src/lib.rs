@@ -52,5 +52,5 @@ mod table;
 pub use category::Category;
 pub use energy::HwEnergyParams;
 pub use graph::{DfGraph, EvalResult, GraphError, NodeId};
-pub use prim::PrimOp;
+pub use prim::{mask, sext, PrimOp};
 pub use table::{LookupTable, TableError};

@@ -3,7 +3,11 @@ use std::fmt;
 use crate::Category;
 
 /// Masks `v` to the low `width` bits (`width` ∈ 1..=64).
-pub(crate) fn mask(v: u64, width: u8) -> u64 {
+///
+/// This is the bus-truncation rule every datapath node applies to its
+/// result; exported so oracles (tests, fuzzers) share the exact semantics
+/// instead of re-implementing them.
+pub fn mask(v: u64, width: u8) -> u64 {
     debug_assert!((1..=64).contains(&width));
     if width == 64 {
         v
@@ -12,8 +16,10 @@ pub(crate) fn mask(v: u64, width: u8) -> u64 {
     }
 }
 
-/// Sign-extends the `width`-bit value `v` to `i64`.
-pub(crate) fn sext(v: u64, width: u8) -> i64 {
+/// Sign-extends the `width`-bit value `v` to `i64` (`width` ∈ 1..=64) —
+/// the signed-operand interpretation rule, exported for the same reason
+/// as [`mask`].
+pub fn sext(v: u64, width: u8) -> i64 {
     debug_assert!((1..=64).contains(&width));
     let shift = 64 - u32::from(width);
     ((v << shift) as i64) >> shift

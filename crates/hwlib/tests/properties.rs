@@ -2,27 +2,7 @@
 
 use proptest::prelude::*;
 
-use emx_hwlib::{DfGraph, LookupTable, PrimOp};
-
-fn mask(v: u64, w: u8) -> u64 {
-    if w == 64 {
-        v
-    } else {
-        v & ((1u64 << w) - 1)
-    }
-}
-
-/// Builds a one-op graph `op(a, b[, c])` with the given widths.
-fn unit_graph(op: PrimOp, in_w: u8, out_w: u8) -> DfGraph {
-    let mut g = DfGraph::new();
-    let mut inputs = Vec::new();
-    for i in 0..op.arity() {
-        inputs.push(g.input(&format!("i{i}"), in_w));
-    }
-    let n = g.node(op, out_w, &inputs).expect("valid unit graph");
-    g.output(n);
-    g
-}
+use emx_hwlib::{mask, DfGraph, LookupTable, PrimOp};
 
 proptest! {
     #[test]
@@ -30,7 +10,7 @@ proptest! {
                                       in_w in 1u8..=32, out_w in 1u8..=32) {
         for op in [PrimOp::Add, PrimOp::Sub, PrimOp::Mul, PrimOp::And, PrimOp::Or,
                    PrimOp::Xor, PrimOp::Shl, PrimOp::Shr, PrimOp::MaxU, PrimOp::MinU] {
-            let g = unit_graph(op, in_w, out_w);
+            let g = DfGraph::single_op(op, in_w, out_w);
             let out = g.eval(&[a, b]).expect("arity matches")
                 .outputs()[0];
             prop_assert_eq!(out, mask(out, out_w), "{:?} leaked bits", op);
@@ -55,7 +35,7 @@ proptest! {
 
     #[test]
     fn tie_add_is_three_way_add(a in any::<u64>(), b in any::<u64>(), c in any::<u64>(), w in 1u8..=32) {
-        let g = unit_graph(PrimOp::TieAdd, w, w);
+        let g = DfGraph::single_op(PrimOp::TieAdd, w, w);
         let out = g.eval(&[a, b, c]).expect("inputs match").outputs()[0];
         prop_assert_eq!(out, mask(mask(a, w).wrapping_add(mask(b, w)).wrapping_add(mask(c, w)), w));
     }

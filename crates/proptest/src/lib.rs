@@ -12,8 +12,11 @@
 //!
 //! Differences from real proptest, by design:
 //!
-//! * no shrinking — a failing case reports its seed and generated
-//!   values instead,
+//! * shrinking is *explicit*, not automatic: the [`shrink`] module offers
+//!   a [`shrink::Shrink`] trait plus a greedy [`shrink::minimize`] driver
+//!   that harnesses (like the differential fuzzer in `emx-validate`) call
+//!   on a failing case's *recipe*; the `proptest!` macro itself reports
+//!   the seed and moves on,
 //! * fixed case count (64 per test) with deterministic per-test seeds,
 //!   so failures reproduce across runs and machines,
 //! * `Strategy::generate` is the whole engine; there is no `ValueTree`.
@@ -315,10 +318,138 @@ pub mod collection {
     }
 }
 
+pub mod sample {
+    //! `select` — draw one element of a fixed list.
+    //!
+    //! This replaces the ad-hoc `for op in [..]`-inside-the-property
+    //! pattern the per-crate test suites used to copy around: selecting
+    //! the variant *as part of the strategy* lets failures name the exact
+    //! case and keeps the case budget spread across variants.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`select`].
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+
+    /// A strategy yielding one of `options`, uniformly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn select<T: Clone>(options: impl Into<Vec<T>>) -> Select<T> {
+        let options = options.into();
+        assert!(!options.is_empty(), "select() needs at least one option");
+        Select { options }
+    }
+}
+
+pub mod shrink {
+    //! Explicit counterexample shrinking.
+    //!
+    //! The stand-in has no `ValueTree`, so shrinking works on the *value*
+    //! (typically a plain-data recipe that a harness expands into the real
+    //! structure): [`Shrink::shrink_candidates`] proposes strictly simpler
+    //! variants, and [`minimize`] greedily walks them while a failure
+    //! predicate keeps holding. Determinism is inherited from the
+    //! candidate order — no randomness is involved.
+
+    /// A value that can propose strictly simpler variants of itself.
+    ///
+    /// Implementations must guarantee *progress*: every candidate is
+    /// strictly smaller under some well-founded measure (magnitude,
+    /// length, recursively), so [`minimize`] terminates.
+    pub trait Shrink: Sized {
+        /// Simpler candidate values, most aggressive first.
+        fn shrink_candidates(&self) -> Vec<Self>;
+    }
+
+    macro_rules! shrink_unsigned {
+        ($($t:ty),*) => {$(
+            impl Shrink for $t {
+                fn shrink_candidates(&self) -> Vec<Self> {
+                    let v = *self;
+                    let mut out = Vec::new();
+                    if v > 0 {
+                        out.push(0);
+                        if v > 1 {
+                            out.push(v / 2);
+                        }
+                        out.push(v - 1);
+                    }
+                    out.dedup();
+                    out
+                }
+            }
+        )*};
+    }
+    shrink_unsigned!(u8, u16, u32, u64, usize);
+
+    impl<T: Shrink + Clone> Shrink for Vec<T> {
+        /// Shrinks by removing one element (every position), then by
+        /// shrinking one element in place.
+        fn shrink_candidates(&self) -> Vec<Self> {
+            let mut out = Vec::new();
+            for i in 0..self.len() {
+                let mut shorter = self.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+            for i in 0..self.len() {
+                for replacement in self[i].shrink_candidates() {
+                    let mut smaller = self.clone();
+                    smaller[i] = replacement;
+                    out.push(smaller);
+                }
+            }
+            out
+        }
+    }
+
+    /// Greedily minimizes `start` while `fails` keeps returning `true`.
+    ///
+    /// At each step the first candidate that still fails is taken; the
+    /// walk stops when no candidate fails or after `max_steps` accepted
+    /// steps (a budget against expensive predicates, not against
+    /// non-termination — [`Shrink`] candidates always make progress).
+    /// Returns the simplest failing value found, which is `start` itself
+    /// when nothing simpler fails.
+    pub fn minimize<T, F>(start: T, max_steps: usize, mut fails: F) -> T
+    where
+        T: Shrink,
+        F: FnMut(&T) -> bool,
+    {
+        let mut current = start;
+        for _ in 0..max_steps {
+            let Some(next) = current
+                .shrink_candidates()
+                .into_iter()
+                .find(|candidate| fails(candidate))
+            else {
+                break;
+            };
+            current = next;
+        }
+        current
+    }
+}
+
 pub mod prelude {
     //! Everything the tests import with `use proptest::prelude::*`.
 
     pub use crate::arbitrary::any;
+    pub use crate::sample::select;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
@@ -467,7 +598,46 @@ mod tests {
         assert_eq!(a, b);
     }
 
+    #[test]
+    fn minimize_finds_a_local_minimum() {
+        use crate::shrink::{minimize, Shrink};
+        // Failure: the sum of the vector is at least 10. The greedy walk
+        // must land on a minimal failing vector: removing or shrinking
+        // any element drops the sum below 10.
+        let start = vec![7u32, 8, 9];
+        let min = minimize(start, 1000, |v: &Vec<u32>| v.iter().sum::<u32>() >= 10);
+        assert!(min.iter().sum::<u32>() >= 10, "result must still fail");
+        for candidate in min.shrink_candidates() {
+            assert!(
+                candidate.iter().sum::<u32>() < 10,
+                "{candidate:?} still fails, so {min:?} was not minimal"
+            );
+        }
+    }
+
+    #[test]
+    fn minimize_returns_start_when_nothing_simpler_fails() {
+        let min = crate::shrink::minimize(5u32, 100, |&v| v == 5);
+        assert_eq!(min, 5);
+    }
+
+    #[test]
+    fn unsigned_shrink_makes_progress() {
+        use crate::shrink::Shrink;
+        for v in [1u64, 2, 97, u64::MAX] {
+            for c in v.shrink_candidates() {
+                assert!(c < v, "{c} is not smaller than {v}");
+            }
+        }
+        assert!(0u64.shrink_candidates().is_empty());
+    }
+
     proptest! {
+        #[test]
+        fn select_only_yields_listed_options(v in select(vec![3u32, 5, 8])) {
+            prop_assert!([3, 5, 8].contains(&v));
+        }
+
         #[test]
         fn ranges_respect_bounds(v in 10u32..20, w in 1u8..=32, f in -2.0f64..2.0) {
             prop_assert!((10..20).contains(&v));

@@ -1,0 +1,98 @@
+//! Fold planning for cross-validation.
+//!
+//! The characterization suite is small (tens of programs), so the
+//! validation harness refits the macro-model once per fold and predicts
+//! the held-out observations. This module only plans *which* observations
+//! each fold holds out; the refitting itself goes through
+//! [`Dataset::subset`](crate::Dataset::subset) and
+//! [`Dataset::fit`](crate::Dataset::fit).
+//!
+//! Folds are deterministic: observation order is preserved and the split
+//! is contiguous-by-stride, so the same suite always produces the same
+//! folds (a requirement for golden accuracy reports).
+
+/// Plans `k` balanced folds over `n` observations.
+///
+/// Observation `i` lands in fold `i % k` — a stride split, so every fold
+/// samples the whole suite (the suite is ordered by program family, and a
+/// contiguous split would concentrate one family per fold). `k` is
+/// clamped to `2..=n`; with `k == n` this is leave-one-out.
+///
+/// Returns one index list per fold, each non-empty, ascending, and
+/// mutually disjoint; their union is `0..n`.
+///
+/// # Panics
+///
+/// Panics if `n < 2` — there is nothing to hold out.
+pub fn kfold(n: usize, k: usize) -> Vec<Vec<usize>> {
+    assert!(n >= 2, "cross-validation needs at least 2 observations");
+    let k = k.clamp(2, n);
+    let mut folds = vec![Vec::new(); k];
+    for i in 0..n {
+        folds[i % k].push(i);
+    }
+    folds
+}
+
+/// Leave-one-out plan: `n` folds of one observation each.
+///
+/// # Panics
+///
+/// As for [`kfold`].
+pub fn leave_one_out(n: usize) -> Vec<Vec<usize>> {
+    kfold(n, n)
+}
+
+/// The complement of `held_out` within `0..n`, ascending — the training
+/// indices of one fold.
+pub fn complement(n: usize, held_out: &[usize]) -> Vec<usize> {
+    (0..n).filter(|i| !held_out.contains(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kfold_partitions_all_observations() {
+        for (n, k) in [(10, 3), (40, 5), (7, 7), (5, 100)] {
+            let folds = kfold(n, k);
+            assert_eq!(folds.len(), k.clamp(2, n));
+            let mut seen = vec![false; n];
+            for fold in &folds {
+                assert!(!fold.is_empty(), "no empty folds");
+                for &i in fold {
+                    assert!(!seen[i], "index {i} in two folds");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every observation held out once");
+        }
+    }
+
+    #[test]
+    fn leave_one_out_is_n_singletons() {
+        let folds = leave_one_out(6);
+        assert_eq!(folds.len(), 6);
+        for (i, fold) in folds.iter().enumerate() {
+            assert_eq!(fold, &vec![i]);
+        }
+    }
+
+    #[test]
+    fn complement_is_the_training_set() {
+        assert_eq!(complement(5, &[1, 3]), vec![0, 2, 4]);
+        assert_eq!(complement(3, &[]), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn folds_are_deterministic() {
+        assert_eq!(kfold(40, 5), kfold(40, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn one_observation_panics() {
+        let _ = kfold(1, 2);
+    }
+}

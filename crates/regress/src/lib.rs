@@ -46,6 +46,7 @@
 
 pub mod diagnostics;
 mod error;
+pub mod folds;
 mod matrix;
 mod model;
 pub mod solve;

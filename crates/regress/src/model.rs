@@ -86,6 +86,15 @@ impl LinearFit {
         self.max_abs_percent
     }
 
+    /// Mean of the absolute per-sample percent errors (the summary the
+    /// cross-validation report aggregates per variable group).
+    pub fn mean_abs_percent_error(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.percent.abs()).sum::<f64>() / self.samples.len() as f64
+    }
+
     /// Predicts the dependent variable for a new sample row.
     ///
     /// # Errors
@@ -186,6 +195,42 @@ impl Dataset {
         self.rows.extend_from_slice(row);
         self.y.push(y);
         Ok(())
+    }
+
+    /// The variable row of observation `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        let n = self.names.len();
+        &self.rows[i * n..(i + 1) * n]
+    }
+
+    /// The dependent value of observation `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn observed(&self, i: usize) -> f64 {
+        self.y[i]
+    }
+
+    /// A new dataset holding only the selected observations, in the given
+    /// order — the fold-aware refitting primitive: hold out a fold by
+    /// fitting the complement (see [`crate::folds`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.names.clone());
+        for &i in indices {
+            out.labels.push(self.labels[i].clone());
+            out.rows.extend_from_slice(self.row(i));
+            out.y.push(self.y[i]);
+        }
+        out
     }
 
     /// The design matrix `X` (observations × variables).
@@ -381,6 +426,38 @@ mod tests {
             Err(RegressError::NonFinite)
         );
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn subset_preserves_rows_labels_and_order() {
+        let d = toy_dataset();
+        let s = d.subset(&[4, 0, 2]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels(), ["p4", "p0", "p2"]);
+        assert_eq!(s.row(0), d.row(4));
+        assert_eq!(s.row(2), d.row(2));
+        assert_eq!(s.observed(1), d.observed(0));
+        // Held-out refit: dropping one sample still recovers the model.
+        let fit = d
+            .subset(&crate::folds::complement(d.len(), &[5]))
+            .fit(FitOptions::default());
+        let fit = fit.unwrap();
+        assert!((fit.coefficient("u").unwrap() - 10.0).abs() < 0.3);
+        let p = fit.predict(d.row(5)).unwrap();
+        assert!((p - d.observed(5)).abs() / d.observed(5) < 0.05, "{p}");
+    }
+
+    #[test]
+    fn mean_abs_percent_error_averages_samples() {
+        let fit = toy_dataset().fit(FitOptions::default()).unwrap();
+        let expected = fit
+            .sample_errors()
+            .iter()
+            .map(|s| s.percent.abs())
+            .sum::<f64>()
+            / fit.sample_errors().len() as f64;
+        assert!((fit.mean_abs_percent_error() - expected).abs() < 1e-12);
+        assert!(fit.mean_abs_percent_error() <= fit.max_abs_percent_error());
     }
 
     #[test]

@@ -40,6 +40,43 @@ pub fn max_abs(values: &[f64]) -> f64 {
     values.iter().fold(0.0_f64, |m, v| m.max(v.abs()))
 }
 
+/// Coefficient of determination R² of `predicted` against `observed`.
+///
+/// `1 − SS_res/SS_tot`, the out-of-sample analogue of
+/// [`LinearFit::r_squared`](crate::LinearFit::r_squared): unlike the
+/// in-fit statistic it can go negative (predictions worse than the mean).
+/// Returns `1.0` when the observations have no variance and the
+/// predictions match them exactly, `0.0` when they have no variance and
+/// the predictions do not, and `0.0` for empty slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn r_squared(observed: &[f64], predicted: &[f64]) -> f64 {
+    assert_eq!(
+        observed.len(),
+        predicted.len(),
+        "observed/predicted length mismatch"
+    );
+    if observed.is_empty() {
+        return 0.0;
+    }
+    let mean_y = mean(observed);
+    let ss_tot: f64 = observed.iter().map(|v| (v - mean_y).powi(2)).sum();
+    let ss_res: f64 = observed
+        .iter()
+        .zip(predicted)
+        .map(|(o, p)| (o - p).powi(2))
+        .sum();
+    if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else if ss_res == 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
 /// Fractional ranks of the values (average rank for ties), 1-based.
 fn ranks(values: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
@@ -116,6 +153,20 @@ pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn r_squared_of_predictions() {
+        let obs = [1.0, 2.0, 3.0, 4.0];
+        assert!((r_squared(&obs, &obs) - 1.0).abs() < 1e-12);
+        // Predicting the mean everywhere scores exactly zero.
+        assert!(r_squared(&obs, &[2.5; 4]).abs() < 1e-12);
+        // Worse than the mean goes negative.
+        assert!(r_squared(&obs, &[4.0, 3.0, 2.0, 1.0]) < 0.0);
+        // Degenerate cases.
+        assert_eq!(r_squared(&[], &[]), 0.0);
+        assert_eq!(r_squared(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+        assert_eq!(r_squared(&[5.0, 5.0], &[5.0, 6.0]), 0.0);
+    }
 
     #[test]
     fn mean_rms_basics() {

@@ -8,12 +8,7 @@ use emx_tie::{ExtensionBuilder, ExtensionSet, InputBind, OutputBind};
 /// Builds a small single-instruction extension `f(a, b) = op(a, b)`.
 fn unit_ext(op: PrimOp, w: u8) -> ExtensionSet {
     let mut ext = ExtensionBuilder::new("unit");
-    let mut g = DfGraph::new();
-    let a = g.input("a", w);
-    let b = g.input("b", w);
-    let n = g.node(op, w, &[a, b]).expect("binary op");
-    g.output(n);
-    ext.instruction("f", g)
+    ext.instruction("f", DfGraph::single_op(op, w, w))
         .expect("valid name")
         .bind_input(InputBind::GprS)
         .expect("bind")

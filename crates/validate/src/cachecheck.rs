@@ -1,0 +1,144 @@
+//! Cache-consistency validation for the design-space-exploration path.
+//!
+//! The DSE engine's estimation cache must be *transparent*: evaluating a
+//! candidate through a cold cache, a JSON-round-tripped cache, or a warm
+//! cache must produce byte-identical design points. This module evaluates
+//! the built-in candidate space three ways and compares the results
+//! bitwise (energies via `f64::to_bits`, never an epsilon — the whole
+//! point is exactness).
+
+use emx_core::EnergyMacroModel;
+use emx_dse::{evaluate_batch, CandidateSpace, DesignPoint, EstimationCache};
+use emx_obs::Collector;
+use emx_sim::ProcConfig;
+
+/// Result of the cache-consistency check.
+#[derive(Debug, Clone)]
+pub struct CacheConsistency {
+    /// Candidates evaluated.
+    pub candidates: usize,
+    /// Whether all three passes produced byte-identical points.
+    pub byte_identical: bool,
+    /// Human-readable descriptions of any mismatches.
+    pub mismatches: Vec<String>,
+}
+
+fn points_differ(label: &str, a: &[Option<DesignPoint>], b: &[Option<DesignPoint>]) -> Vec<String> {
+    let mut out = Vec::new();
+    if a.len() != b.len() {
+        out.push(format!(
+            "{label}: point count changed: {} vs {}",
+            a.len(),
+            b.len()
+        ));
+        return out;
+    }
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let same = match (x, y) {
+            (None, None) => true,
+            (Some(x), Some(y)) => {
+                x.name == y.name
+                    && x.cycles == y.cycles
+                    && x.energy.as_picojoules().to_bits() == y.energy.as_picojoules().to_bits()
+            }
+            _ => false,
+        };
+        if !same {
+            out.push(format!("{label}: candidate {i} differs: {x:?} vs {y:?}"));
+        }
+    }
+    out
+}
+
+/// Evaluates the `reed-solomon` space cold, then through a JSON
+/// round-trip of the populated cache, then fully warm, and checks all
+/// three batches are byte-identical.
+///
+/// Emits a `cache-consistency` span on `obs`.
+///
+/// # Panics
+///
+/// Panics if the built-in space fails to enumerate or the populated cache
+/// fails to round-trip through its own JSON — both indicate repo-level
+/// breakage, not a validation finding.
+pub fn check_cache_consistency(
+    model: &EnergyMacroModel,
+    jobs: usize,
+    obs: &mut Collector,
+) -> CacheConsistency {
+    let span = obs.begin("cache-consistency");
+    let space = CandidateSpace::by_name("reed-solomon").expect("built-in space exists");
+    let enumeration = space.enumerate(None).expect("built-in space enumerates");
+    let config = ProcConfig::default();
+
+    let mut cold_cache = EstimationCache::new();
+    let cold = evaluate_batch(
+        model,
+        &enumeration.candidates,
+        &config,
+        jobs,
+        &mut cold_cache,
+        obs,
+    );
+
+    // Round-trip the populated cache through its JSON persistence format,
+    // then re-evaluate: every lookup must hit and reproduce the exact
+    // same numbers.
+    let text = cold_cache.to_json().to_string();
+    let mut thawed = EstimationCache::from_json_text(&text).expect("own JSON parses back");
+    let replayed = evaluate_batch(
+        model,
+        &enumeration.candidates,
+        &config,
+        jobs,
+        &mut thawed,
+        obs,
+    );
+
+    let warm = evaluate_batch(
+        model,
+        &enumeration.candidates,
+        &config,
+        jobs,
+        &mut cold_cache,
+        obs,
+    );
+
+    let mut mismatches = points_differ("json-round-trip", &cold.points, &replayed.points);
+    mismatches.extend(points_differ("warm-cache", &cold.points, &warm.points));
+    obs.end(span);
+    CacheConsistency {
+        candidates: enumeration.candidates.len(),
+        byte_identical: mismatches.is_empty(),
+        mismatches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn differ_spots_energy_bit_changes() {
+        let p = DesignPoint {
+            name: "x".into(),
+            energy: emx_core::Energy::from_picojoules(1.0),
+            cycles: 10,
+        };
+        let mut q = p.clone();
+        q.energy = emx_core::Energy::from_picojoules(1.0 + f64::EPSILON);
+        assert!(points_differ("t", &[Some(p.clone())], &[Some(p.clone())]).is_empty());
+        assert_eq!(points_differ("t", &[Some(p)], &[Some(q)]).len(), 1);
+    }
+
+    #[test]
+    fn differ_spots_shape_changes() {
+        let p = DesignPoint {
+            name: "x".into(),
+            energy: emx_core::Energy::from_picojoules(2.0),
+            cycles: 3,
+        };
+        assert_eq!(points_differ("t", &[Some(p.clone())], &[None]).len(), 1);
+        assert_eq!(points_differ("t", &[Some(p)], &[]).len(), 1);
+    }
+}

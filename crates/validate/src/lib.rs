@@ -1,0 +1,35 @@
+//! # emx-validate — model validation for the energy macro-model
+//!
+//! The paper (Fei et al., DATE 2003) reports the macro-model's accuracy
+//! against RTL power simulation on a handful of benchmarks. This crate
+//! turns that one-off table into a repeatable, gated methodology with
+//! three independent probes:
+//!
+//! 1. **Cross-validation** ([`xval`]) — refit the model with each
+//!    training case (or fold) held out, predict the held-out energy, and
+//!    report mean/max absolute percent error and R² per template-variable
+//!    group (base-ISA α, cache/stall β, γ_CI, structural δ). This
+//!    measures *generalization*, which the in-sample fit residual
+//!    systematically understates.
+//! 2. **Differential fuzzing** ([`fuzz`]) — generate random
+//!    custom-instruction extensions spanning all ten hardware-library
+//!    categories plus random programs, and require the macro-model to
+//!    track the RTL-level reference within a tolerance. Violations are
+//!    shrunk to minimal counterexamples.
+//! 3. **Consistency checks** ([`cachecheck`]) — the DSE estimation cache
+//!    must be transparent: cold, JSON-round-tripped, and warm evaluations
+//!    of the same candidates must be byte-identical.
+//!
+//! The results aggregate into a versioned, deterministic
+//! [`report::SCHEMA`] document; [`report::compare`] implements the
+//! golden-report accuracy gate used by CI (one-sided, epsilon-slacked).
+
+pub mod cachecheck;
+pub mod fuzz;
+pub mod report;
+pub mod xval;
+
+pub use cachecheck::{check_cache_consistency, CacheConsistency};
+pub use fuzz::{run_fuzz, FuzzCase, FuzzConfig, FuzzOutcome, UnitRecipe, Violation};
+pub use report::{compare, parse, summarize, to_json, ReportSummary, SCHEMA};
+pub use xval::{cross_validate, CasePrediction, CrossValidation, FoldScheme, GroupStats};

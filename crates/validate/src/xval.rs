@@ -1,0 +1,348 @@
+//! Cross-validation of the macro-model over the characterization suite.
+//!
+//! The paper fits once on all test programs and reports *in-sample* errors
+//! (Fig. 3). In-sample error understates what a user of the model sees:
+//! the interesting number is how well a fit predicts a program it never
+//! saw. This module refits the model with each fold of the suite held
+//! out, predicts the held-out observations with the refit coefficients,
+//! and summarizes the out-of-sample errors per template-variable group —
+//! base-ISA α, cache/stall β, the custom-instruction γ_CI, and the
+//! structural δ coefficients — so a regression in, say, only the table
+//! coefficient is visible instead of averaged away.
+
+use emx_obs::Collector;
+use emx_regress::{folds, stats, Dataset, FitMethod, FitOptions, RegressError};
+
+/// How the suite is split into held-out folds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FoldScheme {
+    /// One fold per observation (`n` refits — the default).
+    LeaveOneOut,
+    /// `k` stride-interleaved folds (`i % k`), clamped to `2..=n`.
+    KFold(usize),
+}
+
+impl FoldScheme {
+    /// The fold index sets for `n` observations.
+    pub fn plan(self, n: usize) -> Vec<Vec<usize>> {
+        match self {
+            FoldScheme::LeaveOneOut => folds::leave_one_out(n),
+            FoldScheme::KFold(k) => folds::kfold(n, k),
+        }
+    }
+
+    /// Stable label used in reports (`"loo"` or `"kfold-<k>"`).
+    pub fn label(self) -> String {
+        match self {
+            FoldScheme::LeaveOneOut => "loo".to_owned(),
+            FoldScheme::KFold(k) => format!("kfold-{k}"),
+        }
+    }
+}
+
+/// One held-out prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CasePrediction {
+    /// Training-case name.
+    pub name: String,
+    /// Which fold held this case out.
+    pub fold: usize,
+    /// Measured energy (picojoules) from the reference estimator.
+    pub observed: f64,
+    /// Energy predicted by the model refit without this fold.
+    pub predicted: f64,
+    /// Signed percent error of the prediction.
+    pub percent_error: f64,
+}
+
+/// Out-of-sample accuracy of one template-variable group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupStats {
+    /// Group name (`overall`, `alpha`, `beta`, `gamma_CI`, `delta`).
+    pub name: String,
+    /// Held-out cases attributed to the group (a case belongs to every
+    /// group whose variables it exercises).
+    pub cases: usize,
+    /// Mean absolute percent prediction error over the group's cases.
+    pub mean_abs_percent: f64,
+    /// Largest absolute percent prediction error over the group's cases.
+    pub max_abs_percent: f64,
+    /// Out-of-sample R² over the group's cases (can be negative).
+    pub r_squared: f64,
+}
+
+/// The result of one cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrossValidation {
+    /// Scheme label (`"loo"`, `"kfold-5"`).
+    pub scheme: String,
+    /// Number of folds actually used.
+    pub folds: usize,
+    /// Folds whose primary (QR, no-ridge) refit was singular and fell
+    /// back to a ridge-regularized solve. Nonzero values mean the suite
+    /// barely identifies some variable; see DESIGN.md §12.
+    pub ridge_folds: usize,
+    /// One prediction per observation, in suite order.
+    pub predictions: Vec<CasePrediction>,
+    /// Per-variable-group accuracy, `overall` first.
+    pub groups: Vec<GroupStats>,
+}
+
+/// The variable-name prefix defining each reported group, in report order.
+const GROUPS: [(&str, &str); 4] = [
+    ("alpha", "alpha_"),
+    ("beta", "beta_"),
+    ("gamma_CI", "gamma"),
+    ("delta", "delta_"),
+];
+
+/// Ridge weight for the fallback solve on a singular fold. The design
+/// matrix carries raw cycle counts (10²–10⁶), so a fixed small ridge
+/// perturbs well-identified coefficients negligibly while pinning the
+/// unidentified ones at zero instead of aborting the fold.
+const FALLBACK_RIDGE: f64 = 1e-3;
+
+/// Cross-validates `dataset` under `scheme`: refits on each fold's
+/// complement with `options`, predicts the held-out rows, and attributes
+/// the errors to variable groups.
+///
+/// Emits one `fold:<i>` span per fold on `obs`.
+///
+/// # Errors
+///
+/// Propagates a fold refit that fails even with the ridge fallback, and
+/// rejects datasets with fewer than 2 observations (via the fold planner's
+/// contract — see below).
+///
+/// # Panics
+///
+/// Panics if `dataset` has fewer than 2 observations.
+pub fn cross_validate(
+    dataset: &Dataset,
+    scheme: FoldScheme,
+    options: FitOptions,
+    obs: &mut Collector,
+) -> Result<CrossValidation, RegressError> {
+    let n = dataset.len();
+    let plan = scheme.plan(n);
+    let mut predictions: Vec<Option<CasePrediction>> = vec![None; n];
+    let mut ridge_folds = 0usize;
+
+    for (fold_index, held_out) in plan.iter().enumerate() {
+        let span = obs.begin(format!("fold:{fold_index}"));
+        let train = dataset.subset(&folds::complement(n, held_out));
+        let fit = match train.fit(options) {
+            Ok(fit) => fit,
+            Err(RegressError::Singular) | Err(RegressError::Underdetermined { .. }) => {
+                ridge_folds += 1;
+                train.fit(FitOptions {
+                    method: FitMethod::NormalEquations,
+                    ridge: FALLBACK_RIDGE,
+                })?
+            }
+            Err(e) => {
+                obs.end(span);
+                return Err(e);
+            }
+        };
+        for &i in held_out {
+            let observed = dataset.observed(i);
+            let predicted = fit.predict(dataset.row(i))?;
+            let percent_error = if observed != 0.0 {
+                (predicted - observed) / observed * 100.0
+            } else {
+                0.0
+            };
+            predictions[i] = Some(CasePrediction {
+                name: dataset.labels()[i].clone(),
+                fold: fold_index,
+                observed,
+                predicted,
+                percent_error,
+            });
+        }
+        obs.end(span);
+    }
+
+    let predictions: Vec<CasePrediction> = predictions
+        .into_iter()
+        .map(|p| p.expect("every observation is held out by exactly one fold"))
+        .collect();
+    let groups = group_stats(dataset, &predictions);
+
+    Ok(CrossValidation {
+        scheme: scheme.label(),
+        folds: plan.len(),
+        ridge_folds,
+        predictions,
+        groups,
+    })
+}
+
+/// Summarizes `predictions` overall and per variable group. A case is
+/// attributed to a group when any of the group's variables is nonzero in
+/// its row — e.g. a pure base-ISA program never counts against `delta`.
+fn group_stats(dataset: &Dataset, predictions: &[CasePrediction]) -> Vec<GroupStats> {
+    let names = dataset.names();
+    let mut out = vec![summarize(
+        "overall",
+        &(0..dataset.len()).collect::<Vec<_>>(),
+        predictions,
+    )];
+    for (group, prefix) in GROUPS {
+        let columns: Vec<usize> = names
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.starts_with(prefix))
+            .map(|(i, _)| i)
+            .collect();
+        let members: Vec<usize> = (0..dataset.len())
+            .filter(|&i| {
+                let row = dataset.row(i);
+                columns.iter().any(|&c| row[c] != 0.0)
+            })
+            .collect();
+        out.push(summarize(group, &members, predictions));
+    }
+    out
+}
+
+fn summarize(name: &str, members: &[usize], predictions: &[CasePrediction]) -> GroupStats {
+    let errors: Vec<f64> = members
+        .iter()
+        .map(|&i| predictions[i].percent_error)
+        .collect();
+    let observed: Vec<f64> = members.iter().map(|&i| predictions[i].observed).collect();
+    let predicted: Vec<f64> = members.iter().map(|&i| predictions[i].predicted).collect();
+    GroupStats {
+        name: name.to_owned(),
+        cases: members.len(),
+        mean_abs_percent: stats::mean_abs(&errors),
+        max_abs_percent: stats::max_abs(&errors),
+        r_squared: stats::r_squared(&observed, &predicted),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 3·x1 + 5·x2 with mild label-dependent structure: every scheme
+    /// must recover near-perfect held-out predictions.
+    fn linear_dataset(n: usize) -> Dataset {
+        let mut d = Dataset::new(vec!["alpha_A".into(), "delta_mult".into()]);
+        for i in 0..n {
+            let x1 = (i as f64) + 1.0;
+            let x2 = ((i * 7) % 5) as f64;
+            d.push_sample(format!("case{i}"), &[x1, x2], 3.0 * x1 + 5.0 * x2)
+                .unwrap();
+        }
+        d
+    }
+
+    fn qr() -> FitOptions {
+        FitOptions {
+            method: FitMethod::Qr,
+            ridge: 0.0,
+        }
+    }
+
+    #[test]
+    fn loo_recovers_an_exact_linear_model() {
+        let d = linear_dataset(12);
+        let mut obs = Collector::new();
+        let cv = cross_validate(&d, FoldScheme::LeaveOneOut, qr(), &mut obs).unwrap();
+        assert_eq!(cv.scheme, "loo");
+        assert_eq!(cv.folds, 12);
+        assert_eq!(cv.ridge_folds, 0);
+        assert_eq!(cv.predictions.len(), 12);
+        for p in &cv.predictions {
+            assert!(
+                p.percent_error.abs() < 1e-8,
+                "{}: {}",
+                p.name,
+                p.percent_error
+            );
+        }
+        let overall = &cv.groups[0];
+        assert_eq!(overall.name, "overall");
+        assert_eq!(overall.cases, 12);
+        assert!(overall.r_squared > 1.0 - 1e-9);
+        // One fold span per observation.
+        let spans = obs.spans();
+        assert_eq!(
+            spans.iter().filter(|s| s.name.starts_with("fold:")).count(),
+            12
+        );
+    }
+
+    #[test]
+    fn kfold_partitions_and_labels() {
+        let d = linear_dataset(10);
+        let cv =
+            cross_validate(&d, FoldScheme::KFold(5), qr(), &mut Collector::disabled()).unwrap();
+        assert_eq!(cv.scheme, "kfold-5");
+        assert_eq!(cv.folds, 5);
+        // Stride folds: case i is held out by fold i % 5.
+        for (i, p) in cv.predictions.iter().enumerate() {
+            assert_eq!(p.fold, i % 5);
+        }
+    }
+
+    #[test]
+    fn groups_attribute_cases_by_nonzero_variables() {
+        // delta_mult is zero for even-indexed cases ((i*7)%5==0 ⇔ i%5==0)…
+        let d = linear_dataset(10);
+        let cv =
+            cross_validate(&d, FoldScheme::KFold(5), qr(), &mut Collector::disabled()).unwrap();
+        let find = |name: &str| cv.groups.iter().find(|g| g.name == name).unwrap();
+        assert_eq!(find("alpha").cases, 10, "x1 is nonzero everywhere");
+        assert_eq!(find("delta").cases, 8, "x2 is zero at i = 0 and 5");
+        assert_eq!(find("beta").cases, 0, "no beta variables in this dataset");
+        assert_eq!(find("gamma_CI").cases, 0);
+    }
+
+    #[test]
+    fn singular_fold_falls_back_to_ridge() {
+        // delta_mult is nonzero in exactly one case: holding that case out
+        // leaves an all-zero column, a singular system.
+        let mut d = Dataset::new(vec!["alpha_A".into(), "delta_mult".into()]);
+        for i in 0..8 {
+            let x2 = if i == 3 { 2.0 } else { 0.0 };
+            let x1 = (i as f64) + 1.0 + ((i * 3) % 4) as f64;
+            d.push_sample(format!("case{i}"), &[x1, x2], 3.0 * x1 + 5.0 * x2)
+                .unwrap();
+        }
+        let cv = cross_validate(
+            &d,
+            FoldScheme::LeaveOneOut,
+            qr(),
+            &mut Collector::disabled(),
+        )
+        .unwrap();
+        assert!(cv.ridge_folds >= 1, "fold 3 must have needed the fallback");
+        assert_eq!(cv.predictions.len(), 8);
+        // The well-identified cases still predict accurately.
+        for p in cv.predictions.iter().filter(|p| p.name != "case3") {
+            assert!(
+                p.percent_error.abs() < 1.0,
+                "{}: {}",
+                p.name,
+                p.percent_error
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn one_observation_panics() {
+        let mut d = Dataset::new(vec!["alpha_A".into()]);
+        d.push_sample("only", &[1.0], 3.0).unwrap();
+        let _ = cross_validate(
+            &d,
+            FoldScheme::LeaveOneOut,
+            qr(),
+            &mut Collector::disabled(),
+        );
+    }
+}

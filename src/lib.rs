@@ -22,6 +22,7 @@
 //! | [`core`] | **the paper**: macro-model template, characterization, estimation |
 //! | [`workloads`] | characterization suite, Table II applications, RS(15,11) codec |
 //! | [`dse`] | design-space exploration: enumeration, cached parallel evaluation, Pareto search |
+//! | [`validate`] | cross-validation, differential fuzzing, golden accuracy gates |
 //! | [`obs`] | observability: spans, counters, histograms, Chrome trace export |
 //!
 //! # Quickstart
@@ -57,6 +58,7 @@ pub use emx_regress as regress;
 pub use emx_rtlpower as rtlpower;
 pub use emx_sim as sim;
 pub use emx_tie as tie;
+pub use emx_validate as validate;
 pub use emx_workloads as workloads;
 
 /// The most commonly used items, for glob import in examples and tools.

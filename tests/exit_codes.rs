@@ -1,0 +1,122 @@
+//! The shared CLI exit-code contract, enforced end to end on the real
+//! binaries: **2** = the command line itself was malformed, **1** = an
+//! input file or gate failed, **3** = internal error (covered by unit
+//! tests on `ErrorKind::exit_code`, since a healthy build has no
+//! reachable internal error to trigger — see tests/README.md).
+//!
+//! Every table entry runs a binary with representative bad input and
+//! asserts on the process's real exit status, so a refactor that breaks
+//! `main`'s error plumbing (e.g. returning `Err` straight out of `main`,
+//! which exits 1 for everything) fails here even when the unit tests on
+//! `parse_args` still pass.
+
+use std::process::Command;
+
+struct Case {
+    bin: &'static str,
+    args: &'static [&'static str],
+    expect: i32,
+    why: &'static str,
+}
+
+const CASES: &[Case] = &[
+    // usage errors: exit 2
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-run"),
+        args: &["--bogus-flag"],
+        expect: 2,
+        why: "unknown flag is a usage error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-characterize"),
+        args: &[],
+        expect: 2,
+        why: "missing required model path is a usage error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-dse"),
+        args: &["--budget", "nan"],
+        expect: 2,
+        why: "non-numeric budget is a usage error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-validate"),
+        args: &["--folds", "1"],
+        expect: 2,
+        why: "fold count below 2 is a usage error",
+    },
+    // bad input: exit 1
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-run"),
+        args: &["/nonexistent/emx-no-such-program.s"],
+        expect: 1,
+        why: "missing program file is an input error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-dse"),
+        args: &["--model", "/nonexistent/emx-no-such-model.txt"],
+        expect: 1,
+        why: "missing model file is an input error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-validate"),
+        args: &["--check", "/nonexistent/emx-no-such-golden.json"],
+        expect: 1,
+        why: "missing golden report is an input error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-characterize"),
+        args: &["/nonexistent-dir/model.txt"],
+        expect: 1,
+        why: "unwritable model output path is an input error",
+    },
+];
+
+#[test]
+fn every_cli_honors_the_shared_exit_code_contract() {
+    for case in CASES {
+        let out = Command::new(case.bin)
+            .args(case.args)
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", case.bin));
+        let code = out.status.code().expect("process not killed by signal");
+        assert_eq!(
+            code,
+            case.expect,
+            "{} {:?}: {} (expected {}, got {})\nstderr: {}",
+            case.bin,
+            case.args,
+            case.why,
+            case.expect,
+            code,
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+/// Fast-failure guarantee: input errors that are checkable up front
+/// (missing golden, missing model) must exit before any simulation runs,
+/// so CI failures are cheap. A generous wall-clock bound catches a
+/// regression to fail-late without being flaky.
+#[test]
+fn checkable_input_errors_fail_fast() {
+    for (bin, args) in [
+        (
+            env!("CARGO_BIN_EXE_emx-validate"),
+            &["--check", "/nonexistent/g.json"][..],
+        ),
+        (
+            env!("CARGO_BIN_EXE_emx-dse"),
+            &["--model", "/nonexistent/m.txt"][..],
+        ),
+    ] {
+        let started = std::time::Instant::now();
+        let out = Command::new(bin).args(args).output().expect("spawns");
+        assert_eq!(out.status.code(), Some(1));
+        assert!(
+            started.elapsed() < std::time::Duration::from_secs(10),
+            "{bin} {args:?} took {:?}; it must fail before simulating",
+            started.elapsed()
+        );
+    }
+}

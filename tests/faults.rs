@@ -177,3 +177,99 @@ impl Drop for Cleanup<'_> {
         }
     }
 }
+
+// ---------------------------------------------------------------------
+// Cache persistence properties: random caches round-trip exactly, and
+// salvage after arbitrary truncation only ever keeps intact entries.
+// ---------------------------------------------------------------------
+
+use emx::dse::CacheEntry;
+use proptest::prelude::*;
+
+/// Builds a cache with `n` pseudo-random entries derived from `seed`.
+fn random_cache(seed: u64, n: usize) -> EstimationCache {
+    let mut rng = proptest::test_runner::TestRng::new(seed);
+    let mut cache = EstimationCache::new();
+    for _ in 0..n {
+        let key = rng.next_u64();
+        // Finite positive energies, like real estimates.
+        let energy_pj = (rng.next_u64() % 1_000_000_000) as f64 / 128.0;
+        let cycles = rng.next_u64() % 1_000_000_000;
+        cache.insert(key, CacheEntry { energy_pj, cycles });
+    }
+    cache
+}
+
+fn entries_of(cache: &EstimationCache, reference: &EstimationCache) -> usize {
+    // Counts reference entries present in `cache` with identical bits.
+    let text = reference.to_json().to_string();
+    let doc = emx::obs::json::Value::parse(&text).expect("own JSON parses");
+    let mut matched = 0;
+    if let Some(emx::obs::json::Value::Obj(pairs)) = doc.get("entries") {
+        for (key, _) in pairs {
+            let key = u64::from_str_radix(key, 16).expect("hex key");
+            if let (Some(a), Some(b)) = (cache.get(key), reference.get(key)) {
+                if a.energy_pj.to_bits() == b.energy_pj.to_bits() && a.cycles == b.cycles {
+                    matched += 1;
+                }
+            }
+        }
+    }
+    matched
+}
+
+proptest! {
+    /// save → load_or_recover restores byte-identical entries, with no
+    /// recovery reported.
+    #[test]
+    fn cache_save_load_round_trips_exactly(seed in any::<u64>(), n in 0usize..24) {
+        let path = std::env::temp_dir().join(format!(
+            "emx-faults-prop-{}-{seed:x}-{n}.json",
+            std::process::id()
+        ));
+        let path = path.to_string_lossy().into_owned();
+        let _cleanup = Cleanup(&path);
+
+        let cache = random_cache(seed, n);
+        cache.save(&path).expect("cache saves");
+        let (loaded, recovery) = EstimationCache::load_or_recover(&path).expect("clean load");
+        prop_assert!(recovery.is_none(), "a clean file must not report recovery");
+        prop_assert_eq!(loaded.len(), cache.len());
+        prop_assert_eq!(entries_of(&loaded, &cache), cache.len());
+    }
+
+    /// Truncating the persisted document at any byte length yields, via
+    /// salvage, a subset of the original entries — every survivor
+    /// verifies bit-for-bit against what was saved, never a mangled key
+    /// or value.
+    #[test]
+    fn salvage_after_truncation_keeps_only_intact_entries(
+        seed in any::<u64>(),
+        n in 1usize..16,
+        cut_per_mille in 0u64..1000,
+    ) {
+        let cache = random_cache(seed, n);
+        let full = {
+            let mut text = cache.to_json().to_string();
+            text.push('\n');
+            text
+        };
+        let keep = (full.len() as u64 * cut_per_mille / 1000) as usize;
+        // Cut on a char boundary (the document is ASCII, but stay safe).
+        let keep = (0..=keep).rev().find(|&i| full.is_char_boundary(i)).unwrap_or(0);
+        let truncated = &full[..keep];
+
+        // A structurally unreadable document (cut mid-JSON) is an
+        // acceptable `Err` — load_or_recover quarantines and starts
+        // cold. When salvage *does* succeed, it must keep only intact
+        // entries.
+        if let Ok((salvaged, _)) = EstimationCache::salvage_json_text(truncated) {
+            prop_assert!(salvaged.len() <= cache.len());
+            prop_assert_eq!(
+                entries_of(&salvaged, &cache),
+                salvaged.len(),
+                "every salvaged entry must re-verify against the original"
+            );
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //!
 //! The measurement loop is deliberately simple: per benchmark it
 //! auto-calibrates an inner iteration count so one *sample* takes at
-//! least [`MIN_SAMPLE_NANOS`], collects `sample_size` samples, and
+//! least `MIN_SAMPLE_NANOS` (2 ms), collects `sample_size` samples, and
 //! reports min / p50 / p90 / mean per iteration out of an
 //! [`emx_obs::Histogram`] — the same log-linear histogram the
 //! observability layer uses, so quantization error is bounded at ~6 %.

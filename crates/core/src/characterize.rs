@@ -220,6 +220,24 @@ impl Characterizer {
         cases: &[TrainingCase<'_>],
         obs: &mut Collector,
     ) -> Result<(Characterization, CharacterizeReport), CoreError> {
+        self.characterize_with_dataset(cases, obs)
+            .map(|(characterization, report, _)| (characterization, report))
+    }
+
+    /// Like [`Characterizer::characterize_instrumented`], additionally
+    /// returning the assembled regression [`Dataset`] — the exact design
+    /// matrix and measured energies the model was fitted from — so
+    /// callers can run suite-quality gates (`emx-coverage`) on it without
+    /// a second simulation pass.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Characterizer::characterize`].
+    pub fn characterize_with_dataset(
+        &self,
+        cases: &[TrainingCase<'_>],
+        obs: &mut Collector,
+    ) -> Result<(Characterization, CharacterizeReport, Dataset), CoreError> {
         let whole = obs.begin("characterize");
         let (dataset, mut case_reports) = self.simulate_cases(cases, obs)?;
 
@@ -249,7 +267,7 @@ impl Characterizer {
         };
 
         let model = EnergyMacroModel::new(self.spec, fit.coefficients().to_vec());
-        Ok((Characterization { model, fit }, report))
+        Ok((Characterization { model, fit }, report, dataset))
     }
 
     /// Runs steps 1–7 only: simulates every training case and assembles

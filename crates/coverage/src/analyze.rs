@@ -1,0 +1,435 @@
+//! The excitation analyzer: how well does a training suite condition the
+//! macro-model regression?
+//!
+//! The paper solves Eq. 5, `Ĉ = (XᵀX)⁻¹XᵀE`, so everything about
+//! coefficient quality is a property of the design matrix `X` the suite
+//! produces. The analyzer quantifies that property four ways:
+//!
+//! * **per-variable excitation** — how many cases give a column signal at
+//!   all, and the column's norm. A variable excited by a single program is
+//!   unidentifiable out-of-sample: hold that program out and the reduced
+//!   `XᵀX` is singular (the ridge-fallback folds in `emx-validate`).
+//! * **pairwise correlation** — two columns that move in lockstep let the
+//!   least-squares solution trade one coefficient against the other
+//!   freely; only their *sum* is pinned by the data.
+//! * **variance inflation** — the multi-way generalization of pairwise
+//!   correlation ([`emx_regress::diagnostics::variance_inflation`]).
+//! * **condition number** — λ_max/λ_min of the column-normalized `XᵀX`,
+//!   the single-number summary of how much the pseudo-inverse amplifies
+//!   measurement noise into coefficient noise.
+//!
+//! The output is a ranked [`Gap`] list, which the directed case generator
+//! (`emx_workloads::directed`) consumes to synthesize programs that close
+//! the gaps.
+
+use emx_regress::diagnostics::variance_inflation;
+use emx_regress::{Dataset, Matrix, RegressError};
+
+use crate::eigen::condition_number;
+
+/// Acceptance thresholds for a training suite.
+///
+/// Defaults reflect what the emx suite needs for zero ridge-fallback
+/// folds and stable coefficients, with margin on both sides: the
+/// hand-written 40-program suite fails all four gates (condition number
+/// 163, |r| up to 0.92, VIF up to 11, three sole-source variables) while
+/// the directed-expanded 63-program suite passes all four (94 / 0.76 /
+/// 7.6 / ≥ 3 cases per variable). See DESIGN.md §13 for the reasoning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Thresholds {
+    /// Minimum cases that must excite each variable (a column with fewer
+    /// nonzero entries is one sole-source program away from singular).
+    pub min_nonzero_cases: usize,
+    /// Maximum tolerated |Pearson r| between any two columns.
+    pub max_pair_correlation: f64,
+    /// Maximum tolerated condition number of the column-normalized Gram
+    /// matrix.
+    pub max_condition_number: f64,
+    /// Maximum tolerated variance-inflation factor per variable.
+    pub max_vif: f64,
+}
+
+impl Default for Thresholds {
+    fn default() -> Self {
+        Thresholds {
+            min_nonzero_cases: 3,
+            max_pair_correlation: 0.85,
+            max_condition_number: 120.0,
+            max_vif: 10.0,
+        }
+    }
+}
+
+/// Excitation statistics of one design-matrix column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariableExcitation {
+    /// Template-variable name.
+    pub name: String,
+    /// Cases in which the variable is nonzero.
+    pub nonzero_cases: usize,
+    /// Euclidean norm of the column.
+    pub column_norm: f64,
+    /// Variance-inflation factor (∞ = exactly collinear with the rest).
+    pub vif: f64,
+}
+
+/// The |Pearson correlation| of one column pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairCorrelation {
+    /// First variable (earlier in template order).
+    pub a: String,
+    /// Second variable.
+    pub b: String,
+    /// Absolute centered Pearson correlation of the two columns.
+    pub abs_r: f64,
+}
+
+/// Why a variable appears in the gap list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GapKind {
+    /// Fewer than [`Thresholds::min_nonzero_cases`] cases excite it.
+    UnderExcited {
+        /// Cases that do excite it.
+        nonzero_cases: usize,
+    },
+    /// Its column is too correlated with a partner column.
+    Collinear {
+        /// The partner variable it is entangled with.
+        partner: String,
+        /// Their |Pearson r|.
+        abs_r: f64,
+    },
+    /// Its variance-inflation factor exceeds the threshold.
+    Inflated {
+        /// The VIF value.
+        vif: f64,
+    },
+}
+
+/// One suite gap: a variable the suite does not condition well, with the
+/// dominant reason. Ranked most-severe first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gap {
+    /// The under-conditioned variable.
+    pub variable: String,
+    /// Why it is under-conditioned.
+    pub kind: GapKind,
+}
+
+impl Gap {
+    /// Stable machine-readable reason code (`under-excited`, `collinear`,
+    /// `inflated`).
+    pub fn reason(&self) -> &'static str {
+        match self.kind {
+            GapKind::UnderExcited { .. } => "under-excited",
+            GapKind::Collinear { .. } => "collinear",
+            GapKind::Inflated { .. } => "inflated",
+        }
+    }
+
+    /// The partner variable to pair against when synthesizing a directed
+    /// case for this gap, if the reason names one.
+    pub fn partner(&self) -> Option<&str> {
+        match &self.kind {
+            GapKind::Collinear { partner, .. } => Some(partner),
+            _ => None,
+        }
+    }
+}
+
+/// The full analyzer output for one suite.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageAnalysis {
+    /// Training cases analyzed.
+    pub cases: usize,
+    /// Per-variable excitation, in template order.
+    pub variables: Vec<VariableExcitation>,
+    /// Column pairs with |r| ≥ 0.5, strongest first — the watch list.
+    pub pairs: Vec<PairCorrelation>,
+    /// Condition number of the column-normalized Gram matrix
+    /// (∞ = numerically singular).
+    pub condition_number: f64,
+    /// Ranked conditioning gaps (empty for a suite that passes).
+    pub gaps: Vec<Gap>,
+    /// The thresholds the analysis was gated against.
+    pub thresholds: Thresholds,
+}
+
+impl CoverageAnalysis {
+    /// `true` when the suite meets every threshold.
+    pub fn passes(&self) -> bool {
+        self.gaps.is_empty() && self.condition_number <= self.thresholds.max_condition_number
+    }
+
+    /// Human-readable failure lines, empty when [`passes`](Self::passes).
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.condition_number > self.thresholds.max_condition_number {
+            out.push(format!(
+                "condition number {:.1} exceeds the {:.1} threshold",
+                self.condition_number, self.thresholds.max_condition_number
+            ));
+        }
+        for gap in &self.gaps {
+            out.push(match &gap.kind {
+                GapKind::UnderExcited { nonzero_cases } => format!(
+                    "variable `{}` is excited by only {} case(s) (minimum {})",
+                    gap.variable, nonzero_cases, self.thresholds.min_nonzero_cases
+                ),
+                GapKind::Collinear { partner, abs_r } => format!(
+                    "variables `{}` and `{partner}` are collinear (|r| = {:.3} > {:.3})",
+                    gap.variable, abs_r, self.thresholds.max_pair_correlation
+                ),
+                GapKind::Inflated { vif } => format!(
+                    "variable `{}` has VIF {:.1} (maximum {:.1})",
+                    gap.variable, vif, self.thresholds.max_vif
+                ),
+            });
+        }
+        out
+    }
+}
+
+/// Pairs with |r| at or above this floor are recorded in
+/// [`CoverageAnalysis::pairs`] even when they pass the gate, so the
+/// report shows what the suite's margins are.
+const PAIR_REPORT_FLOOR: f64 = 0.5;
+
+fn pearson_abs(a: &[f64], b: &[f64]) -> f64 {
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut num = 0.0;
+    let mut da = 0.0;
+    let mut db = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        num += (x - ma) * (y - mb);
+        da += (x - ma) * (x - ma);
+        db += (y - mb) * (y - mb);
+    }
+    if da > 0.0 && db > 0.0 {
+        (num / (da * db).sqrt()).abs()
+    } else {
+        0.0
+    }
+}
+
+/// Analyzes a characterization dataset against `thresholds`.
+///
+/// # Errors
+///
+/// Propagates [`RegressError::Underdetermined`] when the suite has fewer
+/// cases than template variables — no amount of thresholding makes such a
+/// suite usable.
+pub fn analyze(data: &Dataset, thresholds: &Thresholds) -> Result<CoverageAnalysis, RegressError> {
+    let x = data.design_matrix();
+    let names = data.names();
+    let p = x.cols();
+
+    let vif = variance_inflation(data)?;
+    let mut variables = Vec::with_capacity(p);
+    let mut norms = Vec::with_capacity(p);
+    for (j, name) in names.iter().enumerate() {
+        let col = x.col(j);
+        let nonzero_cases = col.iter().filter(|v| **v != 0.0).count();
+        let column_norm = col.iter().map(|v| v * v).sum::<f64>().sqrt();
+        norms.push(column_norm);
+        variables.push(VariableExcitation {
+            name: name.clone(),
+            nonzero_cases,
+            column_norm,
+            vif: vif[j],
+        });
+    }
+
+    // Column-normalized Gram: conditioning net of the wild scale
+    // differences between, say, cycle counts and cache-miss counts.
+    // (Without normalization the condition number mostly measures units.)
+    let normalized = Matrix::from_fn(x.rows(), p, |i, j| {
+        if norms[j] > 0.0 {
+            x[(i, j)] / norms[j]
+        } else {
+            0.0
+        }
+    });
+    let condition = condition_number(&normalized.gram());
+
+    let mut pairs = Vec::new();
+    for i in 0..p {
+        let ci = x.col(i);
+        for j in (i + 1)..p {
+            let abs_r = pearson_abs(&ci, &x.col(j));
+            if abs_r >= PAIR_REPORT_FLOOR {
+                pairs.push(PairCorrelation {
+                    a: names[i].clone(),
+                    b: names[j].clone(),
+                    abs_r,
+                });
+            }
+        }
+    }
+    pairs.sort_by(|l, r| {
+        r.abs_r
+            .partial_cmp(&l.abs_r)
+            .expect("correlations are finite")
+            .then_with(|| (&l.a, &l.b).cmp(&(&r.a, &r.b)))
+    });
+
+    // Gap list: under-excited variables first (fewest cases first), then
+    // collinear pairs (strongest first, attributed to the later column —
+    // the earlier one is usually the fundamental variable), then VIF
+    // offenders not already covered.
+    let mut gaps = Vec::new();
+    let mut under: Vec<&VariableExcitation> = variables
+        .iter()
+        .filter(|v| v.nonzero_cases < thresholds.min_nonzero_cases)
+        .collect();
+    under.sort_by(|l, r| {
+        l.nonzero_cases
+            .cmp(&r.nonzero_cases)
+            .then_with(|| l.name.cmp(&r.name))
+    });
+    for v in under {
+        gaps.push(Gap {
+            variable: v.name.clone(),
+            kind: GapKind::UnderExcited {
+                nonzero_cases: v.nonzero_cases,
+            },
+        });
+    }
+    for pair in &pairs {
+        if pair.abs_r > thresholds.max_pair_correlation {
+            gaps.push(Gap {
+                variable: pair.b.clone(),
+                kind: GapKind::Collinear {
+                    partner: pair.a.clone(),
+                    abs_r: pair.abs_r,
+                },
+            });
+        }
+    }
+    for v in &variables {
+        let already = gaps.iter().any(|g| g.variable == v.name);
+        if !already && v.vif > thresholds.max_vif {
+            gaps.push(Gap {
+                variable: v.name.clone(),
+                kind: GapKind::Inflated { vif: v.vif },
+            });
+        }
+    }
+
+    Ok(CoverageAnalysis {
+        cases: x.rows(),
+        variables,
+        pairs,
+        condition_number: condition,
+        gaps,
+        thresholds: thresholds.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A well-conditioned synthetic dataset: three near-orthogonal
+    /// columns, each excited everywhere.
+    fn good_dataset() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()]);
+        let rows: [[f64; 3]; 6] = [
+            [5.0, 1.0, 2.0],
+            [1.0, 6.0, 1.0],
+            [2.0, 2.0, 7.0],
+            [6.0, 1.0, 1.0],
+            [1.0, 5.0, 3.0],
+            [3.0, 1.0, 6.0],
+        ];
+        for (i, row) in rows.iter().enumerate() {
+            let y = row.iter().sum();
+            d.push_sample(format!("s{i}"), row, y).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn good_suite_passes_and_has_no_gaps() {
+        let analysis = analyze(&good_dataset(), &Thresholds::default()).unwrap();
+        assert!(analysis.passes(), "{:?}", analysis.failures());
+        assert!(analysis.gaps.is_empty());
+        assert_eq!(analysis.cases, 6);
+        assert_eq!(analysis.variables.len(), 3);
+        assert!(analysis.condition_number < 100.0);
+    }
+
+    #[test]
+    fn sole_source_variable_is_an_under_excited_gap() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        d.push_sample("s0", &[1.0, 0.0], 1.0).unwrap();
+        d.push_sample("s1", &[2.0, 0.0], 2.0).unwrap();
+        d.push_sample("s2", &[3.0, 0.0], 3.0).unwrap();
+        d.push_sample("only", &[1.0, 4.0], 9.0).unwrap();
+        let analysis = analyze(&d, &Thresholds::default()).unwrap();
+        assert!(!analysis.passes());
+        let gap = &analysis.gaps[0];
+        assert_eq!(gap.variable, "b");
+        assert_eq!(gap.reason(), "under-excited");
+        assert!(matches!(
+            gap.kind,
+            GapKind::UnderExcited { nonzero_cases: 1 }
+        ));
+    }
+
+    #[test]
+    fn collinear_columns_are_flagged_with_their_partner() {
+        let mut d = Dataset::new(vec!["a".into(), "twin".into(), "c".into()]);
+        for i in 0..8 {
+            let a = (i + 1) as f64;
+            let c = ((i * 5 + 3) % 7) as f64 + 1.0;
+            // `twin` tracks `a` with a faint wobble: |r| ≈ 1 but not an
+            // exact copy, so VIF stays finite while correlation trips.
+            let twin = 2.0 * a + if i % 2 == 0 { 0.01 } else { -0.01 };
+            d.push_sample(format!("s{i}"), &[a, twin, c], a + twin + c)
+                .unwrap();
+        }
+        let analysis = analyze(&d, &Thresholds::default()).unwrap();
+        assert!(!analysis.passes());
+        let gap = analysis
+            .gaps
+            .iter()
+            .find(|g| g.reason() == "collinear")
+            .expect("collinear gap");
+        assert_eq!(gap.variable, "twin");
+        assert_eq!(gap.partner(), Some("a"));
+        // The strong pair leads the watch list.
+        assert_eq!(analysis.pairs[0].a, "a");
+        assert_eq!(analysis.pairs[0].b, "twin");
+        assert!(analysis.pairs[0].abs_r > 0.99);
+    }
+
+    #[test]
+    fn underdetermined_suite_is_an_error() {
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()]);
+        d.push_sample("s0", &[1.0, 2.0, 3.0], 6.0).unwrap();
+        d.push_sample("s1", &[2.0, 1.0, 1.0], 4.0).unwrap();
+        assert!(matches!(
+            analyze(&d, &Thresholds::default()),
+            Err(RegressError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn gap_ranking_puts_under_excited_before_collinear() {
+        let mut d = Dataset::new(vec!["a".into(), "twin".into(), "rare".into()]);
+        for i in 0..8 {
+            let a = (i + 1) as f64;
+            let twin = 2.0 * a + if i % 2 == 0 { 0.01 } else { -0.01 };
+            let rare = if i == 3 { 5.0 } else { 0.0 };
+            d.push_sample(format!("s{i}"), &[a, twin, rare], a + twin + rare)
+                .unwrap();
+        }
+        let analysis = analyze(&d, &Thresholds::default()).unwrap();
+        assert!(analysis.gaps.len() >= 2, "{:?}", analysis.gaps);
+        assert_eq!(analysis.gaps[0].variable, "rare");
+        assert_eq!(analysis.gaps[0].reason(), "under-excited");
+    }
+}

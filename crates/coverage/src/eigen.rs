@@ -1,0 +1,160 @@
+//! Symmetric eigenvalue extraction for conditioning analysis.
+//!
+//! The analyzer needs the spectrum of the (column-normalized) Gram matrix
+//! `XᵀX` — a small symmetric positive-semidefinite matrix, at most
+//! 21×21 for the paper's full template. The cyclic Jacobi method is ideal
+//! at this size: a few dozen sweeps of plane rotations, unconditionally
+//! convergent for symmetric input, no pivoting heuristics, and fully
+//! deterministic — the same matrix always yields bit-identical
+//! eigenvalues, which the byte-stable `emx.coverage-report/1` document
+//! relies on.
+
+use emx_regress::Matrix;
+
+/// Maximum number of Jacobi sweeps before giving up. Quadratic
+/// convergence means well under 20 sweeps suffice for any matrix this
+/// crate sees; the cap only bounds pathological input.
+const MAX_SWEEPS: usize = 64;
+
+/// Convergence threshold on the off-diagonal Frobenius norm, relative to
+/// the total norm.
+const TOLERANCE: f64 = 1e-12;
+
+/// Eigenvalues of a symmetric matrix, sorted ascending, via the cyclic
+/// Jacobi method. The input must be square and symmetric; asymmetry is
+/// silently symmetrized (`(A + Aᵀ)/2`) since callers pass Gram matrices
+/// that are symmetric up to rounding.
+pub fn symmetric_eigenvalues(a: &Matrix) -> Vec<f64> {
+    let n = a.rows();
+    debug_assert_eq!(n, a.cols(), "eigenvalues need a square matrix");
+    if n == 0 {
+        return Vec::new();
+    }
+    // Work on a symmetrized copy in a flat row-major buffer.
+    let mut m = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            m[i * n + j] = 0.5 * (a[(i, j)] + a[(j, i)]);
+        }
+    }
+
+    let total_norm: f64 = m.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if total_norm == 0.0 {
+        return vec![0.0; n];
+    }
+
+    for _ in 0..MAX_SWEEPS {
+        let off: f64 = (0..n)
+            .flat_map(|i| (0..n).filter(move |&j| j != i).map(move |j| (i, j)))
+            .map(|(i, j)| m[i * n + j] * m[i * n + j])
+            .sum::<f64>()
+            .sqrt();
+        if off <= TOLERANCE * total_norm {
+            break;
+        }
+        for p in 0..n - 1 {
+            for q in p + 1..n {
+                let apq = m[p * n + q];
+                if apq == 0.0 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                // Classic Jacobi rotation angle: tan(2θ) = 2·apq / (app − aqq).
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = m[k * n + p];
+                    let akq = m[k * n + q];
+                    m[k * n + p] = c * akp - s * akq;
+                    m[k * n + q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = m[p * n + k];
+                    let aqk = m[q * n + k];
+                    m[p * n + k] = c * apk - s * aqk;
+                    m[q * n + k] = s * apk + c * aqk;
+                }
+            }
+        }
+    }
+
+    let mut eigs: Vec<f64> = (0..n).map(|i| m[i * n + i]).collect();
+    eigs.sort_by(|a, b| a.partial_cmp(b).expect("eigenvalues are finite"));
+    eigs
+}
+
+/// Spectral condition number λ_max / λ_min of a symmetric
+/// positive-semidefinite matrix. Returns `f64::INFINITY` when the matrix
+/// is singular to working precision (any eigenvalue ≤ `n·ε·λ_max`).
+pub fn condition_number(a: &Matrix) -> f64 {
+    let eigs = symmetric_eigenvalues(a);
+    let Some(&max) = eigs.last() else {
+        return f64::INFINITY;
+    };
+    if max <= 0.0 {
+        return f64::INFINITY;
+    }
+    let cutoff = eigs.len() as f64 * f64::EPSILON * max;
+    let min = eigs[0];
+    if min <= cutoff {
+        f64::INFINITY
+    } else {
+        max / min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_its_entries() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0, 0.0], &[0.0, 1.0, 0.0], &[0.0, 0.0, 2.0]]);
+        let eigs = symmetric_eigenvalues(&a);
+        assert!((eigs[0] - 1.0).abs() < 1e-12);
+        assert!((eigs[1] - 2.0).abs() < 1e-12);
+        assert!((eigs[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2_spectrum() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let eigs = symmetric_eigenvalues(&a);
+        assert!((eigs[0] - 1.0).abs() < 1e-12, "{eigs:?}");
+        assert!((eigs[1] - 3.0).abs() < 1e-12, "{eigs:?}");
+        assert!((condition_number(&a) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvalue_sum_matches_trace() {
+        // Random-ish symmetric matrix via M = BᵀB.
+        let b = Matrix::from_fn(6, 4, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+        let g = b.gram();
+        let eigs = symmetric_eigenvalues(&g);
+        let trace: f64 = (0..4).map(|i| g[(i, i)]).sum();
+        let sum: f64 = eigs.iter().sum();
+        assert!((trace - sum).abs() < 1e-9 * trace.abs().max(1.0));
+        // Gram matrices are PSD.
+        assert!(eigs.iter().all(|&e| e > -1e-9));
+    }
+
+    #[test]
+    fn singular_matrix_has_infinite_condition() {
+        // Rank-1: second column is twice the first.
+        let b = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        assert!(condition_number(&b.gram()).is_infinite());
+    }
+
+    #[test]
+    fn identity_is_perfectly_conditioned() {
+        assert!((condition_number(&Matrix::identity(5)) - 1.0).abs() < 1e-12);
+    }
+}

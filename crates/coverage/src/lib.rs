@@ -1,0 +1,55 @@
+//! Calibration-suite coverage analysis for the emx energy macro-model.
+//!
+//! The paper's Eq. 5 fits the 21 template coefficients by pseudo-inverse,
+//! `Ĉ = (XᵀX)⁻¹XᵀE`, so the quality of every downstream energy estimate
+//! is bounded by how well the training suite conditions `XᵀX`. This crate
+//! makes that property measurable and enforceable:
+//!
+//! * [`analyze`] — the **excitation analyzer**: per-variable column norms
+//!   and nonzero-case counts, pairwise column correlations,
+//!   variance-inflation factors, and the condition number of the
+//!   column-normalized Gram matrix, distilled into a ranked [`Gap`] list.
+//! * [`plan`] — the **pairwise planner**: turns the gap list into
+//!   deterministic (primary, partner, ratio) case specs that a directed
+//!   generator ([`emx_workloads::directed`]) realizes as loop programs.
+//! * [`report`] — the versioned, byte-deterministic
+//!   [`emx.coverage-report/1`](report::SCHEMA) document consumed by
+//!   `emx-validate --coverage` and CI.
+//!
+//! The closed loop — analyze, plan, synthesize, re-analyze until the
+//! suite passes [`Thresholds`] — is what took the emx suite from three
+//! ridge-fallback folds and LOO R² ≈ 0.60 to zero ridge folds and
+//! R² ≥ 0.75; DESIGN.md §13 documents the methodology.
+//!
+//! [`emx_workloads::directed`]: https://docs.rs/emx-workloads
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), emx_regress::RegressError> {
+//! use emx_coverage::{analyze, Thresholds};
+//! use emx_regress::Dataset;
+//!
+//! let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+//! d.push_sample("s0", &[1.0, 4.0], 9.0)?;
+//! d.push_sample("s1", &[2.0, 1.0], 4.0)?;
+//! d.push_sample("s2", &[3.0, 2.0], 7.0)?;
+//! d.push_sample("s3", &[1.0, 3.0], 7.0)?;
+//! let analysis = analyze(&d, &Thresholds::default())?;
+//! assert!(analysis.passes(), "{:?}", analysis.failures());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+pub mod eigen;
+mod plan;
+pub mod report;
+
+pub use analyze::{
+    analyze, CoverageAnalysis, Gap, GapKind, PairCorrelation, Thresholds, VariableExcitation,
+};
+pub use plan::{plan, CaseSpec};

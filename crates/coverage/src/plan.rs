@@ -1,0 +1,179 @@
+//! Pairwise case planning: from a gap list to directed-case specs.
+//!
+//! The planner turns the analyzer's ranked [`Gap`] list into a
+//! deterministic list of [`CaseSpec`]s — (primary, partner, weight-ratio)
+//! triples that a directed case generator realizes as small loop
+//! programs. The scheme is a pairwise covering design:
+//!
+//! * an **under-excited** primary gets several cases at *different*
+//!   partner pairings and intensity ratios, so its new column rows are
+//!   not proportional to any single partner's rows (one case would just
+//!   create a fresh collinearity);
+//! * a **collinear** pair gets cases that excite the primary alongside
+//!   partners *other than* the variable it is correlated with. Two
+//!   columns are collinear because they only ever moved together; the
+//!   missing information is a row where the primary is high and its
+//!   correlate is not, and pairing the primary with a third variable
+//!   produces exactly that row. (Pairing the two correlates with each
+//!   other at "contrasting ratios" sounds tempting but is often
+//!   unrealizable — e.g. a large straight-line body that thrashes the
+//!   I-cache is itself arithmetic, so β_icm-with-α_A cases can only
+//!   *raise* their correlation);
+//! * an **inflated** (high-VIF) variable is cured by **dilution**, not by
+//!   more of itself: VIF says the variable's column is well predicted by
+//!   a combination of the others, and adding yet more cases that excite
+//!   it (each dragging along the same baseline mix) strengthens that
+//!   prediction. What weakens it is rows that vary the *other* variables
+//!   while the inflated one stays at zero, so the planner emits cases
+//!   over rotating default-partner pairs instead.
+//!
+//! The planner is pure string-level: it knows variable names, not
+//! workloads, so `emx-coverage` stays independent of `emx-workloads`
+//! (which depends on the simulator). The generator is free to decline a
+//! spec it cannot realize.
+
+use crate::analyze::{CoverageAnalysis, GapKind};
+
+/// One directed-case request: excite `primary` and `partner` in the
+/// given intensity ratio.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseSpec {
+    /// The gap variable the case exists to excite.
+    pub primary: String,
+    /// The variable to pair it with.
+    pub partner: String,
+    /// Relative intensity (primary, partner) — e.g. (3,1) means the loop
+    /// body leans 3:1 towards the primary stimulus.
+    pub weights: (u32, u32),
+}
+
+/// Contrasting intensity ratios, in planning order.
+const RATIOS: [(u32, u32); 3] = [(3, 1), (1, 3), (2, 2)];
+
+/// Default partners for gaps whose reason names none: well-excited
+/// base-ISA variables that every suite conditions thoroughly, rotated so
+/// consecutive cases for one primary differ in partner *and* ratio.
+const DEFAULT_PARTNERS: [&str; 3] = ["alpha_A", "alpha_L", "alpha_S"];
+
+/// Plans directed cases for every gap in `analysis`, at most
+/// `cases_per_gap` per gap (clamped to the available ratio count).
+/// Deterministic: the same analysis always yields the same plan.
+pub fn plan(analysis: &CoverageAnalysis, cases_per_gap: usize) -> Vec<CaseSpec> {
+    let per_gap = cases_per_gap.min(RATIOS.len());
+    let mut out = Vec::new();
+    for (g, gap) in analysis.gaps.iter().enumerate() {
+        // Never pair a variable with itself, and never pair a collinear
+        // primary with the very variable it is entangled with — that row
+        // already exists in abundance (see the module doc).
+        let excluded = gap.partner().unwrap_or("");
+        for (k, &weights) in RATIOS.iter().enumerate().take(per_gap) {
+            if let GapKind::Inflated { .. } = gap.kind {
+                // Dilution: excite rotating pairs that do NOT include the
+                // inflated variable (see the module doc).
+                let mut a = (g + k) % DEFAULT_PARTNERS.len();
+                while DEFAULT_PARTNERS[a] == gap.variable {
+                    a = (a + 1) % DEFAULT_PARTNERS.len();
+                }
+                let mut b = (a + 1) % DEFAULT_PARTNERS.len();
+                while DEFAULT_PARTNERS[b] == gap.variable {
+                    b = (b + 1) % DEFAULT_PARTNERS.len();
+                }
+                out.push(CaseSpec {
+                    primary: DEFAULT_PARTNERS[a].to_owned(),
+                    partner: DEFAULT_PARTNERS[b].to_owned(),
+                    weights,
+                });
+                continue;
+            }
+            let mut pick = (g + k) % DEFAULT_PARTNERS.len();
+            while DEFAULT_PARTNERS[pick] == gap.variable || DEFAULT_PARTNERS[pick] == excluded {
+                pick = (pick + 1) % DEFAULT_PARTNERS.len();
+            }
+            out.push(CaseSpec {
+                primary: gap.variable.clone(),
+                partner: DEFAULT_PARTNERS[pick].to_owned(),
+                weights,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze::{Gap, Thresholds};
+
+    fn analysis_with(gaps: Vec<Gap>) -> CoverageAnalysis {
+        CoverageAnalysis {
+            cases: 10,
+            variables: Vec::new(),
+            pairs: Vec::new(),
+            condition_number: 100.0,
+            gaps,
+            thresholds: Thresholds::default(),
+        }
+    }
+
+    #[test]
+    fn empty_gap_list_plans_nothing() {
+        assert!(plan(&analysis_with(Vec::new()), 3).is_empty());
+    }
+
+    #[test]
+    fn collinear_gap_avoids_its_entangled_partner() {
+        let a = analysis_with(vec![Gap {
+            variable: "beta_icm".into(),
+            kind: GapKind::Collinear {
+                partner: "alpha_A".into(),
+                abs_r: 0.97,
+            },
+        }]);
+        let specs = plan(&a, 2);
+        assert_eq!(specs.len(), 2);
+        // Decorrelation comes from exciting β_icm *without* α_A, so the
+        // planner must pair it with the other default partners.
+        assert!(specs.iter().all(|s| s.partner != "alpha_A"));
+        assert!(specs.iter().all(|s| s.partner != "beta_icm"));
+        assert_eq!(specs[0].weights, (3, 1));
+        assert_eq!(specs[1].weights, (1, 3));
+    }
+
+    #[test]
+    fn under_excited_gap_rotates_partners() {
+        let a = analysis_with(vec![Gap {
+            variable: "delta_shift".into(),
+            kind: GapKind::UnderExcited { nonzero_cases: 1 },
+        }]);
+        let specs = plan(&a, 3);
+        assert_eq!(specs.len(), 3);
+        let partners: Vec<&str> = specs.iter().map(|s| s.partner.as_str()).collect();
+        assert_eq!(partners, ["alpha_A", "alpha_L", "alpha_S"]);
+    }
+
+    #[test]
+    fn primary_never_pairs_with_itself() {
+        let a = analysis_with(vec![Gap {
+            variable: "alpha_A".into(),
+            kind: GapKind::UnderExcited { nonzero_cases: 0 },
+        }]);
+        for spec in plan(&a, 3) {
+            assert_ne!(spec.primary, spec.partner);
+        }
+    }
+
+    #[test]
+    fn planning_is_deterministic() {
+        let a = analysis_with(vec![
+            Gap {
+                variable: "delta_table".into(),
+                kind: GapKind::UnderExcited { nonzero_cases: 2 },
+            },
+            Gap {
+                variable: "gamma_CI".into(),
+                kind: GapKind::Inflated { vif: 30.0 },
+            },
+        ]);
+        assert_eq!(plan(&a, 3), plan(&a, 3));
+    }
+}

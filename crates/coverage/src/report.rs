@@ -1,0 +1,281 @@
+//! The `emx.coverage-report/1` document: serialization and parsing.
+//!
+//! Like the validate report, the document is a pure function of the suite
+//! — no timings, hostnames, or absolute paths — so two runs over the same
+//! suite are byte-identical and CI can `cmp` them to prove determinism.
+//!
+//! Infinite values (a singular condition number, an exactly-collinear
+//! VIF) serialize as JSON `null`, since JSON has no `Infinity` literal;
+//! [`parse`] maps `null` back to `f64::INFINITY`.
+
+use emx_obs::json::Value;
+
+use crate::analyze::{
+    CoverageAnalysis, Gap, GapKind, PairCorrelation, Thresholds, VariableExcitation,
+};
+
+/// Schema identifier embedded in, and required of, every report.
+pub const SCHEMA: &str = "emx.coverage-report/1";
+
+fn set_finite_or_null(doc: &mut Value, key: &str, value: f64) {
+    if value.is_finite() {
+        doc.set(key, value);
+    } else {
+        doc.set(key, Value::Null);
+    }
+}
+
+/// Renders the analysis as an `emx.coverage-report/1` document.
+pub fn to_json(analysis: &CoverageAnalysis) -> Value {
+    let mut doc = Value::object();
+    doc.set("schema", SCHEMA);
+    doc.set("cases", analysis.cases as f64);
+    set_finite_or_null(&mut doc, "condition_number", analysis.condition_number);
+    doc.set("pass", analysis.passes());
+
+    let mut th = Value::object();
+    th.set(
+        "min_nonzero_cases",
+        analysis.thresholds.min_nonzero_cases as f64,
+    );
+    th.set(
+        "max_pair_correlation",
+        analysis.thresholds.max_pair_correlation,
+    );
+    th.set(
+        "max_condition_number",
+        analysis.thresholds.max_condition_number,
+    );
+    th.set("max_vif", analysis.thresholds.max_vif);
+    doc.set("thresholds", th);
+
+    let mut vars = Value::array();
+    for v in &analysis.variables {
+        let mut o = Value::object();
+        o.set("name", v.name.as_str());
+        o.set("nonzero_cases", v.nonzero_cases as f64);
+        o.set("column_norm", v.column_norm);
+        set_finite_or_null(&mut o, "vif", v.vif);
+        vars.push(o);
+    }
+    doc.set("variables", vars);
+
+    let mut pairs = Value::array();
+    for p in &analysis.pairs {
+        let mut o = Value::object();
+        o.set("a", p.a.as_str());
+        o.set("b", p.b.as_str());
+        o.set("abs_r", p.abs_r);
+        pairs.push(o);
+    }
+    doc.set("pairs", pairs);
+
+    let mut gaps = Value::array();
+    for g in &analysis.gaps {
+        let mut o = Value::object();
+        o.set("variable", g.variable.as_str());
+        o.set("reason", g.reason());
+        match &g.kind {
+            GapKind::UnderExcited { nonzero_cases } => {
+                o.set("nonzero_cases", *nonzero_cases as f64);
+            }
+            GapKind::Collinear { partner, abs_r } => {
+                o.set("partner", partner.as_str());
+                o.set("abs_r", *abs_r);
+            }
+            GapKind::Inflated { vif } => o.set("vif", *vif),
+        }
+        gaps.push(o);
+    }
+    doc.set("gaps", gaps);
+    doc
+}
+
+fn field_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field `{key}`"))
+}
+
+fn field_f64_or_inf(v: &Value, key: &str) -> Result<f64, String> {
+    match v.get(key) {
+        Some(Value::Null) => Ok(f64::INFINITY),
+        Some(other) => other
+            .as_f64()
+            .ok_or_else(|| format!("non-numeric field `{key}`")),
+        None => Err(format!("missing field `{key}`")),
+    }
+}
+
+fn field_usize(v: &Value, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .map(|n| n as usize)
+        .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+fn field_str(v: &Value, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+/// Parses a coverage report back into a [`CoverageAnalysis`].
+///
+/// Rejects unknown schema versions outright, for the same reason the
+/// validate gate does: comparing across schema changes would pass on
+/// vacuous matches. The recorded `pass` flag is not trusted — callers
+/// should re-derive it from [`CoverageAnalysis::passes`].
+pub fn parse(text: &str) -> Result<CoverageAnalysis, String> {
+    let doc = Value::parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let schema = field_str(&doc, "schema")?;
+    if schema != SCHEMA {
+        return Err(format!(
+            "unsupported schema `{schema}` (expected `{SCHEMA}`)"
+        ));
+    }
+    let th = doc.get("thresholds").ok_or("missing `thresholds`")?;
+    let thresholds = Thresholds {
+        min_nonzero_cases: field_usize(th, "min_nonzero_cases")?,
+        max_pair_correlation: field_f64(th, "max_pair_correlation")?,
+        max_condition_number: field_f64(th, "max_condition_number")?,
+        max_vif: field_f64(th, "max_vif")?,
+    };
+    let mut variables = Vec::new();
+    for v in doc
+        .get("variables")
+        .and_then(Value::as_array)
+        .ok_or("missing `variables`")?
+    {
+        variables.push(VariableExcitation {
+            name: field_str(v, "name")?,
+            nonzero_cases: field_usize(v, "nonzero_cases")?,
+            column_norm: field_f64(v, "column_norm")?,
+            vif: field_f64_or_inf(v, "vif")?,
+        });
+    }
+    let mut pairs = Vec::new();
+    for p in doc
+        .get("pairs")
+        .and_then(Value::as_array)
+        .ok_or("missing `pairs`")?
+    {
+        pairs.push(PairCorrelation {
+            a: field_str(p, "a")?,
+            b: field_str(p, "b")?,
+            abs_r: field_f64(p, "abs_r")?,
+        });
+    }
+    let mut gaps = Vec::new();
+    for g in doc
+        .get("gaps")
+        .and_then(Value::as_array)
+        .ok_or("missing `gaps`")?
+    {
+        let variable = field_str(g, "variable")?;
+        let reason = field_str(g, "reason")?;
+        let kind = match reason.as_str() {
+            "under-excited" => GapKind::UnderExcited {
+                nonzero_cases: field_usize(g, "nonzero_cases")?,
+            },
+            "collinear" => GapKind::Collinear {
+                partner: field_str(g, "partner")?,
+                abs_r: field_f64(g, "abs_r")?,
+            },
+            "inflated" => GapKind::Inflated {
+                vif: field_f64(g, "vif")?,
+            },
+            other => return Err(format!("unknown gap reason `{other}`")),
+        };
+        gaps.push(Gap { variable, kind });
+    }
+    Ok(CoverageAnalysis {
+        cases: field_usize(&doc, "cases")?,
+        variables,
+        pairs,
+        condition_number: field_f64_or_inf(&doc, "condition_number")?,
+        gaps,
+        thresholds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CoverageAnalysis {
+        CoverageAnalysis {
+            cases: 40,
+            variables: vec![
+                VariableExcitation {
+                    name: "alpha_A".into(),
+                    nonzero_cases: 40,
+                    column_norm: 123.5,
+                    vif: 3.2,
+                },
+                VariableExcitation {
+                    name: "beta_ucf".into(),
+                    nonzero_cases: 1,
+                    column_norm: 4.0,
+                    vif: f64::INFINITY,
+                },
+            ],
+            pairs: vec![PairCorrelation {
+                a: "alpha_A".into(),
+                b: "beta_icm".into(),
+                abs_r: 0.91,
+            }],
+            condition_number: 812.0,
+            gaps: vec![
+                Gap {
+                    variable: "beta_ucf".into(),
+                    kind: GapKind::UnderExcited { nonzero_cases: 1 },
+                },
+                Gap {
+                    variable: "beta_icm".into(),
+                    kind: GapKind::Collinear {
+                        partner: "alpha_A".into(),
+                        abs_r: 0.96,
+                    },
+                },
+                Gap {
+                    variable: "gamma_CI".into(),
+                    kind: GapKind::Inflated { vif: 44.0 },
+                },
+            ],
+            thresholds: Thresholds::default(),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_preserves_the_analysis() {
+        let a = sample();
+        let text = to_json(&a).to_string();
+        assert_eq!(parse(&text).expect("parses"), a);
+    }
+
+    #[test]
+    fn infinite_condition_number_round_trips_as_null() {
+        let mut a = sample();
+        a.condition_number = f64::INFINITY;
+        let text = to_json(&a).to_string();
+        assert!(text.contains("\"condition_number\": null"), "{text}");
+        let back = parse(&text).expect("parses");
+        assert!(back.condition_number.is_infinite());
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected() {
+        let mut doc = to_json(&sample());
+        doc.set("schema", "emx.coverage-report/999");
+        let err = parse(&doc.to_string()).expect_err("must reject");
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let a = sample();
+        assert_eq!(to_json(&a).to_string(), to_json(&a).to_string());
+    }
+}

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod directed;
 pub mod exts;
 pub mod gf;
 pub mod reed_solomon;

@@ -873,13 +873,70 @@ pub fn width_variant_programs() -> Vec<Workload> {
     out
 }
 
+/// The pairwise-covering specs realized by [`directed_programs`]:
+/// (primary, partner, (primary weight, partner weight)) for every gap the
+/// excitation analyzer reported against the hand-written suite.
+///
+/// The list was found with the closed loop that `emx-coverage`
+/// automates — analyze, plan, synthesize, re-analyze — then frozen here
+/// so the training suite stays a deterministic, reviewable artifact
+/// rather than a fixpoint recomputed at build time (the convergence
+/// itself is asserted by `tests/coverage.rs`). Three groups:
+///
+/// * sole-source breakers — `beta_ucf`, `delta_shift` and
+///   `delta_tie_mult` each appeared in exactly one program, which is why
+///   leave-one-out folds went singular (ridge fallback) when that
+///   program was held out;
+/// * excitation wideners for the remaining thin structural categories
+///   (each gained cases at several bit-widths, i.e. several `f(C)`
+///   points);
+/// * collinearity busters — contrasting-ratio pairs for the column pairs
+///   the analyzer flagged (`alpha_A ~ beta_icm`, `gamma_CI ~
+///   delta_logmux`, `delta_logmux ~ delta_creg`), including I-cache-sized
+///   bodies made of load/store blocks and the state-only `ddspin`
+///   stimulus that moves custom registers without any GPR coupling.
+pub const DIRECTED_SPECS: [(&str, &str, (u32, u32)); 23] = [
+    ("beta_ucf", "alpha_A", (3, 1)),
+    ("beta_ucf", "alpha_L", (1, 3)),
+    ("beta_ucf", "delta_shift", (2, 2)),
+    ("delta_shift", "alpha_L", (3, 1)),
+    ("delta_shift", "alpha_S", (1, 3)),
+    ("delta_tie_mult", "alpha_A", (3, 1)),
+    ("delta_tie_mult", "alpha_L", (1, 3)),
+    ("delta_mult", "alpha_S", (3, 1)),
+    ("delta_mult", "alpha_Bt", (1, 3)),
+    ("delta_tie_mac", "alpha_A", (2, 2)),
+    ("delta_tie_add", "alpha_Bu", (3, 1)),
+    ("delta_tie_csa", "alpha_L", (3, 1)),
+    ("delta_table", "alpha_A", (3, 1)),
+    ("delta_table", "alpha_S", (1, 3)),
+    ("beta_icm", "alpha_L", (1, 3)),
+    ("beta_icm", "alpha_S", (1, 3)),
+    ("gamma_CI", "delta_creg", (3, 1)),
+    ("delta_creg", "alpha_A", (3, 1)),
+    ("delta_creg", "delta_logmux", (1, 3)),
+    ("delta_logmux", "alpha_A", (3, 1)),
+    ("beta_dcm", "alpha_A", (3, 1)),
+    ("beta_dcm", "alpha_S", (1, 3)),
+    ("beta_dcm", "beta_ilk", (2, 2)),
+];
+
+/// The directed, pairwise-covering cases generated from
+/// [`DIRECTED_SPECS`] by [`crate::directed::synthesize`].
+pub fn directed_programs() -> Vec<Workload> {
+    crate::directed::realize(&DIRECTED_SPECS)
+}
+
 /// The full training set used by the default characterization flow: the
 /// 25 kernels of [`characterization_suite`] plus the nine
-/// [`calibration_programs`] and the [`width_variant_programs`].
+/// [`calibration_programs`], the [`width_variant_programs`] and the
+/// [`directed_programs`] that close the coverage gaps the excitation
+/// analyzer found in the hand-written programs.
 pub fn full_training_suite() -> Vec<Workload> {
     let mut all = characterization_suite();
     all.extend(calibration_programs());
     all.extend(width_variant_programs());
+    all.extend(directed_programs());
     all
 }
 

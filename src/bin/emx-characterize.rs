@@ -14,24 +14,66 @@
 //! solve), the measured ISS-vs-reference speedup, and one entry per
 //! training case with its cycles, timings and signed fitting error —
 //! `emx-diagnostics` consumes it.
+//!
+//! Before writing the model, the suite's design matrix is gated by the
+//! `emx-coverage` excitation analyzer: an ill-conditioned suite (a
+//! sole-source variable, collinear columns, an excessive condition
+//! number) would produce coefficients that fit the suite but extrapolate
+//! badly, so characterization **refuses** (exit 1) rather than emit a
+//! silently fragile model. `--skip-coverage-check` bypasses the gate for
+//! deliberate experiments with reduced suites.
 
 use std::process::ExitCode;
 
-use emx::core::{Characterizer, EmxError};
+use emx::core::{Characterizer, EmxError, ErrorKind};
+use emx::coverage::{analyze, Thresholds};
 use emx::obs::Collector;
 use emx::sim::ProcConfig;
 use emx::workloads::suite;
 
-const USAGE: &str = "usage: emx-characterize <model-output.txt> [--report <out.json>]";
+const USAGE: &str =
+    "usage: emx-characterize <model-output.txt> [--report <out.json>] [--skip-coverage-check]";
 
-fn run(path: &str, report_path: Option<&str>) -> Result<(), EmxError> {
+fn run(path: &str, report_path: Option<&str>, skip_coverage: bool) -> Result<(), EmxError> {
     println!("characterizing the emx base processor over the built-in training suite…");
     let workloads = suite::full_training_suite();
     let cases = suite::training_cases(&workloads);
     let mut obs = Collector::disabled();
-    let (result, report) = Characterizer::new(ProcConfig::default())
-        .characterize_instrumented(&cases, &mut obs)
+    let (result, report, dataset) = Characterizer::new(ProcConfig::default())
+        .characterize_with_dataset(&cases, &mut obs)
         .map_err(|e| EmxError::from(e).context("characterization failed"))?;
+
+    if skip_coverage {
+        println!("suite coverage gate: skipped (--skip-coverage-check)");
+    } else {
+        let analysis = analyze(&dataset, &Thresholds::default()).map_err(|e| {
+            EmxError::new(
+                ErrorKind::Model,
+                "characterize.coverage",
+                format!("coverage analysis failed: {e}"),
+            )
+        })?;
+        if analysis.passes() {
+            println!(
+                "suite coverage gate: ok ({} cases, condition number {:.1})",
+                analysis.cases, analysis.condition_number
+            );
+        } else {
+            for failure in analysis.failures() {
+                eprintln!("coverage gap: {failure}");
+            }
+            return Err(EmxError::new(
+                ErrorKind::Model,
+                "characterize.coverage",
+                format!(
+                    "training suite is ill-conditioned ({} gap(s)); a model fitted from it \
+                     would extrapolate badly — fix the suite (see `emx-validate --coverage`) \
+                     or pass --skip-coverage-check",
+                    analysis.failures().len()
+                ),
+            ));
+        }
+    }
 
     println!(
         "fitted {} coefficients over {} programs: R^2 = {:.5}, rms = {:.2}%, max = {:.2}%",
@@ -62,9 +104,10 @@ fn run(path: &str, report_path: Option<&str>) -> Result<(), EmxError> {
 
 fn parse_args(
     mut args: impl Iterator<Item = String>,
-) -> Result<(String, Option<String>), EmxError> {
+) -> Result<(String, Option<String>, bool), EmxError> {
     let mut model_path = None;
     let mut report_path = None;
+    let mut skip_coverage = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--report" => {
@@ -72,6 +115,7 @@ fn parse_args(
                     EmxError::usage(format!("--report needs a file path\n{USAGE}"))
                 })?);
             }
+            "--skip-coverage-check" => skip_coverage = true,
             "--help" | "-h" => return Err(EmxError::usage(USAGE)),
             other if other.starts_with('-') => {
                 return Err(EmxError::usage(format!("unknown flag `{other}`")))
@@ -83,20 +127,21 @@ fn parse_args(
     Ok((
         model_path.ok_or_else(|| EmxError::usage(USAGE))?,
         report_path,
+        skip_coverage,
     ))
 }
 
 // Exit-code contract (shared by all emx binaries): 2 = usage error,
 // 1 = bad input/data, 3 = internal error or fatal worker failure.
 fn main() -> ExitCode {
-    let (path, report_path) = match parse_args(std::env::args().skip(1)) {
+    let (path, report_path, skip_coverage) = match parse_args(std::env::args().skip(1)) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("{}", e.message());
             return ExitCode::from(e.exit_code());
         }
     };
-    match run(&path, report_path.as_deref()) {
+    match run(&path, report_path.as_deref(), skip_coverage) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("emx-characterize: {e}");
@@ -109,16 +154,23 @@ fn main() -> ExitCode {
 mod tests {
     use super::*;
 
-    fn parse(args: &[&str]) -> Result<(String, Option<String>), EmxError> {
+    fn parse(args: &[&str]) -> Result<(String, Option<String>, bool), EmxError> {
         parse_args(args.iter().map(|s| (*s).to_owned()))
     }
 
     #[test]
     fn parses_model_path_and_optional_report() {
-        assert_eq!(parse(&["m.txt"]).unwrap(), ("m.txt".to_owned(), None));
+        assert_eq!(
+            parse(&["m.txt"]).unwrap(),
+            ("m.txt".to_owned(), None, false)
+        );
         assert_eq!(
             parse(&["m.txt", "--report", "r.json"]).unwrap(),
-            ("m.txt".to_owned(), Some("r.json".to_owned()))
+            ("m.txt".to_owned(), Some("r.json".to_owned()), false)
+        );
+        assert_eq!(
+            parse(&["m.txt", "--skip-coverage-check"]).unwrap(),
+            ("m.txt".to_owned(), None, true)
         );
     }
 

@@ -11,6 +11,8 @@
 //! emx-validate --json report.json                  # write the report document
 //! emx-validate --check tests/golden/validate-report.json
 //! emx-validate --check golden.json --epsilon 1.0   # looser gate
+//! emx-validate --coverage                          # + suite-conditioning gate
+//! emx-validate --coverage-json coverage.json       # write emx.coverage-report/1
 //! emx-validate --chrome-trace t.json               # per-fold trace lanes
 //! ```
 //!
@@ -22,6 +24,7 @@
 use std::process::ExitCode;
 
 use emx::core::{Characterizer, EmxError, EnergyMacroModel, ErrorKind};
+use emx::coverage::{self, Thresholds};
 use emx::obs::{ChromeTraceWriter, Collector};
 use emx::regress::{FitMethod, FitOptions};
 use emx::sim::ProcConfig;
@@ -40,11 +43,14 @@ struct Options {
     epsilon: f64,
     chrome_trace: Option<String>,
     skip_cache_check: bool,
+    coverage: bool,
+    coverage_json: Option<String>,
 }
 
 const USAGE: &str = "usage: emx-validate [--folds <k|loo>] [--fuzz <n>] [--seed <u64>] \
                      [--tolerance <percent>] [--jobs <n>] [--model <model.txt>] \
                      [--json <out.json>] [--check <golden.json>] [--epsilon <pp>] \
+                     [--coverage] [--coverage-json <out.json>] \
                      [--chrome-trace <out.json>] [--skip-cache-check]";
 
 fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, EmxError> {
@@ -61,6 +67,8 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, EmxErro
         epsilon: 0.5,
         chrome_trace: None,
         skip_cache_check: false,
+        coverage: false,
+        coverage_json: None,
     };
     let missing = |what: &str| EmxError::usage(format!("{what}\n{USAGE}"));
     while let Some(arg) = args.next() {
@@ -160,6 +168,15 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, EmxErro
                 );
             }
             "--skip-cache-check" => options.skip_cache_check = true,
+            "--coverage" => options.coverage = true,
+            "--coverage-json" => {
+                // Writing the report implies running the analysis.
+                options.coverage = true;
+                options.coverage_json = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--coverage-json needs a file path"))?,
+                );
+            }
             "--help" | "-h" => return Err(EmxError::usage(USAGE)),
             other => return Err(EmxError::usage(format!("unexpected argument `{other}`"))),
         }
@@ -196,6 +213,42 @@ fn run(options: &Options) -> Result<(), EmxError> {
         .build_dataset(&cases)
         .map_err(|e| EmxError::from(e).context("training-suite simulation failed"))?;
     obs.end(span);
+
+    // Stage 0: suite-conditioning gate (--coverage). Runs on the same
+    // dataset the folds refit, so what it certifies is exactly what the
+    // cross-validation exercises.
+    let coverage = if options.coverage {
+        let analysis = coverage::analyze(&dataset, &Thresholds::default()).map_err(|e| {
+            EmxError::new(
+                ErrorKind::Model,
+                "validate.coverage",
+                format!("coverage analysis failed: {e}"),
+            )
+        })?;
+        println!(
+            "\nsuite coverage: {} cases, condition number {:.1} (max {:.1}), {}",
+            analysis.cases,
+            analysis.condition_number,
+            analysis.thresholds.max_condition_number,
+            if analysis.passes() {
+                "no gaps".to_owned()
+            } else {
+                format!("{} gap(s)", analysis.failures().len())
+            }
+        );
+        for failure in analysis.failures() {
+            eprintln!("emx-validate: coverage gap: {failure}");
+        }
+        if let Some(path) = &options.coverage_json {
+            let mut text = coverage::report::to_json(&analysis).to_string();
+            text.push('\n');
+            std::fs::write(path, text).map_err(|e| EmxError::io(path, &e))?;
+            println!("coverage report written to {path}");
+        }
+        Some(analysis)
+    } else {
+        None
+    };
 
     let fit_options = FitOptions {
         method: FitMethod::Qr,
@@ -315,8 +368,22 @@ fn run(options: &Options) -> Result<(), EmxError> {
         println!("Chrome trace written to {path} (load at ui.perfetto.dev)");
     }
 
-    // Hard failures that gate regardless of --check: a fuzz violation or a
-    // cache mismatch means the model or the cache is broken *now*.
+    // Hard failures that gate regardless of --check: a coverage gap, a
+    // fuzz violation or a cache mismatch means the suite, the model or
+    // the cache is broken *now*.
+    if let Some(c) = &coverage {
+        if !c.passes() {
+            return Err(EmxError::new(
+                ErrorKind::Model,
+                "validate.coverage",
+                format!(
+                    "training suite is ill-conditioned: {} gap(s) against the default \
+                     thresholds",
+                    c.failures().len()
+                ),
+            ));
+        }
+    }
     if let Some(f) = &fuzz {
         if !f.violations.is_empty() {
             return Err(EmxError::new(
@@ -403,6 +470,8 @@ mod tests {
         assert_eq!(o.epsilon, 0.5);
         assert!(o.check_path.is_none());
         assert!(!o.skip_cache_check);
+        assert!(!o.coverage);
+        assert!(o.coverage_json.is_none());
     }
 
     #[test]
@@ -429,6 +498,8 @@ mod tests {
             "--chrome-trace",
             "t.json",
             "--skip-cache-check",
+            "--coverage-json",
+            "c.json",
         ])
         .unwrap();
         assert_eq!(o.scheme, FoldScheme::KFold(5));
@@ -442,6 +513,15 @@ mod tests {
         assert_eq!(o.epsilon, 1.25);
         assert_eq!(o.chrome_trace.as_deref(), Some("t.json"));
         assert!(o.skip_cache_check);
+        assert!(o.coverage, "--coverage-json implies --coverage");
+        assert_eq!(o.coverage_json.as_deref(), Some("c.json"));
+    }
+
+    #[test]
+    fn coverage_flag_alone_enables_the_gate() {
+        let o = opts(&["--coverage"]).unwrap();
+        assert!(o.coverage);
+        assert!(o.coverage_json.is_none());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! | [`workloads`] | characterization suite, Table II applications, RS(15,11) codec |
 //! | [`dse`] | design-space exploration: enumeration, cached parallel evaluation, Pareto search |
 //! | [`validate`] | cross-validation, differential fuzzing, golden accuracy gates |
+//! | [`coverage`] | calibration-suite coverage: excitation analysis, conditioning gates, case planning |
 //! | [`obs`] | observability: spans, counters, histograms, Chrome trace export |
 //!
 //! # Quickstart
@@ -50,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub use emx_core as core;
+pub use emx_coverage as coverage;
 pub use emx_dse as dse;
 pub use emx_hwlib as hwlib;
 pub use emx_isa as isa;

@@ -1,0 +1,204 @@
+//! Integration tests for the calibration-coverage subsystem: the
+//! excitation analyzer, the pairwise planner, the directed case
+//! generator, and the versioned coverage report — exercised together
+//! over the real training suite (DESIGN.md §13).
+//!
+//! Simulation is the expensive part, so all tests share one
+//! [`RowCache`]: each unique program is simulated and reference-priced
+//! exactly once, and datasets are assembled from cached rows.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use emx::core::Characterizer;
+use emx::coverage::{analyze, plan, report, GapKind, Thresholds};
+use emx::regress::Dataset;
+use emx::sim::ProcConfig;
+use emx::workloads::{directed, suite, Workload};
+
+/// Memoized (variables row, reference energy) per program name.
+struct RowCache {
+    characterizer: Characterizer,
+    rows: HashMap<String, (Vec<f64>, f64)>,
+}
+
+impl RowCache {
+    fn shared() -> &'static Mutex<RowCache> {
+        static CACHE: OnceLock<Mutex<RowCache>> = OnceLock::new();
+        CACHE.get_or_init(|| {
+            Mutex::new(RowCache {
+                characterizer: Characterizer::new(ProcConfig::default()),
+                rows: HashMap::new(),
+            })
+        })
+    }
+
+    /// Assembles a dataset over `workloads`, simulating only the ones
+    /// not seen before.
+    fn dataset(&mut self, workloads: &[Workload]) -> Dataset {
+        let missing: Vec<Workload> = workloads
+            .iter()
+            .filter(|w| !self.rows.contains_key(w.name()))
+            .cloned()
+            .collect();
+        if !missing.is_empty() {
+            let cases = suite::training_cases(&missing);
+            let built = self
+                .characterizer
+                .build_dataset(&cases)
+                .expect("training cases simulate");
+            for (i, w) in missing.iter().enumerate() {
+                self.rows.insert(
+                    w.name().to_owned(),
+                    (built.row(i).to_vec(), built.observed(i)),
+                );
+            }
+        }
+        let mut dataset = Dataset::new(self.characterizer.spec().variable_names());
+        for w in workloads {
+            let (row, y) = &self.rows[w.name()];
+            dataset.push_sample(w.name(), row, *y).expect("cached row");
+        }
+        dataset
+    }
+}
+
+/// The suite as it existed before the directed pairwise cases.
+fn legacy_suite() -> Vec<Workload> {
+    suite::full_training_suite()
+        .into_iter()
+        .filter(|w| !w.name().starts_with("dir_"))
+        .collect()
+}
+
+#[test]
+fn legacy_suite_fails_thresholds_and_shipped_suite_passes() {
+    let mut cache = RowCache::shared().lock().unwrap();
+
+    // The pre-coverage suite is measurably ill-conditioned: sole-ish
+    // sources, a collinear β_icm~α_A pair, condition number over the
+    // limit. This is the regression the analyzer exists to catch.
+    let legacy = cache.dataset(&legacy_suite());
+    let before = analyze(&legacy, &Thresholds::default()).expect("analyzes");
+    assert!(!before.passes(), "legacy suite must fail the thresholds");
+    assert!(
+        before.condition_number > Thresholds::default().max_condition_number,
+        "legacy condition number {} should exceed the threshold",
+        before.condition_number
+    );
+    let under_excited: Vec<&str> = before
+        .gaps
+        .iter()
+        .filter(|g| matches!(g.kind, GapKind::UnderExcited { .. }))
+        .map(|g| g.variable.as_str())
+        .collect();
+    assert!(
+        under_excited.contains(&"beta_ucf") && under_excited.contains(&"delta_shift"),
+        "expected the known one-case variables, got {under_excited:?}"
+    );
+    assert!(
+        before.gaps.iter().any(|g| matches!(
+            &g.kind,
+            GapKind::Collinear { partner, .. }
+                if g.variable == "beta_icm" && partner == "alpha_A"
+        )),
+        "expected the β_icm~α_A collinearity, got {:?}",
+        before.gaps
+    );
+
+    // The shipped suite (legacy + DIRECTED_SPECS cases) closes every gap.
+    let full = cache.dataset(&suite::full_training_suite());
+    let after = analyze(&full, &Thresholds::default()).expect("analyzes");
+    assert!(
+        after.passes(),
+        "shipped suite must pass, but: {:?}",
+        after.failures()
+    );
+    assert!(after.gaps.is_empty());
+    assert!(after.condition_number < before.condition_number);
+    for v in &after.variables {
+        assert!(
+            v.nonzero_cases >= Thresholds::default().min_nonzero_cases,
+            "{} excited by only {} cases",
+            v.name,
+            v.nonzero_cases
+        );
+    }
+}
+
+#[test]
+fn closed_loop_planning_converges_on_the_legacy_suite() {
+    // analyze → plan → synthesize → re-analyze, starting from the
+    // ill-conditioned legacy suite, must reach a passing suite without
+    // hand-picked specs. Specs accumulate across rounds (realization is
+    // index-dependent, so the cumulative list keeps program names
+    // stable) and the loop must converge within a few rounds.
+    let mut cache = RowCache::shared().lock().unwrap();
+    let legacy = legacy_suite();
+    let mut specs = Vec::new();
+    let mut conditions = Vec::new();
+    let mut converged = false;
+    for _round in 0..8 {
+        let refs: Vec<(&str, &str, (u32, u32))> = specs
+            .iter()
+            .map(|s: &emx::coverage::CaseSpec| (s.primary.as_str(), s.partner.as_str(), s.weights))
+            .collect();
+        let mut workloads = legacy.clone();
+        workloads.extend(directed::realize(&refs));
+        let dataset = cache.dataset(&workloads);
+        let analysis = analyze(&dataset, &Thresholds::default()).expect("analyzes");
+        conditions.push(analysis.condition_number);
+        if analysis.passes() {
+            converged = true;
+            break;
+        }
+        let planned = plan(&analysis, 2);
+        assert!(
+            !planned.is_empty(),
+            "analyzer reports gaps but the planner has no cases for them: {:?}",
+            analysis.failures()
+        );
+        specs.extend(planned);
+    }
+    assert!(
+        converged,
+        "closed loop failed to converge; condition trajectory {conditions:?}"
+    );
+    assert!(
+        !specs.is_empty(),
+        "convergence must come from planned cases, not the legacy suite"
+    );
+}
+
+#[test]
+fn coverage_report_is_deterministic_and_round_trips() {
+    let analysis = {
+        let mut cache = RowCache::shared().lock().unwrap();
+        let dataset = cache.dataset(&suite::full_training_suite());
+        analyze(&dataset, &Thresholds::default()).expect("analyzes")
+    };
+
+    // Byte determinism: two serializations of independently re-analyzed
+    // runs must be identical (CI additionally `cmp`s two full
+    // `emx-validate --coverage-json` invocations).
+    let a = report::to_json(&analysis).to_string();
+    let b = report::to_json(&analysis).to_string();
+    assert_eq!(a, b);
+
+    // Parse round-trip: the document reconstructs the analysis.
+    let parsed = report::parse(&a).expect("parses");
+    assert_eq!(parsed.cases, analysis.cases);
+    assert_eq!(parsed.passes(), analysis.passes());
+    assert_eq!(
+        parsed.condition_number.to_bits(),
+        analysis.condition_number.to_bits(),
+        "condition number must survive the round trip bit-exactly"
+    );
+    assert_eq!(parsed.variables.len(), analysis.variables.len());
+    for (p, o) in parsed.variables.iter().zip(&analysis.variables) {
+        assert_eq!(p.name, o.name);
+        assert_eq!(p.nonzero_cases, o.nonzero_cases);
+        assert_eq!(p.vif.to_bits(), o.vif.to_bits());
+    }
+    assert!(a.contains(report::SCHEMA));
+}

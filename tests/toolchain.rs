@@ -126,6 +126,71 @@ fn workload_suite_is_self_checking() {
 }
 
 #[test]
+fn every_emitted_schema_is_documented() {
+    // Every versioned schema string that appears in source must have a
+    // section in docs/SCHEMAS.md — the doc is the contract consumers
+    // parse against, so an undocumented schema is a release bug. Only
+    // `/1` strings are collected: higher versions in the tree are
+    // deliberately-bogus fixtures for version-mismatch tests.
+    fn scan(dir: &std::path::Path, found: &mut std::collections::BTreeSet<String>) {
+        for entry in std::fs::read_dir(dir).expect("readable dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                scan(&path, found);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                let text = std::fs::read_to_string(&path).expect("readable source");
+                let bytes = text.as_bytes();
+                let mut at = 0;
+                while let Some(pos) = text[at..].find("emx.") {
+                    let start = at + pos;
+                    let mut end = start + 4;
+                    while end < bytes.len()
+                        && (bytes[end].is_ascii_lowercase() || bytes[end] == b'-')
+                    {
+                        end += 1;
+                    }
+                    let name_end = end;
+                    if end < bytes.len() && bytes[end] == b'/' {
+                        end += 1;
+                        while end < bytes.len() && bytes[end].is_ascii_digit() {
+                            end += 1;
+                        }
+                    }
+                    if name_end > start + 4 && end > name_end + 1 && &text[name_end..end] == "/1" {
+                        found.insert(text[start..end].to_owned());
+                    }
+                    at = end.max(start + 4);
+                }
+            }
+        }
+    }
+
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut schemas = std::collections::BTreeSet::new();
+    scan(&root.join("src"), &mut schemas);
+    for entry in std::fs::read_dir(root.join("crates")).expect("crates dir") {
+        let src = entry.expect("dir entry").path().join("src");
+        if src.is_dir() {
+            scan(&src, &mut schemas);
+        }
+    }
+    assert!(
+        schemas.len() >= 6,
+        "schema scan broke: only found {schemas:?}"
+    );
+
+    let doc = std::fs::read_to_string(root.join("docs/SCHEMAS.md")).expect("docs/SCHEMAS.md");
+    let undocumented: Vec<_> = schemas
+        .iter()
+        .filter(|schema| !doc.contains(schema.as_str()))
+        .collect();
+    assert!(
+        undocumented.is_empty(),
+        "schemas missing from docs/SCHEMAS.md: {undocumented:?}"
+    );
+}
+
+#[test]
 fn uncached_programs_pay_the_fetch_penalty() {
     let cached = run_base("movi a2, 100\nl:\naddi a2, a2, -1\nbnez a2, l\nhalt");
     let uncached = run_base(".uncached\nmovi a2, 100\nl:\naddi a2, a2, -1\nbnez a2, l\nhalt");

@@ -1,70 +1,13 @@
 //! Benches for the design-space exploration engine: a full search over
 //! the Reed–Solomon space with a cold estimation cache (every candidate
 //! pays an ISS run) vs a warm one (every candidate is a hash lookup).
-//! The Melem/s figure is candidates per second.
-
-use std::hint::black_box;
+//! Thin wrapper over `emx_bench::suites::dse` so `emx-bench` can run
+//! the same definitions headlessly.
 
 use emx_bench::harness::Bench;
-use emx_dse::{self as dse, CandidateSpace, EstimationCache};
-use emx_obs::Collector;
-use emx_sim::ProcConfig;
 
 fn main() {
-    let model = emx_bench::characterize_default().model;
-    let space = CandidateSpace::reed_solomon();
-    let candidates = space
-        .enumerate(None)
-        .expect("reed-solomon space enumerates")
-        .candidates
-        .len() as u64;
-
     let mut bench = Bench::from_args("dse");
-    let mut group = bench.group("dse");
-    group.sample_size(10);
-
-    group.throughput_elements(candidates);
-    group.bench("explore/cold_cache", || {
-        let mut cache = EstimationCache::new();
-        let out = dse::explore(
-            &model,
-            &space,
-            None,
-            &ProcConfig::default(),
-            1,
-            &mut cache,
-            &mut Collector::disabled(),
-        )
-        .expect("exploration runs");
-        black_box(out.points.len())
-    });
-
-    let mut warm = EstimationCache::new();
-    dse::explore(
-        &model,
-        &space,
-        None,
-        &ProcConfig::default(),
-        1,
-        &mut warm,
-        &mut Collector::disabled(),
-    )
-    .expect("exploration runs");
-    group.throughput_elements(candidates);
-    group.bench("explore/warm_cache", || {
-        let out = dse::explore(
-            &model,
-            &space,
-            None,
-            &ProcConfig::default(),
-            1,
-            &mut warm,
-            &mut Collector::disabled(),
-        )
-        .expect("exploration runs");
-        black_box(out.points.len())
-    });
-
-    group.finish();
+    emx_bench::suites::dse(&mut bench);
     bench.finish();
 }

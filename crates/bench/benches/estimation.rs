@@ -1,48 +1,13 @@
 //! Benches for the paper's speedup claim (§V): macro-model estimation
 //! (fast ISS + dot product) vs the RTL-level reference flow (detailed
-//! trace + net-level integration), per application. Runs on the
-//! registry-free harness in `emx_bench::harness`.
-
-use std::hint::black_box;
+//! trace + net-level integration), per application. Thin wrapper over
+//! `emx_bench::suites::estimation` so `emx-bench` can run the same
+//! definitions headlessly.
 
 use emx_bench::harness::Bench;
-use emx_rtlpower::RtlEnergyEstimator;
-use emx_sim::ProcConfig;
 
 fn main() {
-    let characterization = emx_bench::characterize_default();
-    let model = characterization.model;
-    let estimator = RtlEnergyEstimator::new();
-    let apps = emx_workloads::apps::all();
-
     let mut bench = Bench::from_args("estimation");
-
-    let mut group = bench.group("estimation");
-    group.sample_size(10);
-    for w in &apps {
-        group.bench(&format!("macro_model/{}", w.name()), || {
-            let est = model
-                .estimate(w.program(), w.ext(), ProcConfig::default())
-                .expect("estimation runs");
-            black_box(est.energy)
-        });
-        group.bench(&format!("rtl_reference/{}", w.name()), || {
-            let rep = estimator
-                .estimate(w.program(), w.ext(), ProcConfig::default())
-                .expect("reference runs");
-            black_box(rep.total)
-        });
-    }
-    group.finish();
-
-    // The one-time cost of building the macro-model (steps 1–8); done
-    // once per base processor, amortized over every later estimate.
-    let mut group = bench.group("characterization");
-    group.sample_size(10);
-    group.bench("full_flow_40_programs", || {
-        black_box(emx_bench::characterize_default())
-    });
-    group.finish();
-
+    emx_bench::suites::estimation(&mut bench);
     bench.finish();
 }

@@ -1,46 +1,14 @@
 //! Benches for the regression kernel: the paper highlights that
 //! "construction and use of regression models are efficient" — the
 //! least-squares solve over the whole characterization suite is
-//! microseconds, negligible next to the simulations that feed it. Runs
-//! on the registry-free harness in `emx_bench::harness`.
-
-use std::hint::black_box;
+//! microseconds, negligible next to the simulations that feed it. Thin
+//! wrapper over `emx_bench::suites::regression` so `emx-bench` can run
+//! the same definitions headlessly.
 
 use emx_bench::harness::Bench;
-use emx_regress::solve::{normal_equations_lstsq, qr_lstsq};
-use emx_regress::Matrix;
-
-/// Deterministic pseudo-random design matrix shaped like the
-/// characterization problem (`samples × 21`).
-fn design(samples: usize, vars: usize) -> (Matrix, Vec<f64>) {
-    let mut state = 0x2545_f491_4f6c_dd1du64;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        (state >> 11) as f64 / (1u64 << 53) as f64
-    };
-    let x = Matrix::from_fn(samples, vars, |_, _| next() * 1000.0);
-    let c_true: Vec<f64> = (0..vars).map(|i| 50.0 + 10.0 * i as f64).collect();
-    let mut y = x.mul_vec(&c_true).expect("shapes match");
-    for v in &mut y {
-        *v *= 1.0 + 0.02 * (next() - 0.5);
-    }
-    (x, y)
-}
 
 fn main() {
     let mut bench = Bench::from_args("regression");
-    let mut group = bench.group("lstsq");
-    for &samples in &[25usize, 40, 100] {
-        let (x, y) = design(samples, 21);
-        group.bench(&format!("qr/{samples}"), || {
-            black_box(qr_lstsq(&x, &y).expect("solves"))
-        });
-        group.bench(&format!("pseudo_inverse/{samples}"), || {
-            black_box(normal_equations_lstsq(&x, &y, 0.0).expect("solves"))
-        });
-    }
-    group.finish();
+    emx_bench::suites::regression(&mut bench);
     bench.finish();
 }

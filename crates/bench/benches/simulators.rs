@@ -1,48 +1,12 @@
 //! Benches for the simulation substrates: functional ISS throughput vs
-//! the activity-streaming pipeline path, per workload class. Runs on the
-//! registry-free harness in `emx_bench::harness`.
-
-use std::hint::black_box;
+//! the activity-streaming pipeline path, per workload class. Thin
+//! wrapper over `emx_bench::suites::simulators` so `emx-bench` can run
+//! the same definitions headlessly.
 
 use emx_bench::harness::Bench;
-use emx_sim::{InstRecord, Interp, PipelineSim, ProcConfig};
-use emx_workloads::Workload;
-
-fn pick(names: &[&str]) -> Vec<Workload> {
-    emx_workloads::suite::characterization_suite()
-        .into_iter()
-        .filter(|w| names.contains(&w.name()))
-        .collect()
-}
 
 fn main() {
-    let workloads = pick(&["matmul", "crc32", "tie_mac_fir", "tie_syn"]);
     let mut bench = Bench::from_args("simulators");
-
-    let mut group = bench.group("iss");
-    for w in &workloads {
-        // Pre-measure instruction count for throughput reporting.
-        let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
-        let insts = sim.run(200_000_000).expect("runs").stats.inst_count;
-        group.throughput_elements(insts);
-        group.bench(w.name(), || {
-            let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
-            black_box(sim.run(200_000_000).expect("runs").stats.total_cycles)
-        });
-    }
-    group.finish();
-
-    let mut group = bench.group("pipeline_trace");
-    for w in &workloads {
-        group.bench(w.name(), || {
-            let mut records = 0u64;
-            let mut sink = |_: &InstRecord<'_>| records += 1;
-            let mut sim = PipelineSim::new(w.program(), w.ext(), ProcConfig::default());
-            sim.run(&mut sink, 200_000_000).expect("runs");
-            black_box(records)
-        });
-    }
-    group.finish();
-
+    emx_bench::suites::simulators(&mut bench);
     bench.finish();
 }

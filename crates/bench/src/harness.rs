@@ -11,9 +11,13 @@
 //! reports min / p50 / p90 / mean per iteration out of an
 //! [`emx_obs::Histogram`] — the same log-linear histogram the
 //! observability layer uses, so quantization error is bounded at ~6 %.
+//! Measured distributions are also retained as [`BenchRecord`]s, which
+//! `emx-bench` serializes into `emx.bench-report/1` snapshots.
 //!
 //! Run with `cargo bench -p emx-bench [filter]`; only benchmarks whose
-//! `group/id` name contains the filter substring execute.
+//! `group/id` name contains the filter substring execute. `--list`
+//! prints the names without running anything; `--samples N` overrides
+//! every group's sample count.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -27,24 +31,127 @@ const MIN_SAMPLE_NANOS: u64 = 2_000_000;
 /// Default number of samples per benchmark.
 const DEFAULT_SAMPLES: usize = 20;
 
-/// Top-level state for one bench binary: name filter and run counts.
+/// Parsed command-line options for a bench binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BenchOptions {
+    /// Substring filter on `group/id` names.
+    pub filter: Option<String>,
+    /// Print benchmark names without running anything.
+    pub list: bool,
+    /// Override every group's sample count.
+    pub samples: Option<usize>,
+}
+
+impl BenchOptions {
+    /// Parses bench arguments (everything after the binary name).
+    ///
+    /// Recognized: one positional substring filter, `--list`,
+    /// `--samples N`. Cargo's own `--bench` marker is ignored.
+    ///
+    /// # Errors
+    ///
+    /// A usage message naming the first unknown flag, missing value, or
+    /// extra positional argument.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<BenchOptions, String> {
+        let mut opts = BenchOptions::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                // Passed by `cargo bench` to every bench target.
+                "--bench" => {}
+                "--list" => opts.list = true,
+                "--samples" => {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| "--samples requires a value".to_owned())?;
+                    let n: usize = value
+                        .parse()
+                        .map_err(|_| format!("--samples: `{value}` is not a number"))?;
+                    if n < 2 {
+                        return Err("--samples must be at least 2".to_owned());
+                    }
+                    opts.samples = Some(n);
+                }
+                flag if flag.starts_with('-') => {
+                    return Err(format!("unknown flag `{flag}`"));
+                }
+                positional => {
+                    if opts.filter.is_some() {
+                        return Err(format!("unexpected extra argument `{positional}`"));
+                    }
+                    opts.filter = Some(positional.to_owned());
+                }
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The usage string printed alongside parse errors.
+    pub fn usage(program: &str) -> String {
+        format!("usage: {program} [FILTER] [--list] [--samples N]")
+    }
+}
+
+/// One measured benchmark: identity, shape of the measurement, and the
+/// per-iteration latency distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Group name (first component of `group/id`).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Samples collected.
+    pub samples: usize,
+    /// Inner iterations batched per sample.
+    pub iters_per_sample: u64,
+    /// Declared elements processed per iteration, if any.
+    pub throughput_elements: Option<u64>,
+    /// Per-iteration latency histogram, in nanoseconds.
+    pub hist: Histogram,
+}
+
+impl BenchRecord {
+    /// The full `group/id` name.
+    pub fn full_name(&self) -> String {
+        format!("{}/{}", self.group, self.id)
+    }
+}
+
+/// Top-level state for one bench binary: options, run counts, and the
+/// measured records.
 pub struct Bench {
-    filter: Option<String>,
+    options: BenchOptions,
     ran: usize,
     skipped: usize,
+    records: Vec<BenchRecord>,
 }
 
 impl Bench {
-    /// Builds the harness from the command line. The first argument that
-    /// is not a flag becomes a substring filter on `group/id` names
-    /// (cargo passes `--bench` flags; those are ignored).
+    /// Builds the harness from the command line; prints usage and exits
+    /// with code 2 on a malformed one.
     pub fn from_args(suite: &str) -> Self {
-        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
-        println!("suite: {suite}");
+        let options = match BenchOptions::parse(std::env::args().skip(1)) {
+            Ok(options) => options,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("{}", BenchOptions::usage(suite));
+                std::process::exit(2);
+            }
+        };
+        if !options.list {
+            println!("suite: {suite}");
+        }
+        Bench::with_options(options)
+    }
+
+    /// Builds the harness from pre-parsed options (used by `emx-bench`,
+    /// which owns its own command line).
+    pub fn with_options(options: BenchOptions) -> Self {
         Bench {
-            filter,
+            options,
             ran: 0,
             skipped: 0,
+            records: Vec::new(),
         }
     }
 
@@ -58,16 +165,30 @@ impl Bench {
         }
     }
 
-    /// Prints the run/skip tally. Call last in `main`.
-    pub fn finish(self) {
-        println!(
-            "\n{} benchmark(s) run, {} filtered out",
-            self.ran, self.skipped
-        );
+    /// Prints the run/skip tally and hands back the measured records.
+    /// Call last in `main`.
+    pub fn finish(self) -> Vec<BenchRecord> {
+        if !self.options.list {
+            println!(
+                "\n{} benchmark(s) run, {} filtered out",
+                self.ran, self.skipped
+            );
+        }
+        self.records
     }
 
     fn selected(&self, full_name: &str) -> bool {
-        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+        self.options
+            .filter
+            .as_deref()
+            .is_none_or(|f| full_name.contains(f))
+    }
+
+    /// `true` if a benchmark named `full_name` would actually execute
+    /// (selected by the filter and not in `--list` mode). Suites use
+    /// this to skip expensive setup for benchmarks that will not run.
+    pub fn will_measure(&self, full_name: &str) -> bool {
+        !self.options.list && self.selected(full_name)
     }
 }
 
@@ -80,7 +201,8 @@ pub struct Group<'a> {
 }
 
 impl Group<'_> {
-    /// Sets the number of samples collected per benchmark.
+    /// Sets the number of samples collected per benchmark (overridden
+    /// by `--samples`).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.sample_size = n.max(2);
         self
@@ -94,25 +216,38 @@ impl Group<'_> {
         self
     }
 
+    /// `true` if `id` in this group would actually execute; see
+    /// [`Bench::will_measure`].
+    pub fn will_measure(&self, id: &str) -> bool {
+        self.bench.will_measure(&format!("{}/{}", self.name, id))
+    }
+
     /// Measures `f`, reporting per-iteration latency statistics.
     pub fn bench<T>(&mut self, id: &str, mut f: impl FnMut() -> T) {
         let full_name = format!("{}/{}", self.name, id);
         let throughput = self.throughput.take();
+        if self.bench.options.list {
+            println!("{full_name}");
+            return;
+        }
         if !self.bench.selected(&full_name) {
             self.bench.skipped += 1;
             return;
         }
         self.bench.ran += 1;
+        let sample_size = self.bench.options.samples.unwrap_or(self.sample_size);
 
-        // Calibrate: batch iterations until one sample is long enough
-        // for the clock to resolve it well.
+        // Warm up once (pays lazy one-time setup inside the closure),
+        // then calibrate: batch iterations until one sample is long
+        // enough for the clock to resolve it well.
+        black_box(f());
         let once = time_nanos(|| {
             black_box(f());
         });
         let iters_per_sample = (MIN_SAMPLE_NANOS / once.max(1)).clamp(1, 1_000_000);
 
         let mut hist = Histogram::new();
-        for _ in 0..self.sample_size {
+        for _ in 0..sample_size {
             let elapsed = time_nanos(|| {
                 for _ in 0..iters_per_sample {
                     black_box(f());
@@ -127,7 +262,7 @@ impl Group<'_> {
             fmt_nanos(hist.percentile(90.0)),
             fmt_nanos(hist.mean() as u64),
             fmt_nanos(hist.min()),
-            self.sample_size,
+            sample_size,
             iters_per_sample,
         );
         if let Some(elements) = throughput {
@@ -135,6 +270,15 @@ impl Group<'_> {
             line.push_str(&format!("  {:.1} Melem/s", per_sec / 1e6));
         }
         println!("{line}");
+
+        self.bench.records.push(BenchRecord {
+            group: self.name.clone(),
+            id: id.to_owned(),
+            samples: sample_size,
+            iters_per_sample,
+            throughput_elements: throughput,
+            hist,
+        });
     }
 
     /// Ends the group (provided for symmetry; dropping works too).
@@ -148,7 +292,7 @@ fn time_nanos(f: impl FnOnce()) -> u64 {
 }
 
 /// Renders a nanosecond count with an adaptive unit.
-fn fmt_nanos(ns: u64) -> String {
+pub fn fmt_nanos(ns: u64) -> String {
     match ns {
         0..=9_999 => format!("{ns} ns"),
         10_000..=9_999_999 => format!("{:.1} µs", ns as f64 / 1e3),
@@ -161,6 +305,10 @@ fn fmt_nanos(ns: u64) -> String {
 mod tests {
     use super::*;
 
+    fn bench_with(options: BenchOptions) -> Bench {
+        Bench::with_options(options)
+    }
+
     #[test]
     fn unit_formatting_scales() {
         assert_eq!(fmt_nanos(512), "512 ns");
@@ -171,34 +319,78 @@ mod tests {
 
     #[test]
     fn filter_matches_substrings() {
-        let b = Bench {
+        let b = bench_with(BenchOptions {
             filter: Some("iss/mat".into()),
-            ran: 0,
-            skipped: 0,
-        };
+            ..BenchOptions::default()
+        });
         assert!(b.selected("iss/matmul"));
         assert!(!b.selected("pipeline/matmul"));
-        let unfiltered = Bench {
-            filter: None,
-            ran: 0,
-            skipped: 0,
-        };
+        let unfiltered = bench_with(BenchOptions::default());
         assert!(unfiltered.selected("anything"));
     }
 
     #[test]
-    fn bench_runs_and_counts() {
-        let mut b = Bench {
-            filter: None,
-            ran: 0,
-            skipped: 0,
-        };
+    fn bench_runs_and_records() {
+        let mut b = bench_with(BenchOptions {
+            samples: Some(2),
+            ..BenchOptions::default()
+        });
         let mut g = b.group("g");
-        g.sample_size(2);
+        g.throughput_elements(7);
         let mut calls = 0u64;
         g.bench("noop", || calls += 1);
         g.finish();
         assert!(calls > 0);
-        assert_eq!(b.ran, 1);
+        let records = b.finish();
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].full_name(), "g/noop");
+        assert_eq!(records[0].samples, 2);
+        assert_eq!(records[0].throughput_elements, Some(7));
+        assert_eq!(records[0].hist.count(), 2);
+    }
+
+    #[test]
+    fn list_mode_runs_nothing() {
+        let mut b = bench_with(BenchOptions {
+            list: true,
+            ..BenchOptions::default()
+        });
+        assert!(!b.will_measure("g/expensive"));
+        let mut g = b.group("g");
+        assert!(!g.will_measure("expensive"));
+        let mut calls = 0u64;
+        g.bench("expensive", || calls += 1);
+        g.finish();
+        assert_eq!(calls, 0);
+        assert!(b.finish().is_empty());
+    }
+
+    #[test]
+    fn options_parse_recognizes_flags() {
+        let opts =
+            BenchOptions::parse(["--bench", "lstsq", "--samples", "5", "--list"].map(String::from))
+                .unwrap();
+        assert_eq!(
+            opts,
+            BenchOptions {
+                filter: Some("lstsq".into()),
+                list: true,
+                samples: Some(5),
+            }
+        );
+    }
+
+    #[test]
+    fn options_parse_rejects_garbage() {
+        for bad in [
+            vec!["--frobnicate"],
+            vec!["--samples"],
+            vec!["--samples", "zero"],
+            vec!["--samples", "1"],
+            vec!["a", "b"],
+        ] {
+            let args = bad.iter().map(|s| (*s).to_owned());
+            assert!(BenchOptions::parse(args).is_err(), "{bad:?}");
+        }
     }
 }

@@ -15,7 +15,10 @@
 //! once, evaluating applications through both estimators, and text-table
 //! formatting.
 
+pub mod compare;
 pub mod harness;
+pub mod report;
+pub mod suites;
 
 use emx_core::{Characterization, Characterizer, EnergyMacroModel, ModelSpec};
 use emx_regress::stats;

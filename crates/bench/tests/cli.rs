@@ -1,0 +1,163 @@
+//! End-to-end tests of the `emx-bench` binary: exit-code contract,
+//! snapshot validity, self-comparison, and the regression gate against
+//! a doctored (artificially fast) baseline.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use emx_bench::report::BenchReport;
+
+fn emx_bench(args: &[&str], dir: &std::path::Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_emx-bench"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("binary runs")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("emx-bench-cli-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn list_prints_names_and_runs_nothing() {
+    let dir = temp_dir("list");
+    let out = emx_bench(&["--list"], &dir);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    for name in [
+        "iss/matmul",
+        "estimation/macro_model/gcd",
+        "characterization/full_flow",
+        "lstsq/qr/25",
+        "dse/explore/cold_cache",
+        "phase/crc32",
+    ] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+    // --list is instant, so it must not have measured anything.
+    assert!(!stdout.contains("p50"), "{stdout}");
+}
+
+#[test]
+fn unknown_flag_is_a_usage_error() {
+    let dir = temp_dir("usage");
+    for args in [
+        &["--frobnicate"][..],
+        &["--samples"][..],
+        &["--samples", "one"][..],
+        &["--compare", "x.json"][..],
+        &["a", "b"][..],
+    ] {
+        let out = emx_bench(args, &dir);
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+}
+
+#[test]
+fn missing_baseline_file_is_an_input_error() {
+    let dir = temp_dir("missing");
+    let out = emx_bench(
+        &["--baseline", "no-such.json", "--compare", "no-such.json"],
+        &dir,
+    );
+    assert_eq!(out.status.code(), Some(1));
+}
+
+/// One real (tiny) run drives the full snapshot surface: schema-valid
+/// JSON with environment, statistics, histogram buckets, and a phase
+/// breakdown; clean self-comparison; and a regression verdict against
+/// a baseline doctored to look 4× faster.
+#[test]
+fn snapshot_compare_and_gate_work_end_to_end() {
+    let dir = temp_dir("snapshot");
+    let snapshot = dir.join("smoke.json");
+    let out = emx_bench(&["matmul", "--samples", "3", "--json", "smoke.json"], &dir);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // The snapshot parses under the schema and carries everything the
+    // report promises.
+    let text = std::fs::read_to_string(&snapshot).unwrap();
+    assert!(text.contains("emx.bench-report/1"));
+    let report = BenchReport::parse(&text).expect("snapshot is schema-valid");
+    assert!(report.environment.cpu_count > 0);
+    assert_ne!(report.environment.opt_level, "");
+    let entry = report.benchmark("iss/matmul").expect("filtered bench ran");
+    assert_eq!(entry.samples, 3);
+    assert!(entry.p50_ns > 0 && entry.p50_ns <= entry.p90_ns);
+    assert!(
+        entry.hist.buckets().count() > 0,
+        "histogram buckets present"
+    );
+    assert_eq!(entry.hist.count(), 3);
+    let phase = report
+        .phases
+        .iter()
+        .find(|p| p.workload == "matmul")
+        .expect("phase breakdown present");
+    assert!(phase.profile.total_ns() > 0);
+    assert!(phase.profile.steps() > 0);
+
+    // Self-comparison is deterministic and clean.
+    let out = emx_bench(
+        &["--baseline", "smoke.json", "--compare", "smoke.json"],
+        &dir,
+    );
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("0 regressed"), "{stdout}");
+
+    // Doctor a baseline that claims to be 4× faster: the current run
+    // then sits far above its p90 band and must fail the gate.
+    let mut doctored = report.clone();
+    for entry in &mut doctored.benchmarks {
+        entry.min_ns /= 4;
+        entry.p50_ns /= 4;
+        entry.p90_ns /= 4;
+        entry.mean_ns /= 4.0;
+    }
+    std::fs::write(dir.join("doctored.json"), doctored.to_text()).unwrap();
+    let out = emx_bench(
+        &["--baseline", "doctored.json", "--compare", "smoke.json"],
+        &dir,
+    );
+    assert_eq!(out.status.code(), Some(1), "4× slowdown must gate");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("REGRESSED"), "{stdout}");
+
+    // --warn-only downgrades the same comparison to exit 0.
+    let out = emx_bench(
+        &[
+            "--baseline",
+            "doctored.json",
+            "--compare",
+            "smoke.json",
+            "--warn-only",
+        ],
+        &dir,
+    );
+    assert!(out.status.success());
+
+    // A cross-machine baseline (different fingerprint) warns instead of
+    // gating, even with real regressions.
+    let mut foreign = doctored.clone();
+    foreign.environment.cpu_count += 64;
+    std::fs::write(dir.join("foreign.json"), foreign.to_text()).unwrap();
+    let out = emx_bench(
+        &["--baseline", "foreign.json", "--compare", "smoke.json"],
+        &dir,
+    );
+    assert!(out.status.success());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("environment differs"), "{stderr}");
+}

@@ -1,5 +1,7 @@
 //! Log-linear histograms for latency- and size-shaped distributions.
 
+use crate::json::Value;
+
 /// Linear sub-buckets per power-of-two octave. 16 sub-buckets bound the
 /// relative quantization error of any recorded value by 1/16 ≈ 6.25 %.
 const SUBS: u64 = 16;
@@ -168,6 +170,125 @@ impl Histogram {
         }
         self.max
     }
+
+    /// The non-empty buckets as `(lower_bound, count)` pairs, in value
+    /// order. The lower bound is inclusive; the next bucket's lower
+    /// bound (or `u64::MAX` for the last addressable bucket) is the
+    /// exclusive upper bound. This is the full serialized shape of the
+    /// distribution — two histograms with identical bucket lists report
+    /// identical percentiles.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_low(i), n))
+    }
+
+    /// Serializes the full histogram — scalar summary plus every
+    /// non-empty bucket — as a JSON object that [`Histogram::from_json`]
+    /// reconstructs exactly (same buckets, same percentiles).
+    ///
+    /// `min`, `max` and `sum` are decimal **strings** because they are
+    /// u64/u128 quantities that a JSON double cannot always hold
+    /// exactly; `count` and the per-bucket counts are plain numbers.
+    /// Buckets are `[index, count]` pairs in index order, where `index`
+    /// addresses the fixed log-linear bucket grid (16 sub-buckets per
+    /// octave), so documents from any build of this crate line up
+    /// bucket-for-bucket.
+    pub fn to_json(&self) -> Value {
+        let mut doc = Value::object();
+        doc.set("count", self.total);
+        doc.set("min", self.min().to_string());
+        doc.set("max", self.max.to_string());
+        doc.set("sum", self.sum.to_string());
+        let mut buckets = Value::array();
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n > 0 {
+                let mut pair = Value::array();
+                pair.push(i as u64);
+                pair.push(n);
+                buckets.push(pair);
+            }
+        }
+        doc.set("buckets", buckets);
+        doc
+    }
+
+    /// Reconstructs a histogram serialized by [`Histogram::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when a field is missing or malformed,
+    /// a bucket index is out of range, or the bucket counts do not sum
+    /// back to `count` — a corrupt document is rejected, never silently
+    /// truncated.
+    pub fn from_json(doc: &Value) -> Result<Histogram, String> {
+        let count = doc
+            .get("count")
+            .and_then(Value::as_u64)
+            .ok_or("histogram: missing or non-integer `count`")?;
+        let parse_u64 = |key: &str| -> Result<u64, String> {
+            doc.get(key)
+                .and_then(Value::as_str)
+                .ok_or(format!("histogram: missing string field `{key}`"))?
+                .parse::<u64>()
+                .map_err(|_| format!("histogram: malformed `{key}`"))
+        };
+        if count == 0 {
+            return Ok(Histogram::new());
+        }
+        let min = parse_u64("min")?;
+        let max = parse_u64("max")?;
+        let sum = doc
+            .get("sum")
+            .and_then(Value::as_str)
+            .ok_or("histogram: missing string field `sum`")?
+            .parse::<u128>()
+            .map_err(|_| "histogram: malformed `sum`".to_owned())?;
+        let buckets = doc
+            .get("buckets")
+            .and_then(Value::as_array)
+            .ok_or("histogram: missing `buckets` array")?;
+        let mut counts = vec![0u64; BUCKETS];
+        let mut total = 0u64;
+        for pair in buckets {
+            let pair = pair
+                .as_array()
+                .filter(|p| p.len() == 2)
+                .ok_or("histogram: bucket is not an [index, count] pair")?;
+            let index = pair[0]
+                .as_u64()
+                .ok_or("histogram: non-integer bucket index")?;
+            let n = pair[1]
+                .as_u64()
+                .ok_or("histogram: non-integer bucket count")?;
+            let slot = counts
+                .get_mut(usize::try_from(index).map_err(|_| "histogram: bucket index overflows")?)
+                .ok_or(format!("histogram: bucket index {index} out of range"))?;
+            *slot = slot
+                .checked_add(n)
+                .ok_or("histogram: bucket count overflows")?;
+            total = total
+                .checked_add(n)
+                .ok_or("histogram: total count overflows")?;
+        }
+        if total != count {
+            return Err(format!(
+                "histogram: bucket counts sum to {total} but `count` is {count}"
+            ));
+        }
+        if min > max {
+            return Err("histogram: min exceeds max".to_owned());
+        }
+        Ok(Histogram {
+            counts,
+            total,
+            sum,
+            min,
+            max,
+        })
+    }
 }
 
 impl Default for Histogram {
@@ -254,6 +375,69 @@ mod tests {
         let mut fresh = Histogram::new();
         fresh.merge(&before);
         assert_eq!(fresh, before);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 3, 17, 900, 65_536, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        let doc = h.to_json();
+        let text = doc.to_string();
+        let back = Histogram::from_json(&Value::parse(&text).expect("valid JSON")).expect("parses");
+        assert_eq!(back, h);
+        for p in [0.0, 10.0, 50.0, 90.0, 99.9, 100.0] {
+            assert_eq!(back.percentile(p), h.percentile(p));
+        }
+        assert_eq!(back.mean(), h.mean());
+
+        let empty = Histogram::new();
+        let back = Histogram::from_json(&empty.to_json()).expect("parses");
+        assert_eq!(back, empty);
+    }
+
+    #[test]
+    fn from_json_rejects_corrupt_documents() {
+        let mut h = Histogram::new();
+        h.record(42);
+        let good = h.to_json().to_string();
+
+        for (bad, why) in [
+            (
+                good.replace("\"count\": 1", "\"count\": 2"),
+                "count mismatch",
+            ),
+            (good.replace("\"min\": \"42\"", "\"min\": \"x\""), "bad min"),
+            (
+                good.replace("\"min\": \"42\"", "\"min\": \"99\""),
+                "min > max",
+            ),
+            (
+                good.replace("\"sum\": \"42\"", "\"other\": \"42\""),
+                "no sum",
+            ),
+            (
+                good.replace("\"buckets\"", "\"nothing\""),
+                "missing buckets",
+            ),
+        ] {
+            let doc = Value::parse(&bad).expect("still valid JSON");
+            assert!(Histogram::from_json(&doc).is_err(), "accepted {why}");
+        }
+
+        let mut out_of_range = Value::object();
+        out_of_range.set("count", 1u64);
+        out_of_range.set("min", "1");
+        out_of_range.set("max", "1");
+        out_of_range.set("sum", "1");
+        let mut pair = Value::array();
+        pair.push(10_000_000u64);
+        pair.push(1u64);
+        let mut buckets = Value::array();
+        buckets.push(pair);
+        out_of_range.set("buckets", buckets);
+        assert!(Histogram::from_json(&out_of_range).is_err());
     }
 
     #[test]

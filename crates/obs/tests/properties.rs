@@ -1,0 +1,97 @@
+//! Property-based tests for the log-linear histogram: the JSON
+//! serialization must be a lossless round-trip (the bench-report schema
+//! diffs distributions across commits, so a bucket lost in transit would
+//! silently corrupt the perf trajectory), and `merge` must commute with
+//! recording — merged percentile queries answer exactly as if every
+//! sample had been recorded into one histogram.
+
+use proptest::prelude::*;
+
+use emx_obs::json::Value;
+use emx_obs::Histogram;
+
+fn record_all(samples: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in samples {
+        h.record(v);
+    }
+    h
+}
+
+/// Samples spanning the interesting octaves: exact small buckets, the
+/// first quantized octave, and values near the top of the u64 range.
+fn samples_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        (0u64..4, any::<u64>()).prop_map(|(octave, raw)| match octave {
+            0 => raw % 16,
+            1 => 16 + raw % 4080,
+            2 => 4096 + raw % 10_000_000_000,
+            _ => u64::MAX - raw % 1000,
+        }),
+        0..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn json_round_trip_preserves_everything(samples in samples_strategy()) {
+        let h = record_all(&samples);
+        let text = h.to_json().to_string();
+        let doc = Value::parse(&text).expect("serializer emits valid JSON");
+        let back = Histogram::from_json(&doc).expect("round-trip parses");
+        prop_assert_eq!(&back, &h);
+        prop_assert_eq!(back.count(), h.count());
+        prop_assert_eq!(back.min(), h.min());
+        prop_assert_eq!(back.max(), h.max());
+        prop_assert_eq!(back.mean(), h.mean());
+        for p in [0.0, 1.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            prop_assert_eq!(back.percentile(p), h.percentile(p));
+        }
+    }
+
+    #[test]
+    fn merge_matches_recording_all_samples_in_one(
+        a in samples_strategy(),
+        b in samples_strategy(),
+    ) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+
+        let mut all: Vec<u64> = a.clone();
+        all.extend_from_slice(&b);
+        let direct = record_all(&all);
+
+        prop_assert_eq!(&merged, &direct);
+        for p in [0.0, 10.0, 50.0, 90.0, 100.0] {
+            prop_assert_eq!(merged.percentile(p), direct.percentile(p));
+        }
+    }
+
+    #[test]
+    fn percentiles_are_monotone_and_bounded(samples in samples_strategy()) {
+        let h = record_all(&samples);
+        let mut prev = h.percentile(0.0);
+        for p in 1..=100u32 {
+            let cur = h.percentile(f64::from(p));
+            prop_assert!(cur >= prev, "p{} = {} < p{} = {}", p, cur, p - 1, prev);
+            prev = cur;
+        }
+        if h.count() > 0 {
+            prop_assert_eq!(h.percentile(0.0), h.min());
+            prop_assert_eq!(h.percentile(100.0), h.max());
+        }
+    }
+
+    #[test]
+    fn bucket_list_counts_sum_to_total(samples in samples_strategy()) {
+        let h = record_all(&samples);
+        let total: u64 = h.buckets().map(|(_, n)| n).sum();
+        prop_assert_eq!(total, h.count());
+        // Bucket lower bounds are strictly increasing and never above max.
+        let lows: Vec<u64> = h.buckets().map(|(low, _)| low).collect();
+        prop_assert!(lows.windows(2).all(|w| w[0] < w[1]));
+        if let Some(&last) = lows.last() {
+            prop_assert!(last <= h.max());
+        }
+    }
+}

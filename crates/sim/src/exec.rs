@@ -133,7 +133,36 @@ pub fn step(
     ext: &ExtensionSet,
 ) -> Result<StepOutcome, SimError> {
     let pc = state.pc;
-    let inst = *program.fetch(pc).ok_or(SimError::InvalidPc(pc))?;
+    let inst = decode(program, pc)?;
+    execute(state, ext, inst, pc)
+}
+
+/// Looks up the (already statically decoded) instruction at `pc`.
+///
+/// Exposed separately from [`execute`] so the ISS can attribute
+/// decode-lookup time to its own profiling phase.
+///
+/// # Errors
+///
+/// [`SimError::InvalidPc`] — PC outside the text segment.
+#[inline]
+pub fn decode(program: &Program, pc: u32) -> Result<Inst, SimError> {
+    program.fetch(pc).copied().ok_or(SimError::InvalidPc(pc))
+}
+
+/// Executes one decoded instruction at `pc`, updating `state`.
+///
+/// # Errors
+///
+/// * [`SimError::UnknownCustom`] — custom id not in `ext`,
+/// * [`SimError::Unaligned`] — misaligned data access,
+/// * [`SimError::Graph`] — custom datapath evaluation failure.
+pub fn execute(
+    state: &mut CoreState,
+    ext: &ExtensionSet,
+    inst: Inst,
+    pc: u32,
+) -> Result<StepOutcome, SimError> {
     match inst {
         Inst::Base(b) => step_base(state, b, pc, inst),
         Inst::Custom(c) => {

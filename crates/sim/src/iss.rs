@@ -2,6 +2,7 @@ use emx_isa::program::layout;
 use emx_isa::{encode, DynClass, Inst, Opcode, Program, Reg};
 use emx_tie::ExtensionSet;
 
+use crate::phase::{lap, NullPhases, Phase, PhaseProfile, PhaseRecorder};
 use crate::record::{ActivitySink, CustomActivity, InstKind, InstRecord, MemAccess, NullSink};
 use crate::{Cache, CoreState, ExecStats, ProcConfig, SimError};
 
@@ -100,11 +101,29 @@ impl<'a> Interp<'a> {
         sink: &mut S,
         max_cycles: u64,
     ) -> Result<RunResult, SimError> {
+        self.run_with_phases(sink, &mut NullPhases, max_cycles)
+    }
+
+    /// Runs like [`Interp::run_with_sink`] while attributing host time
+    /// to the five per-instruction phases via `phases`.
+    ///
+    /// With [`NullPhases`] this is exactly [`Interp::run_with_sink`] —
+    /// the `const ACTIVE` flag removes every clock read at compile time.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Interp::run`].
+    pub fn run_with_phases<S: ActivitySink, P: PhaseRecorder>(
+        &mut self,
+        sink: &mut S,
+        phases: &mut P,
+        max_cycles: u64,
+    ) -> Result<RunResult, SimError> {
         loop {
             if self.stats.total_cycles >= max_cycles {
                 return Err(SimError::CycleLimit(max_cycles));
             }
-            if self.step_counted(sink)? {
+            if self.step_counted(sink, phases)? {
                 return Ok(RunResult {
                     stats: self.stats.clone(),
                     halted: true,
@@ -113,9 +132,40 @@ impl<'a> Interp<'a> {
         }
     }
 
+    /// Runs with phase profiling enabled and folds the result into
+    /// `collector` (as `iss.phase.*` counters) when it is enabled.
+    ///
+    /// A disabled collector selects the un-instrumented fast path — the
+    /// returned profile is then empty, and the run is bit-identical to
+    /// [`Interp::run`].
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Interp::run`].
+    pub fn run_profiled(
+        &mut self,
+        max_cycles: u64,
+        collector: &mut emx_obs::Collector,
+    ) -> Result<(RunResult, PhaseProfile), SimError> {
+        if !collector.is_enabled() {
+            let run = self.run(max_cycles)?;
+            return Ok((run, PhaseProfile::new()));
+        }
+        let mut profile = PhaseProfile::new();
+        let run = self.run_with_phases(&mut NullSink, &mut profile, max_cycles)?;
+        profile.export_to(collector);
+        Ok((run, profile))
+    }
+
     /// Executes one instruction with full cycle accounting; returns `true`
     /// on `halt`.
-    fn step_counted<S: ActivitySink>(&mut self, sink: &mut S) -> Result<bool, SimError> {
+    fn step_counted<S: ActivitySink, P: PhaseRecorder>(
+        &mut self,
+        sink: &mut S,
+        phases: &mut P,
+    ) -> Result<bool, SimError> {
+        let mut clock = None;
+        lap(phases, Phase::Fetch, &mut clock); // starts the lap clock
         let pc = self.state.pc();
 
         // ---- instruction fetch ------------------------------------------------
@@ -132,8 +182,14 @@ impl<'a> Interp<'a> {
             fetch_hit = false;
         }
 
+        lap(phases, Phase::Fetch, &mut clock);
+
+        // ---- decode ------------------------------------------------------------
+        let inst = crate::exec::decode(self.program, pc)?;
+        lap(phases, Phase::Decode, &mut clock);
+
         // ---- execute -----------------------------------------------------------
-        let out = crate::exec::step(&mut self.state, self.program, self.ext)?;
+        let out = crate::exec::execute(&mut self.state, self.ext, inst, pc)?;
 
         // ---- interlock detection ------------------------------------------------
         let (read_a, read_b) = match &out.inst {
@@ -198,6 +254,7 @@ impl<'a> Interp<'a> {
                 (InstKind::Custom(c.id), cost, 0)
             }
         };
+        lap(phases, Phase::Execute, &mut clock);
 
         // ---- data memory ------------------------------------------------------------
         let mem = out.mem.map(|d| {
@@ -224,6 +281,7 @@ impl<'a> Interp<'a> {
                 uncached,
             }
         });
+        lap(phases, Phase::Memory, &mut clock);
 
         // ---- hazard bookkeeping for the next instruction ----------------------------
         self.hazard = match &out.inst {
@@ -271,6 +329,10 @@ impl<'a> Interp<'a> {
                 custom,
             };
             sink.record(&record);
+        }
+        lap(phases, Phase::Observe, &mut clock);
+        if P::ACTIVE {
+            phases.retire();
         }
 
         Ok(out.halted)
@@ -387,6 +449,38 @@ mod tests {
         assert_eq!(seen.len(), 3);
         assert_eq!(seen[0].0, 0);
         assert_eq!(seen[1].0, 4);
+    }
+
+    #[test]
+    fn profiled_run_attributes_time_and_matches_plain_stats() {
+        let src = "movi a2, 50\nmovi a3, 0\nl: add a3, a3, a2\naddi a2, a2, -1\nbnez a2, l\nhalt";
+        let program = Assembler::new().assemble(src).unwrap();
+        let ext = ExtensionSet::empty();
+
+        let mut plain = Interp::new(&program, &ext, ProcConfig::default());
+        let plain_stats = plain.run(1_000_000).unwrap().stats;
+
+        let mut collector = emx_obs::Collector::new();
+        let mut profiled = Interp::new(&program, &ext, ProcConfig::default());
+        let (run, profile) = profiled.run_profiled(1_000_000, &mut collector).unwrap();
+        assert_eq!(run.stats, plain_stats);
+        assert_eq!(profile.steps(), plain_stats.inst_count);
+        // Every retired instruction crosses all five checkpoints, so
+        // some time must have been attributed overall.
+        assert!(profile.total_ns() > 0);
+        assert_eq!(
+            collector.counter("iss.phase.steps"),
+            plain_stats.inst_count as f64
+        );
+
+        // A disabled collector selects the fast path: identical stats,
+        // empty profile, nothing recorded.
+        let mut off = emx_obs::Collector::disabled();
+        let mut fast = Interp::new(&program, &ext, ProcConfig::default());
+        let (run, profile) = fast.run_profiled(1_000_000, &mut off).unwrap();
+        assert_eq!(run.stats, plain_stats);
+        assert_eq!(profile, PhaseProfile::new());
+        assert!(off.counters().is_empty());
     }
 
     #[test]

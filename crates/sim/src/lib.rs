@@ -53,6 +53,7 @@ pub mod exec;
 mod iss;
 mod mem;
 pub mod observe;
+mod phase;
 mod pipeline;
 mod record;
 mod stats;
@@ -64,6 +65,7 @@ pub use error::SimError;
 pub use exec::CoreState;
 pub use iss::{Interp, RunResult};
 pub use mem::Memory;
+pub use phase::{NullPhases, Phase, PhaseProfile, PhaseRecorder};
 pub use pipeline::PipelineSim;
 pub use record::{ActivitySink, CustomActivity, InstKind, InstRecord, MemAccess};
 pub use stats::ExecStats;

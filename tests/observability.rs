@@ -6,8 +6,11 @@
 
 use std::path::PathBuf;
 use std::process::Command;
+use std::time::Instant;
 
 use emx::obs::json::Value;
+use emx::obs::Collector;
+use emx::prelude::*;
 
 const PROGRAM: &str = "\
 movi a2, 100
@@ -158,5 +161,79 @@ fn chrome_trace_is_valid_trace_event_json_with_monotone_timestamps() {
     assert!(
         counter_names.iter().any(|n| n.starts_with("sim.")),
         "no sim.* counter series in trace (got {counter_names:?})"
+    );
+}
+
+/// The phase counters must be strictly opt-in: with a disabled
+/// collector, `run_profiled` takes the uninstrumented fast path —
+/// identical execution statistics, an empty profile, nothing recorded,
+/// and no measurable slowdown relative to a plain `run`.
+#[test]
+fn phase_instrumentation_is_neutral_when_disabled() {
+    let program = Assembler::new().assemble(PROGRAM).expect("assembles");
+    let ext = ExtensionSet::empty();
+    let config = ProcConfig::default();
+
+    let mut plain = Interp::new(&program, &ext, config.clone());
+    let plain_stats = plain.run(1_000_000).expect("runs").stats;
+
+    // Disabled collector: stats identical, profile empty, collector empty.
+    let mut disabled = Collector::disabled();
+    let mut sim = Interp::new(&program, &ext, config.clone());
+    let (run, profile) = sim
+        .run_profiled(1_000_000, &mut disabled)
+        .expect("profiled run");
+    assert_eq!(run.stats, plain_stats);
+    assert_eq!(profile.total_ns(), 0);
+    assert_eq!(profile.steps(), 0);
+    assert!(disabled.events().is_empty());
+    assert!(disabled.counters().is_empty());
+
+    // Enabled collector: same stats (instrumentation must not change
+    // simulation results), and the phase counters appear.
+    let mut enabled = Collector::new();
+    let mut sim = Interp::new(&program, &ext, config.clone());
+    let (run, profile) = sim
+        .run_profiled(1_000_000, &mut enabled)
+        .expect("profiled run");
+    assert_eq!(run.stats, plain_stats);
+    assert_eq!(profile.steps(), plain_stats.inst_count);
+    assert!(profile.total_ns() > 0);
+    assert_eq!(
+        enabled.counter("iss.phase.steps"),
+        plain_stats.inst_count as f64
+    );
+    let per_phase: f64 = emx::sim::Phase::ALL
+        .iter()
+        .map(|&p| enabled.counter(&format!("iss.phase.{}_ns", p.name())))
+        .sum();
+    assert_eq!(per_phase, profile.total_ns() as f64);
+
+    // No measurable slowdown: the disabled-profiling path must stay in
+    // the same performance class as the plain run. Timing comparisons
+    // in CI are noisy, so the bound is deliberately loose (3×) — it
+    // catches "accidentally always instrumenting" (which costs ~2× on
+    // this loop via six clock reads per instruction), not micro-drift.
+    let reps = 50;
+    let plain_ns = {
+        let started = Instant::now();
+        for _ in 0..reps {
+            let mut sim = Interp::new(&program, &ext, config.clone());
+            sim.run(1_000_000).expect("runs");
+        }
+        started.elapsed().as_nanos()
+    };
+    let disabled_ns = {
+        let mut off = Collector::disabled();
+        let started = Instant::now();
+        for _ in 0..reps {
+            let mut sim = Interp::new(&program, &ext, config.clone());
+            sim.run_profiled(1_000_000, &mut off).expect("runs");
+        }
+        started.elapsed().as_nanos()
+    };
+    assert!(
+        disabled_ns < plain_ns.max(1) * 3,
+        "disabled profiling slowed the ISS: plain {plain_ns} ns vs disabled {disabled_ns} ns over {reps} runs"
     );
 }

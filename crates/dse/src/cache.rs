@@ -274,6 +274,84 @@ impl EstimationCache {
     }
 }
 
+/// A clonable, thread-safe handle to one [`EstimationCache`] shared by
+/// many readers and writers — the form a long-running service needs,
+/// where concurrent request lanes and a batch evaluator all consult the
+/// same memo.
+///
+/// The handle recovers from lock poisoning instead of propagating it:
+/// every cache operation (a `BTreeMap<u64, CacheEntry>` lookup or
+/// insert of `Copy` data) leaves the map valid between operations — the
+/// key type's `Ord` cannot panic and the entry is plain-old-data — so a
+/// thread that panicked while holding the lock cannot have left a
+/// half-written entry behind. Recovering the guard is therefore sound,
+/// and one panicking request must not take the cache away from every
+/// other lane (the same argument as `engine::lock_recovering`).
+#[derive(Debug, Clone, Default)]
+pub struct SharedEstimationCache {
+    inner: std::sync::Arc<std::sync::Mutex<EstimationCache>>,
+}
+
+impl SharedEstimationCache {
+    /// Wraps a cache in a shared handle.
+    pub fn new(cache: EstimationCache) -> Self {
+        SharedEstimationCache {
+            inner: std::sync::Arc::new(std::sync::Mutex::new(cache)),
+        }
+    }
+
+    /// Loads a cache from `path` with the quarantine-and-salvage
+    /// behaviour of [`EstimationCache::load_or_recover`], wrapped in a
+    /// shared handle.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EstimationCache::load_or_recover`].
+    pub fn load_or_recover(path: &str) -> Result<(Self, Option<CacheRecovery>), CacheError> {
+        let (cache, recovery) = EstimationCache::load_or_recover(path)?;
+        Ok((Self::new(cache), recovery))
+    }
+
+    /// Locks the cache, recovering the guard if a previous holder
+    /// panicked (see the type-level soundness argument).
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, EstimationCache> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Looks up a cached estimate.
+    pub fn get(&self, key: u64) -> Option<CacheEntry> {
+        self.lock().get(key)
+    }
+
+    /// Stores an estimate.
+    pub fn insert(&self, key: u64, entry: CacheEntry) {
+        self.lock().insert(key, entry);
+    }
+
+    /// Number of cached estimates.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Writes the cache to `path` atomically (see
+    /// [`EstimationCache::save`]). The lock is held across the write, so
+    /// the snapshot is consistent.
+    ///
+    /// # Errors
+    ///
+    /// As for [`EstimationCache::save`].
+    pub fn save(&self, path: &str) -> Result<(), CacheError> {
+        self.lock().save(path)
+    }
+}
+
 /// What [`EstimationCache::salvage_json_text`] managed to keep.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct CacheSalvage {
@@ -398,6 +476,57 @@ mod tests {
                 let _ = std::fs::remove_file(format!("{}{suffix}", self.0));
             }
         }
+    }
+
+    #[test]
+    fn shared_cache_survives_concurrent_hammering_and_poisoning() {
+        let shared = SharedEstimationCache::new(EstimationCache::new());
+
+        // Poison the lock on purpose: a panic while holding the guard
+        // must not take the cache away from every other thread.
+        let poisoner = shared.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock();
+            panic!("poisoning the shared cache lock on purpose");
+        })
+        .join();
+
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 400;
+        let scratch = Scratch::new("shared-hammer");
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let shared = shared.clone();
+                let path = scratch.0.clone();
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        let key = (t << 32) | i;
+                        shared.insert(
+                            key,
+                            CacheEntry {
+                                energy_pj: i as f64,
+                                cycles: i,
+                            },
+                        );
+                        // Reads of our own writes are immediate; reads of
+                        // other threads' keys must never tear or panic.
+                        assert_eq!(shared.get(key).map(|e| e.cycles), Some(i));
+                        let _ = shared.get(((t + 1) % THREADS) << 32 | i);
+                        // One thread interleaves atomic saves with the
+                        // writers: every snapshot it takes is consistent.
+                        if t == 0 && i % 64 == 0 {
+                            shared.save(&path).expect("concurrent save");
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.len() as u64, THREADS * PER_THREAD);
+
+        // The last snapshot written concurrently still parses cleanly.
+        shared.save(&scratch.0).expect("final save");
+        let reloaded = EstimationCache::load(&scratch.0).expect("reload");
+        assert_eq!(reloaded.len() as u64, THREADS * PER_THREAD);
     }
 
     #[test]

@@ -64,6 +64,7 @@ pub mod space;
 
 pub use cache::{
     candidate_key, model_fingerprint, CacheEntry, CacheRecovery, CacheSalvage, EstimationCache,
+    SharedEstimationCache,
 };
 pub use engine::{
     evaluate_batch, evaluate_batch_with, explore, explore_with, resolve_jobs, BatchResult,

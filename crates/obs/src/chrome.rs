@@ -19,6 +19,12 @@ use crate::{Collector, EventKind, Track};
 const HOST_PID: u64 = 1;
 const SIM_PID: u64 = 2;
 
+/// Worker lanes render under the host process after the main lane
+/// (tid 1); request lanes start high enough that no realistic worker
+/// count collides with them.
+const WORKER_TID_BASE: u64 = 2;
+const REQUEST_TID_BASE: u64 = 1002;
+
 /// Serializes a [`Collector`] as Chrome `trace_event` JSON.
 ///
 /// # Example
@@ -72,27 +78,34 @@ impl ChromeTraceWriter {
             events.push(meta);
         }
 
-        // Thread-name metadata for every worker lane that has events.
-        let mut workers: Vec<u32> = collector
-            .events()
-            .iter()
-            .filter_map(|e| match e.track {
-                Track::Worker(k) => Some(k),
-                _ => None,
-            })
-            .collect();
-        workers.sort_unstable();
-        workers.dedup();
-        for k in workers {
-            let mut meta = Value::object();
-            meta.set("name", "thread_name");
-            meta.set("ph", "M");
-            meta.set("pid", HOST_PID);
-            meta.set("tid", 2 + u64::from(k));
-            let mut args = Value::object();
-            args.set("name", format!("worker-{k}"));
-            meta.set("args", args);
-            events.push(meta);
+        // Thread-name metadata for every worker and request lane that
+        // has events.
+        let mut workers: Vec<u32> = Vec::new();
+        let mut requests: Vec<u32> = Vec::new();
+        for e in collector.events() {
+            match e.track {
+                Track::Worker(k) => workers.push(k),
+                Track::Request(k) => requests.push(k),
+                _ => {}
+            }
+        }
+        for (lanes, base, label) in [
+            (&mut workers, WORKER_TID_BASE, "worker"),
+            (&mut requests, REQUEST_TID_BASE, "request"),
+        ] {
+            lanes.sort_unstable();
+            lanes.dedup();
+            for &k in lanes.iter() {
+                let mut meta = Value::object();
+                meta.set("name", "thread_name");
+                meta.set("ph", "M");
+                meta.set("pid", HOST_PID);
+                meta.set("tid", base + u64::from(k));
+                let mut args = Value::object();
+                args.set("name", format!("{label}-{k}"));
+                meta.set("args", args);
+                events.push(meta);
+            }
         }
 
         let mut recorded: Vec<&crate::Event> = collector.events().iter().collect();
@@ -101,9 +114,10 @@ impl ChromeTraceWriter {
             let (pid, tid) = match event.track {
                 Track::Host => (HOST_PID, 1u64),
                 Track::Sim => (SIM_PID, 1u64),
-                // Worker lanes render under the host process, one tid
-                // per thread, after the main lane (tid 1).
-                Track::Worker(k) => (HOST_PID, 2 + u64::from(k)),
+                // Worker and request lanes render under the host
+                // process, one tid per lane, after the main lane (tid 1).
+                Track::Worker(k) => (HOST_PID, WORKER_TID_BASE + u64::from(k)),
+                Track::Request(k) => (HOST_PID, REQUEST_TID_BASE + u64::from(k)),
             };
             let mut e = Value::object();
             e.set("name", event.name.as_ref());

@@ -17,6 +17,10 @@ pub enum Track {
     /// Wall-clock time of one worker thread (0-based index); renders as
     /// its own lane under the host process in Chrome traces.
     Worker(u32),
+    /// Wall-clock time of one request-serving lane (0-based index) in a
+    /// long-running service; renders as its own lane under the host
+    /// process in Chrome traces, after the [`Track::Worker`] lanes.
+    Request(u32),
 }
 
 /// What an [`Event`] records.

@@ -1,0 +1,286 @@
+//! Adaptive micro-batching of concurrent estimate requests.
+//!
+//! All estimate traffic funnels through one batching thread. It blocks
+//! for the first pending request, then keeps a short *coalescing
+//! window* open: every further request arriving inside the window joins
+//! the same [`emx_dse::evaluate_batch`] call, sharing the batch
+//! engine's worker pool and the content-addressed cache. The window
+//! adapts to load — it doubles (up to a cap) whenever a batch actually
+//! coalesced more than one request, and halves back down when traffic
+//! is solo, so an idle service answers at minimum latency while a
+//! loaded one amortizes evaluation across requests.
+//!
+//! Determinism is inherited from the batch engine: results are a pure
+//! function of (model, program, extension, config), independent of
+//! batch composition and cache warmth, so micro-batching never changes
+//! a response's bytes.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use emx_core::EnergyMacroModel;
+use emx_dse::{evaluate_batch, EnumeratedCandidate, SharedEstimationCache};
+use emx_obs::Collector;
+use emx_sim::ProcConfig;
+
+use crate::wire::WireError;
+
+/// Tuning for the coalescing window and the evaluation pool.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Most requests coalesced into one evaluation call.
+    pub max_batch: usize,
+    /// Smallest (and initial) coalescing window, microseconds.
+    pub min_window_us: u64,
+    /// Largest coalescing window, microseconds.
+    pub max_window_us: u64,
+    /// Worker threads inside each `evaluate_batch` call (0 = one per
+    /// core).
+    pub jobs: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 16,
+            min_window_us: 200,
+            max_window_us: 4000,
+            jobs: 0,
+        }
+    }
+}
+
+/// One priced candidate: exactly the fields the estimation cache
+/// persists, so warm and cold answers cannot differ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimatePoint {
+    /// Estimated energy, picojoules.
+    pub energy_pj: f64,
+    /// Simulated cycles to halt.
+    pub cycles: u64,
+}
+
+struct Job {
+    candidate: EnumeratedCandidate,
+    reply: mpsc::Sender<Result<EstimatePoint, WireError>>,
+}
+
+/// Handle to the batching thread. Dropping it (or calling
+/// [`Batcher::drain`]) stops the thread after it finishes every pending
+/// job — in-flight requests are never abandoned.
+pub struct Batcher {
+    tx: Option<mpsc::Sender<Job>>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Batcher {
+    /// Spawns the batching thread.
+    ///
+    /// `cache_path`, when set, is flushed (atomically) after every batch
+    /// so a crash loses at most the most recent batch — the recovery
+    /// path (`load_or_recover`) then reads a consistent file.
+    /// Observability flows through `obs`: the thread forks a child
+    /// collector per batch and absorbs it back, so `serve.batches`,
+    /// `serve.batch_size` and the engine's cache counters are visible
+    /// live from the stats endpoint.
+    pub fn spawn(
+        model: Arc<EnergyMacroModel>,
+        cache: SharedEstimationCache,
+        cache_path: Option<String>,
+        config: BatchConfig,
+        obs: Arc<Mutex<Collector>>,
+    ) -> Batcher {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let thread = std::thread::Builder::new()
+            .name("emx-serve-batch".to_owned())
+            .spawn(move || batch_loop(&rx, &model, &cache, cache_path.as_deref(), &config, &obs))
+            .expect("spawning the batch thread");
+        Batcher {
+            tx: Some(tx),
+            thread: Some(thread),
+        }
+    }
+
+    /// Submits one candidate; the result arrives on the returned
+    /// receiver once its batch completes.
+    pub fn submit(
+        &self,
+        candidate: EnumeratedCandidate,
+    ) -> mpsc::Receiver<Result<EstimatePoint, WireError>> {
+        let (reply, rx) = mpsc::channel();
+        if let Some(tx) = &self.tx {
+            // A send failure means the batch thread is gone; the caller
+            // sees it as a disconnected receiver and reports a typed
+            // internal error.
+            let _ = tx.send(Job { candidate, reply });
+        }
+        rx
+    }
+
+    /// Stops the batching thread after it drains every pending job.
+    pub fn drain(&mut self) {
+        self.tx = None;
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn batch_loop(
+    rx: &mpsc::Receiver<Job>,
+    model: &EnergyMacroModel,
+    cache: &SharedEstimationCache,
+    cache_path: Option<&str>,
+    config: &BatchConfig,
+    obs: &Mutex<Collector>,
+) {
+    let proc = ProcConfig::default();
+    let mut window_us = config.min_window_us.max(1);
+    loop {
+        // Block for the first job; a disconnect here means shutdown with
+        // nothing pending.
+        let first = match rx.recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let mut jobs = vec![first];
+        while jobs.len() < config.max_batch.max(1) {
+            match rx.recv_timeout(Duration::from_micros(window_us)) {
+                Ok(job) => jobs.push(job),
+                Err(_) => break,
+            }
+        }
+
+        let candidates: Vec<EnumeratedCandidate> =
+            jobs.iter().map(|j| j.candidate.clone()).collect();
+        let mut local = lock_recovering(obs).fork();
+        let span = local.begin(format!("serve.batch:{}", jobs.len()));
+        let result = {
+            let mut guard = cache.lock();
+            evaluate_batch(
+                model,
+                &candidates,
+                &proc,
+                config.jobs,
+                &mut guard,
+                &mut local,
+            )
+        };
+        local.end(span);
+        local.add("serve.batches", 1.0);
+        local.record("serve.batch_size", jobs.len() as u64);
+        if let Some(path) = cache_path {
+            if cache.save(path).is_err() {
+                local.add("serve.cache_flush_errors", 1.0);
+            }
+        }
+        lock_recovering(obs).absorb(local);
+
+        let coalesced = jobs.len() > 1;
+        for (i, job) in jobs.into_iter().enumerate() {
+            let outcome = match &result.points[i] {
+                Some(point) => Ok(EstimatePoint {
+                    energy_pj: point.energy.as_picojoules(),
+                    cycles: point.cycles,
+                }),
+                None => {
+                    let failure = result.failed.iter().find(|f| f.name == candidates[i].name);
+                    Err(match failure {
+                        Some(f) => WireError::new(
+                            if f.error.code() == "worker.panicked" {
+                                500
+                            } else {
+                                422
+                            },
+                            "serve.estimate_failed",
+                            format!("{} [{}]", f.error, f.error.code()),
+                        ),
+                        None => WireError::new(
+                            500,
+                            "serve.estimate_failed",
+                            "candidate lost without a failure record",
+                        ),
+                    })
+                }
+            };
+            // The requester may have timed out and gone away; that loses
+            // only its own reply.
+            let _ = job.reply.send(outcome);
+        }
+
+        // Adapt the window: pay latency for coalescing only while it
+        // actually coalesces.
+        window_us = if coalesced {
+            (window_us * 2).min(config.max_window_us.max(1))
+        } else {
+            (window_us / 2).max(config.min_window_us.max(1))
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_workloads::Workload;
+
+    fn test_model() -> EnergyMacroModel {
+        let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../model.txt"))
+            .expect("committed model.txt at the repo root");
+        EnergyMacroModel::from_text(&text).expect("parse committed model")
+    }
+
+    fn candidate(name: &str, workload: Workload) -> EnumeratedCandidate {
+        EnumeratedCandidate {
+            name: name.to_owned(),
+            mask: 0,
+            options: vec![],
+            area: 0.0,
+            workload,
+        }
+    }
+
+    #[test]
+    fn batched_results_match_and_drain_on_drop() {
+        let model = Arc::new(test_model());
+        let cache = SharedEstimationCache::default();
+        let obs = Arc::new(Mutex::new(Collector::new()));
+        let mut batcher = Batcher::spawn(
+            Arc::clone(&model),
+            cache.clone(),
+            None,
+            BatchConfig::default(),
+            Arc::clone(&obs),
+        );
+
+        let apps = emx_workloads::apps::all();
+        let gcd = apps.iter().find(|w| w.name() == "gcd").unwrap().clone();
+        let rx_a = batcher.submit(candidate("gcd", gcd.clone()));
+        let rx_b = batcher.submit(candidate("gcd", gcd.clone()));
+        let a = rx_a.recv().unwrap().unwrap();
+        let b = rx_b.recv().unwrap().unwrap();
+        assert_eq!(a, b, "same candidate must price identically");
+
+        // Direct one-shot path for the same inputs.
+        let direct = model
+            .estimate(gcd.program(), gcd.ext(), ProcConfig::default())
+            .unwrap();
+        assert_eq!(a.energy_pj, direct.energy.as_picojoules());
+        assert_eq!(a.cycles, direct.stats.total_cycles);
+
+        batcher.drain();
+        assert!(!cache.is_empty(), "evaluations must land in the cache");
+        let obs = lock_recovering(&obs);
+        assert!(obs.counter("serve.batches") >= 1.0);
+    }
+}

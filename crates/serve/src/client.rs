@@ -1,0 +1,196 @@
+//! A minimal blocking HTTP/1.1 client for the service wire format —
+//! what `emx-load`, the CI smoke step, and the integration tests speak.
+//!
+//! Keep-alive by default: one [`HttpClient`] holds one connection and
+//! reconnects transparently if the server closed it (e.g. after a `503`
+//! or during shutdown).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use emx_obs::json::Value;
+
+/// One parsed response: status code and body bytes.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body.
+    pub body: Vec<u8>,
+    /// Whether the server asked to close the connection.
+    pub close: bool,
+}
+
+impl HttpResponse {
+    /// The body parsed as JSON.
+    ///
+    /// # Errors
+    ///
+    /// An `InvalidData` error when the body is not valid JSON.
+    pub fn json(&self) -> io::Result<Value> {
+        let text = std::str::from_utf8(&self.body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        Value::parse(text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// A keep-alive connection to one server address.
+pub struct HttpClient {
+    addr: String,
+    reader: Option<BufReader<TcpStream>>,
+    read_timeout: Duration,
+}
+
+impl HttpClient {
+    /// Creates a client for `addr` (`host:port`). The connection is
+    /// opened lazily on the first request.
+    pub fn new(addr: impl Into<String>) -> HttpClient {
+        HttpClient {
+            addr: addr.into(),
+            reader: None,
+            read_timeout: Duration::from_secs(120),
+        }
+    }
+
+    fn connection(&mut self) -> io::Result<&mut BufReader<TcpStream>> {
+        if self.reader.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            stream.set_read_timeout(Some(self.read_timeout))?;
+            stream.set_nodelay(true)?;
+            self.reader = Some(BufReader::new(stream));
+        }
+        Ok(self.reader.as_mut().expect("connection just established"))
+    }
+
+    /// Sends one request and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors and malformed responses (`InvalidData`).
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<HttpResponse> {
+        let outcome = self.request_once(method, path, body);
+        if outcome.is_err() {
+            // One transparent retry on a fresh connection: the server
+            // may have closed an idle keep-alive socket under us.
+            self.reader = None;
+            return self.request_once(method, path, body);
+        }
+        outcome
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&[u8]>,
+    ) -> io::Result<HttpResponse> {
+        let reader = self.connection()?;
+        let stream = reader.get_mut();
+        let body = body.unwrap_or_default();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nhost: emx\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )?;
+        stream.write_all(body)?;
+        stream.flush()?;
+
+        let response = read_response(reader);
+        if response.as_ref().map(|r| r.close).unwrap_or(true) {
+            self.reader = None;
+        }
+        response
+    }
+
+    /// POSTs a JSON document and parses the JSON response.
+    ///
+    /// # Errors
+    ///
+    /// As [`HttpClient::request`] plus JSON parse failures.
+    pub fn post_json(&mut self, path: &str, doc: &Value) -> io::Result<(u16, Value)> {
+        let body = doc.to_string();
+        let response = self.request("POST", path, Some(body.as_bytes()))?;
+        let parsed = response.json()?;
+        Ok((response.status, parsed))
+    }
+}
+
+fn invalid(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<HttpResponse> {
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a response",
+        ));
+    }
+    let mut parts = status_line.split_whitespace();
+    let (version, status) = (parts.next(), parts.next());
+    if !version.is_some_and(|v| v.starts_with("HTTP/1.")) {
+        return Err(invalid(format!("bad status line `{}`", status_line.trim())));
+    }
+    let status: u16 = status
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid(format!("bad status in `{}`", status_line.trim())))?;
+
+    let mut length: Option<usize> = None;
+    let mut close = false;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed inside headers",
+            ));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(invalid(format!("bad header `{line}`")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        if name == "content-length" {
+            length = Some(
+                value
+                    .parse()
+                    .map_err(|_| invalid(format!("bad content-length `{value}`")))?,
+            );
+        } else if name == "connection" && value.eq_ignore_ascii_case("close") {
+            close = true;
+        }
+    }
+    let length = length.ok_or_else(|| invalid("response without content-length"))?;
+    let mut body = vec![0u8; length];
+    reader.read_exact(&mut body)?;
+    Ok(HttpResponse {
+        status,
+        body,
+        close,
+    })
+}
+
+/// One-shot convenience: connect, send, read, disconnect.
+///
+/// # Errors
+///
+/// As [`HttpClient::request`].
+pub fn request_once(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> io::Result<HttpResponse> {
+    HttpClient::new(addr).request(method, path, body)
+}

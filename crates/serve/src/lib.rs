@@ -1,0 +1,55 @@
+//! # emx-serve — estimation as a long-running batched service
+//!
+//! The paper's flow (characterize → estimate → explore) exists in this
+//! workspace as one-shot binaries; this crate turns it into a service
+//! that answers continuous estimate/characterize/DSE traffic. It is
+//! deliberately zero-dependency — HTTP/1.1 is hand-rolled over
+//! [`std::net::TcpListener`], keeping the offline/no-registry
+//! constraint the rest of the workspace already honors.
+//!
+//! * [`http`] — minimal HTTP/1.1 framing with typed [`http::FrameError`]s
+//!   (malformed requests get a machine-readable error document, never a
+//!   silently dropped connection),
+//! * [`wire`] — the `emx.serve-request/1` / `emx.serve-response/1`
+//!   JSON wire format over the workspace's deterministic JSON writer,
+//! * [`batch`] — adaptive micro-batching: concurrent estimate requests
+//!   coalesce into shared [`emx_dse::evaluate_batch`] calls over one
+//!   process-wide [`emx_dse::SharedEstimationCache`],
+//! * [`server`] — the bounded-queue worker-pool server with per-request
+//!   observability ([`emx_obs::Track::Request`] lanes, latency
+//!   histograms) and graceful, cache-flushing shutdown,
+//! * [`client`] — a small keep-alive client for the wire format,
+//! * [`loadgen`] — the `emx-load` load generator emitting versioned
+//!   `emx.load-report/1` summaries.
+//!
+//! # Example
+//!
+//! ```no_run
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! use emx_serve::{Server, ServeConfig};
+//!
+//! let text = std::fs::read_to_string("model.txt")?;
+//! let model = emx_core::EnergyMacroModel::from_text(&text)?;
+//! let server = Server::bind(model, ServeConfig::default())?;
+//! println!("listening on {}", server.local_addr());
+//! let summary = server.run()?; // until POST /v1/shutdown
+//! println!("served {} requests", summary.requests);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod client;
+pub mod http;
+pub mod loadgen;
+pub mod server;
+pub mod wire;
+
+pub use batch::{BatchConfig, Batcher, EstimatePoint};
+pub use client::{request_once, HttpClient, HttpResponse};
+pub use loadgen::{run_load, LoadConfig};
+pub use server::{CharacterizeMode, ServeConfig, ServeSummary, Server};
+pub use wire::{ServeRequest, WireError};

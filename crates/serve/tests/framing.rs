@@ -1,0 +1,200 @@
+//! Request-framing robustness: every malformed input a client can put
+//! on the wire must come back as a typed error document with a stable
+//! machine code — never a silently dropped connection — and framing
+//! errors on one request must not take down well-formed traffic.
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
+
+use emx_obs::json::Value;
+use emx_serve::{request_once, CharacterizeMode, HttpClient, ServeConfig, ServeSummary, Server};
+
+fn test_model() -> emx_core::EnergyMacroModel {
+    let text = std::fs::read_to_string(concat!(env!("CARGO_MANIFEST_DIR"), "/../../model.txt"))
+        .expect("committed model.txt at the repo root");
+    emx_core::EnergyMacroModel::from_text(&text).expect("parse committed model")
+}
+
+fn start() -> (String, std::thread::JoinHandle<ServeSummary>) {
+    let config = ServeConfig {
+        characterize: CharacterizeMode::Calibration,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(test_model(), config).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("clean shutdown"));
+    (addr, handle)
+}
+
+fn stop(addr: &str, handle: std::thread::JoinHandle<ServeSummary>) -> ServeSummary {
+    let response = request_once(addr, "POST", "/v1/shutdown", None).expect("shutdown request");
+    assert_eq!(response.status, 200);
+    handle.join().expect("server thread")
+}
+
+/// Sends raw bytes, half-closes the write side, reads everything the
+/// server answers, and parses it as one HTTP response.
+fn raw(addr: &str, bytes: &[u8]) -> (u16, Value) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(bytes).expect("send");
+    stream.shutdown(Shutdown::Write).expect("half-close");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("read response");
+    parse_response(&text)
+}
+
+fn parse_response(text: &str) -> (u16, Value) {
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status in response: {text:?}"));
+    let body = text
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b)
+        .unwrap_or_else(|| panic!("no body in response: {text:?}"));
+    let doc = Value::parse(body).unwrap_or_else(|e| panic!("body is not JSON ({e}): {body:?}"));
+    (status, doc)
+}
+
+fn error_code(doc: &Value) -> String {
+    assert_eq!(
+        doc.get("schema").and_then(Value::as_str),
+        Some("emx.serve-response/1"),
+        "even error responses carry the response schema: {doc}"
+    );
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("error"));
+    doc.get("error")
+        .and_then(|e| e.get("code"))
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| panic!("no error code in {doc}"))
+        .to_owned()
+}
+
+#[test]
+fn malformed_framing_gets_typed_errors_not_dropped_connections() {
+    let (addr, handle) = start();
+
+    let mut huge_head = b"GET /healthz HTTP/1.1\r\nx: ".to_vec();
+    huge_head.resize(huge_head.len() + 20 * 1024, b'a');
+    huge_head.extend_from_slice(b"\r\n\r\n");
+
+    let cases: &[(&[u8], u16, &str)] = &[
+        (b"TOTAL GARBAGE\r\n\r\n", 400, "serve.bad_request_line"),
+        (
+            b"GET /healthz SMTP/3\r\n\r\n",
+            400,
+            "serve.bad_request_line",
+        ),
+        (
+            b"GET /healthz HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            400,
+            "serve.bad_header",
+        ),
+        (
+            b"POST /v1/estimate HTTP/1.1\r\n\r\n",
+            411,
+            "serve.missing_length",
+        ),
+        (
+            b"POST /v1/estimate HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+            400,
+            "serve.bad_length",
+        ),
+        // Declared larger than the 1 MiB default limit: rejected before
+        // any body byte is buffered.
+        (
+            b"POST /v1/estimate HTTP/1.1\r\ncontent-length: 2097152\r\n\r\n",
+            413,
+            "serve.body_too_large",
+        ),
+        // Half-closed mid-body: the peer promised 100 bytes and sent 5.
+        (
+            b"POST /v1/estimate HTTP/1.1\r\ncontent-length: 100\r\n\r\nshort",
+            400,
+            "serve.truncated_request",
+        ),
+        (&huge_head, 431, "serve.head_too_large"),
+    ];
+    for (bytes, status, code) in cases {
+        let (got_status, doc) = raw(&addr, bytes);
+        assert_eq!(
+            got_status,
+            *status,
+            "{}",
+            String::from_utf8_lossy(&bytes[..bytes.len().min(60)])
+        );
+        assert_eq!(
+            error_code(&doc),
+            *code,
+            "{}",
+            String::from_utf8_lossy(&bytes[..bytes.len().min(60)])
+        );
+    }
+
+    let summary = stop(&addr, handle);
+    assert!(summary.errors >= cases.len() as u64);
+}
+
+#[test]
+fn bad_bodies_answer_typed_errors_and_keep_the_connection() {
+    let (addr, handle) = start();
+    let mut client = HttpClient::new(&addr);
+
+    // Truncated JSON in a correctly framed request: the HTTP layer is
+    // fine, the body is not. The connection must survive for the next
+    // request.
+    let cases: &[(&[u8], &str)] = &[
+        (br#"{"schema":"#, "serve.bad_json"),
+        (b"\xff\xfe bad utf8", "serve.bad_utf8"),
+        (
+            br#"{"schema":"emx.serve-request/7","kind":"estimate","app":"gcd"}"#,
+            "serve.unknown_schema",
+        ),
+        (
+            br#"{"kind":"estimate","app":"gcd"}"#,
+            "serve.missing_schema",
+        ),
+        (
+            br#"{"schema":"emx.serve-request/1","kind":"transmogrify"}"#,
+            "serve.unknown_kind",
+        ),
+    ];
+    for (body, code) in cases {
+        let response = client
+            .request("POST", "/v1/estimate", Some(body))
+            .expect("typed response, not a dropped connection");
+        assert_eq!(response.status, 400);
+        assert!(
+            !response.close,
+            "a body-level error must not close the connection"
+        );
+        assert_eq!(error_code(&response.json().unwrap()), *code);
+    }
+
+    // The same keep-alive connection still serves good requests.
+    let response = client.request("GET", "/healthz", None).expect("healthz");
+    assert_eq!(response.status, 200);
+    let doc = response.json().unwrap();
+    assert_eq!(doc.get("status").and_then(Value::as_str), Some("ok"));
+
+    stop(&addr, handle);
+}
+
+#[test]
+fn unknown_routes_and_methods_are_typed() {
+    let (addr, handle) = start();
+
+    let response = request_once(&addr, "GET", "/no/such/endpoint", None).unwrap();
+    assert_eq!(response.status, 404);
+    assert_eq!(error_code(&response.json().unwrap()), "serve.not_found");
+
+    let response = request_once(&addr, "DELETE", "/v1/estimate", None).unwrap();
+    assert_eq!(response.status, 405);
+    assert_eq!(
+        error_code(&response.json().unwrap()),
+        "serve.method_not_allowed"
+    );
+
+    stop(&addr, handle);
+}

@@ -63,18 +63,38 @@ impl Workload {
         checks: Vec<MemCheck>,
     ) -> Self {
         let name = name.into();
+        match Self::try_assemble(name.clone(), description, ext, source, checks) {
+            Ok(w) => w,
+            Err(e) => panic!("workload `{name}` failed to assemble: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`Workload::assemble`] for sources that are
+    /// *not* part of this crate — e.g. inline programs arriving over a
+    /// service boundary, where a syntax error is an input error the
+    /// caller must report, never a panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`emx_isa::asm::AsmError`] pinpointing the offending
+    /// source line.
+    pub fn try_assemble(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        ext: ExtensionSet,
+        source: &str,
+        checks: Vec<MemCheck>,
+    ) -> Result<Self, emx_isa::asm::AsmError> {
         let mut asm = Assembler::new();
         ext.register_mnemonics(&mut asm);
-        let program = asm
-            .assemble(source)
-            .unwrap_or_else(|e| panic!("workload `{name}` failed to assemble: {e}"));
-        Workload {
-            name,
+        let program = asm.assemble(source)?;
+        Ok(Workload {
+            name: name.into(),
             description: description.into(),
             program,
             ext,
             checks,
-        }
+        })
     }
 
     /// The workload's name (as it appears in the paper's tables/figures).
@@ -186,6 +206,19 @@ mod tests {
         assert_eq!(err.expected, 7);
         assert_eq!(err.got, 0);
         assert!(err.to_string().contains("wrong"));
+    }
+
+    #[test]
+    fn try_assemble_reports_bad_source_instead_of_panicking() {
+        let err = Workload::try_assemble(
+            "bogus",
+            "",
+            ExtensionSet::empty(),
+            "not_an_instruction a2, a3",
+            vec![],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not_an_instruction"));
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! `emx-serve`: the estimation flow as a long-running service.
+//!
+//! ```sh
+//! emx-serve                                  # model.txt, 127.0.0.1:8392
+//! emx-serve --addr 127.0.0.1:0               # ephemeral port (printed)
+//! emx-serve --model model.txt --cache c.json # crash-safe shared cache
+//! emx-serve --workers 4 --jobs 2             # pool sizes
+//! emx-serve --addr-file addr.txt             # write host:port for scripts
+//! emx-serve --chrome-trace trace.json        # request-lane trace at exit
+//! ```
+//!
+//! Endpoints (JSON over HTTP/1.1, see `docs/SCHEMAS.md`):
+//! `GET /healthz`, `GET /v1/stats`, `POST /v1/estimate`, `POST /v1/dse`,
+//! `GET /v1/characterize-report`, `POST /v1/shutdown`. Concurrent
+//! estimate requests are micro-batched into shared
+//! `dse::evaluate_batch` calls; `POST /v1/shutdown` drains in-flight
+//! work, flushes the cache, and exits 0.
+
+use std::process::ExitCode;
+
+use emx::core::EmxError;
+use emx::serve::{CharacterizeMode, ServeConfig, Server};
+
+struct Options {
+    addr: String,
+    model_path: String,
+    workers: usize,
+    jobs: usize,
+    cache_path: Option<String>,
+    queue_depth: usize,
+    max_body_bytes: usize,
+    addr_file: Option<String>,
+    chrome_trace: Option<String>,
+    calibration_suite: bool,
+}
+
+const USAGE: &str = "usage: emx-serve [--addr <host:port>] [--model <model.txt>] \
+                     [--workers <n>] [--jobs <n>] [--cache <file.json>] \
+                     [--queue-depth <n>] [--max-body-bytes <n>] \
+                     [--addr-file <path>] [--chrome-trace <out.json>] \
+                     [--calibration-suite]";
+
+fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, EmxError> {
+    let mut options = Options {
+        addr: "127.0.0.1:8392".to_owned(),
+        model_path: "model.txt".to_owned(),
+        workers: 0,
+        jobs: 0,
+        cache_path: None,
+        queue_depth: 64,
+        max_body_bytes: 1024 * 1024,
+        addr_file: None,
+        chrome_trace: None,
+        calibration_suite: false,
+    };
+    let missing = |what: &str| EmxError::usage(format!("{what}\n{USAGE}"));
+    let number = |flag: &str, value: String| -> Result<usize, EmxError> {
+        value
+            .parse()
+            .map_err(|_| EmxError::usage(format!("bad {flag} value `{value}`")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => {
+                options.addr = args
+                    .next()
+                    .ok_or_else(|| missing("--addr needs host:port"))?;
+            }
+            "--model" => {
+                options.model_path = args
+                    .next()
+                    .ok_or_else(|| missing("--model needs a file path"))?;
+            }
+            "--cache" => {
+                options.cache_path = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--cache needs a file path"))?,
+                );
+            }
+            "--addr-file" => {
+                options.addr_file = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--addr-file needs a file path"))?,
+                );
+            }
+            "--chrome-trace" => {
+                options.chrome_trace = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--chrome-trace needs a file path"))?,
+                );
+            }
+            "--workers" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| missing("--workers needs a count"))?;
+                options.workers = number("--workers", v)?;
+            }
+            "--jobs" => {
+                let v = args.next().ok_or_else(|| missing("--jobs needs a count"))?;
+                options.jobs = number("--jobs", v)?;
+            }
+            "--queue-depth" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| missing("--queue-depth needs a count"))?;
+                options.queue_depth = number("--queue-depth", v)?;
+                if options.queue_depth == 0 {
+                    return Err(EmxError::usage("--queue-depth must be nonzero"));
+                }
+            }
+            "--max-body-bytes" => {
+                let v = args
+                    .next()
+                    .ok_or_else(|| missing("--max-body-bytes needs a count"))?;
+                options.max_body_bytes = number("--max-body-bytes", v)?;
+            }
+            "--calibration-suite" => options.calibration_suite = true,
+            "--help" | "-h" => return Err(EmxError::usage(USAGE)),
+            other => return Err(EmxError::usage(format!("unexpected argument `{other}`"))),
+        }
+    }
+    Ok(options)
+}
+
+fn run(options: &Options) -> Result<(), EmxError> {
+    let text = std::fs::read_to_string(&options.model_path)
+        .map_err(|e| EmxError::io(&options.model_path, &e))?;
+    let model = emx::core::EnergyMacroModel::from_text(&text)
+        .map_err(|e| EmxError::from(e).context(&options.model_path))?;
+
+    let mut config = ServeConfig {
+        addr: options.addr.clone(),
+        workers: options.workers,
+        queue_depth: options.queue_depth,
+        cache_path: options.cache_path.clone(),
+        chrome_trace: options.chrome_trace.clone(),
+        characterize: if options.calibration_suite {
+            CharacterizeMode::Calibration
+        } else {
+            CharacterizeMode::Full
+        },
+        ..ServeConfig::default()
+    };
+    config.limits.max_body_bytes = options.max_body_bytes;
+    config.batch.jobs = options.jobs;
+
+    let server = Server::bind(model, config)?;
+    let addr = server.local_addr();
+    // Stdout is line-buffered: scripts scrape this line for the port.
+    println!("emx-serve: listening on {addr}");
+    if let Some(path) = &options.addr_file {
+        std::fs::write(path, format!("{addr}\n")).map_err(|e| EmxError::io(path, &e))?;
+    }
+
+    let summary = server.run()?;
+    println!(
+        "emx-serve: drained: {} requests ({} errors) over {} connections, \
+         {} batches, {} cache entries",
+        summary.requests,
+        summary.errors,
+        summary.connections,
+        summary.batches,
+        summary.cache_entries
+    );
+    Ok(())
+}
+
+// Exit-code contract (shared by all emx binaries): 2 = usage error,
+// 1 = bad input/data, 3 = internal error or fatal worker failure.
+fn main() -> ExitCode {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("{}", e.message());
+            return ExitCode::from(e.exit_code());
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("emx-serve: {e}");
+            ExitCode::from(e.exit_code())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str]) -> Result<Options, EmxError> {
+        parse_args(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_defaults_and_flags() {
+        let o = opts(&[]).unwrap();
+        assert_eq!(o.addr, "127.0.0.1:8392");
+        assert_eq!(o.model_path, "model.txt");
+        assert!(o.cache_path.is_none());
+
+        let o = opts(&[
+            "--addr",
+            "127.0.0.1:0",
+            "--model",
+            "m.txt",
+            "--workers",
+            "4",
+            "--jobs",
+            "2",
+            "--cache",
+            "c.json",
+            "--queue-depth",
+            "16",
+            "--max-body-bytes",
+            "4096",
+            "--addr-file",
+            "a.txt",
+            "--chrome-trace",
+            "t.json",
+            "--calibration-suite",
+        ])
+        .unwrap();
+        assert_eq!(o.addr, "127.0.0.1:0");
+        assert_eq!(o.workers, 4);
+        assert_eq!(o.jobs, 2);
+        assert_eq!(o.cache_path.as_deref(), Some("c.json"));
+        assert_eq!(o.queue_depth, 16);
+        assert_eq!(o.max_body_bytes, 4096);
+        assert_eq!(o.addr_file.as_deref(), Some("a.txt"));
+        assert_eq!(o.chrome_trace.as_deref(), Some("t.json"));
+        assert!(o.calibration_suite);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        for args in [
+            &["--bogus-flag"][..],
+            &["--addr"],
+            &["--workers", "many"],
+            &["--queue-depth", "0"],
+            &["positional"],
+        ] {
+            match opts(args) {
+                Err(e) => assert_eq!(e.exit_code(), 2, "{args:?} must be a usage error"),
+                Ok(_) => panic!("{args:?} must be rejected"),
+            }
+        }
+    }
+}

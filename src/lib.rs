@@ -22,6 +22,7 @@
 //! | [`core`] | **the paper**: macro-model template, characterization, estimation |
 //! | [`workloads`] | characterization suite, Table II applications, RS(15,11) codec |
 //! | [`dse`] | design-space exploration: enumeration, cached parallel evaluation, Pareto search |
+//! | [`serve`] | long-running estimation service: HTTP/1.1 endpoints, micro-batching, load generator |
 //! | [`validate`] | cross-validation, differential fuzzing, golden accuracy gates |
 //! | [`coverage`] | calibration-suite coverage: excitation analysis, conditioning gates, case planning |
 //! | [`obs`] | observability: spans, counters, histograms, Chrome trace export |
@@ -58,6 +59,7 @@ pub use emx_isa as isa;
 pub use emx_obs as obs;
 pub use emx_regress as regress;
 pub use emx_rtlpower as rtlpower;
+pub use emx_serve as serve;
 pub use emx_sim as sim;
 pub use emx_tie as tie;
 pub use emx_validate as validate;

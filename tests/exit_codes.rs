@@ -45,6 +45,30 @@ const CASES: &[Case] = &[
         expect: 2,
         why: "fold count below 2 is a usage error",
     },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-serve"),
+        args: &["--bogus-flag"],
+        expect: 2,
+        why: "unknown flag is a usage error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-serve"),
+        args: &["--queue-depth", "0"],
+        expect: 2,
+        why: "zero queue depth is a usage error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-load"),
+        args: &[],
+        expect: 2,
+        why: "missing required --addr is a usage error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-load"),
+        args: &["--addr", "127.0.0.1:9", "--concurrency", "0"],
+        expect: 2,
+        why: "zero concurrency is a usage error",
+    },
     // bad input: exit 1
     Case {
         bin: env!("CARGO_BIN_EXE_emx-run"),
@@ -69,6 +93,21 @@ const CASES: &[Case] = &[
         args: &["/nonexistent-dir/model.txt"],
         expect: 1,
         why: "unwritable model output path is an input error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-serve"),
+        args: &["--model", "/nonexistent/emx-no-such-model.txt"],
+        expect: 1,
+        why: "missing model file is an input error",
+    },
+    // Port 9 (discard) is unassigned on loopback in CI containers: the
+    // very first request fails to connect, which emx-load reports as an
+    // input error (bad address) rather than a measured service error.
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-load"),
+        args: &["--addr", "127.0.0.1:9", "--duration-ms", "100"],
+        expect: 1,
+        why: "unreachable server is an input error",
     },
 ];
 
@@ -107,6 +146,10 @@ fn checkable_input_errors_fail_fast() {
         ),
         (
             env!("CARGO_BIN_EXE_emx-dse"),
+            &["--model", "/nonexistent/m.txt"][..],
+        ),
+        (
+            env!("CARGO_BIN_EXE_emx-serve"),
             &["--model", "/nonexistent/m.txt"][..],
         ),
     ] {

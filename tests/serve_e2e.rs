@@ -1,0 +1,206 @@
+//! End-to-end tests on the real `emx-serve` / `emx-load` binaries:
+//! the CI smoke shape (serve, burst, graceful shutdown) and the
+//! fault-injection story (SIGKILL mid-traffic, crash-safe cache
+//! recovery, byte-identical answers after restart).
+
+use std::io::Read;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use emx::dse::EstimationCache;
+use emx::obs::json::Value;
+use emx::serve::{request_once, wire, HttpClient};
+
+const MODEL: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/model.txt");
+
+/// Unique temp path prefix that cleans up after itself.
+struct Scratch(String);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        Scratch(format!(
+            "{}/emx-e2e-{}-{tag}",
+            std::env::temp_dir().display(),
+            std::process::id()
+        ))
+    }
+
+    fn path(&self, suffix: &str) -> String {
+        format!("{}{suffix}", self.0)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        for suffix in [".addr", ".cache", ".cache.tmp", ".cache.corrupt", ".report"] {
+            let _ = std::fs::remove_file(self.path(suffix));
+        }
+    }
+}
+
+/// Kills the child on drop so a failing assertion never leaks a server.
+struct Reaper(Child);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        let _ = self.0.kill();
+        let _ = self.0.wait();
+    }
+}
+
+fn spawn_server(extra: &[&str], addr_file: &str) -> Reaper {
+    let child = Command::new(env!("CARGO_BIN_EXE_emx-serve"))
+        .args([
+            "--model",
+            MODEL,
+            "--addr",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file,
+        ])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn emx-serve");
+    Reaper(child)
+}
+
+/// Waits for the server to write its bound address.
+fn wait_for_addr(server: &mut Reaper, addr_file: &str) -> String {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(addr_file) {
+            let addr = text.trim();
+            if !addr.is_empty() {
+                return addr.to_owned();
+            }
+        }
+        if let Some(status) = server.0.try_wait().expect("poll server") {
+            let mut err = String::new();
+            if let Some(stderr) = server.0.stderr.as_mut() {
+                let _ = stderr.read_to_string(&mut err);
+            }
+            panic!("emx-serve exited early ({status}): {err}");
+        }
+        assert!(
+            Instant::now() < deadline,
+            "emx-serve did not publish its address in time"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn estimate_bytes(client: &mut HttpClient, app: &str) -> Vec<u8> {
+    let body = wire::estimate_request(app).to_string();
+    let response = client
+        .request("POST", "/v1/estimate", Some(body.as_bytes()))
+        .expect("estimate request");
+    assert_eq!(
+        response.status,
+        200,
+        "{}",
+        String::from_utf8_lossy(&response.body)
+    );
+    response.body
+}
+
+#[test]
+fn serve_and_load_binaries_smoke_end_to_end() {
+    let scratch = Scratch::new("smoke");
+    let addr_file = scratch.path(".addr");
+    let mut server = spawn_server(&[], &addr_file);
+    let addr = wait_for_addr(&mut server, &addr_file);
+
+    let report_file = scratch.path(".report");
+    let load = Command::new(env!("CARGO_BIN_EXE_emx-load"))
+        .args([
+            "--addr",
+            &addr,
+            "--concurrency",
+            "3",
+            "--duration-ms",
+            "500",
+            "--json",
+            &report_file,
+            "--shutdown",
+        ])
+        .output()
+        .expect("run emx-load");
+    assert_eq!(
+        load.status.code(),
+        Some(0),
+        "emx-load failed:\n{}\n{}",
+        String::from_utf8_lossy(&load.stdout),
+        String::from_utf8_lossy(&load.stderr)
+    );
+
+    let report = Value::parse(&std::fs::read_to_string(&report_file).expect("report written"))
+        .expect("report is JSON");
+    assert_eq!(
+        report.get("schema").and_then(Value::as_str),
+        Some("emx.load-report/1")
+    );
+    assert_eq!(report.get("errors").and_then(Value::as_u64), Some(0));
+    assert!(report.get("requests").and_then(Value::as_u64).unwrap() > 0);
+
+    // --shutdown drained the server: it must exit 0 on its own.
+    let status = server.0.wait().expect("server exits");
+    assert_eq!(status.code(), Some(0), "graceful shutdown must exit 0");
+}
+
+#[test]
+fn sigkill_mid_traffic_recovers_the_cache_and_the_same_answers() {
+    let scratch = Scratch::new("sigkill");
+    let addr_file = scratch.path(".addr");
+    let cache_file = scratch.path(".cache");
+
+    let mut server = spawn_server(&["--cache", &cache_file], &addr_file);
+    let addr = wait_for_addr(&mut server, &addr_file);
+
+    // Drive real traffic so the per-batch flush persists entries, and
+    // record the answers the pre-crash server gave.
+    let mut client = HttpClient::new(&addr);
+    let before_gcd = estimate_bytes(&mut client, "gcd");
+    let before_sort = estimate_bytes(&mut client, "ins_sort");
+    assert!(
+        std::path::Path::new(&cache_file).exists(),
+        "the cache must be flushed after every batch, not only at shutdown"
+    );
+    drop(client);
+
+    // Crash: SIGKILL, no destructors, no graceful flush.
+    server.0.kill().expect("kill server");
+    let _ = server.0.wait();
+    drop(server);
+    let _ = std::fs::remove_file(&addr_file);
+
+    // The persisted file is consistent (atomic per-batch saves): it
+    // loads without tripping the corrupt-file recovery path and holds
+    // the evaluated entries.
+    let (cache, recovery) =
+        EstimationCache::load_or_recover(&cache_file).expect("cache survives SIGKILL");
+    assert!(
+        recovery.is_none(),
+        "an atomically flushed cache never needs recovery: {recovery:?}"
+    );
+    assert!(cache.len() >= 2, "both apps must have been persisted");
+
+    // A restarted server over the same cache file serves the exact same
+    // bytes — warm from the recovered cache.
+    let mut server = spawn_server(&["--cache", &cache_file], &addr_file);
+    let addr = wait_for_addr(&mut server, &addr_file);
+    let mut client = HttpClient::new(&addr);
+    assert_eq!(
+        estimate_bytes(&mut client, "gcd"),
+        before_gcd,
+        "post-crash answers must be byte-identical"
+    );
+    assert_eq!(estimate_bytes(&mut client, "ins_sort"), before_sort);
+    drop(client);
+
+    let response = request_once(&addr, "POST", "/v1/shutdown", None).expect("shutdown");
+    assert_eq!(response.status, 200);
+    let status = server.0.wait().expect("server exits");
+    assert_eq!(status.code(), Some(0));
+}

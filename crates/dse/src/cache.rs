@@ -1,27 +1,33 @@
-//! Content-addressed estimation cache.
+//! Content-addressed extraction cache.
 //!
-//! Estimating a candidate costs one full ISS run; across a search, across
+//! Simulating a candidate costs one full ISS run; across a search, across
 //! repeated CLI invocations, and across spaces that share configurations,
 //! the same (program, extension set, processor config) triple recurs. The
-//! cache keys each estimate by an FNV-1a hash of the *content* of that
-//! triple plus a fingerprint of the fitted macro-model, so a stale model
-//! can never serve stale energies — a different model changes every key.
+//! cache keys each **extraction** — the raw [`ExecStats`] counts, not a
+//! priced energy — by an FNV-1a hash of the *content* of that triple plus
+//! a fingerprint of the extraction semantics (see
+//! [`crate::extract::EXTRACTION_SCHEMA`]). Storing counts instead of
+//! energies means a refitted macro-model re-prices every cached entry
+//! without a single new simulation, and a changed *simulator* (which
+//! would change the counts) still invalidates every key.
 //!
-//! The cache serializes to a stable `emx.dse-cache/1` JSON document via
-//! `obs::json` for reuse across CLI invocations.
+//! The cache serializes to a stable `emx.dse-cache/2` JSON document via
+//! `obs::json` for reuse across CLI invocations. Version 1 files (which
+//! stored priced energies keyed by model fingerprint) are quarantined on
+//! load like any other foreign schema, and the run starts cold.
 
 use std::collections::BTreeMap;
 
 use emx_core::EnergyMacroModel;
 use emx_isa::Program;
 use emx_obs::json::Value;
-use emx_sim::ProcConfig;
+use emx_sim::{ExecStats, ProcConfig};
 use emx_tie::ExtensionSet;
 
 use crate::error::CacheError;
 
 /// The persisted document schema this cache reads and writes.
-pub const SCHEMA: &str = "emx.dse-cache/1";
+pub const SCHEMA: &str = "emx.dse-cache/2";
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -47,24 +53,35 @@ impl Fnv {
     }
 }
 
-/// Fingerprint of a fitted macro-model (hash of its stable text form).
-pub fn model_fingerprint(model: &EnergyMacroModel) -> u64 {
+/// FNV-1a fingerprint of arbitrary content bytes.
+pub fn content_fingerprint(bytes: &[u8]) -> u64 {
     let mut h = Fnv::new();
-    h.write(model.to_text().as_bytes());
+    h.write(bytes);
     h.0
 }
 
-/// Content hash of one estimation request. Two requests collide only if
+/// Fingerprint of a fitted macro-model (hash of its stable text form).
+///
+/// Since the cache stores model-independent extractions, this no longer
+/// feeds [`candidate_key`] — the engine keys by
+/// [`crate::extract::extraction_fingerprint`] instead — but reports and
+/// model cards still use it to identify a fitted model.
+pub fn model_fingerprint(model: &EnergyMacroModel) -> u64 {
+    content_fingerprint(model.to_text().as_bytes())
+}
+
+/// Content hash of one extraction request. Two requests collide only if
 /// the encoded program, data image, extension set and processor
-/// configuration are all identical — in which case the estimate is too.
+/// configuration are all identical — in which case the extracted counts
+/// are too.
 pub fn candidate_key(
-    model_fp: u64,
+    extraction_fp: u64,
     program: &Program,
     ext: &ExtensionSet,
     config: &ProcConfig,
 ) -> u64 {
     let mut h = Fnv::new();
-    h.write(&model_fp.to_le_bytes());
+    h.write(&extraction_fp.to_le_bytes());
     h.write_u32(program.text_base());
     h.write_u32(program.data_base());
     h.write_u32(program.entry());
@@ -79,16 +96,15 @@ pub fn candidate_key(
     h.0
 }
 
-/// One cached estimate.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// One cached extraction: the full template-variable counts of one
+/// simulated candidate, ready to be re-priced under any macro-model.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CacheEntry {
-    /// Estimated energy in picojoules.
-    pub energy_pj: f64,
-    /// Execution cycles from the ISS.
-    pub cycles: u64,
+    /// The extracted execution statistics.
+    pub stats: ExecStats,
 }
 
-/// A content-addressed map from [`candidate_key`] to estimates.
+/// A content-addressed map from [`candidate_key`] to extractions.
 #[derive(Debug, Default)]
 pub struct EstimationCache {
     entries: BTreeMap<u64, CacheEntry>,
@@ -100,7 +116,7 @@ impl EstimationCache {
         Self::default()
     }
 
-    /// Number of cached estimates.
+    /// Number of cached extractions.
     pub fn len(&self) -> usize {
         self.entries.len()
     }
@@ -110,25 +126,23 @@ impl EstimationCache {
         self.entries.is_empty()
     }
 
-    /// Looks up a cached estimate.
+    /// Looks up a cached extraction.
     pub fn get(&self, key: u64) -> Option<CacheEntry> {
-        self.entries.get(&key).copied()
+        self.entries.get(&key).cloned()
     }
 
-    /// Stores an estimate.
+    /// Stores an extraction.
     pub fn insert(&mut self, key: u64, entry: CacheEntry) {
         self.entries.insert(key, entry);
     }
 
-    /// Serializes the cache as a stable `emx.dse-cache/1` document.
-    /// Entries are emitted in ascending key order.
+    /// Serializes the cache as a stable `emx.dse-cache/2` document.
+    /// Entries are emitted in ascending key order; each entry value is
+    /// the `emx.exec-stats/1` document of its extraction.
     pub fn to_json(&self) -> Value {
         let mut entries = Value::object();
         for (key, e) in &self.entries {
-            let mut v = Value::object();
-            v.set("energy_pj", e.energy_pj);
-            v.set("cycles", e.cycles);
-            entries.set(&format!("{key:016x}"), v);
+            entries.set(&format!("{key:016x}"), e.stats.to_json());
         }
         let mut doc = Value::object();
         doc.set("schema", SCHEMA);
@@ -182,16 +196,14 @@ impl EstimationCache {
                 salvage.skipped.push(format!("bad key `{key}`"));
                 continue;
             };
-            let energy_pj = v.get("energy_pj").and_then(Value::as_f64);
-            let cycles = v.get("cycles").and_then(Value::as_u64);
-            match (energy_pj, cycles) {
-                (Some(energy_pj), Some(cycles)) => {
-                    cache.insert(key_value, CacheEntry { energy_pj, cycles });
+            match ExecStats::from_json(v) {
+                Some(stats) => {
+                    cache.insert(key_value, CacheEntry { stats });
                     salvage.recovered += 1;
                 }
-                _ => salvage
-                    .skipped
-                    .push(format!("entry {key_value:016x} lacks energy_pj/cycles")),
+                None => salvage.skipped.push(format!(
+                    "entry {key_value:016x} lacks a well-formed stats document"
+                )),
             }
         }
         Ok((cache, salvage))
@@ -280,13 +292,14 @@ impl EstimationCache {
 /// same memo.
 ///
 /// The handle recovers from lock poisoning instead of propagating it:
-/// every cache operation (a `BTreeMap<u64, CacheEntry>` lookup or
-/// insert of `Copy` data) leaves the map valid between operations — the
-/// key type's `Ord` cannot panic and the entry is plain-old-data — so a
-/// thread that panicked while holding the lock cannot have left a
-/// half-written entry behind. Recovering the guard is therefore sound,
-/// and one panicking request must not take the cache away from every
-/// other lane (the same argument as `engine::lock_recovering`).
+/// every cache operation (a `BTreeMap<u64, CacheEntry>` lookup-clone or
+/// insert of an already-constructed entry) leaves the map valid between
+/// operations — the `u64` key's `Ord` cannot panic, and a panic while
+/// cloning an entry out happens before the map is touched — so a thread
+/// that panicked while holding the lock cannot have left a half-written
+/// entry behind. Recovering the guard is therefore sound, and one
+/// panicking request must not take the cache away from every other lane
+/// (the same argument as `engine::lock_recovering`).
 #[derive(Debug, Clone, Default)]
 pub struct SharedEstimationCache {
     inner: std::sync::Arc<std::sync::Mutex<EstimationCache>>,
@@ -390,6 +403,17 @@ mod tests {
     use super::*;
     use emx_workloads::{exts, suite};
 
+    /// A distinguishable extraction entry for round-trip tests.
+    fn entry(cycles: u64) -> CacheEntry {
+        let mut stats = ExecStats::new(1);
+        stats.total_cycles = cycles;
+        stats.inst_count = cycles / 2;
+        stats.class_cycles[0] = cycles / 3;
+        stats.custom_counts[0] = cycles % 5;
+        stats.struct_activity[0] = cycles as f64 / 3.0;
+        CacheEntry { stats }
+    }
+
     #[test]
     fn keys_separate_programs_exts_and_configs() {
         let suite = suite::calibration_programs();
@@ -417,20 +441,8 @@ mod tests {
     #[test]
     fn json_round_trip() -> Result<(), CacheError> {
         let mut cache = EstimationCache::new();
-        cache.insert(
-            42,
-            CacheEntry {
-                energy_pj: 123456.789,
-                cycles: 9876,
-            },
-        );
-        cache.insert(
-            7,
-            CacheEntry {
-                energy_pj: 0.125,
-                cycles: 1,
-            },
-        );
+        cache.insert(42, entry(9876));
+        cache.insert(7, entry(1));
         let text = cache.to_json().to_string();
         let reloaded = EstimationCache::from_json_text(&text)?;
         assert_eq!(reloaded.len(), 2);
@@ -453,7 +465,15 @@ mod tests {
         ));
         assert!(matches!(
             EstimationCache::from_json_text(
-                "{\"schema\":\"emx.dse-cache/1\",\"entries\":{\"zz\":{}}}"
+                "{\"schema\":\"emx.dse-cache/2\",\"entries\":{\"zz\":{}}}"
+            ),
+            Err(CacheError::BadEntry(_))
+        ));
+        // A well-formed key whose value is not a stats document is a bad
+        // entry, not a panic or a zeroed extraction.
+        assert!(matches!(
+            EstimationCache::from_json_text(
+                "{\"schema\":\"emx.dse-cache/2\",\"entries\":{\"0000000000000001\":{}}}"
             ),
             Err(CacheError::BadEntry(_))
         ));
@@ -501,16 +521,10 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..PER_THREAD {
                         let key = (t << 32) | i;
-                        shared.insert(
-                            key,
-                            CacheEntry {
-                                energy_pj: i as f64,
-                                cycles: i,
-                            },
-                        );
+                        shared.insert(key, entry(i));
                         // Reads of our own writes are immediate; reads of
                         // other threads' keys must never tear or panic.
-                        assert_eq!(shared.get(key).map(|e| e.cycles), Some(i));
+                        assert_eq!(shared.get(key).map(|e| e.stats.total_cycles), Some(i));
                         let _ = shared.get(((t + 1) % THREADS) << 32 | i);
                         // One thread interleaves atomic saves with the
                         // writers: every snapshot it takes is consistent.
@@ -533,13 +547,7 @@ mod tests {
     fn save_is_atomic_and_round_trips_through_disk() -> Result<(), CacheError> {
         let scratch = Scratch::new("atomic");
         let mut cache = EstimationCache::new();
-        cache.insert(
-            3,
-            CacheEntry {
-                energy_pj: 1.5,
-                cycles: 2,
-            },
-        );
+        cache.insert(3, entry(2));
         cache.save(&scratch.0)?;
         assert!(
             !std::path::Path::new(&format!("{}.tmp", scratch.0)).exists(),
@@ -554,13 +562,7 @@ mod tests {
     fn truncated_write_is_quarantined_and_run_starts_cold() -> Result<(), CacheError> {
         let scratch = Scratch::new("truncated");
         let mut cache = EstimationCache::new();
-        cache.insert(
-            9,
-            CacheEntry {
-                energy_pj: 4.0,
-                cycles: 8,
-            },
-        );
+        cache.insert(9, entry(8));
         cache.save(&scratch.0)?;
         // Simulate a crash mid-write: chop the file in half.
         let text =
@@ -594,13 +596,19 @@ mod tests {
     #[test]
     fn partial_damage_salvages_good_entries() -> Result<(), CacheError> {
         let scratch = Scratch::new("salvage");
-        let text = "{\"schema\":\"emx.dse-cache/1\",\"entries\":{\
-                    \"000000000000002a\":{\"energy_pj\":1.0,\"cycles\":5},\
-                    \"zz\":{\"energy_pj\":2.0,\"cycles\":6}}}";
-        std::fs::write(&scratch.0, text).map_err(|e| CacheError::Io(e.to_string()))?;
+        // One intact extraction plus one malformed entry, spliced in
+        // through the document tree so the test is immune to the
+        // serializer's formatting.
+        let mut entries = Value::object();
+        entries.set("zz", Value::object());
+        entries.set("000000000000002a", entry(5).stats.to_json());
+        let mut doc = Value::object();
+        doc.set("schema", SCHEMA);
+        doc.set("entries", entries);
+        std::fs::write(&scratch.0, doc.to_string()).map_err(|e| CacheError::Io(e.to_string()))?;
         let (cache, recovery) = EstimationCache::load_or_recover(&scratch.0)?;
         assert_eq!(cache.len(), 1, "the intact entry survives");
-        assert_eq!(cache.get(0x2a).map(|e| e.cycles), Some(5));
+        assert_eq!(cache.get(0x2a).map(|e| e.stats.total_cycles), Some(5));
         let recovery = recovery.ok_or(CacheError::Corrupt("expected recovery".into()))?;
         assert_eq!(recovery.recovered, 1);
         assert_eq!(recovery.skipped, 1);
@@ -609,10 +617,14 @@ mod tests {
 
     #[test]
     fn schema_mismatch_is_quarantined_not_trusted() -> Result<(), CacheError> {
+        // A version-1 file (priced energies keyed by model fingerprint)
+        // is the realistic foreign schema after the v2 migration: its
+        // entries cannot be re-priced and must not be trusted.
         let scratch = Scratch::new("schema");
         std::fs::write(
             &scratch.0,
-            "{\"schema\":\"emx.dse-cache/2\",\"entries\":{}}",
+            "{\"schema\":\"emx.dse-cache/1\",\"entries\":{\
+             \"000000000000002a\":{\"energy_pj\":1.0,\"cycles\":5}}}",
         )
         .map_err(|e| CacheError::Io(e.to_string()))?;
         let (cache, recovery) = EstimationCache::load_or_recover(&scratch.0)?;

@@ -2,11 +2,12 @@
 //! search driver that turns a candidate space into a ranked outcome.
 //!
 //! Parallelism is deterministic by construction: the work queue only
-//! decides *which thread* evaluates a candidate, never the result — each
-//! estimate is a pure function of (model, program, extension, config) and
-//! lands in an index-addressed slot. Cache hits and misses are decided
-//! before any thread starts, so the observability counters are stable
-//! across worker counts too.
+//! decides *which thread* extracts a candidate, never the result — each
+//! extraction is a pure function of (program, extension, config), lands
+//! in an index-addressed slot, and is priced by the coordinator with one
+//! pure dot product. Cache hits and misses are decided before any thread
+//! starts, so the observability counters are stable across worker counts
+//! too.
 //!
 //! Failures are *contained*: a candidate whose evaluation errors — or
 //! panics — costs exactly that candidate. The worker catches the panic,
@@ -23,7 +24,7 @@ use emx_core::EnergyMacroModel;
 use emx_isa::Program;
 use emx_obs::{Collector, Track};
 use emx_rtlpower::Energy;
-use emx_sim::{ProcConfig, SimError};
+use emx_sim::{ExecStats, ProcConfig, SimError};
 use emx_tie::ExtensionSet;
 
 use crate::cache::{candidate_key, CacheEntry, EstimationCache};
@@ -50,31 +51,78 @@ fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// Anything that can price one candidate: the macro-model in production,
-/// a fault-injecting shim in tests (see [`crate::fault`]).
+/// Anything that can evaluate one candidate: the macro-model in
+/// production, a fault-injecting shim in tests (see [`crate::fault`]).
+///
+/// Evaluation is split into its two differently priced halves (see
+/// [`crate::extract`]): [`extract`](CandidateEstimator::extract) runs
+/// the simulation once and returns raw counts, and
+/// [`price`](CandidateEstimator::price) turns counts into `(energy,
+/// cycles)` without simulating. The engine caches extractions and
+/// re-prices them on every hit, so pricing must be cheap, pure and
+/// deterministic in its input.
 ///
 /// The `fingerprint` feeds the content-addressed cache key, so two
-/// estimators that could disagree on any candidate must report different
-/// fingerprints.
+/// estimators that could **extract** different counts for any candidate
+/// must report different fingerprints. Estimators that differ only in
+/// pricing (e.g. refitted coefficient vectors over the same simulator)
+/// should share one, so cached extractions survive a model refit.
 pub trait CandidateEstimator: Sync {
-    /// Estimates `(energy, cycles)` for one candidate configuration.
+    /// Simulates one candidate and returns its raw template-variable
+    /// counts — the expensive, model-independent half.
     ///
     /// # Errors
     ///
     /// Whatever simulation error the underlying flow hits; the engine
     /// contains it to this candidate.
+    fn extract(
+        &self,
+        program: &Program,
+        ext: &ExtensionSet,
+        config: ProcConfig,
+    ) -> Result<ExecStats, SimError>;
+
+    /// Prices already-extracted counts: `(energy, cycles)`. Pure — no
+    /// simulation, no I/O.
+    fn price(&self, stats: &ExecStats) -> (Energy, u64);
+
+    /// Content fingerprint of the extraction semantics, for cache keying.
+    fn fingerprint(&self) -> u64;
+
+    /// Extraction and pricing in one call, for flows that evaluate a
+    /// single candidate without a cache.
+    ///
+    /// # Errors
+    ///
+    /// As for [`CandidateEstimator::extract`].
     fn estimate_candidate(
         &self,
         program: &Program,
         ext: &ExtensionSet,
         config: ProcConfig,
-    ) -> Result<(Energy, u64), SimError>;
-
-    /// Content fingerprint for cache keying.
-    fn fingerprint(&self) -> u64;
+    ) -> Result<(Energy, u64), SimError> {
+        Ok(self.price(&self.extract(program, ext, config)?))
+    }
 }
 
 impl<T: CandidateEstimator + ?Sized> CandidateEstimator for &T {
+    fn extract(
+        &self,
+        program: &Program,
+        ext: &ExtensionSet,
+        config: ProcConfig,
+    ) -> Result<ExecStats, SimError> {
+        (**self).extract(program, ext, config)
+    }
+
+    fn price(&self, stats: &ExecStats) -> (Energy, u64) {
+        (**self).price(stats)
+    }
+
+    fn fingerprint(&self) -> u64 {
+        (**self).fingerprint()
+    }
+
     fn estimate_candidate(
         &self,
         program: &Program,
@@ -83,25 +131,27 @@ impl<T: CandidateEstimator + ?Sized> CandidateEstimator for &T {
     ) -> Result<(Energy, u64), SimError> {
         (**self).estimate_candidate(program, ext, config)
     }
-
-    fn fingerprint(&self) -> u64 {
-        (**self).fingerprint()
-    }
 }
 
 impl CandidateEstimator for EnergyMacroModel {
-    fn estimate_candidate(
+    fn extract(
         &self,
         program: &Program,
         ext: &ExtensionSet,
         config: ProcConfig,
-    ) -> Result<(Energy, u64), SimError> {
-        let est = self.estimate(program, ext, config)?;
-        Ok((est.energy, est.stats.total_cycles))
+    ) -> Result<ExecStats, SimError> {
+        crate::extract::extract_counts(program, ext, config)
     }
 
+    fn price(&self, stats: &ExecStats) -> (Energy, u64) {
+        crate::extract::price(self, stats)
+    }
+
+    // Extraction ignores the fitted coefficients entirely, so every
+    // macro-model shares the extraction-schema fingerprint and a refit
+    // re-prices the warm cache instead of going cold.
     fn fingerprint(&self) -> u64 {
-        crate::cache::model_fingerprint(self)
+        crate::extract::extraction_fingerprint()
     }
 }
 
@@ -127,11 +177,12 @@ pub struct BatchResult {
 }
 
 /// Evaluates every candidate of an enumeration through the macro-model
-/// fast path, in parallel, with content-addressed caching.
+/// fast path, in parallel, with content-addressed extraction caching.
 ///
-/// Cache lookups happen up front on the calling thread; only misses enter
-/// the shared work queue, where up to `jobs` scoped workers (0 = auto)
-/// drain them. Each worker records its evaluations as spans on its own
+/// Cache lookups happen up front on the calling thread, and hits are
+/// re-priced there (a dot product each — simulate once, price many);
+/// only misses enter the shared work queue, where up to `jobs` scoped
+/// workers (0 = auto) drain them. Each worker records its evaluations as spans on its own
 /// [`Track::Worker`] lane, merged back into `obs` afterwards. Counters
 /// `dse.cache.hits` / `dse.cache.misses` are added here.
 ///
@@ -173,10 +224,15 @@ pub fn evaluate_batch_with<E: CandidateEstimator + ?Sized>(
     for (i, c) in candidates.iter().enumerate() {
         match cache.get(keys[i]) {
             Some(entry) => {
+                // A hit skips the simulation, never the pricing: the
+                // estimator prices the cached counts with the same pure
+                // function a fresh extraction would go through, so warm
+                // results are byte-identical to cold ones.
+                let (energy, cycles) = estimator.price(&entry.stats);
                 results[i] = Some(DesignPoint {
                     name: c.name.clone(),
-                    energy: Energy::from_picojoules(entry.energy_pj),
-                    cycles: entry.cycles,
+                    energy,
+                    cycles,
                 });
             }
             None => misses.push(i),
@@ -187,7 +243,7 @@ pub fn evaluate_batch_with<E: CandidateEstimator + ?Sized>(
 
     let mut failed: Vec<FailedCandidate> = Vec::new();
     if !misses.is_empty() {
-        type Slot = Option<Result<(Energy, u64), DseError>>;
+        type Slot = Option<Result<ExecStats, DseError>>;
         let workers = resolve_jobs(jobs).min(misses.len());
         let next = Mutex::new(0usize);
         let out: Mutex<Vec<Slot>> = Mutex::new((0..misses.len()).map(|_| None).collect());
@@ -214,19 +270,19 @@ pub fn evaluate_batch_with<E: CandidateEstimator + ?Sized>(
                             let c = &candidates[misses[slot]];
                             let span = child
                                 .begin_on(format!("evaluate:{}", c.name), Track::Worker(k as u32));
-                            // Contain panics to the candidate being priced:
-                            // the estimator call touches only its own
-                            // arguments, so unwinding cannot leave shared
-                            // state torn (hence AssertUnwindSafe).
+                            // Contain panics to the candidate being
+                            // extracted: the estimator call touches only
+                            // its own arguments, so unwinding cannot leave
+                            // shared state torn (hence AssertUnwindSafe).
                             let r = catch_unwind(AssertUnwindSafe(|| {
-                                estimator.estimate_candidate(
+                                estimator.extract(
                                     c.workload.program(),
                                     c.workload.ext(),
                                     config.clone(),
                                 )
                             }));
                             child.end(span);
-                            let outcome: Result<(Energy, u64), DseError> = match r {
+                            let outcome: Result<ExecStats, DseError> = match r {
                                 Ok(Ok(v)) => Ok(v),
                                 Ok(Err(e)) => Err(DseError::WorkerFailed {
                                     candidate: c.name.clone(),
@@ -260,14 +316,9 @@ pub fn evaluate_batch_with<E: CandidateEstimator + ?Sized>(
         for (slot, value) in lock_recovering(&out).drain(..).enumerate() {
             let i = misses[slot];
             match value {
-                Some(Ok((energy, cycles))) => {
-                    cache.insert(
-                        keys[i],
-                        CacheEntry {
-                            energy_pj: energy.as_picojoules(),
-                            cycles,
-                        },
-                    );
+                Some(Ok(stats)) => {
+                    let (energy, cycles) = estimator.price(&stats);
+                    cache.insert(keys[i], CacheEntry { stats });
                     results[i] = Some(DesignPoint {
                         name: candidates[i].name.clone(),
                         energy,

@@ -23,7 +23,8 @@ pub enum CacheError {
     /// The file is not valid JSON (often: a write cut short by a crash).
     Corrupt(String),
     /// The file parses but declares a different schema than
-    /// `emx.dse-cache/1`.
+    /// [`crate::cache::SCHEMA`] (e.g. a pre-migration `emx.dse-cache/1`
+    /// file, whose priced entries cannot be re-priced).
     SchemaMismatch(String),
     /// One entry inside an otherwise valid document is malformed.
     BadEntry(String),

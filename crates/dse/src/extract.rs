@@ -1,0 +1,124 @@
+//! The simulate-once / price-many split.
+//!
+//! Estimating a candidate has two very differently priced halves:
+//!
+//! 1. **Extraction** — one full instruction-set simulation of
+//!    (program, extension set, processor config), producing the raw
+//!    template-variable counts ([`ExecStats`]). This is the expensive
+//!    half and depends only on what executes, never on the fitted
+//!    macro-model.
+//! 2. **Pricing** — one dot product of those counts with the model's
+//!    coefficient vector (the paper's Eq. 1–4 evaluation). Microseconds,
+//!    and the only half that changes when the model is refitted.
+//!
+//! The engine caches *extractions*, not prices: a refitted model —
+//! or a whole sweep of candidate models — re-prices cached counts
+//! without a single new simulation. Pricing is exact over the cache
+//! because [`ExecStats`] round-trips through its JSON form
+//! bit-for-bit (see [`ExecStats::from_json`]), so a cache hit yields
+//! byte-identical energies to a fresh run.
+
+use emx_core::EnergyMacroModel;
+use emx_isa::Program;
+use emx_rtlpower::Energy;
+use emx_sim::{ExecStats, Interp, ProcConfig, SimError};
+use emx_tie::ExtensionSet;
+
+/// Version tag of the extraction semantics, hashed into every cache key.
+///
+/// Bump the suffix whenever the ISS could legally produce different
+/// [`ExecStats`] for the same (program, extension set, config) — e.g. a
+/// changed timing rule — so stale counts can never be re-priced.
+pub const EXTRACTION_SCHEMA: &str = "emx.iss-extraction/1";
+
+/// Fingerprint of [`EXTRACTION_SCHEMA`] for [`crate::candidate_key`].
+///
+/// Deliberately model-independent: two estimators sharing this
+/// fingerprint assert they extract identical counts, even if they price
+/// them differently.
+pub fn extraction_fingerprint() -> u64 {
+    crate::cache::content_fingerprint(EXTRACTION_SCHEMA.as_bytes())
+}
+
+/// Simulates one candidate to completion (2³²-cycle budget, matching
+/// [`EnergyMacroModel::estimate`]) and returns the raw counts.
+///
+/// # Errors
+///
+/// Propagates simulator errors; nothing is extracted from a failed run.
+pub fn extract_counts(
+    program: &Program,
+    ext: &ExtensionSet,
+    config: ProcConfig,
+) -> Result<ExecStats, SimError> {
+    let mut sim = Interp::new(program, ext, config);
+    Ok(sim.run(u64::from(u32::MAX))?.stats)
+}
+
+/// Prices already-extracted counts under a fitted model: `(energy,
+/// cycles)`, by the same dot product as [`EnergyMacroModel::estimate`]
+/// — so `price(model, &extract_counts(..)?)` is byte-identical to the
+/// one-shot estimate.
+pub fn price(model: &EnergyMacroModel, stats: &ExecStats) -> (Energy, u64) {
+    (model.energy_of_stats(stats), stats.total_cycles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_workloads::suite;
+
+    fn fitted_model() -> EnergyMacroModel {
+        let spec = emx_core::ModelSpec::paper();
+        let coeffs: Vec<f64> = (0..spec.len()).map(|i| 1.0 + i as f64 * 0.25).collect();
+        EnergyMacroModel::new(spec, coeffs)
+    }
+
+    #[test]
+    fn price_of_extracted_counts_equals_one_shot_estimate() -> Result<(), SimError> {
+        let model = fitted_model();
+        let config = ProcConfig::default();
+        for w in suite::calibration_programs().iter().take(4) {
+            let stats = extract_counts(w.program(), w.ext(), config.clone())?;
+            let (energy, cycles) = price(&model, &stats);
+            let est = model.estimate(w.program(), w.ext(), config.clone())?;
+            assert_eq!(stats, est.stats, "{}: extraction must match", w.name());
+            assert_eq!(
+                energy.as_picojoules().to_bits(),
+                est.energy.as_picojoules().to_bits(),
+                "{}: pricing must be bit-identical",
+                w.name()
+            );
+            assert_eq!(cycles, est.stats.total_cycles);
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn repricing_cached_counts_is_exact_across_models() -> Result<(), SimError> {
+        // The cache round-trips counts through JSON; pricing the reloaded
+        // counts under a *different* model must equal pricing the fresh
+        // counts under it — the refit-without-resimulation guarantee.
+        let w = &suite::calibration_programs()[0];
+        let stats = extract_counts(w.program(), w.ext(), ProcConfig::default())?;
+        let doc_text = stats.to_json().to_string();
+        let doc = emx_obs::json::Value::parse(&doc_text).expect("valid JSON");
+        let reloaded = ExecStats::from_json(&doc).expect("round trip");
+        let other = fitted_model();
+        let (fresh, _) = price(&other, &stats);
+        let (cached, _) = price(&other, &reloaded);
+        assert_eq!(
+            fresh.as_picojoules().to_bits(),
+            cached.as_picojoules().to_bits()
+        );
+        Ok(())
+    }
+
+    #[test]
+    fn extraction_fingerprint_is_stable_and_model_free() {
+        assert_eq!(extraction_fingerprint(), extraction_fingerprint());
+        // Changing a model must not move the fingerprint (it hashes the
+        // extraction schema, nothing else).
+        assert_ne!(extraction_fingerprint(), 0);
+    }
+}

@@ -14,7 +14,7 @@
 
 use emx_isa::Program;
 use emx_rtlpower::Energy;
-use emx_sim::{ProcConfig, SimError};
+use emx_sim::{ExecStats, ProcConfig, SimError};
 use emx_tie::ExtensionSet;
 
 use crate::engine::CandidateEstimator;
@@ -73,23 +73,29 @@ pub fn has_inst(mnemonic: &str) -> impl Fn(&Program, &ExtensionSet) -> bool + Se
 }
 
 impl<E: CandidateEstimator> CandidateEstimator for FailingEstimator<E> {
-    fn estimate_candidate(
+    // Faults strike the extraction half — the part the engine runs on
+    // worker threads and contains per candidate.
+    fn extract(
         &self,
         program: &Program,
         ext: &ExtensionSet,
         config: ProcConfig,
-    ) -> Result<(Energy, u64), SimError> {
+    ) -> Result<ExecStats, SimError> {
         if (self.trigger)(program, ext) {
             match self.mode {
                 FaultMode::Error => return Err(SimError::CycleLimit(0)),
                 FaultMode::Panic => panic!("injected fault: estimator panicked"),
             }
         }
-        self.inner.estimate_candidate(program, ext, config)
+        self.inner.extract(program, ext, config)
+    }
+
+    fn price(&self, stats: &ExecStats) -> (Energy, u64) {
+        self.inner.price(stats)
     }
 
     // Salted so a faulty run can never share cache entries with a healthy
-    // one (successful estimates do get cached).
+    // one (successful extractions do get cached).
     fn fingerprint(&self) -> u64 {
         self.inner.fingerprint() ^ 0xFA17_FA17_FA17_FA17
     }

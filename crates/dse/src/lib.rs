@@ -8,9 +8,13 @@
 //!   under an area budget (net-equivalents derived from the RTL power
 //!   library's component sizes), with dominance pruning before any
 //!   evaluation,
-//! * [`cache`] — a content-addressed estimation cache keyed by the hash
-//!   of (model, program, extension set, processor config), with optional
-//!   JSON persistence across CLI invocations,
+//! * [`extract`] — the simulate-once / price-many split: one ISS run
+//!   extracts a candidate's template-variable counts, and a pure dot
+//!   product prices them under any fitted model,
+//! * [`cache`] — a content-addressed extraction cache keyed by the hash
+//!   of (extraction semantics, program, extension set, processor
+//!   config), with optional JSON persistence across CLI invocations —
+//!   a refitted model re-prices the warm cache instead of going cold,
 //! * [`engine`] — a deterministic parallel batch evaluator over a shared
 //!   work queue (`std::thread` scoped workers) plus the search driver,
 //! * [`point`] — design points, Pareto front extraction and energy-delay
@@ -57,20 +61,22 @@
 pub mod cache;
 pub mod engine;
 pub mod error;
+pub mod extract;
 pub mod fault;
 pub mod point;
 pub mod report;
 pub mod space;
 
 pub use cache::{
-    candidate_key, model_fingerprint, CacheEntry, CacheRecovery, CacheSalvage, EstimationCache,
-    SharedEstimationCache,
+    candidate_key, content_fingerprint, model_fingerprint, CacheEntry, CacheRecovery, CacheSalvage,
+    EstimationCache, SharedEstimationCache,
 };
 pub use engine::{
     evaluate_batch, evaluate_batch_with, explore, explore_with, resolve_jobs, BatchResult,
     CandidateEstimator, Exploration, FailedCandidate,
 };
 pub use error::{CacheError, DseError};
+pub use extract::{extract_counts, extraction_fingerprint, price, EXTRACTION_SCHEMA};
 pub use point::{evaluate, pareto_front, rank_by_edp, Candidate, DesignPoint};
 pub use space::{
     area_cost, CandidateSpace, DesignOption, EnumeratedCandidate, Enumeration, MAX_OPTIONS,

@@ -185,7 +185,13 @@ impl CandidateSpace {
                 ext: exts::rs_full(),
             },
         ];
-        CandidateSpace::new("reed-solomon", options, |sel| {
+        // Resolving a selection assembles the codec from source — by far
+        // the dominant cost of enumeration. All 2^4 selections collapse
+        // onto the four `RsConfig` variants, so each variant is assembled
+        // once and cloned after that; equal selections therefore resolve
+        // to byte-identical workloads, exactly as before.
+        let memo: [std::cell::OnceCell<Workload>; 4] = Default::default();
+        CandidateSpace::new("reed-solomon", options, move |sel| {
             // The codec needs `gfmul` everywhere (encoder feedback taps);
             // the syndrome loop then uses the best unit available.
             let cfg = if sel.has_inst("gfmul") && sel.has_inst("synstep") {
@@ -197,7 +203,7 @@ impl CandidateSpace {
             } else {
                 RsConfig::Rs0
             };
-            cfg.workload()
+            memo[cfg as usize].get_or_init(|| cfg.workload()).clone()
         })
     }
 

@@ -8,10 +8,12 @@
 //!   is full it answers `503` with a typed error document instead of
 //!   letting the backlog grow without bound,
 //! * a fixed pool of **connection workers** pops the queue and speaks
-//!   keep-alive HTTP/1.1, one connection at a time per worker; a
-//!   connection that goes idle is pushed back onto the queue rather
-//!   than pinning its worker, so idle keep-alive clients cannot starve
-//!   new traffic even with a single-worker pool. Each request is
+//!   keep-alive HTTP/1.1, one connection at a time per worker; reads
+//!   use a short poll window, and a connection that sits idle while
+//!   other connections wait in the queue is handed back within one
+//!   window rather than pinning its worker — idle keep-alive clients
+//!   cannot starve new traffic even with a single-worker pool, and the
+//!   hand-off adds at most ~5 ms, not a long poll. Each request is
 //!   instrumented as a span on its worker's [`Track::Request`] lane
 //!   with latencies recorded into the shared `serve.latency_us`
 //!   histogram,
@@ -266,11 +268,26 @@ fn resolve_workers(workers: usize) -> usize {
     }
 }
 
+/// Read-timeout window for worker reads. A worker blocked in a read on
+/// an idle keep-alive connection cannot be interrupted when new work
+/// arrives, so this window *is* the bound on how long queued work waits
+/// behind an idle connection — with a small pool that bound is the
+/// service's tail latency. 5 ms keeps it invisible next to request
+/// latencies while an idle connection still costs its worker only a few
+/// hundred timed-out reads per second.
+const READ_POLL: Duration = Duration::from_millis(5);
+
+/// Scale factor holding the mid-request stall budget at its historical
+/// value: the previous 250 ms window × the default 40 polls gave a
+/// slow-but-live client ~10 s to finish a request, so the 50× shorter
+/// window gets 50× the polls.
+const POLL_SCALE: u32 = 50;
+
 fn enqueue_connection(stream: TcpStream, shared: &Shared) {
     lock_recovering(&shared.obs).add("serve.connections", 1.0);
     // Short read timeouts keep idle keep-alive connections responsive to
     // shutdown (and requeueable) without a dedicated poll thread.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_read_timeout(Some(READ_POLL));
     let _ = stream.set_nodelay(true);
     let Ok(read_half) = stream.try_clone() else {
         return;
@@ -334,8 +351,15 @@ fn serve_connection(lane: u32, conn: Conn, shared: &Shared, batcher: &Batcher) -
         mut writer,
     } = conn;
 
+    // The mid-request truncation budget is `max_request_polls` ×
+    // window; scale the poll count to the short window so the budget
+    // stays ~10 s (see [`POLL_SCALE`]).
+    let mut limits = shared.config.limits.clone();
+    limits.max_request_polls = limits.max_request_polls.saturating_mul(POLL_SCALE);
+    let _ = reader.get_ref().set_read_timeout(Some(READ_POLL));
+
     loop {
-        match http::read_request(&mut reader, &shared.config.limits) {
+        match http::read_request(&mut reader, &limits) {
             Ok(request) => {
                 let mut local = lock_recovering(&shared.obs).fork();
                 let span = local.begin_on(
@@ -370,9 +394,13 @@ fn serve_connection(lane: u32, conn: Conn, shared: &Shared, batcher: &Batcher) -
                 if shared.shutdown.load(Ordering::SeqCst) {
                     return None;
                 }
-                // Idle, not broken: hand it back to the queue so this
-                // worker can serve whoever arrived in the meantime.
-                return Some(Conn { reader, writer });
+                // Idle, not broken. Hand it back only when someone is
+                // actually waiting — requeueing to an empty queue would
+                // just churn — otherwise keep listening; queued work
+                // arriving later is noticed within one poll window.
+                if !lock_recovering(&shared.queue).is_empty() {
+                    return Some(Conn { reader, writer });
+                }
             }
             Err(e) => {
                 // Framing failed: the byte stream can no longer be

@@ -322,6 +322,50 @@ fn cache_persists_across_graceful_restart_with_identical_answers() {
 }
 
 #[test]
+fn idle_keepalive_connection_does_not_add_poll_latency_to_others() {
+    // Regression test for the requeued-idle-connection tail: with one
+    // worker, an idle keep-alive client used to pin the worker in a
+    // fixed 250 ms read, so every request on another connection could
+    // queue for up to 250 ms behind it. The worker must instead notice
+    // queued work within one short poll window (~5 ms).
+    let (addr, handle) = start_with(ServeConfig {
+        characterize: CharacterizeMode::Calibration,
+        workers: 1,
+        ..ServeConfig::default()
+    });
+
+    // The idle client: connects, proves the server is warm with one
+    // request, then goes quiet while holding its connection open.
+    let mut idle = HttpClient::new(&addr);
+    let response = idle.request("GET", "/healthz", None).expect("warm-up");
+    assert_eq!(response.status, 200);
+
+    // The active client: sequential requests on a second connection,
+    // each of which contends with the idle connection for the worker.
+    let mut active = HttpClient::new(&addr);
+    let mut worst = std::time::Duration::ZERO;
+    for _ in 0..30 {
+        let started = std::time::Instant::now();
+        let response = active.request("GET", "/healthz", None).expect("request");
+        assert_eq!(response.status, 200);
+        worst = worst.max(started.elapsed());
+    }
+
+    // Each request needs at most a couple of poll windows (one for the
+    // worker to abandon the idle connection, one to pick this one up)
+    // plus routing time. 100 ms leaves ample scheduler headroom on a
+    // loaded machine while still failing clearly against a 250 ms poll.
+    assert!(
+        worst < std::time::Duration::from_millis(100),
+        "worst request latency {worst:?} behind an idle keep-alive \
+         connection; the worker is sleeping through queued work"
+    );
+
+    drop(idle);
+    stop(&addr, handle);
+}
+
+#[test]
 fn load_generator_round_trip_is_error_free() {
     let (addr, handle) = start();
 

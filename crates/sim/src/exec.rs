@@ -167,16 +167,7 @@ pub fn execute(
         Inst::Base(b) => step_base(state, b, pc, inst),
         Inst::Custom(c) => {
             let spec = ext.get(c.id).ok_or(SimError::UnknownCustom(c.id))?;
-            let rs = state.reg(c.rs);
-            let rt = state.reg(c.rt);
-            let mut scratch = std::mem::take(&mut state.scratch);
-            let gpr = spec.execute_into(rs, rt, c.imm, &mut state.ext_state, &mut scratch)?;
-            state.scratch = scratch;
-            let result = gpr.map(|v| {
-                let v = v as u32;
-                state.set_reg(c.rd, v);
-                (c.rd, v)
-            });
+            let (rs, rt, result) = execute_custom(state, spec, &c)?;
             let next_pc = pc.wrapping_add(layout::INST_BYTES);
             state.pc = next_pc;
             Ok(StepOutcome {
@@ -193,6 +184,34 @@ pub fn execute(
             })
         }
     }
+}
+
+/// What one custom execution exposes to stats accounting: the two
+/// operand values and the GPR writeback (register, value), if any.
+pub(crate) type CustomOutcome = (u32, u32, Option<(Reg, u32)>);
+
+/// Executes one custom instruction against an already-resolved spec,
+/// returning the operand values and the GPR writeback (if any). Shared by
+/// the single-step executor and the micro-op engine so custom semantics —
+/// including the scratch-buffer handling on datapath errors — can never
+/// diverge between the two.
+#[inline]
+pub(crate) fn execute_custom(
+    state: &mut CoreState,
+    spec: &emx_tie::CompiledInst,
+    c: &emx_isa::CustomSlot,
+) -> Result<CustomOutcome, SimError> {
+    let rs = state.reg(c.rs);
+    let rt = state.reg(c.rt);
+    let mut scratch = std::mem::take(&mut state.scratch);
+    let gpr = spec.execute_into(rs, rt, c.imm, &mut state.ext_state, &mut scratch)?;
+    state.scratch = scratch;
+    let result = gpr.map(|v| {
+        let v = v as u32;
+        state.set_reg(c.rd, v);
+        (c.rd, v)
+    });
+    Ok((rs, rt, result))
 }
 
 #[allow(clippy::too_many_lines)] // one arm per opcode: flat is clearest

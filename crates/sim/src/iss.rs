@@ -9,7 +9,7 @@ use crate::{Cache, CoreState, ExecStats, ProcConfig, SimError};
 /// What kind of delayed-result hazard the previous instruction left
 /// behind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum HazKind {
+pub(crate) enum HazKind {
     Load,
     Mul,
     Custom,
@@ -37,14 +37,14 @@ pub struct RunResult {
 /// See the crate-level example for usage.
 #[derive(Debug, Clone)]
 pub struct Interp<'a> {
-    program: &'a Program,
-    ext: &'a ExtensionSet,
-    config: ProcConfig,
-    state: CoreState,
-    icache: Cache,
-    dcache: Cache,
-    stats: ExecStats,
-    hazard: Option<(Reg, HazKind)>,
+    pub(crate) program: &'a Program,
+    pub(crate) ext: &'a ExtensionSet,
+    pub(crate) config: ProcConfig,
+    pub(crate) state: CoreState,
+    pub(crate) icache: Cache,
+    pub(crate) dcache: Cache,
+    pub(crate) stats: ExecStats,
+    pub(crate) hazard: Option<(Reg, HazKind)>,
 }
 
 impl<'a> Interp<'a> {
@@ -80,12 +80,31 @@ impl<'a> Interp<'a> {
     /// Runs until `halt`, or until `max_cycles` simulated cycles have
     /// elapsed.
     ///
+    /// This is the fast path: it executes over a pre-decoded micro-op
+    /// table (see the `uop` module) and is observationally identical —
+    /// statistics, architectural state, and errors — to the legacy
+    /// single-step interpreter, which remains available as
+    /// [`Interp::run_legacy`] for differential testing.
+    ///
     /// # Errors
     ///
     /// [`SimError::CycleLimit`] if the budget is exhausted, plus any
     /// executor error ([`SimError::InvalidPc`], [`SimError::Unaligned`],
     /// …).
     pub fn run(&mut self, max_cycles: u64) -> Result<RunResult, SimError> {
+        crate::uop::run(self, max_cycles)
+    }
+
+    /// Runs like [`Interp::run`] on the legacy single-step interpreter
+    /// instead of the micro-op engine. The two paths are byte-identical
+    /// in statistics, state and errors; this one exists as the
+    /// differential-testing reference (and is what the activity-streaming
+    /// [`Interp::run_with_sink`] path uses internally).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Interp::run`].
+    pub fn run_legacy(&mut self, max_cycles: u64) -> Result<RunResult, SimError> {
         self.run_with_sink(&mut NullSink, max_cycles)
     }
 
@@ -225,7 +244,13 @@ impl<'a> Interp<'a> {
                 self.stats.class_cycles[class.index()] += u64::from(cost);
                 self.stats.class_counts[class.index()] += 1;
                 self.stats.opcode_cycles[b.op.index()] += u64::from(cost);
-                (InstKind::Base(class, b.op.exec_unit()), cost, cost - 1)
+                // `saturating_sub`: a zero-cost branch/jump config (legal,
+                // if unusual) must yield zero flush cycles, not underflow.
+                (
+                    InstKind::Base(class, b.op.exec_unit()),
+                    cost,
+                    cost.saturating_sub(1),
+                )
             }
             Inst::Custom(c) => {
                 let spec = self.ext.get(c.id).ok_or(SimError::UnknownCustom(c.id))?;
@@ -481,6 +506,53 @@ mod tests {
         assert_eq!(run.stats, plain_stats);
         assert_eq!(profile, PhaseProfile::new());
         assert!(off.counters().is_empty());
+    }
+
+    #[test]
+    fn zero_cost_branch_config_does_not_underflow() {
+        // Regression: flush_cycles was computed as `cost - 1`, which
+        // panicked in debug builds when branch_taken_cycles or
+        // jump_cycles was configured to 0. The sinked path is the one
+        // that materializes flush_cycles.
+        let src = "movi a2, 2\nl: addi a2, a2, -1\nbnez a2, l\nj done\ndone: halt";
+        let program = Assembler::new().assemble(src).unwrap();
+        let ext = ExtensionSet::empty();
+        let config = ProcConfig {
+            branch_taken_cycles: 0,
+            jump_cycles: 0,
+            ..ProcConfig::default()
+        };
+        let mut flushes = Vec::new();
+        let mut sink = |r: &InstRecord<'_>| flushes.push(r.flush_cycles);
+        let mut interp = Interp::new(&program, &ext, config.clone());
+        let run = interp.run_with_sink(&mut sink, 10_000).unwrap();
+        assert!(run.halted);
+        assert!(flushes.iter().all(|&f| f == 0));
+        // The micro-op fast path accepts the same config and agrees.
+        let mut fast = Interp::new(&program, &ext, config);
+        assert_eq!(fast.run(10_000).unwrap().stats, run.stats);
+    }
+
+    #[test]
+    fn uop_and_legacy_agree_on_error_paths() {
+        // Errors must leave byte-identical partial stats and state on
+        // both engines: invalid pc (fall off the end), unaligned access,
+        // and the cycle limit.
+        for src in [
+            "nop\nnop\n",                       // falls off the text segment
+            "movi a2, 1\nl32i a3, 0(a2)\nhalt", // unaligned load
+            "l: j l\n",                         // spins into the cycle limit
+        ] {
+            let program = Assembler::new().assemble(src).unwrap();
+            let ext = ExtensionSet::empty();
+            let mut fast = Interp::new(&program, &ext, ProcConfig::default());
+            let fast_err = fast.run(100).unwrap_err();
+            let mut slow = Interp::new(&program, &ext, ProcConfig::default());
+            let slow_err = slow.run_legacy(100).unwrap_err();
+            assert_eq!(fast_err, slow_err, "{src:?}");
+            assert_eq!(fast.stats(), slow.stats(), "{src:?}");
+            assert_eq!(fast.state().pc(), slow.state().pc(), "{src:?}");
+        }
     }
 
     #[test]

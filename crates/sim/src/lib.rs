@@ -58,6 +58,7 @@ mod pipeline;
 mod record;
 mod stats;
 pub mod trace;
+mod uop;
 
 pub use cache::{Cache, CacheAccess, CacheConfig};
 pub use config::ProcConfig;

@@ -161,6 +161,57 @@ impl ExecStats {
         doc.set("opcode_cycles", opcodes);
         doc
     }
+
+    /// Parses a document written by [`ExecStats::to_json`] back into
+    /// statistics. Returns `None` when the schema differs or any
+    /// required field is missing or malformed.
+    ///
+    /// The round trip is **exact**: `obs::json` prints floats in
+    /// shortest-round-trip form and every counter fits `f64` losslessly
+    /// under the 2³²-cycle simulation budget, so
+    /// `ExecStats::from_json(&s.to_json()) == Some(s)`. The DSE
+    /// extraction cache relies on this to re-price persisted counts
+    /// byte-identically to a fresh simulation.
+    pub fn from_json(doc: &Value) -> Option<ExecStats> {
+        if doc.get("schema").and_then(Value::as_str) != Some("emx.exec-stats/1") {
+            return None;
+        }
+        let mut s = ExecStats::new(0);
+        s.inst_count = doc.get("instructions").and_then(Value::as_u64)?;
+        s.total_cycles = doc.get("total_cycles").and_then(Value::as_u64)?;
+        let classes = doc.get("classes")?;
+        for class in DynClass::ALL {
+            let entry = classes.get(&class.to_string())?;
+            s.class_counts[class.index()] = entry.get("count").and_then(Value::as_u64)?;
+            s.class_cycles[class.index()] = entry.get("cycles").and_then(Value::as_u64)?;
+        }
+        s.icache_misses = doc.get("icache_misses").and_then(Value::as_u64)?;
+        s.dcache_misses = doc.get("dcache_misses").and_then(Value::as_u64)?;
+        s.uncached_fetches = doc.get("uncached_fetches").and_then(Value::as_u64)?;
+        s.interlocks = doc.get("interlocks").and_then(Value::as_u64)?;
+        s.ci_gpr_cycles = doc.get("ci_gpr_cycles").and_then(Value::as_u64)?;
+        s.custom_cycles = doc.get("custom_cycles").and_then(Value::as_u64)?;
+        s.custom_counts = doc
+            .get("custom_counts")
+            .and_then(Value::as_array)?
+            .iter()
+            .map(Value::as_u64)
+            .collect::<Option<Vec<u64>>>()?;
+        let structural = doc.get("structural")?;
+        for category in emx_hwlib::Category::ALL {
+            let entry = structural.get(&category.to_string())?;
+            s.struct_activity[category.index()] = entry.get("activity").and_then(Value::as_f64)?;
+            s.struct_activations[category.index()] =
+                entry.get("activations").and_then(Value::as_f64)?;
+        }
+        let opcodes = doc.get("opcode_cycles")?;
+        for opcode in emx_isa::Opcode::ALL {
+            if let Some(cycles) = opcodes.get(opcode.mnemonic()).and_then(Value::as_u64) {
+                s.opcode_cycles[opcode.index()] = cycles;
+            }
+        }
+        Some(s)
+    }
 }
 
 impl fmt::Display for ExecStats {
@@ -255,6 +306,52 @@ mod tests {
                 .get(&category.to_string())
                 .is_some());
         }
+    }
+
+    #[test]
+    fn from_json_round_trip_is_exact() {
+        // A stats value with every field group populated, including
+        // non-integral structural activity, must survive the JSON round
+        // trip bit-for-bit — the extraction cache's core invariant.
+        let mut s = ExecStats::new(3);
+        s.inst_count = 987_654;
+        s.total_cycles = 1_234_567;
+        for (i, c) in s.class_counts.iter_mut().enumerate() {
+            *c = 11 * (i as u64 + 1);
+        }
+        for (i, c) in s.class_cycles.iter_mut().enumerate() {
+            *c = 17 * (i as u64 + 1);
+        }
+        s.icache_misses = 41;
+        s.dcache_misses = 42;
+        s.uncached_fetches = 43;
+        s.interlocks = 44;
+        s.ci_gpr_cycles = 45;
+        s.custom_cycles = 46;
+        s.custom_counts = vec![5, 0, 7];
+        for (i, a) in s.struct_activity.iter_mut().enumerate() {
+            *a = 0.1 + i as f64 / 3.0; // deliberately non-representable
+        }
+        for (i, a) in s.struct_activations.iter_mut().enumerate() {
+            *a = i as f64 * 7.0;
+        }
+        s.opcode_cycles[0] = 9;
+        s.opcode_cycles[emx_isa::Opcode::ALL.len() - 1] = 3;
+
+        let text = s.to_json().to_string();
+        let doc = Value::parse(&text).expect("valid JSON");
+        assert_eq!(ExecStats::from_json(&doc), Some(s));
+    }
+
+    #[test]
+    fn from_json_rejects_foreign_and_malformed_documents() {
+        let other = Value::parse("{\"schema\":\"emx.exec-stats/2\"}").unwrap();
+        assert_eq!(ExecStats::from_json(&other), None);
+        // Dropping a required field fails the parse instead of zeroing
+        // a counter silently.
+        let mut doc = ExecStats::new(0).to_json();
+        doc.set("interlocks", Value::Null);
+        assert_eq!(ExecStats::from_json(&doc), None);
     }
 
     #[test]

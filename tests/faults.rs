@@ -186,22 +186,52 @@ impl Drop for Cleanup<'_> {
 use emx::dse::CacheEntry;
 use proptest::prelude::*;
 
-/// Builds a cache with `n` pseudo-random entries derived from `seed`.
+/// Builds a cache with `n` pseudo-random extraction entries derived from
+/// `seed`, exercising every field group of the stats document.
 fn random_cache(seed: u64, n: usize) -> EstimationCache {
     let mut rng = proptest::test_runner::TestRng::new(seed);
     let mut cache = EstimationCache::new();
     for _ in 0..n {
         let key = rng.next_u64();
-        // Finite positive energies, like real estimates.
-        let energy_pj = (rng.next_u64() % 1_000_000_000) as f64 / 128.0;
-        let cycles = rng.next_u64() % 1_000_000_000;
-        cache.insert(key, CacheEntry { energy_pj, cycles });
+        let mut stats = emx::sim::ExecStats::new((rng.next_u64() % 4) as usize);
+        for c in &mut stats.class_cycles {
+            *c = rng.next_u64() % 1_000_000_000;
+        }
+        for c in &mut stats.class_counts {
+            *c = rng.next_u64() % 1_000_000_000;
+        }
+        stats.icache_misses = rng.next_u64() % 1_000_000;
+        stats.dcache_misses = rng.next_u64() % 1_000_000;
+        stats.uncached_fetches = rng.next_u64() % 1_000_000;
+        stats.interlocks = rng.next_u64() % 1_000_000;
+        stats.ci_gpr_cycles = rng.next_u64() % 1_000_000;
+        stats.custom_cycles = rng.next_u64() % 1_000_000;
+        stats.total_cycles = rng.next_u64() % 1_000_000_000;
+        stats.inst_count = rng.next_u64() % 1_000_000_000;
+        for v in &mut stats.custom_counts {
+            *v = rng.next_u64() % 1_000;
+        }
+        // Finite non-negative activities, like real extractions —
+        // including non-representable fractions.
+        for a in &mut stats.struct_activity {
+            *a = (rng.next_u64() % 1_000_000_000) as f64 / 384.0;
+        }
+        for a in &mut stats.struct_activations {
+            *a = (rng.next_u64() % 1_000_000) as f64;
+        }
+        for (i, c) in stats.opcode_cycles.iter_mut().enumerate() {
+            if i % 3 == 0 {
+                *c = rng.next_u64() % 1_000;
+            }
+        }
+        cache.insert(key, CacheEntry { stats });
     }
     cache
 }
 
 fn entries_of(cache: &EstimationCache, reference: &EstimationCache) -> usize {
-    // Counts reference entries present in `cache` with identical bits.
+    // Counts reference entries present in `cache` with identical content
+    // (ExecStats equality covers every counter and f64 field).
     let text = reference.to_json().to_string();
     let doc = emx::obs::json::Value::parse(&text).expect("own JSON parses");
     let mut matched = 0;
@@ -209,7 +239,7 @@ fn entries_of(cache: &EstimationCache, reference: &EstimationCache) -> usize {
         for (key, _) in pairs {
             let key = u64::from_str_radix(key, 16).expect("hex key");
             if let (Some(a), Some(b)) = (cache.get(key), reference.get(key)) {
-                if a.energy_pj.to_bits() == b.energy_pj.to_bits() && a.cycles == b.cycles {
+                if a == b {
                     matched += 1;
                 }
             }

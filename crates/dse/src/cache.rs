@@ -136,6 +136,37 @@ impl EstimationCache {
         self.entries.insert(key, entry);
     }
 
+    /// Iterates the cached extractions in ascending key order.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, &CacheEntry)> {
+        self.entries.iter().map(|(&k, e)| (k, e))
+    }
+
+    /// The set of keys currently cached. Snapshot it before a run and
+    /// feed it to [`EstimationCache::delta_since`] afterwards to get the
+    /// extractions that run added — what a shard report ships.
+    pub fn key_set(&self) -> std::collections::BTreeSet<u64> {
+        self.entries.keys().copied().collect()
+    }
+
+    /// The entries whose keys are absent from `baseline` — the delta a
+    /// run added on top of a snapshotted [`EstimationCache::key_set`].
+    pub fn delta_since(&self, baseline: &std::collections::BTreeSet<u64>) -> EstimationCache {
+        let mut delta = EstimationCache::new();
+        for (k, e) in self.entries() {
+            if !baseline.contains(&k) {
+                delta.insert(k, e.clone());
+            }
+        }
+        delta
+    }
+
+    /// Folds every entry of `other` into this cache. Keys are content
+    /// hashes, so a key present on both sides addresses the same
+    /// extraction; which copy wins is immaterial.
+    pub fn absorb(&mut self, other: EstimationCache) {
+        self.entries.extend(other.entries);
+    }
+
     /// Serializes the cache as a stable `emx.dse-cache/2` document.
     /// Entries are emitted in ascending key order; each entry value is
     /// the `emx.exec-stats/1` document of its extraction.

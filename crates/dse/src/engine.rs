@@ -30,6 +30,7 @@ use emx_tie::ExtensionSet;
 use crate::cache::{candidate_key, CacheEntry, EstimationCache};
 use crate::error::DseError;
 use crate::point::{pareto_front, rank_by_edp, DesignPoint};
+use crate::shard::{self, ShardSpec};
 use crate::space::{CandidateSpace, Enumeration};
 
 /// Resolves a `--jobs` request: 0 means "one worker per available core".
@@ -89,6 +90,16 @@ pub trait CandidateEstimator: Sync {
     /// Content fingerprint of the extraction semantics, for cache keying.
     fn fingerprint(&self) -> u64;
 
+    /// Content fingerprint of the *pricing* semantics. Two estimators
+    /// whose [`price`](CandidateEstimator::price) could differ on any
+    /// counts must report different values — the partition fingerprint
+    /// hashes this so shards priced under different models can never be
+    /// merged into one report. Defaults to the extraction fingerprint
+    /// for estimators whose pricing has no independent identity.
+    fn pricing_fingerprint(&self) -> u64 {
+        self.fingerprint()
+    }
+
     /// Extraction and pricing in one call, for flows that evaluate a
     /// single candidate without a cache.
     ///
@@ -123,6 +134,10 @@ impl<T: CandidateEstimator + ?Sized> CandidateEstimator for &T {
         (**self).fingerprint()
     }
 
+    fn pricing_fingerprint(&self) -> u64 {
+        (**self).pricing_fingerprint()
+    }
+
     fn estimate_candidate(
         &self,
         program: &Program,
@@ -153,6 +168,13 @@ impl CandidateEstimator for EnergyMacroModel {
     fn fingerprint(&self) -> u64 {
         crate::extract::extraction_fingerprint()
     }
+
+    // Pricing *is* the fitted coefficient vector: refitting changes the
+    // energies a shard report carries, so it must change the partition
+    // fingerprint even though the extraction cache stays valid.
+    fn pricing_fingerprint(&self) -> u64 {
+        crate::cache::model_fingerprint(self)
+    }
 }
 
 /// One candidate the batch could not price, with the typed cause. The
@@ -174,6 +196,11 @@ pub struct BatchResult {
     pub points: Vec<Option<DesignPoint>>,
     /// The failed candidates, in candidate order.
     pub failed: Vec<FailedCandidate>,
+    /// Candidates priced from cached extractions (cache hits).
+    pub reused: usize,
+    /// Candidates whose extraction was attempted this run (cache
+    /// misses — including the ones that failed).
+    pub evaluated: usize,
 }
 
 /// Evaluates every candidate of an enumeration through the macro-model
@@ -238,8 +265,10 @@ pub fn evaluate_batch_with<E: CandidateEstimator + ?Sized>(
             None => misses.push(i),
         }
     }
-    obs.add("dse.cache.hits", (candidates.len() - misses.len()) as f64);
-    obs.add("dse.cache.misses", misses.len() as f64);
+    let reused = candidates.len() - misses.len();
+    let evaluated = misses.len();
+    obs.add("dse.cache.hits", reused as f64);
+    obs.add("dse.cache.misses", evaluated as f64);
 
     let mut failed: Vec<FailedCandidate> = Vec::new();
     if !misses.is_empty() {
@@ -344,6 +373,8 @@ pub fn evaluate_batch_with<E: CandidateEstimator + ?Sized>(
     BatchResult {
         points: results,
         failed,
+        reused,
+        evaluated,
     }
 }
 
@@ -385,6 +416,20 @@ pub struct Exploration {
     pub best_edp: Option<usize>,
     /// Index of the zero-hardware base candidate, if it survived.
     pub base: Option<usize>,
+    /// Which shard of the partition this exploration covered
+    /// ([`shard::FULL`] for a whole-space run).
+    pub shard: ShardSpec,
+    /// Fingerprint of the partition this run belongs to (see
+    /// [`crate::shard::partition_fingerprint`]).
+    pub partition_fingerprint: u64,
+    /// Global survivor count of the full enumeration, before the shard
+    /// restriction and before failure-dropping.
+    pub survivors_total: usize,
+    /// Candidates priced from cached extractions (cache hits).
+    pub reused: usize,
+    /// Candidates whose extraction was attempted this run (cache
+    /// misses — the number of ISS passes the run paid for).
+    pub evaluated: usize,
 }
 
 /// Runs the full search: enumerate under the budget, evaluate the
@@ -426,10 +471,67 @@ pub fn explore_with<E: CandidateEstimator + ?Sized>(
     cache: &mut EstimationCache,
     obs: &mut Collector,
 ) -> Result<Exploration, DseError> {
+    explore_shard_with(
+        estimator,
+        space,
+        budget,
+        config,
+        jobs,
+        cache,
+        obs,
+        shard::FULL,
+    )
+}
+
+/// [`explore_with`] restricted to one shard of a deterministic N-way
+/// partition (see [`crate::shard`]): the full space is enumerated — so
+/// every shard agrees on the funnel counts and the partition fingerprint
+/// — but only the survivors in this shard's mask range are evaluated.
+///
+/// With [`shard::FULL`] this *is* `explore_with`.
+///
+/// # Errors
+///
+/// See [`explore`].
+#[allow(clippy::too_many_arguments)] // mirrors explore_with + the shard
+pub fn explore_shard_with<E: CandidateEstimator + ?Sized>(
+    estimator: &E,
+    space: &CandidateSpace,
+    budget: Option<f64>,
+    config: &ProcConfig,
+    jobs: usize,
+    cache: &mut EstimationCache,
+    obs: &mut Collector,
+    shard: ShardSpec,
+) -> Result<Exploration, DseError> {
     let span = obs.begin("dse.enumerate");
     let enumeration = space.enumerate(budget);
     obs.end(span);
     let mut enumeration = enumeration?;
+
+    // Fingerprint the partition over the *global* enumeration, before
+    // the restriction: every shard of one partition hashes identical
+    // inputs and therefore agrees.
+    let options: Vec<(String, f64)> = space
+        .options()
+        .iter()
+        .map(|o| (o.name.clone(), o.area()))
+        .collect();
+    let partition_fingerprint = shard::partition_fingerprint(
+        space.name(),
+        budget,
+        &options,
+        &enumeration,
+        shard.count(),
+        shard::EstimatorFingerprints {
+            extraction: estimator.fingerprint(),
+            pricing: estimator.pricing_fingerprint(),
+        },
+        config,
+    );
+    let survivors_total = enumeration.candidates.len();
+    shard::restrict(&mut enumeration, shard);
+
     obs.add("dse.enumerated", enumeration.enumerated as f64);
     obs.add("dse.over_budget", enumeration.over_budget as f64);
     obs.add("dse.pruned", enumeration.pruned as f64);
@@ -472,5 +574,10 @@ pub fn explore_with<E: CandidateEstimator + ?Sized>(
         best_energy,
         best_edp,
         base,
+        shard,
+        partition_fingerprint,
+        survivors_total,
+        reused: batch.reused,
+        evaluated: batch.evaluated,
     })
 }

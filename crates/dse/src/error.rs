@@ -89,6 +89,57 @@ pub enum DseError {
     },
     /// A persisted cache file could not be used (see [`CacheError`]).
     Cache(CacheError),
+    /// A shard request does not describe a valid partition: the index is
+    /// outside `1..=count` or the count is zero.
+    ShardInvalid {
+        /// The requested 1-based shard index.
+        index: u32,
+        /// The requested shard count.
+        count: u32,
+    },
+    /// A shard report file is not a well-formed
+    /// `emx.dse-shard-report/1` document (often: a write cut short).
+    /// The merge refuses whole — a partial merge is never produced.
+    ShardReportCorrupt {
+        /// Which file (or in-memory source) was damaged.
+        source_name: String,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// A shard report declares a different schema than
+    /// [`crate::merge::SHARD_SCHEMA`].
+    ShardSchemaMismatch {
+        /// Which file declared it.
+        source_name: String,
+        /// The schema it declared.
+        found: String,
+    },
+    /// Two shard reports carry different partition fingerprints — they
+    /// come from different spaces, budgets, models, or shard counts and
+    /// must not be merged.
+    ShardFingerprintMismatch {
+        /// Fingerprint of the first report (hex).
+        expected: String,
+        /// The conflicting fingerprint (hex).
+        found: String,
+        /// Which file carried the conflicting fingerprint.
+        source_name: String,
+    },
+    /// The merge input covers only part of the partition: shard `index`
+    /// of `count` has no report.
+    ShardMissing {
+        /// The absent 1-based shard index.
+        index: u32,
+        /// The partition's shard count.
+        count: u32,
+    },
+    /// Two merge inputs claim the same shard index.
+    ShardDuplicate {
+        /// The duplicated 1-based shard index.
+        index: u32,
+        /// The partition's shard count.
+        count: u32,
+    },
 }
 
 impl DseError {
@@ -100,6 +151,12 @@ impl DseError {
             DseError::WorkerFailed { source, .. } => sim_error_code(source),
             DseError::WorkerPanicked { .. } => "worker.panicked",
             DseError::Cache(e) => e.code(),
+            DseError::ShardInvalid { .. } => "shard.invalid",
+            DseError::ShardReportCorrupt { .. } => "shard.report_corrupt",
+            DseError::ShardSchemaMismatch { .. } => "shard.schema_mismatch",
+            DseError::ShardFingerprintMismatch { .. } => "shard.fingerprint_mismatch",
+            DseError::ShardMissing { .. } => "shard.missing",
+            DseError::ShardDuplicate { .. } => "shard.duplicate",
         }
     }
 }
@@ -118,6 +175,39 @@ impl fmt::Display for DseError {
                 write!(f, "worker panicked evaluating `{candidate}`: {message}")
             }
             DseError::Cache(e) => write!(f, "{e}"),
+            DseError::ShardInvalid { index, count } => write!(
+                f,
+                "invalid shard {index}/{count}: expected 1 <= index <= count"
+            ),
+            DseError::ShardReportCorrupt {
+                source_name,
+                detail,
+            } => write!(f, "shard report `{source_name}` corrupt: {detail}"),
+            DseError::ShardSchemaMismatch { source_name, found } => write!(
+                f,
+                "shard report `{source_name}` declares schema `{found}`, \
+                 expected `{}`",
+                crate::merge::SHARD_SCHEMA
+            ),
+            DseError::ShardFingerprintMismatch {
+                expected,
+                found,
+                source_name,
+            } => write!(
+                f,
+                "shard report `{source_name}` has partition fingerprint \
+                 {found}, conflicting with {expected}: shards come from \
+                 different spaces, budgets, models, or shard counts"
+            ),
+            DseError::ShardMissing { index, count } => {
+                write!(f, "merge input is missing shard {index}/{count}")
+            }
+            DseError::ShardDuplicate { index, count } => {
+                write!(
+                    f,
+                    "merge input has more than one report for shard {index}/{count}"
+                )
+            }
         }
     }
 }
@@ -150,6 +240,15 @@ impl From<DseError> for EmxError {
             DseError::SpaceTooLarge { .. } => ErrorKind::Space,
             DseError::WorkerFailed { .. } | DseError::WorkerPanicked { .. } => ErrorKind::Worker,
             DseError::Cache(_) => ErrorKind::Cache,
+            // A bad `i/N` request is a usage error (exit 2); bad or
+            // inconsistent merge *input files* are data errors (exit 1).
+            DseError::ShardInvalid { .. } => ErrorKind::Usage,
+            DseError::ShardReportCorrupt { .. } | DseError::ShardSchemaMismatch { .. } => {
+                ErrorKind::Parse
+            }
+            DseError::ShardFingerprintMismatch { .. }
+            | DseError::ShardMissing { .. }
+            | DseError::ShardDuplicate { .. } => ErrorKind::Space,
         };
         EmxError::new(kind, e.code(), e.to_string()).with_source(e)
     }

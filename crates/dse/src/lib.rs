@@ -19,6 +19,13 @@
 //!   work queue (`std::thread` scoped workers) plus the search driver,
 //! * [`point`] — design points, Pareto front extraction and energy-delay
 //!   ranking (absorbed from the former `core::dse`),
+//! * [`shard`] — deterministic mask-range partitioning of the
+//!   enumeration across worker processes, with a partition fingerprint
+//!   that identifies which shards belong together,
+//! * [`mod@merge`] — the per-shard `emx.dse-shard-report/1` artifact and
+//!   the all-or-nothing merge of K shards back into a report
+//!   byte-identical to the single-process one, folding the shards'
+//!   cache deltas into one warm [`EstimationCache`],
 //! * [`report`] — the stable `emx.dse-report/1` schema,
 //! * [`error`] — the typed failure taxonomy ([`DseError`], [`CacheError`])
 //!   that keeps failures *contained*: a bad candidate, a poisoned lock or
@@ -63,8 +70,10 @@ pub mod engine;
 pub mod error;
 pub mod extract;
 pub mod fault;
+pub mod merge;
 pub mod point;
 pub mod report;
+pub mod shard;
 pub mod space;
 
 pub use cache::{
@@ -72,12 +81,14 @@ pub use cache::{
     EstimationCache, SharedEstimationCache,
 };
 pub use engine::{
-    evaluate_batch, evaluate_batch_with, explore, explore_with, resolve_jobs, BatchResult,
-    CandidateEstimator, Exploration, FailedCandidate,
+    evaluate_batch, evaluate_batch_with, explore, explore_shard_with, explore_with, resolve_jobs,
+    BatchResult, CandidateEstimator, Exploration, FailedCandidate,
 };
 pub use error::{CacheError, DseError};
 pub use extract::{extract_counts, extraction_fingerprint, price, EXTRACTION_SCHEMA};
+pub use merge::{merge, MergeOutcome, ShardReport, SHARD_SCHEMA};
 pub use point::{evaluate, pareto_front, rank_by_edp, Candidate, DesignPoint};
+pub use shard::{partition_fingerprint, EstimatorFingerprints, ShardSpec};
 pub use space::{
     area_cost, CandidateSpace, DesignOption, EnumeratedCandidate, Enumeration, MAX_OPTIONS,
 };

@@ -5,27 +5,159 @@
 //! runs over the same inputs emit byte-identical JSON regardless of
 //! `--jobs` and cache warmth. Timing and cache behaviour live in the
 //! observability counters and the Chrome trace instead.
+//!
+//! That purity is what makes the sharded flow ([`crate::shard`],
+//! [`mod@crate::merge`]) possible: the document is rendered from a
+//! [`ReportInputs`] value that a live [`Exploration`] and a set of merged
+//! shard reports can *both* produce, through one code path — the
+//! rankings (Pareto front, best energy, best EDP, base deltas) are
+//! recomputed inside [`render`] from the rows alone, so a K-shard merge
+//! is byte-identical to the single-process report by construction.
 
 use emx_obs::json::Value;
+use emx_rtlpower::Energy;
 
 use crate::engine::Exploration;
+use crate::point::{pareto_front, rank_by_edp, DesignPoint};
 
 /// Schema identifier written into every report.
 pub const SCHEMA: &str = "emx.dse-report/1";
 
+/// One evaluated candidate, as the report sees it — the evaluation
+/// result stripped of everything (workload images, cache state) the
+/// document is not a function of.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportCandidate {
+    /// Display name (`base`, `gf16+rswide`, …).
+    pub name: String,
+    /// Selection bitmask over the space's options; the report orders
+    /// candidates by it and locates the zero-hardware base through it.
+    pub mask: usize,
+    /// Names of the selected options, in declaration order.
+    pub options: Vec<String>,
+    /// Name of the workload this selection resolves to.
+    pub workload: String,
+    /// Summed area cost of the selected units.
+    pub area: f64,
+    /// Estimated energy in picojoules.
+    pub energy_pj: f64,
+    /// Execution cycles.
+    pub cycles: u64,
+}
+
+/// One candidate the search could not evaluate, reduced to the strings
+/// the report prints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReportFailure {
+    /// The candidate's display name.
+    pub name: String,
+    /// The stable machine code of the failure.
+    pub code: String,
+    /// The human-readable error message.
+    pub message: String,
+}
+
+/// Everything `emx.dse-report/1` is a pure function of. Built from a
+/// live [`Exploration`] by [`inputs`], or from K shard reports by
+/// [`crate::merge::merge`] — both render through [`render`].
+#[derive(Debug, Clone)]
+pub struct ReportInputs {
+    /// Name of the explored space.
+    pub workload: String,
+    /// The area budget applied, if any.
+    pub budget: Option<f64>,
+    /// The space's option table (name/area pairs, declaration order).
+    pub options: Vec<(String, f64)>,
+    /// Subsets walked (2^options).
+    pub enumerated: usize,
+    /// Subsets dropped for exceeding the area budget.
+    pub over_budget: usize,
+    /// Subsets dropped as dominated.
+    pub pruned: usize,
+    /// Contained evaluation failures, sorted by candidate name.
+    pub failed: Vec<ReportFailure>,
+    /// Evaluated candidates in ascending-mask order.
+    pub candidates: Vec<ReportCandidate>,
+}
+
+/// Reduces an exploration to the report's inputs.
+pub fn inputs(exploration: &Exploration, options: &[(String, f64)]) -> ReportInputs {
+    ReportInputs {
+        workload: exploration.space_name.clone(),
+        budget: exploration.budget,
+        options: options.to_vec(),
+        enumerated: exploration.enumeration.enumerated,
+        over_budget: exploration.enumeration.over_budget,
+        pruned: exploration.enumeration.pruned,
+        failed: exploration
+            .failed
+            .iter()
+            .map(|f| ReportFailure {
+                name: f.name.clone(),
+                code: f.error.code().to_owned(),
+                message: f.error.to_string(),
+            })
+            .collect(),
+        candidates: exploration
+            .enumeration
+            .candidates
+            .iter()
+            .zip(&exploration.points)
+            .map(|(c, p)| ReportCandidate {
+                name: c.name.clone(),
+                mask: c.mask,
+                options: c.options.clone(),
+                workload: c.workload.name().to_owned(),
+                area: c.area,
+                energy_pj: p.energy.as_picojoules(),
+                cycles: p.cycles,
+            })
+            .collect(),
+    }
+}
+
 /// Builds the report document for one exploration, given the option list
 /// of the explored space (name/area pairs, in declaration order).
 pub fn to_json(exploration: &Exploration, options: &[(String, f64)]) -> Value {
+    render(&inputs(exploration, options))
+}
+
+/// Renders the `emx.dse-report/1` document. The rankings — Pareto front,
+/// best energy, best EDP, base deltas — are recomputed here from the
+/// rows with the same pure functions the engine uses, so any producer of
+/// equal [`ReportInputs`] gets byte-equal documents.
+pub fn render(inputs: &ReportInputs) -> Value {
+    // Rebuild the design points the rankings are defined over. `Energy`
+    // carries picojoules verbatim, so this round-trip is bit-exact.
+    let points: Vec<DesignPoint> = inputs
+        .candidates
+        .iter()
+        .map(|c| DesignPoint {
+            name: c.name.clone(),
+            energy: Energy::from_picojoules(c.energy_pj),
+            cycles: c.cycles,
+        })
+        .collect();
+    let pareto = pareto_front(&points);
+    let best_energy = (0..points.len()).min_by(|&a, &b| {
+        points[a]
+            .energy
+            .as_picojoules()
+            .total_cmp(&points[b].energy.as_picojoules())
+    });
+    let best_edp = rank_by_edp(&points).first().copied();
+    let base = inputs.candidates.iter().position(|c| c.mask == 0);
+
     let mut doc = Value::object();
     doc.set("schema", SCHEMA);
-    doc.set("workload", exploration.space_name.as_str());
-    match exploration.budget {
+    doc.set("workload", inputs.workload.as_str());
+    match inputs.budget {
         Some(b) => doc.set("budget", b),
         None => doc.set("budget", Value::Null),
     }
 
     let mut opts = Value::array();
-    for (name, area) in options {
+    for (name, area) in &inputs.options {
         let mut o = Value::object();
         o.set("name", name.as_str());
         o.set("area", *area);
@@ -33,34 +165,27 @@ pub fn to_json(exploration: &Exploration, options: &[(String, f64)]) -> Value {
     }
     doc.set("options", opts);
 
-    doc.set("enumerated", exploration.enumeration.enumerated as u64);
-    doc.set("over_budget", exploration.enumeration.over_budget as u64);
-    doc.set("pruned", exploration.enumeration.pruned as u64);
-    doc.set("evaluated", exploration.enumeration.candidates.len() as u64);
+    doc.set("enumerated", inputs.enumerated as u64);
+    doc.set("over_budget", inputs.over_budget as u64);
+    doc.set("pruned", inputs.pruned as u64);
+    doc.set("evaluated", inputs.candidates.len() as u64);
 
     // Contained failures: candidates the engine could not price. The run
     // still succeeded — these are reported, and the rankings below cover
     // the survivors only.
     let mut failed = Value::array();
-    for f in &exploration.failed {
+    for f in &inputs.failed {
         let mut v = Value::object();
         v.set("name", f.name.as_str());
-        v.set("code", f.error.code());
-        let message = f.error.to_string();
-        v.set("error", message.as_str());
+        v.set("code", f.code.as_str());
+        v.set("error", f.message.as_str());
         failed.push(v);
     }
     doc.set("failed_candidates", failed);
 
-    let base = exploration.base.map(|i| &exploration.points[i]);
+    let base_point = base.map(|i| &points[i]);
     let mut candidates = Value::array();
-    for (i, (candidate, point)) in exploration
-        .enumeration
-        .candidates
-        .iter()
-        .zip(&exploration.points)
-        .enumerate()
-    {
+    for (i, (candidate, point)) in inputs.candidates.iter().zip(&points).enumerate() {
         let mut c = Value::object();
         c.set("name", candidate.name.as_str());
         let mut names = Value::array();
@@ -68,12 +193,12 @@ pub fn to_json(exploration: &Exploration, options: &[(String, f64)]) -> Value {
             names.push(o.as_str());
         }
         c.set("options", names);
-        c.set("workload", candidate.workload.name());
+        c.set("workload", candidate.workload.as_str());
         c.set("area", candidate.area);
         c.set("energy_pj", point.energy.as_picojoules());
         c.set("cycles", point.cycles);
         c.set("edp", point.edp());
-        match base {
+        match base_point {
             Some(b) => {
                 let de = 100.0 * (point.energy.as_picojoules() / b.energy.as_picojoules() - 1.0);
                 let dc = 100.0 * (point.cycles as f64 / b.cycles as f64 - 1.0);
@@ -85,24 +210,24 @@ pub fn to_json(exploration: &Exploration, options: &[(String, f64)]) -> Value {
                 c.set("delta_cycles_pct", Value::Null);
             }
         }
-        c.set("pareto", exploration.pareto.contains(&i));
+        c.set("pareto", pareto.contains(&i));
         candidates.push(c);
     }
     doc.set("candidates", candidates);
 
-    let mut pareto = Value::array();
-    for &i in &exploration.pareto {
-        pareto.push(exploration.points[i].name.as_str());
+    let mut pareto_names = Value::array();
+    for &i in &pareto {
+        pareto_names.push(points[i].name.as_str());
     }
-    doc.set("pareto", pareto);
+    doc.set("pareto", pareto_names);
 
     let mut best = Value::object();
-    match exploration.best_energy {
-        Some(i) => best.set("min_energy", exploration.points[i].name.as_str()),
+    match best_energy {
+        Some(i) => best.set("min_energy", points[i].name.as_str()),
         None => best.set("min_energy", Value::Null),
     }
-    match exploration.best_edp {
-        Some(i) => best.set("min_edp", exploration.points[i].name.as_str()),
+    match best_edp {
+        Some(i) => best.set("min_edp", points[i].name.as_str()),
         None => best.set("min_edp", Value::Null),
     }
     doc.set("best", best);

@@ -1,0 +1,236 @@
+//! Deterministic partitioning of a candidate enumeration across worker
+//! processes.
+//!
+//! A shard is a contiguous **mask range**: shard *i* of *N* owns every
+//! subset whose selection bitmask falls in
+//! `[(i-1)·2^n/N, i·2^n/N)`. Because [`CandidateSpace::enumerate`] is a
+//! pure function of the space and budget — every process walks the same
+//! subsets, prunes the same dominated selections, and sorts survivors by
+//! ascending mask — restricting the *survivor list* to a mask range
+//! yields K sub-spaces that are pairwise disjoint, jointly complete, and
+//! each ordered exactly as the global enumeration orders its members.
+//! Concatenating the shards in index order therefore reproduces the
+//! single-process candidate list byte for byte, which is what the merge
+//! contract in [`mod@crate::merge`] is built on.
+//!
+//! Every shard also computes the same **partition fingerprint**: a
+//! content hash of the space geometry (name, budget, options, funnel
+//! counts, survivor masks), the shard count, the estimator's extraction
+//! and pricing fingerprints, and the processor configuration. Two shard
+//! reports merge only if their fingerprints agree, so artifacts produced
+//! from different spaces, budgets, models, simulators, or shard counts
+//! can never be silently combined.
+//!
+//! [`CandidateSpace::enumerate`]: crate::space::CandidateSpace::enumerate
+
+use std::fmt;
+use std::ops::Range;
+
+use emx_sim::ProcConfig;
+
+use crate::cache::content_fingerprint;
+use crate::error::DseError;
+use crate::space::Enumeration;
+
+/// One shard of an N-way partition: `index` is 1-based, so the CLI form
+/// `--shard 2/3` reads naturally as "the second of three".
+///
+/// The fields are private to keep the invariant `1 <= index <= count`
+/// unrepresentable to violate; construct via [`ShardSpec::new`] or
+/// [`ShardSpec::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    index: u32,
+    count: u32,
+}
+
+/// The whole space as a single shard (`1/1`) — what a non-sharded run is.
+pub const FULL: ShardSpec = ShardSpec { index: 1, count: 1 };
+
+impl ShardSpec {
+    /// Builds a validated shard spec.
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::ShardInvalid`] unless `1 <= index <= count`.
+    pub fn new(index: u32, count: u32) -> Result<Self, DseError> {
+        if count == 0 || index == 0 || index > count {
+            return Err(DseError::ShardInvalid { index, count });
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// Parses the CLI form `i/N` (e.g. `2/3`).
+    ///
+    /// # Errors
+    ///
+    /// [`DseError::ShardInvalid`] for malformed text or an out-of-range
+    /// index.
+    pub fn parse(text: &str) -> Result<Self, DseError> {
+        let bad = DseError::ShardInvalid { index: 0, count: 0 };
+        let Some((index, count)) = text.split_once('/') else {
+            return Err(bad);
+        };
+        let (Ok(index), Ok(count)) = (index.trim().parse(), count.trim().parse()) else {
+            return Err(bad);
+        };
+        Self::new(index, count)
+    }
+
+    /// The 1-based shard index.
+    pub fn index(&self) -> u32 {
+        self.index
+    }
+
+    /// The number of shards in the partition.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// `true` for the trivial `1/1` partition.
+    pub fn is_full(&self) -> bool {
+        self.count == 1
+    }
+
+    /// The half-open mask range this shard owns, over `total` subsets.
+    ///
+    /// Ranges are computed as `[(i-1)·total/N, i·total/N)` in widened
+    /// arithmetic, so consecutive shards tile `0..total` exactly — no
+    /// mask is shared and none is dropped, even when `N` does not divide
+    /// `total`.
+    pub fn mask_range(&self, total: usize) -> Range<usize> {
+        let (i, n) = (u128::from(self.index), u128::from(self.count));
+        let total = total as u128;
+        let lo = ((i - 1) * total / n) as usize;
+        let hi = (i * total / n) as usize;
+        lo..hi
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+/// Restricts an enumeration's survivor list to the masks `shard` owns,
+/// in place. The funnel counts (`enumerated`, `over_budget`, `pruned`)
+/// stay global — every shard walked the same full space.
+pub fn restrict(enumeration: &mut Enumeration, shard: ShardSpec) {
+    let range = shard.mask_range(enumeration.enumerated);
+    enumeration.candidates.retain(|c| range.contains(&c.mask));
+}
+
+/// The two halves of a [`CandidateEstimator`]'s identity that bind a
+/// partition: `extraction` keys what an ISS pass would record (and so
+/// the cache), `pricing` keys how extractions are turned into energy
+/// (the fitted model). A refit changes `pricing` but not `extraction`.
+///
+/// [`CandidateEstimator`]: crate::CandidateEstimator
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EstimatorFingerprints {
+    /// `CandidateEstimator::fingerprint()` — extraction semantics.
+    pub extraction: u64,
+    /// `CandidateEstimator::pricing_fingerprint()` — pricing semantics.
+    pub pricing: u64,
+}
+
+/// Content hash identifying one partition of one search. Equal
+/// fingerprints certify that two shard artifacts came from the same
+/// space (name, options, budget), the same enumeration outcome (funnel
+/// counts and survivor masks), the same shard count, the same extraction
+/// and pricing semantics, and the same processor configuration — i.e.
+/// that merging them reconstructs a run that could have happened in one
+/// process.
+pub fn partition_fingerprint(
+    space_name: &str,
+    budget: Option<f64>,
+    options: &[(String, f64)],
+    enumeration: &Enumeration,
+    shard_count: u32,
+    estimator: EstimatorFingerprints,
+    config: &ProcConfig,
+) -> u64 {
+    let EstimatorFingerprints {
+        extraction: extraction_fp,
+        pricing: pricing_fp,
+    } = estimator;
+    use std::fmt::Write as _;
+    let mut buf = String::new();
+    let _ = write!(buf, "emx.dse-partition/1|space={space_name}|");
+    match budget {
+        // Hash the bit pattern: fingerprints must not depend on float
+        // formatting, and -0.0 vs 0.0 budgets genuinely differ as inputs.
+        Some(b) => {
+            let _ = write!(buf, "budget={:016x}|", b.to_bits());
+        }
+        None => buf.push_str("budget=none|"),
+    }
+    let _ = write!(
+        buf,
+        "shards={shard_count}|extract={extraction_fp:016x}|price={pricing_fp:016x}|"
+    );
+    for (name, area) in options {
+        let _ = write!(buf, "opt={name}:{:016x}|", area.to_bits());
+    }
+    let _ = write!(
+        buf,
+        "walked={}|over={}|pruned={}|",
+        enumeration.enumerated, enumeration.over_budget, enumeration.pruned
+    );
+    for c in &enumeration.candidates {
+        let _ = write!(buf, "m={:x}|", c.mask);
+    }
+    let _ = write!(buf, "config={config:?}");
+    content_fingerprint(buf.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_cli_form_and_rejects_nonsense() {
+        let s = ShardSpec::parse("2/3").unwrap();
+        assert_eq!((s.index(), s.count()), (2, 3));
+        assert_eq!(s.to_string(), "2/3");
+        assert!(!s.is_full());
+        assert!(ShardSpec::parse("1/1").unwrap().is_full());
+        for bad in ["", "2", "/", "a/b", "0/0", "0/3", "3/2", "-1/2", "1/0"] {
+            assert!(
+                matches!(ShardSpec::parse(bad), Err(DseError::ShardInvalid { .. })),
+                "`{bad}` must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn mask_ranges_tile_the_space_exactly() {
+        for total in [0usize, 1, 2, 7, 16, 100, 1 << 20] {
+            for count in 1..=9u32 {
+                let mut next = 0usize;
+                for index in 1..=count {
+                    let r = ShardSpec::new(index, count).unwrap().mask_range(total);
+                    assert_eq!(r.start, next, "shard {index}/{count} over {total}");
+                    assert!(r.end >= r.start);
+                    next = r.end;
+                }
+                assert_eq!(next, total, "{count} shards must cover 0..{total}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_masks_leaves_some_empty_but_loses_none() {
+        // 4 masks over 7 shards: every mask lands somewhere exactly once.
+        let total = 4usize;
+        let mut owners = vec![0u32; total];
+        for index in 1..=7 {
+            let r = ShardSpec::new(index, 7).unwrap().mask_range(total);
+            for m in r {
+                owners[m] += 1;
+            }
+        }
+        assert!(owners.iter().all(|&n| n == 1), "{owners:?}");
+    }
+}

@@ -1,14 +1,25 @@
-//! Property-based tests for the Pareto front: the structural guarantees a
-//! search driver relies on when it presents "the trade-off curve" to a
-//! designer.
+//! Property-based tests for the Pareto front and the shard partition: the
+//! structural guarantees a search driver relies on when it presents "the
+//! trade-off curve" to a designer, and the disjoint/complete/ordered
+//! contract the merge step relies on when it recombines shard artifacts.
 //!
 //! The small integer grids are deliberate — they force duplicate points
 //! and single-axis ties, the cases where dominance logic usually breaks.
+//! The synthetic candidate spaces are equally deliberate: random option
+//! counts, budgets and resolver collision patterns exercise sharding over
+//! enumerations whose survivor lists have holes in arbitrary places.
+
+use std::sync::OnceLock;
 
 use proptest::prelude::*;
 
-use emx_dse::{pareto_front, DesignPoint};
+use emx_dse::EstimatorFingerprints;
+use emx_dse::{pareto_front, partition_fingerprint, CandidateSpace, DesignPoint, ShardSpec};
+use emx_dse::{DesignOption, Enumeration};
 use emx_rtlpower::Energy;
+use emx_sim::ProcConfig;
+use emx_tie::ExtensionSet;
+use emx_workloads::{exts, Workload};
 
 fn build(pairs: &[(u64, u64)]) -> Vec<DesignPoint> {
     pairs
@@ -99,5 +110,194 @@ proptest! {
         let a = values(&points, &pareto_front(&points));
         let b = values(&permuted, &pareto_front(&permuted));
         prop_assert_eq!(a, b);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard partition properties.
+// ---------------------------------------------------------------------------
+
+/// Real compiled extension units, cycled across synthetic options so every
+/// option has a genuine nonzero area. Compiled once per process.
+fn ext_pool() -> &'static [ExtensionSet] {
+    static POOL: OnceLock<Vec<ExtensionSet>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        vec![
+            exts::gf16(),
+            exts::gf16_mac(),
+            exts::rs_wide(),
+            exts::rs_full(),
+        ]
+    })
+}
+
+/// Trivial distinct workloads for the synthetic resolvers. Only the names
+/// matter (dominance pruning compares resolved workload names); nothing
+/// here is ever simulated.
+fn workload_pool() -> &'static [Workload] {
+    static POOL: OnceLock<Vec<Workload>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        (0..32)
+            .map(|i| {
+                Workload::assemble(
+                    format!("wl{i:02}"),
+                    "synthetic shard-property workload",
+                    ExtensionSet::empty(),
+                    "movi a2, 7\n",
+                    vec![],
+                )
+            })
+            .collect()
+    })
+}
+
+/// A space with `n` options whose resolver collapses the `2^n` subsets
+/// onto `classes` distinct workloads — `classes == 2^n` means no pruning,
+/// `classes == 1` prunes everything down to the base candidate, and values
+/// in between punch irregular holes into the survivor list.
+fn synthetic_space(n: usize, classes: usize) -> CandidateSpace {
+    let options: Vec<DesignOption> = (0..n)
+        .map(|i| DesignOption {
+            name: format!("o{i}"),
+            ext: ext_pool()[i % ext_pool().len()].clone(),
+        })
+        .collect();
+    CandidateSpace::new("synthetic", options, move |sel| {
+        let mask: usize = sel
+            .options()
+            .iter()
+            .map(|o| 1usize << o.name[1..].parse::<usize>().expect("option name"))
+            .sum();
+        workload_pool()[mask % classes].clone()
+    })
+}
+
+/// The survivor list as comparable rows: (mask, candidate name, workload).
+fn rows(e: &Enumeration) -> Vec<(usize, String, String)> {
+    e.candidates
+        .iter()
+        .map(|c| (c.mask, c.name.clone(), c.workload.name().to_owned()))
+        .collect()
+}
+
+/// Random (option count, resolver collision classes, budget selector):
+/// the inputs every shard-partition property quantifies over.
+fn space_strategy() -> impl Strategy<Value = (usize, usize, usize)> {
+    (0usize..=5, 1usize..=6, 0usize..=4)
+}
+
+fn budget_for(space: &CandidateSpace, selector: usize) -> Option<f64> {
+    if selector == 0 {
+        return None;
+    }
+    let total: f64 = space.options().iter().map(|o| o.area()).sum();
+    Some(total * selector as f64 / 4.0)
+}
+
+proptest! {
+    #[test]
+    fn shards_partition_the_enumeration_exactly((n, classes, sel) in space_strategy()) {
+        let space = synthetic_space(n, classes);
+        let budget = budget_for(&space, sel);
+        let full = space.enumerate(budget).expect("n <= MAX_OPTIONS");
+        let expected = rows(&full);
+
+        for k in 1..=8u32 {
+            let mut per_shard: Vec<Vec<(usize, String, String)>> = Vec::new();
+            for i in 1..=k {
+                let shard = ShardSpec::new(i, k).expect("1 <= i <= k");
+                // Each shard re-enumerates the full space and restricts,
+                // exactly as a worker process does.
+                let mut e = space.enumerate(budget).expect("n <= MAX_OPTIONS");
+                emx_dse::shard::restrict(&mut e, shard);
+                per_shard.push(rows(&e));
+            }
+
+            // Pairwise disjoint by mask.
+            for a in 0..per_shard.len() {
+                for b in a + 1..per_shard.len() {
+                    for (mask, ..) in &per_shard[a] {
+                        prop_assert!(
+                            !per_shard[b].iter().any(|(m, ..)| m == mask),
+                            "mask {mask:#x} owned by both shard {} and {} of {k}",
+                            a + 1, b + 1
+                        );
+                    }
+                }
+            }
+
+            // Within each shard the order matches the global order (both
+            // are ascending-mask, so ascending within the shard suffices
+            // together with the concatenation check below).
+            for shard_rows in &per_shard {
+                prop_assert!(
+                    shard_rows.windows(2).all(|w| w[0].0 < w[1].0),
+                    "shard rows out of ascending-mask order: {shard_rows:?}"
+                );
+            }
+
+            // Concatenating shards in index order reproduces the full
+            // enumeration — nothing lost, nothing invented, same order.
+            let concat: Vec<(usize, String, String)> =
+                per_shard.into_iter().flatten().collect();
+            prop_assert_eq!(concat, expected.clone(), "k = {}", k);
+        }
+    }
+
+    #[test]
+    fn partition_fingerprints_bind_siblings_and_separate_partitions(
+        (n, classes, sel) in space_strategy()
+    ) {
+        const EXTRACT_FP: u64 = 0xE17A_AC71_0000_0001;
+        const PRICE_FP: u64 = 0x9B1C_ED00_0000_0002;
+        const FPS: EstimatorFingerprints =
+            EstimatorFingerprints { extraction: EXTRACT_FP, pricing: PRICE_FP };
+        let space = synthetic_space(n, classes);
+        let budget = budget_for(&space, sel);
+        let options: Vec<(String, f64)> = space
+            .options()
+            .iter()
+            .map(|o| (o.name.clone(), o.area()))
+            .collect();
+        let config = ProcConfig::default();
+
+        let mut fp_by_k = Vec::new();
+        for k in 1..=8u32 {
+            // Every sibling computes the fingerprint from its own (full,
+            // pre-restriction) enumeration; all must agree.
+            let fps: Vec<u64> = (1..=k)
+                .map(|_| {
+                    let e = space.enumerate(budget).expect("n <= MAX_OPTIONS");
+                    partition_fingerprint(
+                        space.name(), budget, &options, &e, k,
+                        FPS, &config,
+                    )
+                })
+                .collect();
+            prop_assert!(
+                fps.windows(2).all(|w| w[0] == w[1]),
+                "siblings of {k} disagree: {fps:?}"
+            );
+            fp_by_k.push(fps[0]);
+        }
+
+        // Different shard counts are different partitions.
+        for a in 0..fp_by_k.len() {
+            for b in a + 1..fp_by_k.len() {
+                prop_assert_ne!(fp_by_k[a], fp_by_k[b]);
+            }
+        }
+
+        // A refitted model (different pricing semantics) is a different
+        // partition even over the identical enumeration.
+        let e = space.enumerate(budget).expect("n <= MAX_OPTIONS");
+        let base = partition_fingerprint(
+            space.name(), budget, &options, &e, 3, FPS, &config,
+        );
+        let refit = partition_fingerprint(
+            space.name(), budget, &options, &e, 3,
+            EstimatorFingerprints { pricing: PRICE_FP ^ 1, ..FPS }, &config,
+        );
+        prop_assert_ne!(base, refit);
     }
 }

@@ -11,16 +11,29 @@
 //! emx-dse --model model.txt                        # skip characterization
 //! emx-dse --json report.json                       # emx.dse-report/1
 //! emx-dse --chrome-trace t.json                    # per-worker trace lanes
+//! emx-dse --shard 2/3 --emit-shard s2.json         # evaluate one shard
+//! emx-dse --merge s1.json s2.json s3.json \
+//!         --json merged.json --cache warm.json     # recombine shards
 //! ```
 //!
 //! The report JSON is a pure function of the search inputs: identical
 //! across `--jobs` settings and cache warmth (timings and cache counters
 //! live in the observability outputs instead).
+//!
+//! Sharding partitions the enumeration deterministically by mask range:
+//! `--shard i/N` evaluates the i-th of N disjoint sub-spaces and
+//! `--emit-shard` writes an `emx.dse-shard-report/1` artifact (rows,
+//! failures, cache delta, `evaluated`/`reused` counters, partition
+//! fingerprint). `--merge` recombines a complete set of shard artifacts
+//! into an `emx.dse-report/1` byte-identical to the single-process
+//! report, and `--cache` in merge mode folds the shard deltas into one
+//! warm cache file — so the next model refit re-prices without
+//! re-simulating.
 
 use std::process::ExitCode;
 
 use emx::core::{Characterizer, EmxError};
-use emx::dse::{self, CandidateSpace, EstimationCache};
+use emx::dse::{self, CandidateSpace, EstimationCache, ShardSpec};
 use emx::obs::{ChromeTraceWriter, Collector};
 use emx::sim::ProcConfig;
 use emx::workloads::suite;
@@ -33,13 +46,20 @@ struct Options {
     model_path: Option<String>,
     json_path: Option<String>,
     chrome_trace: Option<String>,
+    shard: Option<ShardSpec>,
+    emit_shard: Option<String>,
+    merge: Vec<String>,
 }
 
 const USAGE: &str = "usage: emx-dse [--workload <name>] [--budget <net-equivalents>] \
                      [--jobs <n>] [--cache <file.json>] [--model <model.txt>] \
-                     [--json <out.json>] [--chrome-trace <out.json>]";
+                     [--json <out.json>] [--chrome-trace <out.json>] \
+                     [--shard <i/N>] [--emit-shard <out.json>] \
+                     | emx-dse --merge <shard.json>... [--json <out.json>] \
+                     [--cache <file.json>]";
 
-fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, EmxError> {
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, EmxError> {
+    let mut args = args.peekable();
     let mut options = Options {
         workload: "reed-solomon".to_owned(),
         budget: None,
@@ -48,6 +68,9 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, EmxErro
         model_path: None,
         json_path: None,
         chrome_trace: None,
+        shard: None,
+        emit_shard: None,
+        merge: Vec::new(),
     };
     let missing = |what: &str| EmxError::usage(format!("{what}\n{USAGE}"));
     while let Some(arg) = args.next() {
@@ -103,14 +126,90 @@ fn parse_args(mut args: impl Iterator<Item = String>) -> Result<Options, EmxErro
                         .ok_or_else(|| missing("--chrome-trace needs a file path"))?,
                 );
             }
+            "--shard" => {
+                let s = args.next().ok_or_else(|| missing("--shard needs i/N"))?;
+                options.shard = Some(ShardSpec::parse(&s).map_err(|_| {
+                    EmxError::usage(format!("bad shard `{s}`: expected i/N with 1 <= i <= N"))
+                })?);
+            }
+            "--emit-shard" => {
+                options.emit_shard = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--emit-shard needs a file path"))?,
+                );
+            }
+            "--merge" => {
+                // Greedy: every following non-flag argument is a shard
+                // report file.
+                while let Some(next) = args.peek() {
+                    if next.starts_with("--") {
+                        break;
+                    }
+                    options.merge.push(args.next().unwrap_or_default());
+                }
+                if options.merge.is_empty() {
+                    return Err(missing("--merge needs at least one shard report file"));
+                }
+            }
             "--help" | "-h" => return Err(EmxError::usage(USAGE)),
             other => return Err(EmxError::usage(format!("unexpected argument `{other}`"))),
         }
     }
+    if !options.merge.is_empty()
+        && (options.shard.is_some()
+            || options.emit_shard.is_some()
+            || options.model_path.is_some()
+            || options.budget.is_some())
+    {
+        return Err(EmxError::usage(format!(
+            "--merge cannot be combined with --shard, --emit-shard, --model or --budget\n{USAGE}"
+        )));
+    }
     Ok(options)
 }
 
+/// Merge mode: recombine shard reports into the single-process report
+/// and fold their cache deltas into one warm cache. No model, no
+/// simulation — the shards already carry priced rows.
+fn run_merge(options: &Options) -> Result<(), EmxError> {
+    let mut reports = Vec::new();
+    for path in &options.merge {
+        let text = std::fs::read_to_string(path).map_err(|e| EmxError::io(path, &e))?;
+        reports.push(dse::ShardReport::parse(&text, path)?);
+    }
+    let outcome = dse::merge(reports)?;
+    println!(
+        "merged {} shard(s): {} candidates, {} failed; {} extraction(s) evaluated, {} reused",
+        outcome.shards,
+        outcome.inputs.candidates.len(),
+        outcome.inputs.failed.len(),
+        outcome.evaluated,
+        outcome.reused,
+    );
+
+    if let Some(path) = &options.cache_path {
+        let (mut cache, recovery) = EstimationCache::load_or_recover(path)?;
+        if let Some(recovery) = recovery {
+            eprintln!("emx-dse: warning: cache recovered: {recovery}");
+        }
+        cache.absorb(outcome.cache_delta);
+        cache.save(path)?;
+        println!("cache written to {path} ({} entries)", cache.len());
+    }
+
+    if let Some(path) = &options.json_path {
+        let mut text = dse::report::render(&outcome.inputs).to_string();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| EmxError::io(path, &e))?;
+        println!("report written to {path}");
+    }
+    Ok(())
+}
+
 fn run(options: &Options) -> Result<(), EmxError> {
+    if !options.merge.is_empty() {
+        return run_merge(options);
+    }
     let space = CandidateSpace::by_name(&options.workload).ok_or_else(|| {
         EmxError::usage(format!(
             "unknown workload `{}` (available: {})",
@@ -153,7 +252,12 @@ fn run(options: &Options) -> Result<(), EmxError> {
         None => EstimationCache::new(),
     };
 
-    let out = dse::explore(
+    // Snapshot the cache keys so --emit-shard can ship exactly the
+    // extractions this run added.
+    let baseline = options.emit_shard.as_ref().map(|_| cache.key_set());
+    let shard = options.shard.unwrap_or(dse::shard::FULL);
+
+    let out = dse::explore_shard_with(
         &model,
         &space,
         options.budget,
@@ -161,6 +265,7 @@ fn run(options: &Options) -> Result<(), EmxError> {
         options.jobs,
         &mut cache,
         &mut obs,
+        shard,
     )
     .map_err(|e| EmxError::from(e).context("exploration failed"))?;
 
@@ -172,10 +277,18 @@ fn run(options: &Options) -> Result<(), EmxError> {
         out.enumeration.pruned,
         out.points.len(),
     );
+    if !shard.is_full() {
+        println!(
+            "shard {shard}: {} of {} surviving candidate(s), partition {:016x}",
+            out.enumeration.candidates.len(),
+            out.survivors_total,
+            out.partition_fingerprint,
+        );
+    }
     println!(
-        "cache: {:.0} hits, {:.0} misses ({} entries)",
-        obs.counter("dse.cache.hits"),
-        obs.counter("dse.cache.misses"),
+        "incremental: {} extraction(s) evaluated, {} reused from cache ({} entries)",
+        out.evaluated,
+        out.reused,
         cache.len(),
     );
     println!(
@@ -220,12 +333,25 @@ fn run(options: &Options) -> Result<(), EmxError> {
         println!("cache written to {path}");
     }
 
+    let options_table: Vec<(String, f64)> = space
+        .options()
+        .iter()
+        .map(|o| (o.name.clone(), o.area()))
+        .collect();
+
+    if let Some(path) = &options.emit_shard {
+        let delta = match &baseline {
+            Some(keys) => cache.delta_since(keys),
+            None => EstimationCache::new(),
+        };
+        let report = dse::ShardReport::from_exploration(&out, &options_table, delta);
+        let mut text = report.to_json().to_string();
+        text.push('\n');
+        std::fs::write(path, text).map_err(|e| EmxError::io(path, &e))?;
+        println!("shard report written to {path}");
+    }
+
     if let Some(path) = &options.json_path {
-        let options_table: Vec<(String, f64)> = space
-            .options()
-            .iter()
-            .map(|o| (o.name.clone(), o.area()))
-            .collect();
         let mut text = dse::report::to_json(&out, &options_table).to_string();
         text.push('\n');
         std::fs::write(path, text).map_err(|e| EmxError::io(path, &e))?;
@@ -278,6 +404,44 @@ mod tests {
         assert!(o.model_path.is_none());
         assert!(o.json_path.is_none());
         assert!(o.chrome_trace.is_none());
+        assert!(o.shard.is_none());
+        assert!(o.emit_shard.is_none());
+        assert!(o.merge.is_empty());
+    }
+
+    #[test]
+    fn parses_shard_and_merge_flags() {
+        let o = opts(&["--shard", "2/3", "--emit-shard", "s2.json"]).unwrap();
+        let shard = o.shard.unwrap();
+        assert_eq!((shard.index(), shard.count()), (2, 3));
+        assert_eq!(o.emit_shard.as_deref(), Some("s2.json"));
+
+        // --merge greedily takes every following non-flag argument.
+        let o = opts(&["--merge", "a.json", "b.json", "--json", "out.json"]).unwrap();
+        assert_eq!(o.merge, ["a.json", "b.json"]);
+        assert_eq!(o.json_path.as_deref(), Some("out.json"));
+    }
+
+    #[test]
+    fn rejects_bad_shards_and_merge_combinations() {
+        for args in [
+            &["--shard", "3/2"][..],
+            &["--shard", "0/0"],
+            &["--shard", "1"],
+            &["--shard", "a/b"],
+            &["--shard"],
+            &["--merge"],
+            &["--merge", "--json", "r.json"],
+            &["--merge", "a.json", "--shard", "1/2"],
+            &["--merge", "a.json", "--emit-shard", "s.json"],
+            &["--merge", "a.json", "--model", "m.txt"],
+            &["--merge", "a.json", "--budget", "800"],
+        ] {
+            match opts(args) {
+                Err(e) => assert_eq!(e.exit_code(), 2, "{args:?} must be a usage error"),
+                Ok(_) => panic!("{args:?} must be rejected"),
+            }
+        }
     }
 
     #[test]

@@ -1,18 +1,22 @@
 //! Integration tests for the design-space exploration engine: the
 //! acceptance properties the `emx-dse` CLI is sold on — a report that is
 //! a pure function of the search inputs (identical across worker counts),
-//! and a cache that makes warm reruns free without changing results.
+//! a cache that makes warm reruns free without changing results, and a
+//! shard/merge path whose recombined report is byte-identical to the
+//! single-process one while re-exploration over the merged cache prices
+//! everything without a single new ISS pass.
 //!
 //! Characterization is expensive, so the fitted model is shared through a
 //! once-cell like `end_to_end.rs`.
 
 use std::sync::OnceLock;
 
-use emx::core::{Characterization, Characterizer};
-use emx::dse::{self, CandidateSpace, EstimationCache};
+use emx::core::{Characterization, Characterizer, EnergyMacroModel};
+use emx::dse::fault::CountingEstimator;
+use emx::dse::{self, CandidateSpace, DesignOption, EstimationCache, ShardSpec};
 use emx::obs::Collector;
 use emx::sim::ProcConfig;
-use emx::workloads::suite;
+use emx::workloads::{exts, suite, Workload};
 
 fn characterization() -> &'static Characterization {
     static MODEL: OnceLock<Characterization> = OnceLock::new();
@@ -147,4 +151,231 @@ fn budget_prunes_but_preserves_the_base() {
     assert_eq!(out.points[0].name, "base");
     assert_eq!(out.base, Some(0));
     assert!(out.enumeration.over_budget > 0);
+}
+
+// ---------------------------------------------------------------------------
+// Sharded exploration and the merge contract.
+// ---------------------------------------------------------------------------
+
+fn options_table(space: &CandidateSpace) -> Vec<(String, f64)> {
+    space
+        .options()
+        .iter()
+        .map(|o| (o.name.clone(), o.area()))
+        .collect()
+}
+
+/// Runs shard `i/k` of the Reed-Solomon search in a process-equivalent
+/// way — its own cache seeded from `warm` (or empty) — and returns the
+/// serialized `emx.dse-shard-report/1` text plus the exploration.
+fn run_shard(
+    index: u32,
+    count: u32,
+    jobs: usize,
+    warm: Option<&str>,
+) -> (String, dse::Exploration) {
+    let space = CandidateSpace::reed_solomon();
+    let mut cache = match warm {
+        Some(text) => EstimationCache::from_json_text(text).expect("warm cache parses"),
+        None => EstimationCache::new(),
+    };
+    let baseline = cache.key_set();
+    let out = dse::explore_shard_with(
+        &characterization().model,
+        &space,
+        None,
+        &ProcConfig::default(),
+        jobs,
+        &mut cache,
+        &mut Collector::disabled(),
+        ShardSpec::new(index, count).expect("valid shard"),
+    )
+    .expect("shard exploration succeeds");
+    let report = dse::ShardReport::from_exploration(
+        &out,
+        &options_table(&space),
+        cache.delta_since(&baseline),
+    );
+    (report.to_json().to_string(), out)
+}
+
+#[test]
+fn sharded_merge_is_byte_identical_to_single_process() {
+    let single = report_text(2, &mut EstimationCache::new(), &mut Collector::disabled());
+    for k in [2u32, 3] {
+        for jobs in [1usize, 2] {
+            // Cold: every shard starts from an empty cache, round-trips
+            // its report through the serialized artifact exactly as
+            // `--emit-shard` + `--merge` do.
+            let texts: Vec<String> = (1..=k).map(|i| run_shard(i, k, jobs, None).0).collect();
+            let reports: Vec<dse::ShardReport> = texts
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    dse::ShardReport::parse(t, &format!("shard-{}", i + 1))
+                        .expect("shard report round-trips")
+                })
+                .collect();
+            let outcome = dse::merge(reports).expect("complete partition merges");
+            assert_eq!(outcome.shards, k);
+            assert_eq!(outcome.reused, 0, "cold shards have nothing to reuse");
+            assert_eq!(outcome.evaluated, 4, "all four survivors simulated");
+            let merged = dse::report::render(&outcome.inputs).to_string();
+            assert_eq!(single, merged, "k={k} jobs={jobs}: cold merge diverged");
+
+            // Warm: rerun every shard over the merged cache delta — no
+            // shard may simulate anything, and the merge must still be
+            // byte-identical.
+            let warm_text = outcome.cache_delta.to_json().to_string();
+            let mut warm_reports = Vec::new();
+            for i in 1..=k {
+                let (text, out) = run_shard(i, k, jobs, Some(&warm_text));
+                assert_eq!(out.evaluated, 0, "warm shard {i}/{k} must not simulate");
+                assert_eq!(out.reused, out.points.len(), "warm shard {i}/{k} reuse");
+                warm_reports.push(dse::ShardReport::parse(&text, "warm").expect("round-trips"));
+            }
+            let outcome = dse::merge(warm_reports).expect("warm partition merges");
+            assert_eq!(outcome.evaluated, 0);
+            assert_eq!(outcome.reused, 4);
+            let warm_merged = dse::report::render(&outcome.inputs).to_string();
+            assert_eq!(
+                single, warm_merged,
+                "k={k} jobs={jobs}: warm merge diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn refit_over_warm_merged_cache_reprices_without_simulating() {
+    // Build the warm cache the production way: two cold shards, merged.
+    let reports: Vec<dse::ShardReport> = (1..=2u32)
+        .map(|i| dse::ShardReport::parse(&run_shard(i, 2, 1, None).0, "shard").expect("parses"))
+        .collect();
+    let outcome = dse::merge(reports).expect("partition merges");
+    let warm_text = outcome.cache_delta.to_json().to_string();
+
+    // A refit: same model spec, different coefficients. Extraction
+    // semantics are untouched, so the warm cache must satisfy every
+    // candidate; pricing changes, so the energies must move.
+    let model = &characterization().model;
+    let refit = EnergyMacroModel::new(
+        *model.spec(),
+        model.coefficients().iter().map(|c| c * 1.25).collect(),
+    );
+    let space = CandidateSpace::reed_solomon();
+    let counting = CountingEstimator::new(&refit);
+    let mut warm = EstimationCache::from_json_text(&warm_text).expect("merged cache parses");
+    let out = dse::explore_with(
+        &counting,
+        &space,
+        None,
+        &ProcConfig::default(),
+        2,
+        &mut warm,
+        &mut Collector::disabled(),
+    )
+    .expect("refit exploration succeeds");
+
+    assert_eq!(
+        counting.extractions(),
+        0,
+        "a refit performs zero ISS passes"
+    );
+    assert_eq!(counting.pricings(), 4, "every candidate is re-priced");
+    assert_eq!(out.evaluated, 0);
+    assert_eq!(out.reused, 4);
+
+    // The refit genuinely changed pricing — and with it the partition
+    // identity, so stale shard artifacts can never merge with new ones.
+    let mut warm = EstimationCache::from_json_text(&warm_text).expect("merged cache parses");
+    let orig = dse::explore(
+        model,
+        &space,
+        None,
+        &ProcConfig::default(),
+        2,
+        &mut warm,
+        &mut Collector::disabled(),
+    )
+    .expect("original exploration succeeds");
+    assert_ne!(out.partition_fingerprint, orig.partition_fingerprint);
+    for (r, o) in out.points.iter().zip(&orig.points) {
+        assert_eq!(r.cycles, o.cycles, "a refit never changes cycle counts");
+        assert!(
+            (r.energy.as_picojoules() - o.energy.as_picojoules()).abs() > 1e-9,
+            "{}: refit left the energy unchanged",
+            r.name
+        );
+    }
+}
+
+/// A two-option space whose resolver picks workloads from a fixed pool by
+/// subset — the smallest space where editing *one* pool entry changes
+/// exactly one candidate's extraction.
+fn pool_space(pool: Vec<Workload>) -> CandidateSpace {
+    assert_eq!(pool.len(), 4);
+    let options = vec![
+        DesignOption {
+            name: "a".to_owned(),
+            ext: exts::gf16(),
+        },
+        DesignOption {
+            name: "b".to_owned(),
+            ext: exts::gf16_mac(),
+        },
+    ];
+    CandidateSpace::new("pool", options, move |sel| {
+        let a = sel.options().iter().any(|o| o.name == "a") as usize;
+        let b = sel.options().iter().any(|o| o.name == "b") as usize;
+        pool[a | (b << 1)].clone()
+    })
+}
+
+#[test]
+fn single_extension_change_reevaluates_only_the_missing_candidate() {
+    let cal = suite::calibration_programs();
+    assert!(cal.len() >= 5, "pool test needs five distinct programs");
+    let model = &characterization().model;
+    let mut cache = EstimationCache::new();
+
+    // v1: four subsets, four distinct workloads — all simulate cold.
+    let v1 = pool_space(cal[0..4].to_vec());
+    let out = dse::explore(
+        model,
+        &v1,
+        None,
+        &ProcConfig::default(),
+        1,
+        &mut cache,
+        &mut Collector::disabled(),
+    )
+    .expect("v1 exploration succeeds");
+    assert_eq!(out.evaluated, 4);
+    assert_eq!(out.reused, 0);
+
+    // v2: one subset resolves to a new workload; only that candidate
+    // misses the warm cache.
+    let mut pool = cal[0..4].to_vec();
+    pool[2] = cal[4].clone();
+    let v2 = pool_space(pool);
+    let counting = CountingEstimator::new(model);
+    let out = dse::explore_with(
+        &counting,
+        &v2,
+        None,
+        &ProcConfig::default(),
+        1,
+        &mut cache,
+        &mut Collector::disabled(),
+    )
+    .expect("v2 exploration succeeds");
+    assert_eq!(
+        counting.extractions(),
+        1,
+        "only the changed candidate simulates"
+    );
+    assert_eq!(out.evaluated, 1);
+    assert_eq!(out.reused, 3);
+    assert_eq!(counting.pricings(), 4, "all four candidates still priced");
 }

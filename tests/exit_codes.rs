@@ -40,6 +40,24 @@ const CASES: &[Case] = &[
         why: "non-numeric budget is a usage error",
     },
     Case {
+        bin: env!("CARGO_BIN_EXE_emx-dse"),
+        args: &["--shard", "3/2"],
+        expect: 2,
+        why: "shard index above the count is a usage error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-dse"),
+        args: &["--shard", "0/0"],
+        expect: 2,
+        why: "zero-way shard partition is a usage error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-dse"),
+        args: &["--merge"],
+        expect: 2,
+        why: "--merge without shard report files is a usage error",
+    },
+    Case {
         bin: env!("CARGO_BIN_EXE_emx-validate"),
         args: &["--folds", "1"],
         expect: 2,
@@ -81,6 +99,12 @@ const CASES: &[Case] = &[
         args: &["--model", "/nonexistent/emx-no-such-model.txt"],
         expect: 1,
         why: "missing model file is an input error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-dse"),
+        args: &["--merge", "/nonexistent/emx-no-such-shard.json"],
+        expect: 1,
+        why: "missing shard report file is an input error",
     },
     Case {
         bin: env!("CARGO_BIN_EXE_emx-validate"),
@@ -131,6 +155,57 @@ fn every_cli_honors_the_shared_exit_code_contract() {
             String::from_utf8_lossy(&out.stderr)
         );
     }
+}
+
+/// A minimal but complete `emx.dse-shard-report/1` document: empty rows,
+/// empty cache delta — enough to parse, so the *merge* check under test
+/// is the one that fires.
+fn minimal_shard_report(index: u32, count: u32, fingerprint: &str) -> String {
+    format!(
+        concat!(
+            "{{\"schema\":\"emx.dse-shard-report/1\",",
+            "\"shard\":{{\"index\":{index},\"count\":{count}}},",
+            "\"partition_fingerprint\":\"{fp}\",",
+            "\"workload\":\"reed-solomon\",\"budget\":null,\"options\":[],",
+            "\"enumerated\":0,\"over_budget\":0,\"pruned\":0,\"survivors\":0,",
+            "\"evaluated\":0,\"reused\":0,\"candidates\":[],\"failed_candidates\":[],",
+            "\"cache_delta\":{{\"schema\":\"emx.dse-cache/2\",\"entries\":{{}}}}}}"
+        ),
+        index = index,
+        count = count,
+        fp = fingerprint,
+    )
+}
+
+/// Merging artifacts whose partition fingerprints conflict is an *input*
+/// failure (exit 1), not a usage error: the command line was fine, the
+/// files do not belong together.
+#[test]
+fn merging_conflicting_partitions_exits_one() {
+    let dir = std::env::temp_dir();
+    let a = dir.join(format!("emx-exit-shard-a-{}.json", std::process::id()));
+    let b = dir.join(format!("emx-exit-shard-b-{}.json", std::process::id()));
+    std::fs::write(&a, minimal_shard_report(1, 2, "00000000000000aa")).expect("write a");
+    std::fs::write(&b, minimal_shard_report(2, 2, "00000000000000bb")).expect("write b");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_emx-dse"))
+        .args(["--merge", a.to_str().unwrap(), b.to_str().unwrap()])
+        .output()
+        .expect("spawns");
+    let _ = std::fs::remove_file(&a);
+    let _ = std::fs::remove_file(&b);
+
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "fingerprint conflict must exit 1\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("fingerprint"),
+        "stderr must name the conflict: {stderr}"
+    );
 }
 
 /// Fast-failure guarantee: input errors that are checkable up front

@@ -179,6 +179,116 @@ impl Drop for Cleanup<'_> {
 }
 
 // ---------------------------------------------------------------------
+// Shard-report faults: a damaged or mismatched artifact is a typed
+// error and the merge refuses whole — never a partial result.
+// ---------------------------------------------------------------------
+
+fn shard_report(index: u32, count: u32, budget: Option<f64>) -> dse::ShardReport {
+    let space = CandidateSpace::reed_solomon();
+    let mut cache = EstimationCache::new();
+    let baseline = cache.key_set();
+    let out = dse::explore_shard_with(
+        &characterization().model,
+        &space,
+        budget,
+        &ProcConfig::default(),
+        1,
+        &mut cache,
+        &mut Collector::disabled(),
+        dse::ShardSpec::new(index, count).expect("valid shard"),
+    )
+    .expect("shard exploration succeeds");
+    let options: Vec<(String, f64)> = space
+        .options()
+        .iter()
+        .map(|o| (o.name.clone(), o.area()))
+        .collect();
+    dse::ShardReport::from_exploration(&out, &options, cache.delta_since(&baseline))
+}
+
+#[test]
+fn truncated_shard_report_is_a_typed_error() {
+    let text = shard_report(1, 2, None).to_json().to_string();
+    for keep in [0, 10, text.len() / 2, text.len() - 1] {
+        match dse::ShardReport::parse(&text[..keep], "cut.json") {
+            Err(dse::DseError::ShardReportCorrupt { source_name, .. }) => {
+                assert_eq!(source_name, "cut.json", "errors must name the file");
+            }
+            other => panic!("truncated at {keep}: expected ShardReportCorrupt, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn foreign_schema_is_rejected_by_name() {
+    // A main report is not a shard report, even though both are JSON.
+    let text = shard_report(1, 1, None)
+        .to_json()
+        .to_string()
+        .replace(dse::SHARD_SCHEMA, dse::report::SCHEMA);
+    match dse::ShardReport::parse(&text, "wrong.json") {
+        Err(dse::DseError::ShardSchemaMismatch { source_name, found }) => {
+            assert_eq!(source_name, "wrong.json");
+            assert_eq!(found, dse::report::SCHEMA);
+        }
+        other => panic!("expected ShardSchemaMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn merge_detects_a_missing_shard_via_the_partition_fingerprint() {
+    // Shards 1 and 3 of a 3-way partition: the shared fingerprint pins
+    // the count to 3, so index 2 is provably absent.
+    let r1 = shard_report(1, 3, None);
+    let r3 = shard_report(3, 3, None);
+    match dse::merge(vec![r1, r3]) {
+        Err(dse::DseError::ShardMissing { index: 2, count: 3 }) => {}
+        other => panic!("expected ShardMissing 2 of 3, got {other:?}"),
+    }
+}
+
+#[test]
+fn merge_detects_a_duplicated_shard() {
+    let a = shard_report(1, 2, None);
+    let b = shard_report(1, 2, None);
+    match dse::merge(vec![a, b]) {
+        Err(dse::DseError::ShardDuplicate { index: 1, count: 2 }) => {}
+        other => panic!("expected ShardDuplicate 1 of 2, got {other:?}"),
+    }
+}
+
+#[test]
+fn shards_of_different_partitions_never_merge() {
+    // Same space, same model — but a different budget is a different
+    // search, and the fingerprint must catch it.
+    let a = shard_report(1, 2, None);
+    let b = shard_report(2, 2, Some(1e9));
+    match dse::merge(vec![a, b]) {
+        Err(dse::DseError::ShardFingerprintMismatch {
+            expected, found, ..
+        }) => {
+            assert_ne!(expected, found);
+        }
+        other => panic!("expected ShardFingerprintMismatch, got {other:?}"),
+    }
+}
+
+#[test]
+fn tampered_rows_fail_the_survivor_count_check() {
+    // A hand-edited artifact that drops a row parses fine but can no
+    // longer account for every survivor — the merge refuses whole.
+    let mut a = shard_report(1, 2, None);
+    let b = shard_report(2, 2, None);
+    a.candidates.pop();
+    match dse::merge(vec![a, b]) {
+        Err(dse::DseError::ShardReportCorrupt { detail, .. }) => {
+            assert!(detail.contains("survivors"), "unexpected detail: {detail}");
+        }
+        other => panic!("expected ShardReportCorrupt, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
 // Cache persistence properties: random caches round-trip exactly, and
 // salvage after arbitrary truncation only ever keeps intact entries.
 // ---------------------------------------------------------------------

@@ -1,0 +1,267 @@
+//! Basic-block recovery and register liveness over an assembled program.
+//!
+//! Discovery replays a workload once to obtain per-instruction execution
+//! counts ([`emx_sim::observe::exec_counts`]), then partitions the text
+//! into basic blocks here. Each block carries its dynamic execution
+//! weight (how often it was entered) and the set of registers live at
+//! its exit, which the miner needs to decide whether an instruction's
+//! result is observable outside a candidate pattern.
+//!
+//! Liveness is a standard backward fixpoint over the block graph. Blocks
+//! whose successors cannot be resolved statically (`jx`, `callx`, `ret`,
+//! and calls, whose eventual return path is not modeled) are treated as
+//! having every register live at exit — conservative, never unsound.
+
+use emx_isa::{BaseClass, Inst, Opcode, Program, Reg};
+use emx_tie::ExtensionSet;
+
+/// Bitmask over the 16 general-purpose registers.
+pub type RegSet = u16;
+
+/// Every register live — the conservative bottom for unknown successors.
+pub const ALL_LIVE: RegSet = 0xffff;
+
+/// One basic block of the program text.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Index of the first instruction (inclusive).
+    pub start: usize,
+    /// Index one past the last instruction (exclusive).
+    pub end: usize,
+    /// Dynamic entry count: how many times the block leader retired.
+    pub weight: u64,
+    /// Registers live at block exit.
+    pub live_out: RegSet,
+}
+
+fn bit(r: Reg) -> RegSet {
+    1 << r.index()
+}
+
+/// Registers read / written by one instruction, resolving custom slots
+/// through the extension set's operand signatures.
+pub fn uses_defs(inst: &Inst, ext: &ExtensionSet) -> (RegSet, RegSet) {
+    match inst {
+        Inst::Base(b) => {
+            let mut uses = 0;
+            for r in b.reads() {
+                uses |= bit(r);
+            }
+            (uses, b.writes().map_or(0, bit))
+        }
+        Inst::Custom(c) => {
+            let Some(spec) = ext.get(c.id) else {
+                return (0, 0);
+            };
+            let sig = spec.signature();
+            let mut uses = 0;
+            if sig.gpr_reads >= 1 {
+                uses |= bit(c.rs);
+            }
+            if sig.gpr_reads >= 2 {
+                uses |= bit(c.rt);
+            }
+            (uses, if sig.writes_gpr { bit(c.rd) } else { 0 })
+        }
+    }
+}
+
+fn ends_block(inst: &Inst) -> bool {
+    match inst {
+        Inst::Base(b) => {
+            matches!(b.op.base_class(), BaseClass::Jump | BaseClass::Branch) || b.op == Opcode::Halt
+        }
+        Inst::Custom(_) => false,
+    }
+}
+
+/// Successors of a block ending with `last`, or `None` when they cannot
+/// be resolved statically (indirect jumps, calls, returns).
+fn successors(program: &Program, end: usize) -> Option<Vec<usize>> {
+    let index_of = |target: u32| -> Option<usize> {
+        let base = program.text_base();
+        if target < base || !(target - base).is_multiple_of(emx_isa::program::layout::INST_BYTES) {
+            return None;
+        }
+        let i = ((target - base) / emx_isa::program::layout::INST_BYTES) as usize;
+        (i < program.len()).then_some(i)
+    };
+    let Inst::Base(b) = &program.text()[end - 1] else {
+        // A block can only end on a custom instruction by running into
+        // the next leader; fall through.
+        return Some(if end < program.len() {
+            vec![end]
+        } else {
+            vec![]
+        });
+    };
+    match b.op {
+        Opcode::Halt => Some(vec![]),
+        Opcode::J => Some(index_of(b.target).into_iter().collect()),
+        Opcode::Jx | Opcode::Callx | Opcode::Ret | Opcode::Call => None,
+        _ if b.op.base_class() == BaseClass::Branch => {
+            let mut s: Vec<usize> = index_of(b.target).into_iter().collect();
+            if end < program.len() {
+                s.push(end);
+            }
+            Some(s)
+        }
+        // Block ended because the next instruction is a leader.
+        _ => Some(if end < program.len() {
+            vec![end]
+        } else {
+            vec![]
+        }),
+    }
+}
+
+/// Partitions `program` into basic blocks, attaching dynamic weights from
+/// `counts` (per-instruction retired execution counts, indexed like the
+/// text) and live-out register sets.
+pub fn basic_blocks(program: &Program, ext: &ExtensionSet, counts: &[u64]) -> Vec<Block> {
+    let n = program.len();
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Leaders: entry, control-transfer targets, and fall-through points.
+    let mut leader = vec![false; n];
+    leader[0] = true;
+    let entry =
+        ((program.entry() - program.text_base()) / emx_isa::program::layout::INST_BYTES) as usize;
+    if entry < n {
+        leader[entry] = true;
+    }
+    for (i, inst) in program.text().iter().enumerate() {
+        if let Inst::Base(b) = inst {
+            if matches!(b.op.base_class(), BaseClass::Jump | BaseClass::Branch) {
+                let base = program.text_base();
+                if b.target >= base {
+                    let t = ((b.target - base) / emx_isa::program::layout::INST_BYTES) as usize;
+                    if t < n {
+                        leader[t] = true;
+                    }
+                }
+            }
+        }
+        if ends_block(inst) && i + 1 < n {
+            leader[i + 1] = true;
+        }
+    }
+
+    let mut blocks = Vec::new();
+    let mut start = 0usize;
+    for i in 0..n {
+        let end_here = ends_block(&program.text()[i]) || i + 1 == n || leader[i + 1];
+        if end_here {
+            blocks.push(Block {
+                start,
+                end: i + 1,
+                weight: counts.get(start).copied().unwrap_or(0),
+                live_out: 0,
+            });
+            start = i + 1;
+        }
+    }
+
+    // Backward liveness fixpoint over the block graph.
+    let block_of: Vec<usize> = {
+        let mut m = vec![0usize; n];
+        for (bi, b) in blocks.iter().enumerate() {
+            for slot in &mut m[b.start..b.end] {
+                *slot = bi;
+            }
+        }
+        m
+    };
+    let mut use_set = vec![0 as RegSet; blocks.len()];
+    let mut def_set = vec![0 as RegSet; blocks.len()];
+    let mut succs: Vec<Option<Vec<usize>>> = Vec::with_capacity(blocks.len());
+    for (bi, b) in blocks.iter().enumerate() {
+        for i in b.start..b.end {
+            let (u, d) = uses_defs(&program.text()[i], ext);
+            use_set[bi] |= u & !def_set[bi];
+            def_set[bi] |= d;
+        }
+        succs
+            .push(successors(program, b.end).map(|s| s.into_iter().map(|i| block_of[i]).collect()));
+    }
+    let mut live_in = vec![0 as RegSet; blocks.len()];
+    let mut live_out = vec![0 as RegSet; blocks.len()];
+    loop {
+        let mut changed = false;
+        for bi in (0..blocks.len()).rev() {
+            let out = match &succs[bi] {
+                None => ALL_LIVE,
+                Some(s) => s.iter().fold(0, |acc, &j| acc | live_in[j]),
+            };
+            let inn = use_set[bi] | (out & !def_set[bi]);
+            if out != live_out[bi] || inn != live_in[bi] {
+                live_out[bi] = out;
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for (bi, b) in blocks.iter_mut().enumerate() {
+        b.live_out = live_out[bi];
+    }
+    blocks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_isa::asm::Assembler;
+
+    #[test]
+    fn splits_a_counted_loop_into_blocks() {
+        let p = Assembler::new()
+            .assemble("movi a2, 10\nl:\naddi a2, a2, -1\nbnez a2, l\nhalt")
+            .unwrap();
+        let ext = ExtensionSet::empty();
+        let counts = [1u64, 10, 10, 1];
+        let blocks = basic_blocks(&p, &ext, &counts);
+        assert_eq!(blocks.len(), 3);
+        assert_eq!(
+            (blocks[0].start, blocks[0].end, blocks[0].weight),
+            (0, 1, 1)
+        );
+        assert_eq!(
+            (blocks[1].start, blocks[1].end, blocks[1].weight),
+            (1, 3, 10)
+        );
+        assert_eq!(
+            (blocks[2].start, blocks[2].end, blocks[2].weight),
+            (3, 4, 1)
+        );
+    }
+
+    #[test]
+    fn liveness_flows_backward_through_the_loop() {
+        let p = Assembler::new()
+            .assemble("movi a2, 10\nl:\naddi a2, a2, -1\nbnez a2, l\nhalt")
+            .unwrap();
+        let ext = ExtensionSet::empty();
+        let blocks = basic_blocks(&p, &ext, &[0; 4]);
+        // a2 is live out of the first block (the loop reads it) and out
+        // of the loop body (the back edge re-reads it).
+        assert_ne!(blocks[0].live_out & (1 << 2), 0);
+        assert_ne!(blocks[1].live_out & (1 << 2), 0);
+        // Nothing is live after halt.
+        assert_eq!(blocks[2].live_out, 0);
+    }
+
+    #[test]
+    fn unknown_successors_are_all_live() {
+        let p = Assembler::new()
+            .assemble("movi a2, 1\njx a2\nhalt")
+            .unwrap();
+        let ext = ExtensionSet::empty();
+        let blocks = basic_blocks(&p, &ext, &[0; 3]);
+        assert_eq!(blocks[0].live_out, ALL_LIVE);
+    }
+}

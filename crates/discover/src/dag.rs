@@ -1,0 +1,353 @@
+//! Per-block def-use DAGs over instructions.
+//!
+//! Each executed basic block is lifted into a dataflow DAG whose nodes
+//! are the block's instructions. Operands resolve to the producing node
+//! (an in-block def), to a live-in register or custom-state value, or to
+//! an immediate baked into the instruction encoding. Custom instructions
+//! appear as *single* nodes — their internal [`emx_hwlib::DfGraph`] is
+//! only expanded at synthesis time — so mining over an already-extended
+//! processor rediscovers (and can grow) the extensions it ships with.
+//!
+//! Memory operations, control transfers and the handful of base ops the
+//! synthesizer has no TIE expression for (signed shifts, sign extension,
+//! conditional moves, …) are kept in the DAG as *barrier* nodes: their
+//! defs participate in dependence edges, but they can never join a
+//! candidate pattern.
+
+use emx_isa::{BaseInst, CustomSlot, Inst, Opcode, Reg};
+use emx_tie::{CompiledInst, ExtensionSet, InputBind, OutputBind};
+
+use crate::cfg::Block;
+
+/// Base opcodes the synthesizer can lower into TIE dataflow. Everything
+/// else is a barrier node.
+pub fn base_op_allowed(op: Opcode) -> bool {
+    matches!(
+        op,
+        Opcode::Add
+            | Opcode::Sub
+            | Opcode::And
+            | Opcode::Or
+            | Opcode::Xor
+            | Opcode::Sltu
+            | Opcode::Mul
+            | Opcode::Mul16u
+            | Opcode::Addi
+            | Opcode::Addmi
+            | Opcode::Andi
+            | Opcode::Ori
+            | Opcode::Xori
+            | Opcode::Sltiu
+            | Opcode::Slli
+            | Opcode::Srli
+            | Opcode::Extui
+            | Opcode::Neg
+            | Opcode::Not
+            | Opcode::Mov
+            | Opcode::Movi
+    )
+}
+
+/// Can the synthesizer re-express this compiled custom instruction? The
+/// TIE surface language has no form for signed multiply or arithmetic
+/// shift, so graphs containing them cannot round-trip through synthesis.
+pub fn custom_allowed(spec: &CompiledInst) -> bool {
+    use emx_hwlib::{NodeDesc, PrimOp};
+    let g = spec.graph();
+    g.ids().all(|id| {
+        !matches!(
+            g.node_desc(id),
+            NodeDesc::Op {
+                op: PrimOp::MulS | PrimOp::Sar,
+                ..
+            }
+        )
+    })
+}
+
+/// One value source of a node operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Src {
+    /// Output `out` of in-block node `node` (block-local index).
+    Node {
+        /// Block-local producer index.
+        node: usize,
+        /// Which of the producer's outputs (base defs have one; custom
+        /// instructions enumerate outputs in `output_binds` order).
+        out: usize,
+    },
+    /// Register value live into the block.
+    LiveGpr(Reg),
+    /// Custom-state value live into the block (state name).
+    LiveState(String),
+    /// Immediate operand baked into the encoding (custom `Imm` binds).
+    Imm(i64),
+}
+
+/// One output (definition) of a node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Def {
+    /// Writes a general-purpose register.
+    Gpr(Reg),
+    /// Writes a custom state register (by name).
+    State(String),
+}
+
+/// One instruction lifted into the block DAG.
+#[derive(Debug, Clone)]
+pub struct DagNode {
+    /// Absolute index into the program text.
+    pub index: usize,
+    /// The instruction itself.
+    pub inst: Inst,
+    /// May this node join a candidate pattern?
+    pub allowed: bool,
+    /// Value operands, in the instruction's semantic order (for custom
+    /// nodes: `input_binds` order, with `Imm` inline).
+    pub ops: Vec<Src>,
+    /// Definitions, in output order.
+    pub defs: Vec<Def>,
+}
+
+impl DagNode {
+    /// The GPR this node writes, if any.
+    pub fn gpr_def(&self) -> Option<Reg> {
+        self.defs.iter().find_map(|d| match d {
+            Def::Gpr(r) => Some(*r),
+            Def::State(_) => None,
+        })
+    }
+
+    /// Names of the states this node reads or writes.
+    pub fn touched_states(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .ops
+            .iter()
+            .filter_map(|s| match s {
+                Src::LiveState(n) => Some(n.as_str()),
+                _ => None,
+            })
+            .collect();
+        out.extend(self.defs.iter().filter_map(|d| match d {
+            Def::State(n) => Some(n.as_str()),
+            _ => None,
+        }));
+        out
+    }
+}
+
+/// A dense bitset sized to one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bits(Vec<u64>);
+
+impl Bits {
+    /// The empty set over `n` slots.
+    pub fn empty(n: usize) -> Self {
+        Bits(vec![0; n.div_ceil(64)])
+    }
+
+    /// Inserts `i`.
+    pub fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Membership test.
+    pub fn get(&self, i: usize) -> bool {
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// In-place union.
+    pub fn union_with(&mut self, other: &Bits) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a |= b;
+        }
+    }
+
+    /// Does `self ∩ other` contain anything?
+    pub fn intersects(&self, other: &Bits) -> bool {
+        self.0.iter().zip(&other.0).any(|(a, b)| a & b != 0)
+    }
+
+    /// Iterates set indices in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.0.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64).filter_map(move |b| (bits & (1 << b) != 0).then_some(w * 64 + b))
+        })
+    }
+}
+
+/// A basic block lifted to a def-use DAG.
+#[derive(Debug, Clone)]
+pub struct BlockDag {
+    /// The source block (absolute indices, weight, live-out).
+    pub block: Block,
+    /// Nodes; block-local index `i` is instruction `block.start + i`.
+    pub nodes: Vec<DagNode>,
+    /// Transitive dataflow predecessors of each node (block-local).
+    pub deps: Vec<Bits>,
+    /// Undirected dataflow adjacency (direct edges only).
+    pub adj: Vec<Bits>,
+}
+
+fn base_operand_regs(b: &BaseInst) -> Vec<Reg> {
+    // `BaseInst::reads` already yields operands in semantic order.
+    b.reads()
+}
+
+fn custom_node(slot: &CustomSlot, spec: &CompiledInst, ext: &ExtensionSet) -> (Vec<Src>, Vec<Def>) {
+    let state_name = |sid: emx_tie::StateId| ext.states()[sid.index()].name().to_owned();
+    let mut ops = Vec::new();
+    for bind in spec.input_binds() {
+        ops.push(match bind {
+            InputBind::GprS => Src::LiveGpr(slot.rs),
+            InputBind::GprT => Src::LiveGpr(slot.rt),
+            InputBind::Imm => Src::Imm(i64::from(slot.imm)),
+            InputBind::State(sid) => Src::LiveState(state_name(*sid)),
+        });
+    }
+    let defs = spec
+        .output_binds()
+        .iter()
+        .map(|bind| match bind {
+            OutputBind::Gpr => Def::Gpr(slot.rd),
+            OutputBind::State(sid) => Def::State(state_name(*sid)),
+        })
+        .collect();
+    (ops, defs)
+}
+
+/// Lifts one block of `program` into its def-use DAG.
+pub fn build(program: &emx_isa::Program, ext: &ExtensionSet, block: &Block) -> BlockDag {
+    let n = block.end - block.start;
+    let mut nodes: Vec<DagNode> = Vec::with_capacity(n);
+    let mut last_gpr: [Option<(usize, usize)>; 16] = [None; 16];
+    let mut last_state: std::collections::HashMap<String, (usize, usize)> =
+        std::collections::HashMap::new();
+
+    for local in 0..n {
+        let index = block.start + local;
+        let inst = program.text()[index];
+        let (mut ops, defs, allowed) = match &inst {
+            Inst::Base(b) => {
+                let ops: Vec<Src> = base_operand_regs(b).into_iter().map(Src::LiveGpr).collect();
+                let defs = b.writes().map(Def::Gpr).into_iter().collect();
+                (ops, defs, base_op_allowed(b.op))
+            }
+            Inst::Custom(c) => match ext.get(c.id) {
+                Some(spec) => {
+                    let (ops, defs) = custom_node(c, spec, ext);
+                    (ops, defs, custom_allowed(spec))
+                }
+                None => (Vec::new(), Vec::new(), false),
+            },
+        };
+        // Resolve the placeholder live-in sources against in-block defs.
+        for op in &mut ops {
+            match op {
+                Src::LiveGpr(r) => {
+                    if let Some((node, out)) = last_gpr[r.index()] {
+                        *op = Src::Node { node, out };
+                    }
+                }
+                Src::LiveState(s) => {
+                    if let Some(&(node, out)) = last_state.get(s.as_str()) {
+                        *op = Src::Node { node, out };
+                    }
+                }
+                _ => {}
+            }
+        }
+        for (out, def) in defs.iter().enumerate() {
+            match def {
+                Def::Gpr(r) => last_gpr[r.index()] = Some((local, out)),
+                Def::State(s) => {
+                    last_state.insert(s.clone(), (local, out));
+                }
+            }
+        }
+        nodes.push(DagNode {
+            index,
+            inst,
+            allowed,
+            ops,
+            defs,
+        });
+    }
+
+    let mut deps: Vec<Bits> = Vec::with_capacity(n);
+    let mut adj: Vec<Bits> = vec![Bits::empty(n); n];
+    for (i, node) in nodes.iter().enumerate() {
+        let mut d = Bits::empty(n);
+        for op in &node.ops {
+            if let Src::Node { node: j, .. } = op {
+                d.set(*j);
+                let pred = deps[*j].clone();
+                d.union_with(&pred);
+                adj[i].set(*j);
+                adj[*j].set(i);
+            }
+        }
+        deps.push(d);
+    }
+
+    BlockDag {
+        block: block.clone(),
+        nodes,
+        deps,
+        adj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_isa::asm::Assembler;
+
+    fn dag_of(src: &str) -> BlockDag {
+        let p = Assembler::new().assemble(src).unwrap();
+        let ext = ExtensionSet::empty();
+        let blocks = crate::cfg::basic_blocks(&p, &ext, &vec![1; p.len()]);
+        build(&p, &ext, &blocks[0])
+    }
+
+    #[test]
+    fn chains_defs_to_uses() {
+        let d = dag_of("add a2, a3, a4\nxor a5, a2, a3\nhalt");
+        assert_eq!(
+            d.nodes[0].ops,
+            vec![Src::LiveGpr(Reg::new(3)), Src::LiveGpr(Reg::new(4))]
+        );
+        assert_eq!(
+            d.nodes[1].ops,
+            vec![Src::Node { node: 0, out: 0 }, Src::LiveGpr(Reg::new(3))]
+        );
+        assert!(d.deps[1].get(0));
+        assert!(d.adj[0].get(1));
+    }
+
+    #[test]
+    fn barriers_are_tracked_but_not_allowed() {
+        let d = dag_of("l32i a2, 0(a1)\nadd a3, a2, a2\nhalt");
+        assert!(!d.nodes[0].allowed);
+        assert!(d.nodes[1].allowed);
+        // The load's def still feeds the add.
+        assert_eq!(d.nodes[1].ops[0], Src::Node { node: 0, out: 0 });
+    }
+
+    #[test]
+    fn custom_nodes_carry_state_edges() {
+        let ext = emx_workloads::exts::mac16();
+        let mut asm = Assembler::new();
+        ext.register_mnemonics(&mut asm);
+        let p = asm
+            .assemble("mac a2, a3\nmac a4, a5\nrdacc a6\nhalt")
+            .unwrap();
+        let blocks = crate::cfg::basic_blocks(&p, &ext, &[1; 4]);
+        let d = build(&p, &ext, &blocks[0]);
+        // Second mac reads the first mac's accumulator write.
+        assert_eq!(d.nodes[1].ops[2], Src::Node { node: 0, out: 0 });
+        assert_eq!(d.nodes[2].ops[0], Src::Node { node: 1, out: 0 });
+        assert_eq!(d.nodes[0].defs, vec![Def::State("acc".to_owned())]);
+        assert!(d.nodes[0].allowed && d.nodes[2].allowed);
+    }
+}

@@ -1,0 +1,381 @@
+//! # emx-discover — automatic custom-instruction discovery
+//!
+//! The paper's flow assumes someone already *chose* the candidate
+//! extension units; its contribution is pricing them quickly. This crate
+//! closes the remaining loop — it derives the candidates from the
+//! workload itself, in the style of automatic instruction-set extension
+//! (Atasu/Pozzi/Ienne; Kavvadias & Nikolaidis):
+//!
+//! * [`mod@cfg`] — recovers basic blocks from the assembled program and
+//!   weights them with dynamic execution counts from one micro-op ISS
+//!   replay ([`emx_sim::observe::exec_counts`]),
+//! * [`dag`] — lifts each block into a def-use DAG whose nodes are
+//!   instructions (custom instructions stay single nodes, so discovery
+//!   composes with hand-written extensions),
+//! * [`mine`] — enumerates every *legal* connected pattern: convex,
+//!   within the encoding's two GPR read ports and one visible GPR def
+//!   (at the anchor), with no memory/control members and no observable
+//!   reordering of state effects,
+//! * [`synth`] — lowers each pattern to TIE surface text, compiles it
+//!   with the production [`emx_tie`] compiler, and prices it with the
+//!   Eq.-4 area model ([`emx_dse::area_cost`]); the canonical text doubles
+//!   as the isomorphism key that merges equivalent patterns found at
+//!   different sites,
+//! * [`report`] — the versioned `emx.discover-report/1` artifact,
+//! * [`bridge`] — rewrites the workload (fused members deleted, anchors
+//!   replaced by custom slots, code targets re-laid-out) and wraps the
+//!   ranked candidates as an [`emx_dse::CandidateSpace`], so `emx-dse
+//!   --candidates` prices discovered instructions exactly like
+//!   hand-written ones.
+//!
+//! The pipeline is deterministic end to end: mining visits node sets in
+//! a fixed order, dedup and ranking break ties on canonical text, and
+//! parallel mining (`jobs`) partitions by block with a merge in block
+//! order — the report is byte-identical for any worker count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod cfg;
+pub mod dag;
+pub mod mine;
+pub mod report;
+pub mod synth;
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use emx_isa::Inst;
+use emx_sim::{observe, Interp, ProcConfig, SimError};
+use emx_tie::ExtensionSet;
+use emx_workloads::Workload;
+
+use crate::cfg::Block;
+use crate::dag::{BlockDag, Def, Src};
+use crate::mine::{ExternalInput, Funnel, MineConfig, SitePattern};
+use crate::report::{Candidate, Report, Site};
+use crate::synth::Synthesized;
+
+/// A discovery run's knobs.
+#[derive(Debug, Clone)]
+pub struct DiscoverConfig {
+    /// Mining limits (pattern size, GPR ports, per-block cap).
+    pub mine: MineConfig,
+    /// Cycle budget for the counting replay and each self-check run.
+    pub max_cycles: u64,
+    /// Worker threads for per-block mining. The report is byte-identical
+    /// for any value.
+    pub jobs: usize,
+    /// Re-simulate each candidate's rewritten workload and drop any that
+    /// fails functional verification. Costs one ISS run per candidate.
+    pub selfcheck: bool,
+}
+
+impl Default for DiscoverConfig {
+    fn default() -> Self {
+        DiscoverConfig {
+            mine: MineConfig::default(),
+            max_cycles: 50_000_000,
+            jobs: 1,
+            selfcheck: true,
+        }
+    }
+}
+
+/// Why a discovery run failed.
+#[derive(Debug)]
+pub enum DiscoverError {
+    /// The named workload is not in the registry (an input error).
+    UnknownWorkload(String),
+    /// A report artifact was malformed (an input error).
+    Report(String),
+    /// The counting replay failed — the workload did not halt within
+    /// budget or hit a simulator fault.
+    Sim(SimError),
+    /// An invariant the pipeline relies on broke (a bug, not an input
+    /// error).
+    Internal(String),
+}
+
+impl fmt::Display for DiscoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiscoverError::UnknownWorkload(name) => write!(f, "unknown workload `{name}`"),
+            DiscoverError::Report(msg) => write!(f, "bad discover report: {msg}"),
+            DiscoverError::Sim(e) => write!(f, "workload replay failed: {e}"),
+            DiscoverError::Internal(msg) => write!(f, "internal discovery error: {msg}"),
+        }
+    }
+}
+
+impl Error for DiscoverError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DiscoverError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Everything mining one block yields: its funnel counters and, per
+/// legal-and-synthesizable pattern, the canonical text (dedup key), the
+/// compiled metrics and the concrete site.
+struct BlockOut {
+    funnel: Funnel,
+    found: Vec<Found>,
+}
+
+struct Found {
+    key: String,
+    synth: Synthesized,
+    site: Site,
+    base_cost: u64,
+    has_custom: bool,
+}
+
+fn reg_of_input(dag: &BlockDag, src: &Src) -> u8 {
+    match src {
+        Src::LiveGpr(r) => r.index() as u8,
+        Src::Node { node, out } => match &dag.nodes[*node].defs[*out] {
+            Def::Gpr(r) => r.index() as u8,
+            Def::State(_) => unreachable!("GPR input classified by producing def"),
+        },
+        Src::LiveState(_) | Src::Imm(_) => unreachable!("not a GPR source"),
+    }
+}
+
+fn site_of(dag: &BlockDag, ext: &ExtensionSet, block: &Block, pat: &SitePattern) -> Found {
+    let mut gprs = pat.inputs.iter().filter_map(|i| match i {
+        ExternalInput::Gpr(src) => Some(reg_of_input(dag, src)),
+        ExternalInput::State(_) => None,
+    });
+    let rs = gprs.next().unwrap_or(0);
+    let rt = gprs.next().unwrap_or(0);
+    let rd = pat.gpr_output.map_or(0, |r| r.index() as u8);
+    let base_cost: u64 = pat
+        .members
+        .iter()
+        .map(|&m| match &dag.nodes[m].inst {
+            Inst::Base(_) => 1,
+            Inst::Custom(c) => u64::from(ext.get(c.id).expect("lifted from this set").latency()),
+        })
+        .sum();
+    let has_custom = pat
+        .members
+        .iter()
+        .any(|&m| matches!(dag.nodes[m].inst, Inst::Custom(_)));
+    Found {
+        key: String::new(),
+        synth: Synthesized {
+            tie: String::new(),
+            latency: 0,
+            area: 0.0,
+            op_nodes: 0,
+        },
+        site: Site {
+            members: pat.members.iter().map(|m| block.start + m).collect(),
+            rs,
+            rt,
+            rd,
+            weight: block.weight,
+        },
+        base_cost,
+        has_custom,
+    }
+}
+
+fn mine_one(
+    program: &emx_isa::Program,
+    ext: &ExtensionSet,
+    block: &Block,
+    config: &MineConfig,
+) -> BlockOut {
+    let dag = dag::build(program, ext, block);
+    let mut funnel = Funnel::default();
+    let pats = mine::mine_block(&dag, config, &mut funnel);
+    let mut found = Vec::with_capacity(pats.len());
+    for pat in &pats {
+        match synth::synthesize(&dag, pat, ext) {
+            Ok(synth) => {
+                let mut f = site_of(&dag, ext, block, pat);
+                f.key = synth.tie.clone();
+                f.synth = synth;
+                found.push(f);
+            }
+            Err(_) => funnel.rejected_synth += 1,
+        }
+    }
+    BlockOut { funnel, found }
+}
+
+/// Per-canonical-pattern aggregation across all sites.
+struct Agg {
+    synth: Synthesized,
+    base_cost: u64,
+    has_custom: bool,
+    weight: u64,
+    saved: u64,
+    sites: Vec<Site>,
+}
+
+/// Runs the full discovery pipeline over one workload.
+///
+/// Replays the workload once to weight its basic blocks, mines every
+/// block for legal patterns, synthesizes and deduplicates them, ranks
+/// by estimated dynamic cycles saved, and (unless disabled)
+/// re-simulates each survivor's rewritten workload as a functional
+/// self-check. The result is deterministic — byte-identical across runs
+/// and across `jobs` values.
+///
+/// # Errors
+///
+/// [`DiscoverError::Sim`] if the counting replay fails (the workload
+/// must halt within `config.max_cycles`).
+pub fn discover(workload: &Workload, config: &DiscoverConfig) -> Result<Report, DiscoverError> {
+    let program = workload.program();
+    let ext = workload.ext();
+    let (_, counts) = observe::exec_counts(program, ext, ProcConfig::default(), config.max_cycles)
+        .map_err(DiscoverError::Sim)?;
+    let blocks = cfg::basic_blocks(program, ext, &counts);
+
+    // Mine blocks — independently, so worker count cannot affect the
+    // result: outputs land in a slot per block and merge in block order.
+    let jobs = config.jobs.max(1).min(blocks.len().max(1));
+    let outs: Vec<BlockOut> = if jobs <= 1 {
+        blocks
+            .iter()
+            .map(|b| mine_one(program, ext, b, &config.mine))
+            .collect()
+    } else {
+        let slots: Mutex<Vec<Option<BlockOut>>> =
+            Mutex::new((0..blocks.len()).map(|_| None).collect());
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= blocks.len() {
+                        break;
+                    }
+                    let out = mine_one(program, ext, &blocks[i], &config.mine);
+                    slots.lock().expect("mining worker panicked")[i] = Some(out);
+                });
+            }
+        });
+        slots
+            .into_inner()
+            .expect("mining worker panicked")
+            .into_iter()
+            .map(|o| o.expect("every block mined"))
+            .collect()
+    };
+
+    // Merge: dedup isomorphic patterns on canonical text, accumulate
+    // weights and per-site savings estimates.
+    let mut funnel = Funnel::default();
+    let mut legal: u64 = 0;
+    let mut aggs: BTreeMap<String, Agg> = BTreeMap::new();
+    for out in outs {
+        funnel.absorb(&out.funnel);
+        legal += out.found.len() as u64;
+        for f in out.found {
+            let saving = f.base_cost.saturating_sub(u64::from(f.synth.latency));
+            let agg = aggs.entry(f.key).or_insert_with(|| Agg {
+                synth: f.synth,
+                base_cost: 0,
+                has_custom: false,
+                weight: 0,
+                saved: 0,
+                sites: Vec::new(),
+            });
+            agg.base_cost = agg.base_cost.max(f.base_cost);
+            agg.has_custom |= f.has_custom;
+            agg.weight += f.site.weight;
+            agg.saved += f.site.weight * saving;
+            agg.sites.push(f.site);
+        }
+    }
+
+    // Rank: biggest estimated saving first, then bigger fused patterns,
+    // then canonical text. Keep anything that saves cycles, plus
+    // identity rediscoveries of existing custom instructions (saving 0
+    // by construction — they're the ground-truth check, not noise).
+    let mut ranked: Vec<(String, Agg)> = aggs
+        .into_iter()
+        .filter(|(_, a)| a.saved > 0 || a.has_custom)
+        .collect();
+    ranked.sort_by(|(ka, a), (kb, b)| {
+        b.saved
+            .cmp(&a.saved)
+            .then(b.synth.op_nodes.cmp(&a.synth.op_nodes))
+            .then(ka.cmp(kb))
+    });
+
+    // Self-check: the rewrite must preserve the workload's verified
+    // results. Catches the one statically undetectable hazard (computed
+    // text addresses) and any pipeline bug, at one ISS run per
+    // candidate.
+    let mut survivors: Vec<(String, Agg)> = Vec::with_capacity(ranked.len());
+    for (key, agg) in ranked {
+        if config.selfcheck && !selfcheck_ok(workload, config.max_cycles, &key, &agg) {
+            funnel.rejected_check += 1;
+            continue;
+        }
+        survivors.push((key, agg));
+    }
+
+    let candidates = survivors
+        .into_iter()
+        .enumerate()
+        .map(|(i, (key, agg))| {
+            let name = format!("ci{}", i + 1);
+            let tie = synth::rename(&key, &name);
+            Candidate {
+                name,
+                tie,
+                latency: agg.synth.latency,
+                area: agg.synth.area,
+                op_nodes: agg.synth.op_nodes,
+                base_cost: agg.base_cost,
+                weight: agg.weight,
+                saved_cycles_est: agg.saved,
+                sites: agg.sites,
+            }
+        })
+        .collect();
+
+    Ok(Report {
+        workload: workload.name().to_owned(),
+        config: config.mine.clone(),
+        max_cycles: config.max_cycles,
+        funnel,
+        legal,
+        candidates,
+    })
+}
+
+fn selfcheck_ok(workload: &Workload, max_cycles: u64, key: &str, agg: &Agg) -> bool {
+    let cand = Candidate {
+        name: synth::CANON_NAME.to_owned(),
+        tie: key.to_owned(),
+        latency: agg.synth.latency,
+        area: agg.synth.area,
+        op_nodes: agg.synth.op_nodes,
+        base_cost: agg.base_cost,
+        weight: agg.weight,
+        saved_cycles_est: agg.saved,
+        sites: agg.sites.clone(),
+    };
+    let Ok(rewritten) = bridge::apply(workload, &[&cand]) else {
+        return false;
+    };
+    let mut sim = Interp::new(rewritten.program(), rewritten.ext(), ProcConfig::default());
+    match sim.run(max_cycles) {
+        Ok(r) if r.halted => rewritten.verify(sim.state()).is_ok(),
+        _ => false,
+    }
+}

@@ -1,0 +1,410 @@
+//! Convex-subgraph enumeration under I/O-port and legality constraints.
+//!
+//! The miner grows connected induced subgraphs of a block DAG from every
+//! allowed seed node, keeping each candidate that can be implemented as
+//! a *single* custom instruction:
+//!
+//! * **convex** — no dataflow path leaves the pattern and re-enters it,
+//!   so the pattern can issue as one atomic operation;
+//! * **I/O-bounded** — at most two distinct external GPR value inputs
+//!   (the `rs`/`rt` operand buses) and at most one externally observable
+//!   GPR result, which must be produced by the pattern's last member
+//!   (the *anchor*, where the fused instruction is placed);
+//! * **order-safe** — deferring the pattern's input reads and state
+//!   effects to the anchor must not change what any instruction outside
+//!   the pattern observes (no clobbered inputs, no state observers in
+//!   the pattern's index window);
+//! * **memory/control-free** — loads, stores and branches never join a
+//!   pattern (they are barrier nodes in the DAG).
+//!
+//! Enumeration is exhaustive up to `max_nodes` members and a per-block
+//! candidate cap; the funnel counters report exactly what was dropped
+//! where, so a capped run is visible rather than silent.
+
+use std::collections::BTreeSet;
+
+use emx_isa::Reg;
+
+use crate::dag::{Bits, BlockDag, Def, Src};
+
+/// Mining limits and ports.
+#[derive(Debug, Clone)]
+pub struct MineConfig {
+    /// Maximum pattern size in instructions.
+    pub max_nodes: usize,
+    /// Maximum distinct external GPR value inputs (operand buses).
+    pub max_gpr_inputs: usize,
+    /// Maximum candidate sets enumerated per block before capping.
+    pub block_cap: usize,
+}
+
+impl Default for MineConfig {
+    fn default() -> Self {
+        MineConfig {
+            max_nodes: 6,
+            max_gpr_inputs: 2,
+            block_cap: 20_000,
+        }
+    }
+}
+
+/// Drop counters for one mining run — the report's `funnel` section.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Funnel {
+    /// Basic blocks considered (weight > 0).
+    pub blocks: u64,
+    /// Candidate node sets enumerated.
+    pub enumerated: u64,
+    /// Dropped: not convex.
+    pub rejected_convex: u64,
+    /// Dropped: too many GPR inputs or outputs.
+    pub rejected_io: u64,
+    /// Dropped: reordering would be observable (clobbered input, state
+    /// observer in the window, output not at the anchor).
+    pub rejected_order: u64,
+    /// Dropped: no externally observable result at all.
+    pub rejected_dead: u64,
+    /// Dropped later: TIE synthesis or compilation failed.
+    pub rejected_synth: u64,
+    /// Dropped last: the rewritten workload failed re-simulation (see
+    /// `crate::bridge` on computed text addresses).
+    pub rejected_check: u64,
+    /// Blocks whose enumeration hit `block_cap`.
+    pub capped_blocks: u64,
+}
+
+impl Funnel {
+    /// Accumulates another funnel into this one.
+    pub fn absorb(&mut self, other: &Funnel) {
+        self.blocks += other.blocks;
+        self.enumerated += other.enumerated;
+        self.rejected_convex += other.rejected_convex;
+        self.rejected_io += other.rejected_io;
+        self.rejected_order += other.rejected_order;
+        self.rejected_dead += other.rejected_dead;
+        self.rejected_synth += other.rejected_synth;
+        self.rejected_check += other.rejected_check;
+        self.capped_blocks += other.capped_blocks;
+    }
+}
+
+/// An external input of a legal pattern, in first-use order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExternalInput {
+    /// A GPR value: live-in register or a non-member's in-block def.
+    Gpr(Src),
+    /// A custom-state value (current architectural state at the anchor).
+    State(String),
+}
+
+/// A legal pattern instance at one site (one block).
+#[derive(Debug, Clone)]
+pub struct SitePattern {
+    /// Block-local member indices, ascending. The last is the anchor.
+    pub members: Vec<usize>,
+    /// External inputs in first-use order (GPR inputs become the
+    /// `rs`/`rt` operand buses in that order).
+    pub inputs: Vec<ExternalInput>,
+    /// The externally observable GPR result, if any: always produced by
+    /// the anchor.
+    pub gpr_output: Option<Reg>,
+    /// For each state the pattern writes: `(state, member, out)` of the
+    /// final write, in first-write order.
+    pub state_outputs: Vec<(String, usize, usize)>,
+}
+
+enum Reject {
+    Convex,
+    Io,
+    Order,
+    Dead,
+}
+
+/// Validates the member set `s` (ascending block-local indices) and, if
+/// legal, describes its interface.
+fn check(dag: &BlockDag, s: &[usize], max_gpr_inputs: usize) -> Result<SitePattern, Reject> {
+    let n = dag.nodes.len();
+    let anchor = *s.last().expect("non-empty candidate");
+    let in_s = {
+        let mut b = Bits::empty(n);
+        for &i in s {
+            b.set(i);
+        }
+        b
+    };
+
+    // Convexity: no external node may sit on a path between two members.
+    let mut ancestors = Bits::empty(n);
+    for &k in s {
+        ancestors.union_with(&dag.deps[k]);
+    }
+    for j in ancestors.iter() {
+        if !in_s.get(j) && dag.deps[j].intersects(&in_s) {
+            return Err(Reject::Convex);
+        }
+    }
+
+    // External inputs, in first-use order over members and operands.
+    let mut inputs: Vec<ExternalInput> = Vec::new();
+    let mut gpr_inputs = 0usize;
+    for &m in s {
+        for op in &dag.nodes[m].ops {
+            let ext_input = match op {
+                Src::Node { node, out } if !in_s.get(*node) => match &dag.nodes[*node].defs[*out] {
+                    Def::Gpr(_) => ExternalInput::Gpr(op.clone()),
+                    Def::State(name) => ExternalInput::State(name.clone()),
+                },
+                Src::Node { .. } | Src::Imm(_) => continue,
+                Src::LiveGpr(_) => ExternalInput::Gpr(op.clone()),
+                Src::LiveState(name) => ExternalInput::State(name.clone()),
+            };
+            if !inputs.contains(&ext_input) {
+                if matches!(ext_input, ExternalInput::Gpr(_)) {
+                    gpr_inputs += 1;
+                }
+                inputs.push(ext_input);
+            }
+        }
+    }
+
+    // Externally observable GPR defs: consumed by a non-member, or the
+    // block's final def of a live-out register.
+    let mut last_gpr_def: [Option<usize>; 16] = [None; 16];
+    for (i, node) in dag.nodes.iter().enumerate() {
+        if let Some(r) = node.gpr_def() {
+            last_gpr_def[r.index()] = Some(i);
+        }
+    }
+    let mut visible_gpr: Option<(usize, Reg)> = None;
+    let mut visible_count = 0usize;
+    for &m in s {
+        let Some(r) = dag.nodes[m].gpr_def() else {
+            continue;
+        };
+        let consumed_outside = dag.nodes.iter().enumerate().any(|(i, node)| {
+            !in_s.get(i)
+                && node.ops.iter().any(
+                    |op| matches!(op, Src::Node { node, out } if *node == m && matches!(dag.nodes[m].defs[*out], Def::Gpr(_))),
+                )
+        });
+        let live_out =
+            last_gpr_def[r.index()] == Some(m) && dag.block.live_out & (1 << r.index()) != 0;
+        if consumed_outside || live_out {
+            visible_count += 1;
+            visible_gpr = Some((m, r));
+        }
+    }
+    if visible_count > 1 {
+        return Err(Reject::Io);
+    }
+    if let Some((m, _)) = visible_gpr {
+        if m != anchor {
+            return Err(Reject::Order);
+        }
+    }
+
+    // State interface: the final member write of each state becomes an
+    // output; no non-member in the pattern's index window may touch any
+    // state the pattern touches.
+    let mut state_outputs: Vec<(String, usize, usize)> = Vec::new();
+    let mut touched: BTreeSet<String> = BTreeSet::new();
+    for &m in s {
+        for name in dag.nodes[m].touched_states() {
+            touched.insert(name.to_owned());
+        }
+        for (out, def) in dag.nodes[m].defs.iter().enumerate() {
+            if let Def::State(name) = def {
+                if let Some(slot) = state_outputs.iter_mut().find(|(n, ..)| n == name) {
+                    *slot = (name.clone(), m, out);
+                } else {
+                    state_outputs.push((name.clone(), m, out));
+                }
+            }
+        }
+    }
+    if !touched.is_empty() {
+        let lo = s[0];
+        for (i, node) in dag.nodes.iter().enumerate() {
+            if i > lo
+                && i < anchor
+                && !in_s.get(i)
+                && node
+                    .touched_states()
+                    .iter()
+                    .any(|name| touched.contains(*name))
+            {
+                return Err(Reject::Order);
+            }
+        }
+    }
+
+    // Deferred input reads: the register feeding each external GPR input
+    // must not be rewritten by a non-member before the anchor.
+    for input in &inputs {
+        let ExternalInput::Gpr(src) = input else {
+            continue;
+        };
+        let (reg, from) = match src {
+            Src::LiveGpr(r) => (*r, 0usize),
+            Src::Node { node, out } => match &dag.nodes[*node].defs[*out] {
+                Def::Gpr(r) => (*r, node + 1),
+                Def::State(_) => unreachable!("gpr input from a state def"),
+            },
+            _ => unreachable!("gpr input is always a register source"),
+        };
+        for (i, node) in dag.nodes.iter().enumerate() {
+            if i >= from && i < anchor && !in_s.get(i) && node.gpr_def() == Some(reg) {
+                return Err(Reject::Order);
+            }
+        }
+    }
+
+    // The encoding has two GPR read ports; a tighter configured limit
+    // models narrower operand buses.
+    if gpr_inputs > max_gpr_inputs.min(2) {
+        return Err(Reject::Io);
+    }
+    if visible_gpr.is_none() && state_outputs.is_empty() {
+        return Err(Reject::Dead);
+    }
+
+    Ok(SitePattern {
+        members: s.to_vec(),
+        inputs,
+        gpr_output: visible_gpr.map(|(_, r)| r),
+        state_outputs,
+    })
+}
+
+/// Enumerates every legal pattern in one block DAG, up to the config's
+/// caps. Results are in deterministic (seed, growth) order.
+pub fn mine_block(dag: &BlockDag, config: &MineConfig, funnel: &mut Funnel) -> Vec<SitePattern> {
+    let n = dag.nodes.len();
+    funnel.blocks += 1;
+    let mut found = Vec::new();
+    let mut visited: BTreeSet<Vec<usize>> = BTreeSet::new();
+    let mut budget = config.block_cap;
+    let mut capped = false;
+
+    let mut stack: Vec<Vec<usize>> = Vec::new();
+    for seed in 0..n {
+        if dag.nodes[seed].allowed {
+            stack.push(vec![seed]);
+        }
+    }
+    // LIFO over candidate sets; `visited` dedups sets reachable from
+    // several seeds, so exploration order cannot change the result set.
+    while let Some(s) = stack.pop() {
+        if !visited.insert(s.clone()) {
+            continue;
+        }
+        if budget == 0 {
+            capped = true;
+            break;
+        }
+        budget -= 1;
+        funnel.enumerated += 1;
+
+        match check(dag, &s, config.max_gpr_inputs) {
+            Ok(p) => found.push(p),
+            Err(Reject::Convex) => funnel.rejected_convex += 1,
+            Err(Reject::Io) => funnel.rejected_io += 1,
+            Err(Reject::Order) => funnel.rejected_order += 1,
+            Err(Reject::Dead) => funnel.rejected_dead += 1,
+        }
+
+        if s.len() >= config.max_nodes {
+            continue;
+        }
+        // Grow by every allowed dataflow neighbor.
+        let mut frontier = Bits::empty(n);
+        for &m in &s {
+            frontier.union_with(&dag.adj[m]);
+        }
+        for j in frontier.iter() {
+            if dag.nodes[j].allowed && !s.contains(&j) {
+                let mut grown = s.clone();
+                let pos = grown.partition_point(|&x| x < j);
+                grown.insert(pos, j);
+                if !visited.contains(&grown) {
+                    stack.push(grown);
+                }
+            }
+        }
+    }
+    if capped {
+        funnel.capped_blocks += 1;
+    }
+    // Deterministic output order independent of stack discipline.
+    found.sort_by(|a, b| a.members.cmp(&b.members));
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use emx_isa::asm::Assembler;
+    use emx_tie::ExtensionSet;
+
+    fn mine_first_block(src: &str) -> (Vec<SitePattern>, Funnel) {
+        let p = Assembler::new().assemble(src).unwrap();
+        let ext = ExtensionSet::empty();
+        let blocks = crate::cfg::basic_blocks(&p, &ext, &vec![1; p.len()]);
+        let dag = crate::dag::build(&p, &ext, &blocks[0]);
+        let mut funnel = Funnel::default();
+        let found = mine_block(&dag, &MineConfig::default(), &mut funnel);
+        (found, funnel)
+    }
+
+    #[test]
+    fn fuses_a_two_op_chain_with_two_inputs() {
+        // xor(a3, and(a2, a3)) — two external inputs, one live-out def.
+        let (found, _) = mine_first_block("and a4, a2, a3\nxor a5, a4, a3\ns32i a5, 0(a1)\nhalt");
+        let fused = found
+            .iter()
+            .find(|p| p.members == vec![0, 1])
+            .expect("the and+xor chain is legal");
+        assert_eq!(fused.gpr_output, Some(Reg::new(5)));
+        assert_eq!(fused.inputs.len(), 2);
+    }
+
+    #[test]
+    fn rejects_three_input_patterns() {
+        let (found, funnel) =
+            mine_first_block("and a5, a2, a3\nxor a6, a5, a4\ns32i a6, 0(a1)\nhalt");
+        // {and, xor} needs a2, a3 and a4 — over the two-bus limit.
+        assert!(found.iter().all(|p| p.members != vec![0, 1]));
+        assert!(funnel.rejected_io >= 1);
+    }
+
+    #[test]
+    fn rejects_non_convex_sets() {
+        // add → (load) → xor: the pair {add, xor} has an external node on
+        // an internal path.
+        let (found, funnel) = mine_first_block(
+            "add a4, a2, a3\nl32i a5, 0(a4)\nxor a6, a5, a4\ns32i a6, 0(a1)\nhalt",
+        );
+        assert!(found.iter().all(|p| p.members != vec![0, 2]));
+        assert!(funnel.rejected_convex >= 1);
+    }
+
+    #[test]
+    fn intermediate_def_with_external_consumer_is_rejected() {
+        // a4 is consumed by the store, so {and, xor} would erase a value
+        // the store still needs.
+        let (found, _) = mine_first_block(
+            "and a4, a2, a3\nxor a5, a4, a3\ns32i a4, 0(a1)\ns32i a5, 4(a1)\nhalt",
+        );
+        assert!(found.iter().all(|p| p.members != vec![0, 1]));
+    }
+
+    #[test]
+    fn input_clobbered_before_anchor_is_rejected() {
+        // The load rewrites a2 between the and (which read it) and the
+        // xor anchor, so the deferred read would see the wrong value.
+        let (found, _) = mine_first_block(
+            "and a4, a2, a3\nl32i a2, 0(a1)\nxor a5, a4, a2\ns32i a5, 0(a1)\nhalt",
+        );
+        assert!(found.iter().all(|p| p.members != vec![0, 2]));
+    }
+}

@@ -1,0 +1,209 @@
+//! Property-based tests over randomly generated straight-line programs:
+//! every mined pattern is convex and within the port budget, every
+//! synthesized candidate round-trips through the TIE compiler, and every
+//! applied rewrite preserves the program's observable results.
+
+use proptest::prelude::*;
+
+use emx_discover::dag::Src;
+use emx_discover::mine::{ExternalInput, Funnel, MineConfig};
+use emx_discover::{bridge, cfg, dag, discover, mine, DiscoverConfig};
+use emx_sim::{Interp, ProcConfig};
+use emx_tie::lang::parse_extension;
+use emx_tie::ExtensionSet;
+use emx_workloads::{MemCheck, Workload};
+
+/// One random ALU instruction over registers `a2..=a7`.
+#[derive(Debug, Clone)]
+struct RandOp {
+    kind: usize,
+    rd: u8,
+    rs: u8,
+    rt: u8,
+    imm: i32,
+}
+
+fn rand_op() -> impl Strategy<Value = RandOp> {
+    (0usize..12, 2u8..8, 2u8..8, 2u8..8, 0i32..64).prop_map(|(kind, rd, rs, rt, imm)| RandOp {
+        kind,
+        rd,
+        rs,
+        rt,
+        imm,
+    })
+}
+
+fn line(op: &RandOp) -> String {
+    let RandOp {
+        rd, rs, rt, imm, ..
+    } = *op;
+    match op.kind {
+        0 => format!("add a{rd}, a{rs}, a{rt}"),
+        1 => format!("sub a{rd}, a{rs}, a{rt}"),
+        2 => format!("xor a{rd}, a{rs}, a{rt}"),
+        3 => format!("and a{rd}, a{rs}, a{rt}"),
+        4 => format!("or a{rd}, a{rs}, a{rt}"),
+        5 => format!("mul a{rd}, a{rs}, a{rt}"),
+        6 => format!("mul16u a{rd}, a{rs}, a{rt}"),
+        7 => format!("sltu a{rd}, a{rs}, a{rt}"),
+        8 => format!("addi a{rd}, a{rs}, {imm}"),
+        9 => format!("slli a{rd}, a{rs}, {}", imm % 32),
+        10 => format!("extui a{rd}, a{rs}, {}, {}", imm % 8, 1 + imm % 8),
+        _ => format!("movi a{rd}, {imm}"),
+    }
+}
+
+/// Assembles seeds + a jump into a second block of random ops, with every
+/// working register stored at the end (so its final value is observable).
+fn random_program(seeds: &[u32], ops: &[RandOp]) -> String {
+    let mut src = String::from(".data\nout: .space 24\n.text\n");
+    for (i, v) in seeds.iter().enumerate() {
+        src.push_str(&format!("movi a{}, {v}\n", i + 2));
+    }
+    src.push_str("j body\nbody:\n");
+    for op in ops {
+        src.push_str(&line(op));
+        src.push('\n');
+    }
+    src.push_str("movi a8, out\n");
+    for i in 0..6 {
+        src.push_str(&format!("s32i a{}, {}(a8)\n", i + 2, 4 * i));
+    }
+    src.push_str("halt\n");
+    src
+}
+
+/// Runs a workload to halt and returns the six stored words.
+fn observed_outputs(w: &Workload) -> [u32; 6] {
+    let mut sim = Interp::new(w.program(), w.ext(), ProcConfig::default());
+    let r = sim.run(1_000_000).expect("straight-line program simulates");
+    assert!(r.halted);
+    let base = w.program().symbol("out").expect("out symbol");
+    std::array::from_fn(|i| sim.state().mem.read_u32(base + 4 * i as u32))
+}
+
+proptest! {
+    /// Every pattern the miner returns is convex (no dataflow path leaves
+    /// and re-enters the member set) and uses at most two external GPR
+    /// value inputs.
+    #[test]
+    fn mined_patterns_are_convex_and_port_bounded(
+        seeds in proptest::collection::vec(0u32..100_000, 6),
+        ops in proptest::collection::vec(rand_op(), 3..12),
+    ) {
+        let src = random_program(&seeds, &ops);
+        let p = emx_isa::asm::Assembler::new().assemble(&src).expect("assembles");
+        let ext = ExtensionSet::empty();
+        let blocks = cfg::basic_blocks(&p, &ext, &vec![1; p.len()]);
+        let config = MineConfig::default();
+        for block in &blocks {
+            let d = dag::build(&p, &ext, block);
+            let mut funnel = Funnel::default();
+            for pat in mine::mine_block(&d, &config, &mut funnel) {
+                let members = &pat.members;
+                prop_assert!(members.windows(2).all(|w| w[0] < w[1]), "sorted members");
+                // Convexity: a transitive predecessor of a member that is
+                // not itself a member must not depend on any member.
+                for &i in members {
+                    for j in d.deps[i].iter() {
+                        if members.contains(&j) {
+                            continue;
+                        }
+                        for &k in members {
+                            prop_assert!(
+                                !d.deps[j].get(k),
+                                "path {k} -> {j} -> {i} leaves and re-enters the pattern"
+                            );
+                        }
+                    }
+                }
+                // Port bound, recounted independently of the miner's own
+                // interface summary.
+                let mut gpr_srcs: Vec<&Src> = Vec::new();
+                for &m in members {
+                    for op in &d.nodes[m].ops {
+                        let external = match op {
+                            Src::Node { node, .. } => !members.contains(node),
+                            Src::LiveGpr(_) => true,
+                            Src::LiveState(_) | Src::Imm(_) => false,
+                        };
+                        if external && !gpr_srcs.contains(&op) {
+                            if let Src::LiveState(_) = op {
+                            } else {
+                                gpr_srcs.push(op);
+                            }
+                        }
+                    }
+                }
+                prop_assert!(
+                    gpr_srcs.len() <= 2,
+                    "pattern {members:?} needs {} GPR inputs",
+                    gpr_srcs.len()
+                );
+                let reported = pat
+                    .inputs
+                    .iter()
+                    .filter(|i| matches!(i, ExternalInput::Gpr(_)))
+                    .count();
+                prop_assert_eq!(reported, gpr_srcs.len(), "miner agrees with recount");
+            }
+        }
+    }
+
+    /// Every reported candidate's TIE text round-trips through the parser
+    /// and compiler with the metrics the report claims, and rewriting the
+    /// workload with it preserves all six observable outputs. Self-check
+    /// is disabled so a rewrite bug cannot mask itself.
+    #[test]
+    fn candidates_round_trip_and_rewrites_preserve_outputs(
+        seeds in proptest::collection::vec(0u32..100_000, 6),
+        ops in proptest::collection::vec(rand_op(), 3..10),
+    ) {
+        let src = random_program(&seeds, &ops);
+        let base = Workload::try_assemble(
+            "prop", "random straight-line program", ExtensionSet::empty(), &src, Vec::new(),
+        ).expect("assembles");
+        let want = observed_outputs(&base);
+        // Re-build with the observed outputs as the functional contract.
+        let out = base.program().symbol("out").expect("out symbol");
+        let checks: Vec<MemCheck> = want
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| MemCheck { addr: out + 4 * i as u32, expected: v })
+            .collect();
+        let base = Workload::try_assemble(
+            "prop", "random straight-line program", ExtensionSet::empty(), &src, checks,
+        ).expect("assembles");
+
+        let config = DiscoverConfig { selfcheck: false, ..DiscoverConfig::default() };
+        let report = discover(&base, &config).expect("discovery succeeds");
+        for cand in &report.candidates {
+            let set = parse_extension(&cand.tie).expect("candidate TIE parses");
+            let inst = set.by_name(&cand.name).expect("mnemonic matches name");
+            prop_assert_eq!(inst.latency(), cand.latency);
+            prop_assert_eq!(set.iter().count(), 1, "one instruction per candidate");
+
+            let rewritten = bridge::apply(&base, &[cand]).expect("rewrite succeeds");
+            let got = observed_outputs(&rewritten);
+            prop_assert_eq!(got, want, "candidate `{}` changed the outputs", &cand.name);
+        }
+    }
+
+    /// The report is byte-identical across worker counts.
+    #[test]
+    fn discovery_is_deterministic_across_jobs(
+        seeds in proptest::collection::vec(0u32..100_000, 6),
+        ops in proptest::collection::vec(rand_op(), 3..8),
+        jobs in 2usize..5,
+    ) {
+        let src = random_program(&seeds, &ops);
+        let base = Workload::try_assemble(
+            "prop", "random straight-line program", ExtensionSet::empty(), &src, Vec::new(),
+        ).expect("assembles");
+        let one = discover(&base, &DiscoverConfig { jobs: 1, selfcheck: false, ..DiscoverConfig::default() })
+            .expect("jobs=1");
+        let many = discover(&base, &DiscoverConfig { jobs, selfcheck: false, ..DiscoverConfig::default() })
+            .expect("jobs=n");
+        prop_assert_eq!(one.to_json().to_string(), many.to_json().to_string());
+    }
+}

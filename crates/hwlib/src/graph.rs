@@ -109,6 +109,38 @@ impl EvalResult {
     }
 }
 
+/// Structural description of one node, as returned by
+/// [`DfGraph::node_desc`]. Node ids referenced by an `Op` variant are
+/// always smaller than the described node's id (graphs are acyclic by
+/// construction), so a walk over ascending ids visits producers before
+/// consumers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeDesc<'a> {
+    /// A declared input (operand bus, immediate, or custom-register read).
+    Input {
+        /// Declared input name.
+        name: &'a str,
+        /// Input width in bits.
+        width: u8,
+    },
+    /// A constant.
+    Const {
+        /// The constant's value.
+        value: u64,
+        /// Result width in bits.
+        width: u8,
+    },
+    /// A combinational operation.
+    Op {
+        /// The operation.
+        op: PrimOp,
+        /// Result width in bits.
+        width: u8,
+        /// Operand node ids, in operand order.
+        inputs: &'a [NodeId],
+    },
+}
+
 /// Description of one combinational component instance in a graph, as seen
 /// by the resource-usage analysis and the structural energy model.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -299,6 +331,12 @@ impl DfGraph {
         self.nodes.len()
     }
 
+    /// Node handles in topological (insertion) order. Combined with
+    /// [`DfGraph::node_desc`] this walks the whole structure.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
     /// Width of a node's result.
     ///
     /// # Panics
@@ -322,6 +360,37 @@ impl DfGraph {
     /// The lookup tables owned by this graph.
     pub fn tables(&self) -> &[LookupTable] {
         &self.tables
+    }
+
+    /// Describes the node `id` structurally: kind, width, and (for
+    /// operation nodes) operand edges.
+    ///
+    /// This is the read-side counterpart of [`DfGraph::input`],
+    /// [`DfGraph::constant`] and [`DfGraph::node`] — enough to reproduce
+    /// the graph in another representation (a netlist printer, a TIE
+    /// source emitter, a structural hash) without widening the builder
+    /// API.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn node_desc(&self, id: NodeId) -> NodeDesc<'_> {
+        let node = &self.nodes[id.0];
+        match &node.kind {
+            NodeKind::Input { name } => NodeDesc::Input {
+                name,
+                width: node.width,
+            },
+            NodeKind::Const { value } => NodeDesc::Const {
+                value: *value,
+                width: node.width,
+            },
+            NodeKind::Op { op, inputs } => NodeDesc::Op {
+                op: *op,
+                width: node.width,
+                inputs,
+            },
+        }
     }
 
     /// Describes every combinational component instance in the graph.

@@ -95,6 +95,30 @@ impl<'a> Interp<'a> {
         crate::uop::run(self, max_cycles)
     }
 
+    /// Runs like [`Interp::run`] (micro-op engine) while counting retired
+    /// executions of each static instruction into `counts`, indexed like
+    /// `Program::text`. `counts` is resized to the program length; a
+    /// caller-provided buffer lets repeated runs reuse one allocation.
+    ///
+    /// This is the observation hook behind
+    /// [`observe::exec_counts`](crate::observe::exec_counts), which
+    /// custom-instruction discovery uses to weight basic blocks by how
+    /// often they executed.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Interp::run`]; on error, `counts` covers the
+    /// instructions retired before the error fired.
+    pub fn run_with_exec_counts(
+        &mut self,
+        max_cycles: u64,
+        counts: &mut Vec<u64>,
+    ) -> Result<RunResult, SimError> {
+        counts.clear();
+        counts.resize(self.program.len(), 0);
+        crate::uop::run_counting(self, max_cycles, counts)
+    }
+
     /// Runs like [`Interp::run`] on the legacy single-step interpreter
     /// instead of the micro-op engine. The two paths are byte-identical
     /// in statistics, state and errors; this one exists as the

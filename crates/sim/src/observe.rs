@@ -16,6 +16,31 @@
 use emx_obs::Collector;
 
 use crate::record::{ActivitySink, InstRecord};
+use crate::{Interp, ProcConfig, RunResult, SimError};
+
+/// Replays `program` on the micro-op engine and returns the run result
+/// together with per-static-instruction retired execution counts
+/// (indexed like `Program::text`).
+///
+/// This is the block-weight observation hook for custom-instruction
+/// discovery: summing an index range gives a basic block's dynamic
+/// execution weight, and the count at a block's leader is the number of
+/// times the block was entered.
+///
+/// # Errors
+///
+/// Same conditions as [`Interp::run`].
+pub fn exec_counts(
+    program: &emx_isa::Program,
+    ext: &emx_tie::ExtensionSet,
+    config: ProcConfig,
+    max_cycles: u64,
+) -> Result<(RunResult, Vec<u64>), SimError> {
+    let mut sim = Interp::new(program, ext, config);
+    let mut counts = Vec::new();
+    let run = sim.run_with_exec_counts(max_cycles, &mut counts)?;
+    Ok((run, counts))
+}
 
 /// Default window width, in cycles.
 pub const DEFAULT_WINDOW_CYCLES: u64 = 1024;

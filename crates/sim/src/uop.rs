@@ -165,8 +165,33 @@ fn build<'e>(
 ///
 /// Same conditions (and byte-identical partial statistics) as the legacy
 /// [`Interp::run_legacy`].
-#[allow(clippy::too_many_lines)] // one arm per opcode: flat is clearest
 pub(crate) fn run<'a>(it: &mut Interp<'a>, max_cycles: u64) -> Result<RunResult, SimError> {
+    run_impl::<false>(it, max_cycles, &mut [])
+}
+
+/// Runs like [`run`] while counting retired executions of each static
+/// instruction into `counts` (indexed like `Program::text`). The counting
+/// arm is monomorphized separately, so the plain [`run`] hot path is
+/// unchanged.
+///
+/// # Errors
+///
+/// Same conditions as [`run`]; counts cover the instructions retired
+/// before the error fired.
+pub(crate) fn run_counting<'a>(
+    it: &mut Interp<'a>,
+    max_cycles: u64,
+    counts: &mut [u64],
+) -> Result<RunResult, SimError> {
+    run_impl::<true>(it, max_cycles, counts)
+}
+
+#[allow(clippy::too_many_lines)] // one arm per opcode: flat is clearest
+fn run_impl<'a, const COUNT: bool>(
+    it: &mut Interp<'a>,
+    max_cycles: u64,
+    counts: &mut [u64],
+) -> Result<RunResult, SimError> {
     let program: &'a Program = it.program;
     let ext: &'a ExtensionSet = it.ext;
     let (uops, metas) = build(program, ext, &it.config);
@@ -539,6 +564,9 @@ pub(crate) fn run<'a>(it: &mut Interp<'a>, max_cycles: u64) -> Result<RunResult,
             }
         }
 
+        if COUNT {
+            counts[idx] += 1;
+        }
         insts += 1;
         pc = next_pc;
 

@@ -651,6 +651,80 @@ impl ExtensionSet {
     pub fn control_complexity(&self) -> f64 {
         self.insts.iter().map(|i| i.control_complexity).sum()
     }
+
+    /// Builds a new extension set from selected instructions of existing
+    /// sets, re-running the TIE compiler over their graphs.
+    ///
+    /// `picks` lists `(source set, instruction names to keep)`; the new
+    /// set contains the picked instructions in listing order, so their
+    /// [`CustomId`]s are their positions in that order (resolve them with
+    /// [`ExtensionSet::by_name`]). State registers are unified **by
+    /// name**: two picked instructions whose sources both declare a state
+    /// `acc` of the same width share one `acc` in the composed set. This
+    /// is what lets a discovered instruction that accumulates into `acc`
+    /// coexist with the hand-written `rdacc` that reads it.
+    ///
+    /// # Errors
+    ///
+    /// [`TieError::DuplicateInstName`] if two picks share a mnemonic,
+    /// [`TieError::DuplicateStateName`] if two sources declare states of
+    /// the same name but different widths, and any compile error the
+    /// original instruction would raise (none, in practice, since the
+    /// graphs and bindings were already compiled once).
+    pub fn compose(
+        name: impl Into<String>,
+        picks: &[(&ExtensionSet, &[&str])],
+    ) -> Result<ExtensionSet, TieError> {
+        let mut builder = ExtensionBuilder::new(name);
+        // Composed state name → (id, width). First reference declares.
+        let mut state_ids: BTreeMap<String, (StateId, u8)> = BTreeMap::new();
+        let declare = |builder: &mut ExtensionBuilder,
+                       state_ids: &mut BTreeMap<String, (StateId, u8)>,
+                       src: &StateReg|
+         -> Result<StateId, TieError> {
+            if let Some(&(id, width)) = state_ids.get(&src.name) {
+                if width != src.width {
+                    return Err(TieError::DuplicateStateName(src.name.clone()));
+                }
+                return Ok(id);
+            }
+            let id = builder.state(src.name.clone(), src.width)?;
+            state_ids.insert(src.name.clone(), (id, src.width));
+            Ok(id)
+        };
+        for (source, names) in picks {
+            for inst_name in *names {
+                let inst = source
+                    .by_name(inst_name)
+                    .unwrap_or_else(|| panic!("compose: `{inst_name}` not in source set"));
+                let mut b = builder.instruction(inst.name.clone(), inst.graph.clone())?;
+                for bind in &inst.inputs {
+                    let bind = match bind {
+                        InputBind::State(sid) => InputBind::State(declare(
+                            b.ext,
+                            &mut state_ids,
+                            &source.states[sid.index()],
+                        )?),
+                        other => *other,
+                    };
+                    b.bind_input(bind)?;
+                }
+                for bind in &inst.outputs {
+                    let bind = match bind {
+                        OutputBind::State(sid) => OutputBind::State(declare(
+                            b.ext,
+                            &mut state_ids,
+                            &source.states[sid.index()],
+                        )?),
+                        other => *other,
+                    };
+                    b.bind_output(bind)?;
+                }
+                b.latency(inst.latency)?;
+            }
+        }
+        builder.build()
+    }
 }
 
 impl<'a> IntoIterator for &'a ExtensionSet {

@@ -47,6 +47,7 @@ pub mod directed;
 pub mod exts;
 pub mod gf;
 pub mod reed_solomon;
+pub mod registry;
 pub mod suite;
 mod workload;
 

@@ -1,0 +1,56 @@
+//! A name-keyed registry over the benchmark workloads.
+//!
+//! CLI tools that take a `--workload <name>` flag (`emx-discover`, and
+//! anything that wants to replay one benchmark by name) resolve it here,
+//! so every binary agrees on what `rs1` or `accumulate` means. The
+//! registry covers the four Reed–Solomon codec builds (under both their
+//! short names `rs0`…`rs3` and their full workload names
+//! `reed_solomon_rs0`…) and the ten Table II applications.
+
+use crate::reed_solomon::RsConfig;
+use crate::{apps, Workload};
+
+/// Resolves a workload by name, assembling it on demand.
+///
+/// Accepts the short Reed–Solomon config names (`rs0`…`rs3`), the full
+/// workload names (`reed_solomon_rs0`…), and the Table II application
+/// names (`accumulate`, `ins_sort`, …). Returns `None` for unknown
+/// names; [`names`] lists what is available.
+pub fn by_name(name: &str) -> Option<Workload> {
+    for cfg in RsConfig::ALL {
+        if name == cfg.name() || name == format!("reed_solomon_{}", cfg.name()) {
+            return Some(cfg.workload());
+        }
+    }
+    apps::all().into_iter().find(|w| w.name() == name)
+}
+
+/// Every name [`by_name`] resolves (short Reed–Solomon names first, then
+/// the applications in Table II row order), for CLI usage messages.
+pub fn names() -> Vec<String> {
+    let mut out: Vec<String> = RsConfig::ALL.iter().map(|c| c.name().to_owned()).collect();
+    out.extend(apps::all().iter().map(|w| w.name().to_owned()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_short_and_full_rs_names() {
+        assert_eq!(by_name("rs1").unwrap().name(), "reed_solomon_rs1");
+        assert_eq!(
+            by_name("reed_solomon_rs2").unwrap().name(),
+            "reed_solomon_rs2"
+        );
+    }
+
+    #[test]
+    fn resolves_every_listed_name() {
+        for name in names() {
+            assert!(by_name(&name).is_some(), "listed name `{name}` resolves");
+        }
+        assert!(by_name("no_such_workload").is_none());
+    }
+}

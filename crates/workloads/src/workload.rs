@@ -97,6 +97,29 @@ impl Workload {
         })
     }
 
+    /// Builds a workload from an already-assembled program.
+    ///
+    /// This is the constructor for *derived* workloads — programs built
+    /// by rewriting another workload's text (e.g. `emx-discover`
+    /// replacing mined patterns with custom-instruction slots) rather
+    /// than by assembling source. The caller is responsible for the
+    /// program's slot ids resolving against `ext`.
+    pub fn from_parts(
+        name: impl Into<String>,
+        description: impl Into<String>,
+        program: Program,
+        ext: ExtensionSet,
+        checks: Vec<MemCheck>,
+    ) -> Self {
+        Workload {
+            name: name.into(),
+            description: description.into(),
+            program,
+            ext,
+            checks,
+        }
+    }
+
     /// The workload's name (as it appears in the paper's tables/figures).
     pub fn name(&self) -> &str {
         &self.name

@@ -14,6 +14,7 @@
 //! emx-dse --shard 2/3 --emit-shard s2.json         # evaluate one shard
 //! emx-dse --merge s1.json s2.json s3.json \
 //!         --json merged.json --cache warm.json     # recombine shards
+//! emx-dse --candidates discover.json --top 6       # discovered space
 //! ```
 //!
 //! The report JSON is a pure function of the search inputs: identical
@@ -29,6 +30,12 @@
 //! report, and `--cache` in merge mode folds the shard deltas into one
 //! warm cache file — so the next model refit re-prices without
 //! re-simulating.
+//!
+//! `--candidates` ingests an `emx.discover-report/1` artifact written by
+//! `emx-discover` and explores the space of its top `--top` candidates
+//! instead of a named hand-written space: the `base` point is the
+//! unmodified workload, and every other subset rewrites the program with
+//! the selected discovered instructions before pricing.
 
 use std::process::ExitCode;
 
@@ -39,7 +46,7 @@ use emx::sim::ProcConfig;
 use emx::workloads::suite;
 
 struct Options {
-    workload: String,
+    workload: Option<String>,
     budget: Option<f64>,
     jobs: usize,
     cache_path: Option<String>,
@@ -49,19 +56,22 @@ struct Options {
     shard: Option<ShardSpec>,
     emit_shard: Option<String>,
     merge: Vec<String>,
+    candidates: Option<String>,
+    top: usize,
 }
 
 const USAGE: &str = "usage: emx-dse [--workload <name>] [--budget <net-equivalents>] \
                      [--jobs <n>] [--cache <file.json>] [--model <model.txt>] \
                      [--json <out.json>] [--chrome-trace <out.json>] \
                      [--shard <i/N>] [--emit-shard <out.json>] \
+                     [--candidates <discover.json>] [--top <n>] \
                      | emx-dse --merge <shard.json>... [--json <out.json>] \
                      [--cache <file.json>]";
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, EmxError> {
     let mut args = args.peekable();
     let mut options = Options {
-        workload: "reed-solomon".to_owned(),
+        workload: None,
         budget: None,
         jobs: 0,
         cache_path: None,
@@ -71,14 +81,32 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, EmxError> {
         shard: None,
         emit_shard: None,
         merge: Vec::new(),
+        candidates: None,
+        top: 6,
     };
     let missing = |what: &str| EmxError::usage(format!("{what}\n{USAGE}"));
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--workload" => {
-                options.workload = args
-                    .next()
-                    .ok_or_else(|| missing("--workload needs a space name"))?;
+                options.workload = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--workload needs a space name"))?,
+                );
+            }
+            "--candidates" => {
+                options.candidates = Some(
+                    args.next()
+                        .ok_or_else(|| missing("--candidates needs a report file"))?,
+                );
+            }
+            "--top" => {
+                let n = args.next().ok_or_else(|| missing("--top needs a number"))?;
+                options.top = n
+                    .parse()
+                    .map_err(|_| EmxError::usage(format!("bad candidate count `{n}`")))?;
+                if options.top == 0 {
+                    return Err(EmxError::usage("--top must be at least 1".to_owned()));
+                }
             }
             "--budget" => {
                 let b = args
@@ -159,10 +187,17 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, EmxError> {
         && (options.shard.is_some()
             || options.emit_shard.is_some()
             || options.model_path.is_some()
-            || options.budget.is_some())
+            || options.budget.is_some()
+            || options.candidates.is_some())
     {
         return Err(EmxError::usage(format!(
-            "--merge cannot be combined with --shard, --emit-shard, --model or --budget\n{USAGE}"
+            "--merge cannot be combined with --shard, --emit-shard, --model, --budget or \
+             --candidates\n{USAGE}"
+        )));
+    }
+    if options.candidates.is_some() && options.workload.is_some() {
+        return Err(EmxError::usage(format!(
+            "--candidates names its own workload; drop --workload\n{USAGE}"
         )));
     }
     Ok(options)
@@ -210,13 +245,24 @@ fn run(options: &Options) -> Result<(), EmxError> {
     if !options.merge.is_empty() {
         return run_merge(options);
     }
-    let space = CandidateSpace::by_name(&options.workload).ok_or_else(|| {
-        EmxError::usage(format!(
-            "unknown workload `{}` (available: {})",
-            options.workload,
-            CandidateSpace::names().join(", ")
-        ))
-    })?;
+    let space = match &options.candidates {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| EmxError::io(path, &e))?;
+            let report = emx::discover::report::Report::parse(&text)
+                .map_err(|e| EmxError::parse("discover.report", e).context(path))?;
+            emx::discover::bridge::candidate_space(&report, options.top)
+                .map_err(|e| EmxError::parse("discover.candidates", e).context(path))?
+        }
+        None => {
+            let name = options.workload.as_deref().unwrap_or("reed-solomon");
+            CandidateSpace::by_name(name).ok_or_else(|| {
+                EmxError::usage(format!(
+                    "unknown workload `{name}` (available: {})",
+                    CandidateSpace::names().join(", ")
+                ))
+            })?
+        }
+    };
 
     let mut obs = Collector::new();
 
@@ -397,7 +443,9 @@ mod tests {
     #[test]
     fn parses_defaults() {
         let o = opts(&[]).unwrap();
-        assert_eq!(o.workload, "reed-solomon");
+        assert_eq!(o.workload, None);
+        assert_eq!(o.candidates, None);
+        assert_eq!(o.top, 6);
         assert_eq!(o.budget, None);
         assert_eq!(o.jobs, 0);
         assert!(o.cache_path.is_none());
@@ -469,6 +517,30 @@ mod tests {
         assert_eq!(o.model_path.as_deref(), Some("m.txt"));
         assert_eq!(o.json_path.as_deref(), Some("r.json"));
         assert_eq!(o.chrome_trace.as_deref(), Some("t.json"));
+    }
+
+    #[test]
+    fn parses_candidates_flags() {
+        let o = opts(&["--candidates", "d.json", "--top", "4"]).unwrap();
+        assert_eq!(o.candidates.as_deref(), Some("d.json"));
+        assert_eq!(o.top, 4);
+    }
+
+    #[test]
+    fn rejects_bad_candidates_combinations() {
+        for args in [
+            &["--candidates"][..],
+            &["--top"],
+            &["--top", "0"],
+            &["--top", "lots"],
+            &["--candidates", "d.json", "--workload", "reed-solomon"],
+            &["--merge", "a.json", "--candidates", "d.json"],
+        ] {
+            match opts(args) {
+                Err(e) => assert_eq!(e.exit_code(), 2, "{args:?} must be a usage error"),
+                Ok(_) => panic!("{args:?} must be rejected"),
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! | [`core`] | **the paper**: macro-model template, characterization, estimation |
 //! | [`workloads`] | characterization suite, Table II applications, RS(15,11) codec |
 //! | [`dse`] | design-space exploration: enumeration, cached parallel evaluation, Pareto search |
+//! | [`discover`] | automatic custom-instruction discovery: DAG mining, TIE synthesis, candidate reports |
 //! | [`serve`] | long-running estimation service: HTTP/1.1 endpoints, micro-batching, load generator |
 //! | [`validate`] | cross-validation, differential fuzzing, golden accuracy gates |
 //! | [`coverage`] | calibration-suite coverage: excitation analysis, conditioning gates, case planning |
@@ -53,6 +54,7 @@
 
 pub use emx_core as core;
 pub use emx_coverage as coverage;
+pub use emx_discover as discover;
 pub use emx_dse as dse;
 pub use emx_hwlib as hwlib;
 pub use emx_isa as isa;

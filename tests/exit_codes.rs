@@ -87,6 +87,30 @@ const CASES: &[Case] = &[
         expect: 2,
         why: "zero concurrency is a usage error",
     },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-discover"),
+        args: &["--bogus-flag"],
+        expect: 2,
+        why: "unknown flag is a usage error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-discover"),
+        args: &["--workload", "no-such-workload"],
+        expect: 2,
+        why: "unknown workload name is a usage error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-discover"),
+        args: &["--jobs", "0"],
+        expect: 2,
+        why: "zero worker count is a usage error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-dse"),
+        args: &["--candidates", "d.json", "--workload", "reed-solomon"],
+        expect: 2,
+        why: "--candidates and --workload conflict is a usage error",
+    },
     // bad input: exit 1
     Case {
         bin: env!("CARGO_BIN_EXE_emx-run"),
@@ -123,6 +147,23 @@ const CASES: &[Case] = &[
         args: &["--model", "/nonexistent/emx-no-such-model.txt"],
         expect: 1,
         why: "missing model file is an input error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-dse"),
+        args: &["--candidates", "/nonexistent/emx-no-such-discover.json"],
+        expect: 1,
+        why: "missing discover report file is an input error",
+    },
+    Case {
+        bin: env!("CARGO_BIN_EXE_emx-discover"),
+        args: &[
+            "--workload",
+            "rs1",
+            "--json",
+            "/nonexistent-dir/discover.json",
+        ],
+        expect: 1,
+        why: "unwritable report output path is an input error",
     },
     // Port 9 (discard) is unassigned on loopback in CI containers: the
     // very first request fails to connect, which emx-load reports as an
@@ -205,6 +246,29 @@ fn merging_conflicting_partitions_exits_one() {
     assert!(
         stderr.contains("fingerprint"),
         "stderr must name the conflict: {stderr}"
+    );
+}
+
+/// A discover report that exists but does not carry the expected schema
+/// is an *input* failure (exit 1): the flag was used correctly, the file
+/// is not an `emx.discover-report/1` artifact.
+#[test]
+fn malformed_discover_report_exits_one() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("emx-exit-discover-{}.json", std::process::id()));
+    std::fs::write(&path, "{\"schema\":\"not-a-discover-report\"}").expect("write report");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_emx-dse"))
+        .args(["--candidates", path.to_str().unwrap()])
+        .output()
+        .expect("spawns");
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "wrong schema must exit 1\nstderr: {}",
+        String::from_utf8_lossy(&out.stderr)
     );
 }
 
